@@ -1,0 +1,23 @@
+"""Benchmark fixtures: keep pytest-benchmark to one round per table.
+
+Each benchmark regenerates a whole table from the paper, which involves
+many simulated mini-batches; a single round per table is the meaningful
+unit of measurement.
+"""
+
+import sys
+from pathlib import Path
+
+import pytest
+
+sys.path.insert(0, str(Path(__file__).parent))
+
+
+@pytest.fixture()
+def table_benchmark(benchmark):
+    """Run a table-producing callable once under pytest-benchmark."""
+
+    def run(fn, *args, **kwargs):
+        return benchmark.pedantic(fn, args=args, kwargs=kwargs, rounds=1, iterations=1)
+
+    return run

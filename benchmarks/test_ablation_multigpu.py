@@ -1,0 +1,79 @@
+"""Section 3.4 extension: data-parallel degree chosen by measurement.
+
+"Depending on the communication cost of the model and the physical
+characteristics of the network, the choice of ideal degree of parallelism
+... could be taken in an automated manner with runtime measurement and
+adaptation."  This bench measures subLSTM scaling over PCIe and NVLink
+fabrics: the best degree differs per fabric, which is exactly why a
+static choice is wrong.
+"""
+
+from harness import DEFAULT_CONFIGS, emit
+from repro.distributed import NVLINK, PCIE, choose_parallelism, choose_partitioning
+from repro.models import build_stacked_lstm, build_sublstm
+
+
+def build_table():
+    config = DEFAULT_CONFIGS["sublstm"].scaled(batch_size=128, seq_len=5)
+    payload = {}
+    for fabric in (PCIE, NVLINK):
+        ms = choose_parallelism(
+            build_sublstm, config, degrees=(1, 2, 4, 8), interconnect=fabric
+        )
+        payload[fabric.name] = [
+            {
+                "world": m.world,
+                "per_sample_us": m.per_sample_us,
+                "exposed_comm_us": m.exposed_comm_us,
+                "efficiency": m.scaling_efficiency,
+            }
+            for m in sorted(ms, key=lambda m: m.world)
+        ]
+        payload[fabric.name + "_best"] = ms[0].world
+
+    # model partitioning: data vs pipeline at world=2 on a 4-layer stack
+    deep = DEFAULT_CONFIGS["stacked_lstm"].scaled(
+        batch_size=32, seq_len=4, num_layers=4
+    )
+    decisions = choose_partitioning(build_stacked_lstm, deep, world=2)
+    payload["partitioning"] = [
+        {"kind": d.kind, "per_sample_us": d.per_sample_us} for d in decisions
+    ]
+    return payload
+
+
+def test_ablation_multigpu(table_benchmark):
+    payload = table_benchmark(build_table)
+    rows = []
+    for fabric in ("pcie", "nvlink"):
+        for m in payload[fabric]:
+            rows.append([
+                fabric, m["world"], f"{m['per_sample_us']:.1f}",
+                f"{m['exposed_comm_us']:.0f}us", f"{m['efficiency']:.2f}",
+            ])
+    emit(
+        "Ablation (section 3.4): data-parallel degree by measurement",
+        ["fabric", "GPUs", "us/sample", "exposed comm", "efficiency"],
+        rows,
+        "ablation_multigpu",
+        payload,
+    )
+    rows2 = [
+        ["(partitioning)", d["kind"], f"{d['per_sample_us']:.1f}", "-", "-"]
+        for d in payload["partitioning"]
+    ]
+    emit(
+        "Ablation (section 6.7): data vs pipeline partitioning at world=2",
+        ["fabric", "kind", "us/sample", "-", "-"],
+        rows2,
+        "ablation_partitioning",
+        payload["partitioning"],
+    )
+    # communication-bound on PCIe caps scaling earlier than NVLink
+    assert payload["nvlink_best"] >= payload["pcie_best"]
+    # efficiency decays with world size on the slower fabric
+    pcie_eff = [m["efficiency"] for m in payload["pcie"]]
+    assert pcie_eff[-1] < pcie_eff[0] * 1.5
+    # both partitioning kinds measured; ordering by measured time
+    kinds = [d["kind"] for d in payload["partitioning"]]
+    assert set(kinds) == {"data", "pipeline"}

@@ -1,0 +1,63 @@
+"""Section 7 ablation: predictable execution is a hardware requirement.
+
+The paper sets the GPU to base clock because autoboost jitter breaks
+fine-grained profiling.  This bench runs the same exploration on a
+deterministic device and on an autoboost-jittery one, then evaluates both
+final plans on the deterministic device: the jittery exploration picks a
+plan that is no better, and its repeated measurements disagree run to run.
+"""
+
+from harness import build_model, emit
+from repro import AstraSession
+from repro.gpu import CLOCK_AUTOBOOST, P100, GemmLaunch, HostSyncItem, LaunchItem, StreamSimulator
+from repro.runtime import Executor
+
+
+def build_table():
+    model = build_model("sublstm", 16)
+    base = AstraSession(model, features="FK", seed=5).optimize()
+    jittery = AstraSession(
+        model, device=P100.with_clock(CLOCK_AUTOBOOST), features="FK", seed=5
+    ).optimize()
+
+    executor = Executor(model.graph, P100)
+    base_eval = executor.run(base.astra.best_plan).total_time_us
+    jitter_eval = executor.run(jittery.astra.best_plan).total_time_us
+
+    # measurement repeatability: the same kernel measured twice
+    items = [LaunchItem(GemmLaunch(64, 650, 2600, "cublas"), 0), HostSyncItem()]
+    det = StreamSimulator(P100, seed=0)
+    boost = StreamSimulator(P100.with_clock(CLOCK_AUTOBOOST), seed=0)
+    det_pair = (det.run(items).total_time_us, det.run(items).total_time_us)
+    boost_pair = (boost.run(items).total_time_us, boost.run(items).total_time_us)
+
+    return {
+        "base_clock_plan_us": base_eval,
+        "autoboost_plan_us": jitter_eval,
+        "degradation": jitter_eval / base_eval,
+        "deterministic_repeat": det_pair,
+        "autoboost_repeat": boost_pair,
+    }
+
+
+def test_ablation_predictability(table_benchmark):
+    payload = table_benchmark(build_table)
+    rows = [
+        ["plan found at base clock", f"{payload['base_clock_plan_us']:.0f}us"],
+        ["plan found under autoboost", f"{payload['autoboost_plan_us']:.0f}us"],
+        ["degradation", f"{payload['degradation']:.3f}x"],
+        ["repeatability (base)", f"{payload['deterministic_repeat'][0]:.1f} vs {payload['deterministic_repeat'][1]:.1f}"],
+        ["repeatability (boost)", f"{payload['autoboost_repeat'][0]:.1f} vs {payload['autoboost_repeat'][1]:.1f}"],
+    ]
+    emit(
+        "Ablation (section 7): base clock vs autoboost",
+        ["measurement", "value"],
+        rows,
+        "ablation_predictability",
+        payload,
+    )
+    # deterministic measurements repeat exactly; autoboost ones do not
+    assert payload["deterministic_repeat"][0] == payload["deterministic_repeat"][1]
+    assert payload["autoboost_repeat"][0] != payload["autoboost_repeat"][1]
+    # the jitter-found plan is no better than the base-clock plan
+    assert payload["degradation"] >= 0.999

@@ -1,0 +1,51 @@
+"""Section 6.7 discussion: portability to new hardware.
+
+"As model structures and GPU architectures evolve, all one needs to do is
+add to the library of exploration, and models get automatic robust
+speedup without any need for hand-optimization or parameter tuning."
+This bench re-runs the subLSTM sweep on the V100 profile: no code or
+cost-model changes, the same enumerator/wirer, and the speedups *grow*
+(faster hardware makes more operations launch-bound, section 6.7).
+"""
+
+from harness import build_model, emit
+from repro import AstraSession
+from repro.gpu import P100, V100
+
+
+def build_table():
+    payload = {}
+    for batch in (8, 32, 128):
+        model = build_model("sublstm", batch)
+        entry = {}
+        for device in (P100, V100):
+            rep = AstraSession(model, device=device, features="FKS", seed=1).optimize()
+            entry[device.name] = {
+                "speedup": rep.speedup_over_native,
+                "best_us": rep.best_time_us,
+            }
+        payload[batch] = entry
+    return payload
+
+
+def test_ablation_v100(table_benchmark):
+    payload = table_benchmark(build_table)
+    rows = [
+        [batch,
+         f"{payload[batch]['P100']['speedup']:.2f}",
+         f"{payload[batch]['V100']['speedup']:.2f}"]
+        for batch in payload
+    ]
+    emit(
+        "Ablation (section 6.7): the same adaptation on a newer device",
+        ["batch", "P100 speedup", "V100 speedup"],
+        rows,
+        "ablation_v100",
+        payload,
+    )
+    for batch, entry in payload.items():
+        assert entry["V100"]["best_us"] < entry["P100"]["best_us"]
+        assert entry["V100"]["speedup"] >= 1.0
+    # faster device -> ops are relatively more launch-bound -> adaptation
+    # matters at least as much at small batch
+    assert payload[8]["V100"]["speedup"] >= payload[8]["P100"]["speedup"] * 0.9

@@ -1,0 +1,67 @@
+"""Figure 2: the Astra exploration hierarchy.
+
+The figure shows the update tree: super-epochs explored in parallel
+(barrier exploration), epochs within a super-epoch explored prefix-wise,
+stream assignments within an epoch, and fusion/kernel variables.  This
+bench renders the same structure for the SC-RNN trace and checks its
+shape properties.
+"""
+
+from harness import build_model, emit, save_results
+from repro.core import AstraFeatures, Enumerator, count_configurations
+from repro.gpu import P100
+
+
+def build_figure():
+    model = build_model("scrnn", 16)
+    enum = Enumerator(model.graph, P100, AstraFeatures.preset("FKS"))
+    strategy = enum.strategies[0]
+    fk_tree = enum.build_fk_tree(strategy)
+    partition, stream_tree = enum.prepare_stream_phase(
+        strategy, fk_tree.assignment()
+    )
+
+    lines = ["Astra exploration (SC-RNN):"]
+    lines.append(f"+ allocation strategies: {len(enum.strategies)} (hierarchical fork)")
+    lines.append(f"+ fk phase [parallel] <= {count_configurations(fk_tree)} trials")
+    fusion_vars = [v for v in fk_tree.variables() if v.name.startswith("fusion:")]
+    kernel_vars = [v for v in fk_tree.variables() if v.name.startswith("kernel:")]
+    lines.append(f"|   fusion groups: {len(fusion_vars)} "
+                 f"(chunk x library choices each)")
+    lines.append(f"|   kernel shapes: {len(kernel_vars)} (library choices each)")
+    lines.append(f"+ stream phase [parallel over {len(stream_tree.children)} "
+                 f"super-epochs] <= {count_configurations(stream_tree)} trials")
+    for child in stream_tree.children[:4]:
+        sizes = [len(v.choices) for v in child.variables()]
+        lines.append(
+            f"|   {child.name} [prefix over {len(child.children)} epochs]: "
+            f"options per epoch {sizes[:8]}{'...' if len(sizes) > 8 else ''}"
+        )
+    lines.append(f"  super-epochs: {partition.num_super_epochs}, "
+                 f"epochs: {len(partition.epochs)}, "
+                 f"barriers: {len(partition.barrier_units())}")
+
+    payload = {
+        "strategies": len(enum.strategies),
+        "fk_trials_bound": count_configurations(fk_tree),
+        "fusion_vars": len(fusion_vars),
+        "kernel_vars": len(kernel_vars),
+        "super_epochs": partition.num_super_epochs,
+        "epochs": len(partition.epochs),
+        "stream_trials_bound": count_configurations(stream_tree),
+        "rendering": lines,
+    }
+    return payload
+
+
+def test_figure2(table_benchmark):
+    payload = table_benchmark(build_figure)
+    print("\n" + "\n".join(payload["rendering"]))
+    save_results("figure2_exploration_tree", payload)
+    # shape properties of the hierarchy
+    assert payload["fusion_vars"] >= 3
+    assert payload["super_epochs"] >= 1
+    assert payload["epochs"] > payload["super_epochs"]
+    # parallel pruning: the trial bound is far below the exhaustive product
+    assert payload["fk_trials_bound"] < 200
+    assert payload["stream_trials_bound"] < 2000

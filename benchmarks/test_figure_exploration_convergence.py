@@ -1,0 +1,64 @@
+"""Work-conserving exploration (section 4.2): the cost of being adaptive.
+
+Not a numbered figure in the paper, but its central operational claim:
+"a small number (e.g., a few thousand out of millions) of mini-batches is
+used for exploration while still making useful training progress."  This
+bench records the per-mini-batch times of the whole exploration and
+reports (a) how much slower exploration is than native on average, and
+(b) the break-even point after which the custom-wired plan has repaid the
+entire exploration overhead.
+"""
+
+from harness import build_model, emit
+from repro import AstraSession
+
+
+def build_table():
+    payload = {}
+    for name in ("scrnn", "sublstm"):
+        model = build_model(name, 16)
+        report = AstraSession(model, features="FKS", seed=1).optimize()
+        astra = report.astra
+        am = astra.amortization(report.native_time_us)
+        times = [t for _p, t in astra.timeline]
+        payload[name] = {
+            "exploration_minibatches": am.exploration_minibatches,
+            "mean_exploration_vs_native": (sum(times) / len(times)) / report.native_time_us,
+            "worst_exploration_vs_native": max(times) / report.native_time_us,
+            "overhead_vs_native_us": am.overhead_vs_native_us,
+            "breakeven_minibatches": am.breakeven_minibatches,
+            "final_speedup": report.speedup_over_native,
+        }
+    return payload
+
+
+def test_figure_exploration_convergence(table_benchmark):
+    payload = table_benchmark(build_table)
+    rows = []
+    for name, entry in payload.items():
+        rows.append([
+            name,
+            entry["exploration_minibatches"],
+            f"{entry['mean_exploration_vs_native']:.2f}x",
+            f"{entry['worst_exploration_vs_native']:.2f}x",
+            f"{entry['breakeven_minibatches']:.0f}",
+            f"{entry['final_speedup']:.2f}x",
+        ])
+    emit(
+        "Work-conserving exploration: cost and break-even (section 4.2)",
+        ["model", "explore batches", "mean vs native", "worst vs native",
+         "breakeven batches", "final speedup"],
+        rows,
+        "figure_exploration_convergence",
+        payload,
+    )
+    for entry in payload.values():
+        # the average exploration mini-batch is no slower than native --
+        # exploration is essentially free training
+        assert entry["mean_exploration_vs_native"] < 1.5
+        # a handful of deliberately-bad configs spike (that is the state
+        # space doing its job), each visited exactly once
+        assert entry["worst_exploration_vs_native"] < 30.0
+        # and the overhead is repaid within a vanishing fraction of a
+        # training job's millions of mini-batches
+        assert entry["breakeven_minibatches"] < 5000

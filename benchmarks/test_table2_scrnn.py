@@ -1,0 +1,34 @@
+"""Table 2: SC-RNN speedup over native PyTorch by mini-batch size.
+
+Paper (P100): Astra_F 1.65/1.65/1.49/1.20/1.03/0.98, Astra_FKS
+2.13/2.11/1.72/1.42/1.19/1.10, Astra_all 2.27/2.22/1.81/1.49/1.20/1.12
+for batches 8/16/32/64/128/256.  Reproduction targets: largest speedups
+at small batch decaying toward ~1 at 256; streams add on top of F/FK;
+`all` >= FKS.
+"""
+
+from harness import VARIANTS, bench_batches, emit, speedup_table
+
+
+def test_table2_scrnn(table_benchmark):
+    rows_data = table_benchmark(speedup_table, "scrnn")
+    rows = [
+        [batch] + [f"{rows_data[batch][v]['speedup']:.2f}" for v in VARIANTS]
+        for batch in rows_data
+    ]
+    emit(
+        "Table 2: SC-RNN speedup vs native (paper F: 1.65..0.98, all: 2.27..1.12)",
+        ["batch"] + [f"Astra_{v}" for v in VARIANTS],
+        rows,
+        "table2_scrnn",
+        rows_data,
+    )
+    batches = list(rows_data)
+    first, last = batches[0], batches[-1]
+    # shape checks: decay with batch, ordering of variants
+    assert rows_data[first]["F"]["speedup"] > rows_data[last]["F"]["speedup"]
+    assert rows_data[first]["all"]["speedup"] > 1.3
+    for batch in batches:
+        entry = rows_data[batch]
+        assert entry["FKS"]["speedup"] >= entry["FK"]["speedup"] * 0.99
+        assert entry["all"]["speedup"] >= entry["FKS"]["speedup"] * 0.99

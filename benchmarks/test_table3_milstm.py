@@ -1,0 +1,29 @@
+"""Table 3: MI-LSTM (Hutter) speedup over native PyTorch by batch size.
+
+Paper: Astra_F 2.25/1.93/1.65/1.29/1.13/1.2, Astra_all
+2.43/2.13/1.85/1.46/1.23/1.28 for batches 8..256.  Same shape targets as
+Table 2: decay with batch size, streams contribute on top of F/FK.
+"""
+
+from harness import VARIANTS, emit, speedup_table
+
+
+def test_table3_milstm(table_benchmark):
+    rows_data = table_benchmark(speedup_table, "milstm")
+    rows = [
+        [batch] + [f"{rows_data[batch][v]['speedup']:.2f}" for v in VARIANTS]
+        for batch in rows_data
+    ]
+    emit(
+        "Table 3: MI-LSTM speedup vs native (paper F: 2.25..1.2, all: 2.43..1.28)",
+        ["batch"] + [f"Astra_{v}" for v in VARIANTS],
+        rows,
+        "table3_milstm",
+        rows_data,
+    )
+    batches = list(rows_data)
+    assert rows_data[batches[0]]["F"]["speedup"] > rows_data[batches[-1]]["F"]["speedup"]
+    assert rows_data[batches[0]]["all"]["speedup"] > 1.3
+    for batch in batches:
+        entry = rows_data[batch]
+        assert entry["all"]["speedup"] >= entry["FKS"]["speedup"] * 0.99

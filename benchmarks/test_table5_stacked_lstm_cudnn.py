@@ -1,0 +1,38 @@
+"""Table 5: PTB Stacked LSTM ("large", input 1500) relative to cuDNN.
+
+Paper: native PyTorch runs at 0.43..0.86 of cuDNN; Astra_F reaches
+0.87-1.43, and Astra_all matches or beats cuDNN (1.0-1.64) -- on a model
+fully covered by the hand-optimized accelerator.  Shape targets: PyT well
+below 1, Astra within ~10% of cuDNN everywhere and above it at small-to-
+mid batch where stream/allocation adaptation has headroom.
+"""
+
+from harness import cudnn_table, emit
+
+
+def test_table5_stacked_lstm(table_benchmark):
+    rows_data = table_benchmark(cudnn_table, "stacked_lstm")
+    rows = []
+    for batch, entry in rows_data.items():
+        rows.append([
+            batch,
+            f"{entry['pyt_rel']:.2f}",
+            "1.00",
+            f"{entry['F']['rel_cudnn']:.2f}",
+            f"{entry['FK']['rel_cudnn']:.2f}",
+            f"{entry['all']['rel_cudnn']:.2f}",
+        ])
+    emit(
+        "Table 5: Stacked LSTM relative to cuDNN (paper PyT: .43...86, Astra_all: 1.0..1.64)",
+        ["batch", "PyT", "cuDNN", "Astra_F", "Astra_FK", "Astra_all"],
+        rows,
+        "table5_stacked_lstm",
+        rows_data,
+    )
+    for batch, entry in rows_data.items():
+        assert entry["pyt_rel"] < 1.0          # native loses to cuDNN
+        assert entry["all"]["rel_cudnn"] > entry["pyt_rel"]  # Astra closes the gap
+    # Astra approaches (>= ~80% of) the hand-optimized accelerator everywhere
+    assert all(e["all"]["rel_cudnn"] > 0.8 for e in rows_data.values())
+    # and matches or beats it somewhere in the sweep
+    assert any(e["all"]["rel_cudnn"] >= 0.98 for e in rows_data.values())

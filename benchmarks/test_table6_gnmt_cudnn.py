@@ -1,0 +1,48 @@
+"""Table 6: GNMT relative to cuDNN.
+
+GNMT is *mostly* covered by cuDNN -- the attention module is not -- so
+cuDNN is strong but Astra gets close and overtakes it at some batch sizes
+(paper: PyT 0.19..0.31 of cuDNN; Astra_all 0.65..1.71).
+"""
+
+import os
+
+from harness import cudnn_table, emit
+
+#: GNMT is the deepest model; trim the sweep unless the full run is asked for
+BATCHES = (
+    None
+    if os.environ.get("REPRO_BENCH_BATCHES")
+    else (8, 16, 32, 64)
+)
+
+
+def test_table6_gnmt(table_benchmark):
+    rows_data = table_benchmark(cudnn_table, "gnmt", ("F", "FK", "all"), BATCHES, 4)
+    rows = []
+    for batch, entry in rows_data.items():
+        rows.append([
+            batch,
+            f"{entry['pyt_rel']:.2f}",
+            "1.00",
+            f"{entry['F']['rel_cudnn']:.2f}",
+            f"{entry['FK']['rel_cudnn']:.2f}",
+            f"{entry['all']['rel_cudnn']:.2f}",
+        ])
+    emit(
+        "Table 6: GNMT relative to cuDNN (paper PyT: .19...31, Astra_all: .65..1.71)",
+        ["batch", "PyT", "cuDNN", "Astra_F", "Astra_FK", "Astra_all"],
+        rows,
+        "table6_gnmt",
+        rows_data,
+    )
+    batches = list(rows_data)
+    for batch, entry in rows_data.items():
+        assert entry["pyt_rel"] < 0.6              # cuDNN dominates native
+        # Astra closes most of the native-vs-cuDNN gap without any
+        # hand-written kernels (paper: 0.65..1.71 of cuDNN; here the
+        # crossover above 1.0 is not reached -- see EXPERIMENTS.md)
+        assert entry["all"]["rel_cudnn"] > 1.3 * entry["pyt_rel"]
+        assert entry["all"]["rel_cudnn"] > 0.55
+    # the gap narrows as batch grows
+    assert rows_data[batches[-1]]["all"]["rel_cudnn"] >= rows_data[batches[0]]["all"]["rel_cudnn"]

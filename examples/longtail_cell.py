@@ -1,0 +1,99 @@
+#!/usr/bin/env python
+"""The long-tail story: accelerate a *novel* cell nobody hand-optimized.
+
+This example invents a recurrent cell that exists in no accelerator
+library -- a "peephole-highway" hybrid with three gates, a highway skip
+and a squared-ReLU nonlinearity -- exactly the kind of structure an AI
+researcher tries during architecture search (paper section 1).  It then:
+
+1. checks that the cuDNN-style accelerator has zero coverage (this is the
+   long tail);
+2. lets Astra custom-wire it, showing the fusion groups its enumerator
+   discovered in a model it has never seen;
+3. compares against the native framework and the XLA-style static
+   compiler.
+
+Run:  python examples/longtail_cell.py
+"""
+
+from repro import AstraSession
+from repro.baselines import detect_lstm_steps, run_native, run_xla
+from repro.gpu import P100
+from repro.ir import Tracer, backward
+from repro.models.cells import ModelBuilder, ModelConfig, TracedModel
+
+CONFIG = ModelConfig(batch_size=16, seq_len=6, hidden_size=512,
+                     embed_size=512, vocab_size=2000, use_embedding=False)
+
+
+def build_peephole_highway(config: ModelConfig = CONFIG) -> TracedModel:
+    """A made-up long-tail cell:
+
+        r_t = sigmoid(x@Wr + h@Ur + c_{t-1}@Pr)      (peephole reset)
+        z_t = sigmoid(x@Wz + h@Uz)                   (highway carry)
+        u_t = relu(x@Wu + (r_t * h)@Uu)^2            (squared-relu update)
+        c_t = z_t * c_{t-1} + (1 - z_t) * u_t
+        h_t = z_t * h + (1 - z_t) * tanh(c_t)        (highway output)
+    """
+    builder = ModelBuilder("peephole_highway", config)
+    tr = builder.tracer
+    hid, emb = config.hidden_size, config.embed_size
+
+    with tr.scope("params"):
+        w_r, u_r, p_r = tr.param((emb, hid)), tr.param((hid, hid)), tr.param((hid, hid))
+        w_z, u_z = tr.param((emb, hid)), tr.param((hid, hid))
+        w_u, u_u = tr.param((emb, hid)), tr.param((hid, hid))
+
+    xs = builder.token_inputs()
+    h = builder.zeros_state("h0")
+    c = builder.zeros_state("c0")
+
+    hiddens = []
+    for t, x in enumerate(xs):
+        with tr.scope(f"layer0/step{t}"):
+            r = tr.sigmoid(tr.add(tr.add(x @ w_r, h @ u_r), c @ p_r))
+            z = tr.sigmoid(tr.add(x @ w_z, h @ u_z))
+            pre = tr.relu(tr.add(x @ w_u, tr.mul(r, h) @ u_u))
+            u = tr.mul(pre, pre)
+            one_minus_z = tr.add_scalar(tr.scale(z, -1.0), 1.0)
+            c = tr.add(tr.mul(z, c), tr.mul(one_minus_z, u))
+            h = tr.add(tr.mul(z, h), tr.mul(one_minus_z, tr.tanh(c)))
+            hiddens.append(h)
+
+    loss = builder.lm_loss(hiddens)
+    return builder.finish(loss)
+
+
+def main() -> None:
+    model = build_peephole_highway()
+    print(f"traced novel cell: {len(model.graph)} nodes, "
+          f"{len(model.graph.gemm_nodes())} GEMMs")
+
+    # 1. the accelerator library has never seen this structure
+    coverage = detect_lstm_steps(model.graph)
+    print(f"cuDNN coverage: {coverage.fraction_of_gemms * 100:.0f}% of GEMMs "
+          f"(long-tail: hand-optimized kernels do not apply)")
+
+    # 2. baselines
+    native = run_native(model.graph, P100).total_time_us
+    xla = run_xla(model.graph, P100).total_time_us
+    print(f"\nnative:   {native / 1000:7.2f} ms   1.00x")
+    print(f"XLA-like: {xla / 1000:7.2f} ms   {native / xla:.2f}x (static elementwise fusion)")
+
+    # 3. Astra discovers the structure by pattern matching + measurement
+    session = AstraSession(model, features="all")
+    fusion_groups = session.wirer.enumerator.analysis.groups
+    print(f"\nenumerator found {len(fusion_groups)} fusion groups in the novel cell:")
+    for group in fusion_groups[:6]:
+        dims = group.launch_dims(group.members)
+        print(f"  {group.group_id:48s} {group.size} members -> "
+              f"fused GEMM {dims[0]}x{dims[1]}x{dims[2]}")
+
+    report = session.optimize()
+    print(f"\nAstra:    {report.best_time_us / 1000:7.2f} ms   "
+          f"{report.speedup_over_native:.2f}x "
+          f"({report.configs_explored} exploration mini-batches)")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,22 @@
+"""repro: a full reproduction of *Astra: Exploiting Predictability to
+Optimize Deep Learning* (Sivathanu et al., ASPLOS 2019).
+
+Layers (bottom-up):
+
+* :mod:`repro.ir` -- shape-typed tensor IR, tracing, reverse-mode autodiff;
+* :mod:`repro.gpu` -- deterministic discrete-event GPU simulator (streams,
+  launch overhead, cudaEvents, GEMM kernel libraries, memory arenas);
+* :mod:`repro.runtime` -- execution plans, dispatcher, executor;
+* :mod:`repro.models` -- the paper's five evaluation models;
+* :mod:`repro.baselines` -- native framework, cuDNN-style, XLA-style;
+* :mod:`repro.core` -- Astra itself: enumerator, adaptive variables,
+  profile index, custom-wirer, public session API.
+"""
+
+from .core.enumerator import AstraFeatures
+from .core.session import AstraSession, SessionReport
+from .gpu.device import P100, V100, GPUSpec
+
+__version__ = "1.0.0"
+
+__all__ = ["AstraFeatures", "AstraSession", "SessionReport", "P100", "V100", "GPUSpec"]

@@ -1,0 +1,14 @@
+"""Baselines the paper compares against: native frameworks, cuDNN-style
+compound kernels, and an XLA-style static compiler."""
+
+from .native import native_plan, run_native
+
+__all__ = ["native_plan", "run_native"]
+
+from .cudnn import cudnn_applicable, cudnn_plan, detect_lstm_steps, run_cudnn
+from .xla import run_xla, xla_plan
+
+__all__ += [
+    "cudnn_applicable", "cudnn_plan", "detect_lstm_steps", "run_cudnn",
+    "run_xla", "xla_plan",
+]

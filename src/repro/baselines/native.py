@@ -1,0 +1,28 @@
+"""Native framework baseline (PyTorch / TensorFlow execution model).
+
+One kernel per DFG node, a single CUDA stream, the default GEMM library,
+no fusion, no profiling events (section 2.2: "most frameworks such as
+Tensorflow today use just a single stream").  This is the "PyT" / "TF"
+column of every table in the evaluation.
+"""
+
+from __future__ import annotations
+
+from ..gpu.device import GPUSpec
+from ..gpu.libraries import DEFAULT_LIBRARY
+from ..ir.graph import Graph
+from ..runtime.executor import Executor, MiniBatchResult
+from ..runtime.lowering import build_units
+from ..runtime.plan import ExecutionPlan
+
+
+def native_plan(graph: Graph, fuse_elementwise: bool = False) -> ExecutionPlan:
+    """The unadapted execution plan a stock framework would run."""
+    units = build_units(graph, gemm_library=DEFAULT_LIBRARY, fuse_elementwise=fuse_elementwise)
+    return ExecutionPlan(units=units, profile=False, label="native")
+
+
+def run_native(graph: Graph, device: GPUSpec, fuse_elementwise: bool = False) -> MiniBatchResult:
+    """Execute one mini-batch exactly as the native framework would."""
+    executor = Executor(graph, device)
+    return executor.run(native_plan(graph, fuse_elementwise=fuse_elementwise))

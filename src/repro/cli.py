@@ -1,0 +1,175 @@
+"""Command-line front-end: ``python -m repro <command>``.
+
+Commands:
+
+* ``optimize``  — trace a model, run the Astra exploration, print the report
+* ``sweep``     — speedups across mini-batch sizes for one model
+* ``baselines`` — native / XLA-style / cuDNN-style / Astra side by side
+* ``inspect``   — dump what the enumerator found (fusion groups, strategies,
+  epochs) for a model, without running any exploration
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from . import AstraSession
+from .baselines import cudnn_applicable, run_cudnn, run_native, run_xla
+from .core import AstraFeatures, Enumerator, count_configurations
+from .gpu import DEVICES, P100
+from .models import MODEL_BUILDERS
+
+_CONFIG_MODULES = {
+    "scrnn": "repro.models.scrnn",
+    "milstm": "repro.models.milstm",
+    "sublstm": "repro.models.sublstm",
+    "stacked_lstm": "repro.models.stacked_lstm",
+    "gnmt": "repro.models.gnmt",
+}
+
+
+def _build(args):
+    module = __import__(_CONFIG_MODULES[args.model], fromlist=["DEFAULT_CONFIG"])
+    config = module.DEFAULT_CONFIG.scaled(
+        batch_size=args.batch, seq_len=args.seq_len,
+        use_embedding=not args.no_embedding,
+    )
+    return MODEL_BUILDERS[args.model](config)
+
+
+def cmd_optimize(args) -> int:
+    model = _build(args)
+    device = DEVICES[args.device]
+    session = AstraSession(model, device=device, features=args.features, seed=args.seed)
+    report = session.optimize(max_minibatches=args.budget)
+    astra = report.astra
+    print(f"model: {args.model}  batch={args.batch}  device={args.device}  "
+          f"features=Astra_{args.features}")
+    print(f"native:   {report.native_time_us / 1000:9.3f} ms/mini-batch")
+    print(f"astra:    {astra.best_time_us / 1000:9.3f} ms/mini-batch")
+    print(f"speedup:  {report.speedup_over_native:9.2f} x")
+    print(f"explored: {astra.configs_explored} mini-batches  "
+          f"(profiling overhead {astra.profiling_overhead * 100:.2f}%)")
+    print(f"allocation strategy: {astra.best_strategy.label}")
+    if args.verbose:
+        print("\nchosen configuration:")
+        for name, choice in sorted(astra.assignment.items()):
+            print(f"  {name} -> {choice}")
+    return 0
+
+
+def cmd_sweep(args) -> int:
+    device = DEVICES[args.device]
+    batches = [int(b) for b in args.batches.split(",")]
+    print(f"{'batch':>6}  {'native(ms)':>11}  {'astra(ms)':>10}  {'speedup':>8}")
+    for batch in batches:
+        args.batch = batch
+        model = _build(args)
+        report = AstraSession(
+            model, device=device, features=args.features, seed=args.seed
+        ).optimize(max_minibatches=args.budget)
+        print(f"{batch:6d}  {report.native_time_us / 1000:11.3f}  "
+              f"{report.best_time_us / 1000:10.3f}  "
+              f"{report.speedup_over_native:8.2f}")
+    return 0
+
+
+def cmd_baselines(args) -> int:
+    model = _build(args)
+    device = DEVICES[args.device]
+    native = run_native(model.graph, device).total_time_us
+    xla = run_xla(model.graph, device).total_time_us
+    print(f"native:   {native / 1000:9.3f} ms   1.00x")
+    print(f"xla:      {xla / 1000:9.3f} ms   {native / xla:.2f}x")
+    if cudnn_applicable(model.graph):
+        cudnn = run_cudnn(model.graph, device).total_time_us
+        print(f"cudnn:    {cudnn / 1000:9.3f} ms   {native / cudnn:.2f}x")
+    else:
+        print("cudnn:    not applicable (long-tail structure)")
+    report = AstraSession(
+        model, device=device, features=args.features, seed=args.seed
+    ).optimize(max_minibatches=args.budget)
+    print(f"astra:    {report.best_time_us / 1000:9.3f} ms   "
+          f"{report.speedup_over_native:.2f}x")
+    return 0
+
+
+def cmd_inspect(args) -> int:
+    model = _build(args)
+    device = DEVICES[args.device]
+    features = AstraFeatures.preset(args.features)
+    enum = Enumerator(model.graph, device, features)
+    graph = model.graph
+    print(f"graph: {len(graph)} nodes, {len(graph.gemm_nodes())} GEMMs, "
+          f"{graph.total_flops() / 1e9:.2f} Gflops/mini-batch")
+    print(f"allocation strategies: "
+          f"{[s.label for s in enum.strategies]}")
+    print(f"fusion groups ({len(enum.analysis.groups)}):")
+    for group in enum.analysis.groups:
+        dims = group.launch_dims(group.members)
+        print(f"  {group.group_id:56s} axis={group.axis} size={group.size} "
+              f"max-fused={dims[0]}x{dims[1]}x{dims[2]}")
+    print(f"lone ladders: "
+          f"{sum(1 for m in enum.analysis.singletons if m.is_ladder)}, "
+          f"plain GEMMs: "
+          f"{sum(1 for m in enum.analysis.singletons if not m.is_ladder)}")
+    tree = enum.build_fk_tree(enum.strategies[0])
+    print(f"fk update tree: {sum(1 for _ in tree.variables())} variables, "
+          f"<= {count_configurations(tree)} trials (parallel mode)")
+    if features.streams:
+        partition, stree = enum.prepare_stream_phase(
+            enum.strategies[0], tree.assignment()
+        )
+        print(f"stream phase: {partition.num_super_epochs} super-epochs, "
+              f"{len(partition.epochs)} epochs, "
+              f"<= {count_configurations(stree)} trials")
+    return 0
+
+
+def make_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Astra (ASPLOS 2019) reproduction: adaptive optimization "
+                    "of deep-learning training on a simulated GPU",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    def common(p):
+        p.add_argument("--model", choices=sorted(MODEL_BUILDERS), default="sublstm")
+        p.add_argument("--batch", type=int, default=16)
+        p.add_argument("--seq-len", type=int, default=5, dest="seq_len")
+        p.add_argument("--device", choices=sorted(DEVICES), default="P100")
+        p.add_argument("--features", choices=["F", "FK", "FKS", "all"], default="all")
+        p.add_argument("--seed", type=int, default=0)
+        p.add_argument("--budget", type=int, default=3000,
+                       help="max exploration mini-batches")
+        p.add_argument("--no-embedding", action="store_true")
+
+    p = sub.add_parser("optimize", help="optimize one training job")
+    common(p)
+    p.add_argument("--verbose", action="store_true")
+    p.set_defaults(fn=cmd_optimize)
+
+    p = sub.add_parser("sweep", help="speedups across batch sizes")
+    common(p)
+    p.add_argument("--batches", default="8,16,32,64,128,256")
+    p.set_defaults(fn=cmd_sweep)
+
+    p = sub.add_parser("baselines", help="compare against native/XLA/cuDNN")
+    common(p)
+    p.set_defaults(fn=cmd_baselines)
+
+    p = sub.add_parser("inspect", help="dump the enumerator's static analysis")
+    common(p)
+    p.set_defaults(fn=cmd_inspect)
+    return parser
+
+
+def main(argv: list[str] | None = None) -> int:
+    args = make_parser().parse_args(argv)
+    return args.fn(args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,65 @@
+"""Astra core: the paper's contribution.
+
+Enumerator (static analysis -> update tree of adaptive variables),
+custom-wirer (one configuration per training mini-batch, fine-grained
+profiling, profile-index-driven pruning), and the public AstraSession API.
+"""
+
+from .adaptive import (
+    AdaptiveVariable,
+    MODE_EXHAUSTIVE,
+    MODE_PARALLEL,
+    MODE_PREFIX,
+    UpdateNode,
+    count_configurations,
+)
+from .allocation import AllocationStrategy, enumerate_strategies, build_arena_plan
+from .enumerator import AstraFeatures, BuiltPlan, Enumerator
+from .epochs import Epoch, EpochPartition, partition_epochs
+from .fusion import (
+    FusionAnalysis,
+    FusionGroup,
+    FusionMember,
+    Requirement,
+    analyse_fusion,
+    detect_ladders,
+    provenance,
+)
+from .profile_index import ProfileIndex, mangle
+from .session import AstraSession, SessionReport
+from .wirer import AstraReport, CustomWirer, PhaseStats
+
+__all__ = [
+    "AdaptiveVariable", "MODE_EXHAUSTIVE", "MODE_PARALLEL", "MODE_PREFIX",
+    "UpdateNode", "count_configurations",
+    "AllocationStrategy", "enumerate_strategies", "build_arena_plan",
+    "AstraFeatures", "BuiltPlan", "Enumerator",
+    "Epoch", "EpochPartition", "partition_epochs",
+    "FusionAnalysis", "FusionGroup", "FusionMember", "Requirement",
+    "analyse_fusion", "detect_ladders", "provenance",
+    "ProfileIndex", "mangle",
+    "AstraSession", "SessionReport",
+    "AstraReport", "CustomWirer", "PhaseStats",
+]
+
+from .bucketing import BucketedReport, run_bucketed
+
+__all__ += ["BucketedReport", "run_bucketed"]
+
+from .recompute import (
+    BatchDecision,
+    RecomputePlan,
+    RecomputePlanner,
+    Segment,
+    best_batch_under_budget,
+    estimate_memory,
+)
+
+__all__ += [
+    "BatchDecision", "RecomputePlan", "RecomputePlanner", "Segment",
+    "best_batch_under_budget", "estimate_memory",
+]
+
+from .wirer import Amortization
+
+__all__ += ["Amortization"]

@@ -1,0 +1,168 @@
+"""Allocation strategies: arbitrating conflicting layout requirements.
+
+Fusion groups impose layout requirements on their operand tensors
+(section 3.2); forward- and backward-pass groups frequently want the same
+weights in different layouts (Figure 1).  Section 4.5.2's recipe:
+
+* conflicts caused by a single shared tensor are resolved *statically* by
+  dropping the offending tensor from both groups;
+* non-trivial conflicts become a top-level fork in the exploration space:
+  each allocation strategy satisfies a maximal compatible subset of
+  requirements, fusion adaptation is restricted to the groups each
+  strategy supports, and the custom-wirer compares the per-strategy best
+  configurations end to end.
+
+Unsatisfied *weight* layouts can still be fused by gathering the weights
+once per mini-batch (weights are constant within a mini-batch); the
+gather cost is what the measurement-driven comparison sees.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..gpu.memory import AllocationPlan, ContiguityGroup
+from ..ir.graph import Graph
+from .fusion import FusionAnalysis, Requirement
+
+
+@dataclass(frozen=True)
+class AllocationStrategy:
+    """One memory-layout choice: the set of layout requirements it honors."""
+
+    strategy_id: int
+    label: str
+    satisfied: frozenset[Requirement]
+
+    def supports(self, requirement: Requirement | None) -> bool:
+        return requirement is None or requirement in self.satisfied
+
+    def context_key(self) -> tuple:
+        return ("alloc", self.strategy_id)
+
+
+def _requirement_weight(req: Requirement, flops: dict[Requirement, float]) -> float:
+    return flops.get(req, 0.0)
+
+
+def resolve_single_tensor_conflicts(
+    requirements: list[Requirement],
+) -> list[Requirement]:
+    """Static resolution (section 4.5.2): when two requirements overlap in
+    exactly one tensor, shrink both by dropping that tensor.  Members
+    reduced below two tensors lose their requirement entirely."""
+    current = list(dict.fromkeys(requirements))
+    changed = True
+    while changed:
+        changed = False
+        for i in range(len(current)):
+            for j in range(i + 1, len(current)):
+                a, b = current[i], current[j]
+                overlap = a.all_tensors() & b.all_tensors()
+                if len(overlap) != 1 or a == b:
+                    continue
+                tensor = next(iter(overlap))
+                current[i] = _drop_tensor(a, tensor)
+                current[j] = _drop_tensor(b, tensor)
+                changed = True
+        current = [r for r in dict.fromkeys(current) if len(r.all_tensors()) >= 2]
+    return current
+
+
+def _drop_tensor(req: Requirement, tensor: int) -> Requirement:
+    members = tuple(
+        tuple(t for t in member if t != tensor) for member in req.tensors
+    )
+    members = tuple(m for m in members if m)
+    return Requirement(tensors=members, tag=req.tag, label=req.label)
+
+
+def _greedy_independent_set(
+    requirements: list[Requirement], order: list[Requirement]
+) -> frozenset[Requirement]:
+    chosen: list[Requirement] = []
+    for req in order:
+        if all(not req.conflicts_with(c) for c in chosen):
+            chosen.append(req)
+    return frozenset(chosen)
+
+
+def enumerate_strategies(
+    analysis: FusionAnalysis,
+    group_flops: dict[str, float] | None = None,
+    max_strategies: int = 3,
+) -> list[AllocationStrategy]:
+    """Build the allocation fork: a handful of maximal compatible
+    requirement sets, ordered so strategy 0 is the forward-pass-friendly
+    default (what Astra_F/FK/FKS run with; Astra_all explores them all)."""
+    group_flops = group_flops or {}
+    req_weight: dict[Requirement, float] = {}
+    req_sources: list[tuple[Requirement, str, float]] = []
+    for group in analysis.groups:
+        if group.requirement is not None:
+            weight = group_flops.get(group.group_id, float(group.size))
+            req_sources.append((group.requirement, group.pass_tag, weight))
+    for req in analysis.ladder_requirements:
+        req_sources.append((req, "forward" if "backward" not in req.label else "backward", 1.0))
+
+    merged: dict[Requirement, tuple[str, float]] = {}
+    for req, tag, weight in req_sources:
+        prev = merged.get(req)
+        if prev is None:
+            merged[req] = (tag, weight)
+        else:
+            merged[req] = (prev[0], prev[1] + weight)
+
+    requirements = list(merged)
+    for req, (_tag, weight) in merged.items():
+        req_weight[req] = weight
+
+    def order_by(key) -> list[Requirement]:
+        return sorted(requirements, key=key)
+
+    forward_first = order_by(
+        lambda r: (0 if merged[r][0] == "forward" else 1, -req_weight[r])
+    )
+    backward_first = order_by(
+        lambda r: (0 if merged[r][0] == "backward" else 1, -req_weight[r])
+    )
+    heaviest_first = order_by(lambda r: -req_weight[r])
+
+    seen: list[frozenset[Requirement]] = []
+    strategies: list[AllocationStrategy] = []
+    for label, order in (
+        ("forward-first", forward_first),
+        ("backward-first", backward_first),
+        ("heaviest-first", heaviest_first),
+    ):
+        satisfied = _greedy_independent_set(requirements, order)
+        if satisfied in seen:
+            continue
+        seen.append(satisfied)
+        strategies.append(
+            AllocationStrategy(
+                strategy_id=len(strategies), label=label, satisfied=satisfied
+            )
+        )
+        if len(strategies) >= max_strategies:
+            break
+    if not strategies:
+        strategies.append(
+            AllocationStrategy(strategy_id=0, label="default", satisfied=frozenset())
+        )
+    return strategies
+
+
+def build_arena_plan(graph: Graph, strategy: AllocationStrategy) -> AllocationPlan:
+    """A concrete arena placement honoring the strategy's row-stacked
+    requirements (packed 'cols'/'block' layouts are tracked abstractly
+    through the satisfied set; arena offsets model the memory footprint)."""
+    groups: list[ContiguityGroup] = []
+    placed: set[int] = set()
+    for req in sorted(strategy.satisfied, key=lambda r: r.label):
+        flat = tuple(t for member in req.tensors for t in member)
+        if len(flat) < 2 or placed & set(flat):
+            continue
+        groups.append(ContiguityGroup(node_ids=flat, label=req.label))
+        placed.update(flat)
+    return AllocationPlan(graph, groups=groups, label=strategy.label)

@@ -1,0 +1,477 @@
+"""The enumerator: static analysis -> update tree + templated schedules.
+
+Section 4.4: the compiler half of Astra.  It enumerates the optimization
+state space -- fusion groups with their chunkings, kernel-library choices,
+stream assignments per epoch, allocation strategies -- as an update tree
+of adaptive variables, and provides the *plan builder* that instantiates
+any assignment of those variables as an executable
+:class:`~repro.runtime.plan.ExecutionPlan` ("templated schedules").
+
+It uses only coarse static knowledge (section 4.8): pattern matching for
+candidates, flop counts for super-epoch calibration and stream balance,
+size caps for fusion groups.  It never predicts performance -- ranking is
+the custom-wirer's job, by measurement.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass
+
+from ..gpu.device import GPUSpec
+from ..gpu.kernels import CopyLaunch, GemmLaunch
+from ..gpu.libraries import DEFAULT_LIBRARY, GEMM_LIBRARIES
+from ..ir.graph import Graph
+from ..runtime.dispatcher import Dispatcher
+from ..runtime.lowering import elementwise_chains, fused_elementwise_kernel, kernel_for_node
+from ..runtime.plan import ExecutionPlan, Unit
+from .adaptive import (
+    AdaptiveVariable,
+    MODE_PARALLEL,
+    MODE_PREFIX,
+    UpdateNode,
+)
+from .allocation import AllocationStrategy, enumerate_strategies
+from .epochs import EpochPartition, partition_epochs
+from .fusion import (
+    FusionAnalysis,
+    FusionMember,
+    analyse_fusion,
+    provenance,
+    resolve_static_conflicts,
+)
+
+
+@dataclass(frozen=True)
+class AstraFeatures:
+    """Which adaptation dimensions are active (the Astra_F / _FK / _FKS /
+    _all breakdown of section 6.1)."""
+
+    fusion: bool = True
+    kernel: bool = True
+    streams: bool = False
+    allocation: bool = False
+    elementwise_fusion: bool = True
+    num_streams: int = 2
+    #: section 5.4: the TensorFlow prototype's low-level runtime expects
+    #: contiguous tensors, so every fused GEMM pays gather copies and
+    #: stream adaptation is unavailable
+    tf_mode: bool = False
+
+    @classmethod
+    def preset(cls, name: str) -> "AstraFeatures":
+        presets = {
+            "F": cls(kernel=False),
+            "FK": cls(),
+            "FKS": cls(streams=True),
+            "all": cls(streams=True, allocation=True),
+            "FK-tf": cls(tf_mode=True),
+        }
+        if name not in presets:
+            raise ValueError(f"unknown preset {name!r}; choose from {sorted(presets)}")
+        return presets[name]
+
+
+@dataclass
+class BuiltPlan:
+    """A plan plus the variable -> unit bookkeeping the wirer profiles."""
+
+    plan: ExecutionPlan
+    var_units: dict[str, list[int]]
+
+
+class Enumerator:
+    """Static-analysis half of Astra for one traced graph."""
+
+    def __init__(self, graph: Graph, device: GPUSpec, features: AstraFeatures):
+        self.graph = graph
+        self.device = device
+        self.features = features
+        if features.fusion:
+            self.analysis = resolve_static_conflicts(analyse_fusion(graph))
+        else:
+            self.analysis = FusionAnalysis(groups=[], singletons=[], ladder_requirements=[])
+        group_flops = {
+            g.group_id: float(
+                sum(2 * mb.m * mb.k_total * mb.n for mb in g.members)
+            )
+            for g in self.analysis.groups
+        }
+        strategies = enumerate_strategies(self.analysis, group_flops)
+        self.strategies = strategies if features.allocation else strategies[:1]
+        self._libraries = (
+            list(GEMM_LIBRARIES) if features.kernel else [DEFAULT_LIBRARY]
+        )
+
+    # ------------------------------------------------------------------
+    # Phase 1 tree: fusion chunking x kernel selection
+    # ------------------------------------------------------------------
+
+    def build_fk_tree(self, strategy: AllocationStrategy) -> UpdateNode:
+        """Parallel root over per-group (chunk, library) variables,
+        per-ladder fuse-or-not variables, and per-shape kernel variables
+        (section 4.5.1's additive state space).
+
+        Groups whose layout requirement the strategy does not satisfy can
+        still fuse by *gathering* their operands (weights once per
+        mini-batch, activations per launch); chunk=1 is the restricted
+        fallback, and the measurement decides whether the gather pays.
+        """
+        root = UpdateNode(name="fk", mode=MODE_PARALLEL)
+        kernel_shapes: set[tuple] = set()
+
+        if self.features.fusion:
+            for group in self.analysis.groups:
+                choices = [
+                    (chunk, lib)
+                    for chunk in group.chunk_choices()
+                    for lib in self._libraries
+                ]
+                root.children.append(
+                    AdaptiveVariable(
+                        name=f"fusion:{group.group_id}",
+                        choices=choices,
+                        metric_kind="units",
+                        payload=group,
+                    )
+                )
+
+        for member in self.analysis.singletons:
+            if member.is_ladder and not strategy.supports(member.ladder_requirement()):
+                # the ladder variable owns this member entirely: fused with
+                # an operand gather, or unfused -- measurement decides
+                choices = [(False, DEFAULT_LIBRARY)] + [
+                    (True, lib) for lib in self._libraries
+                ]
+                root.children.append(
+                    AdaptiveVariable(
+                        name=f"ladder:{member.mm_ids[0]}",
+                        choices=choices,
+                        metric_kind="units",
+                        payload=member,
+                    )
+                )
+            else:
+                kernel_shapes.update(self._member_shape_keys(member, strategy))
+
+        if len(self._libraries) > 1:
+            for key in sorted(kernel_shapes):
+                root.children.append(
+                    AdaptiveVariable(
+                        name=f"kernel:{key}",
+                        choices=list(self._libraries),
+                        metric_kind="units",
+                    )
+                )
+        root.initialize()
+        return root
+
+    def _member_shape_keys(
+        self, member: FusionMember, strategy: AllocationStrategy
+    ) -> list[tuple]:
+        """Profile-key identities of the GEMM launches a member lowers to
+        when executed outside any group (fused ladder, or raw GEMMs)."""
+        if member.is_ladder and strategy.supports(member.ladder_requirement()):
+            return [(provenance(member.scope), member.pass_tag, member.m, member.k_total, member.n)]
+        keys = []
+        for mm_id in member.mm_ids:
+            node = self.graph.node(mm_id)
+            m, k, n = _node_dims(self.graph, mm_id)
+            keys.append((provenance(node.scope), node.pass_tag, m, k, n))
+        return keys
+
+    def _tensors_are_params(self, tensors) -> bool:
+        return all(self.graph.node(t).role == "param" for t in tensors)
+
+    # ------------------------------------------------------------------
+    # Plan building
+    # ------------------------------------------------------------------
+
+    def build_plan(
+        self,
+        strategy: AllocationStrategy,
+        assignment: dict[str, object],
+        stream_options: dict[int, dict[int, int]] | None = None,
+        partition: EpochPartition | None = None,
+        profile: bool = True,
+        profile_vars: set[str] | None = None,
+        label: str = "astra",
+    ) -> BuiltPlan:
+        """Instantiate an assignment of the adaptive variables as a plan.
+
+        ``stream_options`` maps epoch ordinal -> (unit id -> stream); when
+        given, ``partition`` supplies barriers and epoch coordinates.
+        Stream assignment keys units by *position* (units are rebuilt each
+        call but deterministically, so positions are stable for a fixed
+        FK assignment).
+        """
+        units: list[Unit] = []
+        var_units: dict[str, list[int]] = {}
+        covered: set[int] = set()
+        counter = itertools.count()
+
+        def add_unit(unit: Unit, var_name: str | None) -> None:
+            units.append(unit)
+            covered.update(unit.node_ids)
+            if var_name is not None:
+                var_units.setdefault(var_name, []).append(unit.unit_id)
+
+        def kernel_var_name(key: tuple) -> str | None:
+            name = f"kernel:{key}"
+            return name if len(self._libraries) > 1 else None
+
+        def library_for(key: tuple) -> str:
+            name = f"kernel:{key}"
+            value = assignment.get(name, DEFAULT_LIBRARY)
+            return value  # type: ignore[return-value]
+
+        def weight_pack_prologue(var_name: str, tensors: tuple[int, ...], tag: str) -> None:
+            """Weights are constant within a mini-batch, so an unsatisfied
+            weight layout is gathered once up front (section 4.5.2's
+            alternative to restriction, priced by measurement).  The pack is
+            charged 2x traffic each way: the optimizer updates the canonical
+            layout every mini-batch, so the pack is gathered and the
+            gradient contribution scattered back."""
+            total = 4 * sum(self.graph.node(t).spec.size_bytes for t in set(tensors))
+            kernel = CopyLaunch(total, label=f"pack_{tag}")
+            add_unit(
+                Unit(next(counter), kernel, tuple(dict.fromkeys(tensors)),
+                     label=f"pack_{tag}"),
+                var_name,
+            )
+
+        def emit_member(
+            member: FusionMember,
+            force_fuse: bool | None = None,
+            var_override: str | None = None,
+            lib_override: str | None = None,
+        ) -> None:
+            """Emit one member outside group fusion.
+
+            ``var_override`` attributes every emitted unit (including
+            gathers) to a specific adaptive variable so its measurement
+            covers exactly what its choice caused.
+            """
+            supported = strategy.supports(member.ladder_requirement()) and not self.features.tf_mode
+            fuse = member.is_ladder and (supported if force_fuse is None else force_fuse)
+            if fuse:
+                key = (provenance(member.scope), member.pass_tag,
+                       member.m, member.k_total, member.n)
+                lib = lib_override or library_for(key)
+                kernel = GemmLaunch(member.m, member.k_total, member.n, lib,
+                                    node_ids=member.node_ids)
+                pre = []
+                if member.a_gather_bytes:
+                    pre.append(CopyLaunch(member.a_gather_bytes, label="gather_a"))
+                var_name = var_override or (kernel_var_name(key) if supported else None)
+                if not supported:
+                    if self._tensors_are_params(member.b_nodes):
+                        weight_pack_prologue(var_name, member.b_nodes, "ladder")
+                    else:
+                        pre.append(CopyLaunch(
+                            2 * sum(self.graph.node(b).spec.size_bytes for b in member.b_nodes),
+                            label="gather_b",
+                        ))
+                add_unit(
+                    Unit(next(counter), kernel, member.node_ids,
+                         label=f"ladder@{member.scope}", pre_copies=tuple(pre)),
+                    var_name,
+                )
+            else:
+                for mm_id in member.mm_ids:
+                    node = self.graph.node(mm_id)
+                    m, k, n = _node_dims(self.graph, mm_id)
+                    key = (provenance(node.scope), node.pass_tag, m, k, n)
+                    kernel = GemmLaunch(m, k, n, lib_override or library_for(key),
+                                        node_ids=(mm_id,))
+                    add_unit(
+                        Unit(next(counter), kernel, (mm_id,), label=kernel.name),
+                        var_override or kernel_var_name(key),
+                    )
+                # absorbed adds of an unfused ladder run as elementwise ops;
+                # leave them uncovered so the elementwise sweep picks them up
+
+        # 1. fusion groups
+        for group in self.analysis.groups:
+            var_name = f"fusion:{group.group_id}"
+            if not self.features.fusion:
+                continue
+            chunk, lib = assignment.get(var_name, (1, DEFAULT_LIBRARY))
+            supported = strategy.supports(group.requirement)
+            if chunk == 1:
+                # members execute individually (for unsupported groups this
+                # is the paper's "restrict the adaptation" fallback); the
+                # group variable owns the member units so the measurement
+                # can compare chunk=1 against real fusion
+                for member in group.members:
+                    emit_member(member, var_override=var_name, lib_override=lib)
+                continue
+            members = group.members
+            if self.features.tf_mode:
+                supported = False  # contiguity never free in the TF runtime
+            gather_tensors: list[int] = []
+            if not supported and group.axis == "n":
+                flat = [b for mb in members for b in mb.b_nodes]
+                if self._tensors_are_params(flat):
+                    weight_pack_prologue(var_name, tuple(flat), "group")
+                    gather_tensors = []  # packed once, launches copy-free
+                else:
+                    gather_tensors = flat  # gathered per launch below
+            for start in range(0, len(members), chunk):
+                chunk_members = members[start: start + chunk]
+                if len(chunk_members) == 1:
+                    emit_member(chunk_members[0], var_override=var_name, lib_override=lib)
+                    continue
+                m, k, n = group.launch_dims(chunk_members)
+                node_ids = tuple(nid for mb in chunk_members for nid in mb.node_ids)
+                lead = chunk_members[0]
+                pre = []
+                if group.axis == "n" and lead.a_gather_bytes:
+                    pre.append(CopyLaunch(lead.a_gather_bytes, label="gather_a"))
+                if not supported:
+                    if group.axis == "m":
+                        a_bytes = 2 * sum(
+                            self.graph.node(mb.a_signature[0][0]).spec.size_bytes
+                            for mb in chunk_members
+                        )
+                        pre.append(CopyLaunch(a_bytes, label="gather_a"))
+                    elif gather_tensors:
+                        b_bytes = 2 * sum(
+                            self.graph.node(b).spec.size_bytes
+                            for mb in chunk_members
+                            for b in mb.b_nodes
+                        )
+                        pre.append(CopyLaunch(b_bytes, label="gather_b"))
+                kernel = GemmLaunch(m, k, n, lib, node_ids=node_ids)
+                add_unit(
+                    Unit(next(counter), kernel, node_ids,
+                         label=f"fused@{group.group_id}", pre_copies=tuple(pre)),
+                    var_name,
+                )
+
+        # 2. singleton members (plain GEMMs and lone ladders)
+        for member in self.analysis.singletons:
+            if member.is_ladder and not strategy.supports(member.ladder_requirement()):
+                lvar = f"ladder:{member.mm_ids[0]}"
+                choice = assignment.get(lvar, (False, DEFAULT_LIBRARY))
+                fuse, lib = bool(choice[0]), choice[1]
+                emit_member(member, force_fuse=fuse, var_override=lvar,
+                            lib_override=lib if fuse else None)
+            else:
+                emit_member(member)
+
+        # 2b. with fusion analysis disabled, GEMMs were never members
+        if not self.features.fusion:
+            for node in self.graph.gemm_nodes():
+                if node.node_id in covered:
+                    continue
+                m, k, n = _node_dims(self.graph, node.node_id)
+                key = (provenance(node.scope), node.pass_tag, m, k, n)
+                kernel = GemmLaunch(m, k, n, library_for(key), node_ids=(node.node_id,))
+                add_unit(Unit(next(counter), kernel, (node.node_id,), label=kernel.name),
+                         kernel_var_name(key))
+
+        # 3. elementwise / reduction chains over everything not yet covered
+        remaining = {
+            n.node_id for n in self.graph.nodes
+            if not n.is_leaf and n.node_id not in covered
+        }
+        if self.features.elementwise_fusion:
+            for chain in elementwise_chains(self.graph, remaining):
+                if len(chain) < 2:
+                    continue
+                kernel = fused_elementwise_kernel(self.graph, chain)
+                add_unit(Unit(next(counter), kernel, chain, label=kernel.label), None)
+                remaining -= set(chain)
+
+        for node in self.graph.nodes:
+            if node.node_id not in remaining:
+                continue
+            kernel = kernel_for_node(self.graph, node)
+            if kernel is None:
+                continue
+            add_unit(Unit(next(counter), kernel, (node.node_id,), label=kernel.name), None)
+
+        # 4. streams
+        stream_of: dict[int, int] = {}
+        barriers: frozenset[int] = frozenset()
+        if stream_options is not None and partition is not None:
+            for epoch_ordinal, option in stream_options.items():
+                stream_of.update(option)
+            barriers = frozenset(partition.barrier_units())
+            for unit in units:
+                coord = partition.coordinates.get(unit.unit_id)
+                if coord is not None:
+                    unit.super_epoch, unit.epoch = coord
+
+        # profile only the regions of interest (section 5.2): units owned
+        # by *live* adaptive variables (all variables when unrestricted),
+        # plus one event per epoch for the stream-completion metric
+        profile_ids: set[int] = set()
+        for var_name, unit_ids in var_units.items():
+            if profile_vars is None or var_name in profile_vars:
+                profile_ids.update(unit_ids)
+        if partition is not None and profile_vars is None:
+            last_in_epoch: dict[tuple[int, int], int] = {}
+            for unit in units:
+                coord = partition.coordinates.get(unit.unit_id)
+                if coord is not None:
+                    last_in_epoch[coord] = max(last_in_epoch.get(coord, -1), unit.unit_id)
+            profile_ids.update(last_in_epoch.values())
+
+        plan = ExecutionPlan(
+            units=units,
+            stream_of=stream_of,
+            barriers_after=barriers,
+            profile=profile,
+            profile_unit_ids=frozenset(profile_ids) if profile else frozenset(),
+            label=label,
+        )
+        return BuiltPlan(plan=plan, var_units=var_units)
+
+    # ------------------------------------------------------------------
+    # Phase 2 tree: stream assignment per epoch
+    # ------------------------------------------------------------------
+
+    def prepare_stream_phase(
+        self, strategy: AllocationStrategy, fk_assignment: dict[str, object]
+    ) -> tuple[EpochPartition, UpdateNode]:
+        """Partition the (frozen-FK) unit list into epochs/super-epochs and
+        build the stream update tree: parallel across super-epochs (barrier
+        exploration), prefix across epochs within one (history-aware)."""
+        built = self.build_plan(strategy, fk_assignment, profile=True)
+        dispatcher = Dispatcher(self.graph)
+        deps = dispatcher.unit_dependencies(built.plan)
+        partition = partition_epochs(
+            built.plan.units, deps, self.device, num_streams=self.features.num_streams
+        )
+
+        super_nodes: dict[int, UpdateNode] = {}
+        for ordinal, epoch in enumerate(partition.epochs):
+            if len(epoch.options) <= 1:
+                continue
+            var = AdaptiveVariable(
+                name=f"stream:se{epoch.super_epoch}/e{epoch.index}",
+                choices=list(range(len(epoch.options))),
+                metric_kind="epoch",
+                payload=(ordinal, epoch),
+            )
+            node = super_nodes.setdefault(
+                epoch.super_epoch,
+                UpdateNode(name=f"se{epoch.super_epoch}", mode=MODE_PREFIX),
+            )
+            node.children.append(var)
+
+        root = UpdateNode(
+            name="streams",
+            mode=MODE_PARALLEL,
+            children=[super_nodes[k] for k in sorted(super_nodes)],
+        )
+        root.initialize()
+        return partition, root
+
+
+def _node_dims(graph: Graph, node_id: int) -> tuple[int, int, int]:
+    node = graph.node(node_id)
+    op = node.op
+    return op.gemm_dims([graph.node(i).spec for i in node.input_ids])  # type: ignore[union-attr]

@@ -1,0 +1,225 @@
+"""Recomputation: trading compute for memory (section 3.4).
+
+The paper lists whole-graph optimizations beyond the prototype's three
+dimensions; the example given is "dynamically trading off computation for
+memory: saving part of the memory used for forward-pass activations by
+redoing the computation ... if the cost of recomputation of some layers
+of the forward pass is lower than the parallelism benefit from supporting
+say a 2x larger mini-batch size, again a complex dynamic that needs
+measurement."
+
+This module implements that dimension in the Astra style: no cost model,
+only *measurements* on the simulated device.
+
+* a **segment** is one forward step scope (``layerL/stepT``); recomputing
+  it frees its forward activations between the passes (they are rebuilt
+  on demand during backward) at the cost of re-running its forward
+  kernels once;
+* :class:`RecomputePlanner` measures, per provenance class, the
+  recomputation cost (extra kernel + launch time) and the memory saved,
+  then greedily selects segments cheapest-per-byte until the job fits a
+  memory budget;
+* :func:`best_batch_under_budget` runs the paper's actual decision: given
+  a memory budget, is plain batch B better than recomputation-enabled
+  batch 2B?  Decided by measured per-sample time, never by a model.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable
+
+from ..baselines.native import native_plan
+from ..gpu.device import GPUSpec, P100
+from ..ir.graph import Graph
+from ..models.cells import ModelConfig, TracedModel
+from ..runtime.executor import Executor
+
+
+@dataclass(frozen=True)
+class Segment:
+    """One recomputable forward step scope."""
+
+    scope: str
+    #: forward activation bytes freed if this segment is recomputed
+    activation_bytes: int
+    #: measured time to re-run the segment's forward kernels (us)
+    recompute_us: float
+    #: node ids of the segment's forward compute
+    node_ids: tuple[int, ...]
+
+
+@dataclass
+class MemoryEstimate:
+    """Peak-memory breakdown of one training mini-batch."""
+
+    param_bytes: int
+    activation_bytes: int
+    workspace_bytes: int
+
+    @property
+    def total_bytes(self) -> int:
+        return self.param_bytes + self.activation_bytes + self.workspace_bytes
+
+
+@dataclass
+class RecomputePlan:
+    """Outcome of planning under a budget."""
+
+    segments: list[Segment]
+    freed_bytes: int
+    extra_time_us: float
+    fits: bool
+    memory: MemoryEstimate
+
+
+def estimate_memory(graph: Graph) -> MemoryEstimate:
+    """Peak training memory: parameters (+gradients), forward activations
+    kept for the backward pass, and a small workspace."""
+    params = sum(n.spec.size_bytes for n in graph.params()) * 2  # + grads
+    activations = sum(
+        n.spec.size_bytes
+        for n in graph.compute_nodes()
+        if n.pass_tag == "forward"
+    )
+    workspace = max(
+        (n.spec.size_bytes for n in graph.nodes), default=0
+    ) * 4
+    return MemoryEstimate(params, activations, workspace)
+
+
+class RecomputePlanner:
+    """Measurement-driven segment selection for one traced model."""
+
+    def __init__(self, model: TracedModel, device: GPUSpec = P100):
+        self.model = model
+        self.graph = model.graph
+        self.device = device
+        self._segments: list[Segment] | None = None
+
+    def segments(self) -> list[Segment]:
+        """Enumerate recomputable segments with *measured* recompute cost.
+
+        The measurement executes the segment's forward kernels alone on
+        the device (one extra profiling mini-batch in a real deployment;
+        here the executor gives the same number directly).
+        """
+        if self._segments is not None:
+            return self._segments
+        by_scope: dict[str, list[int]] = {}
+        for node in self.graph.compute_nodes():
+            if node.pass_tag != "forward" or "/step" not in node.scope:
+                continue
+            by_scope.setdefault(node.scope, []).append(node.node_id)
+
+        executor = Executor(self.graph, self.device)
+        base = native_plan(self.graph, fuse_elementwise=True)
+        result = executor.run(base)
+        node_unit: dict[int, int] = {}
+        for unit in base.units:
+            for nid in unit.node_ids:
+                node_unit[nid] = unit.unit_id
+
+        segments = []
+        for scope, node_ids in sorted(by_scope.items()):
+            unit_ids = {node_unit[nid] for nid in node_ids if nid in node_unit}
+            recompute_us = sum(
+                result.unit_times.get(uid, 0.0) for uid in unit_ids
+            ) + len(unit_ids) * self.device.launch_overhead_us
+            activation = sum(
+                self.graph.node(nid).spec.size_bytes for nid in node_ids
+            )
+            segments.append(
+                Segment(
+                    scope=scope,
+                    activation_bytes=activation,
+                    recompute_us=recompute_us,
+                    node_ids=tuple(sorted(node_ids)),
+                )
+            )
+        self._segments = segments
+        return segments
+
+    def peak_with(self, segments: list[Segment]) -> int:
+        """Liveness-accurate peak memory with these segments recomputed.
+
+        Uses the arena-reuse planner of :mod:`repro.gpu.liveness`: a
+        recomputed segment's forward activations die at their last
+        forward consumer instead of surviving into the backward pass.
+        """
+        from ..gpu.liveness import activation_peak_bytes
+
+        recomputed = {nid for segment in segments for nid in segment.node_ids}
+        params = sum(n.spec.size_bytes for n in self.graph.params()) * 2
+        return params + activation_peak_bytes(self.graph, recomputed=recomputed)
+
+    def plan_under_budget(self, budget_bytes: int) -> RecomputePlan:
+        """Greedily recompute the cheapest-per-byte segments until the job
+        fits ``budget_bytes`` (or everything recomputable is selected)."""
+        memory = estimate_memory(self.graph)
+        need = memory.total_bytes - budget_bytes
+        chosen: list[Segment] = []
+        freed = 0
+        extra = 0.0
+        if need > 0:
+            ranked = sorted(
+                self.segments(),
+                key=lambda s: s.recompute_us / max(1, s.activation_bytes),
+            )
+            for segment in ranked:
+                if freed >= need:
+                    break
+                chosen.append(segment)
+                freed += segment.activation_bytes
+                extra += segment.recompute_us
+        return RecomputePlan(
+            segments=chosen,
+            freed_bytes=freed,
+            extra_time_us=extra,
+            fits=memory.total_bytes - freed <= budget_bytes,
+            memory=memory,
+        )
+
+
+@dataclass
+class BatchDecision:
+    """The measured answer to "bigger batch + recomputation, or not?"."""
+
+    batch_size: int
+    per_sample_us: float
+    recompute: RecomputePlan
+    minibatch_us: float
+
+
+def best_batch_under_budget(
+    builder: Callable[[ModelConfig], TracedModel],
+    config: ModelConfig,
+    budget_bytes: int,
+    device: GPUSpec = P100,
+    batch_factors: tuple[int, ...] = (1, 2, 4),
+) -> list[BatchDecision]:
+    """Measure per-sample training time for batch B, 2B, 4B ... where each
+    larger batch may need recomputation to fit the memory budget.
+    Returns every *feasible* decision, best (lowest per-sample time) first.
+    """
+    decisions = []
+    for factor in batch_factors:
+        batch = config.batch_size * factor
+        model = builder(config.scaled(batch_size=batch))
+        planner = RecomputePlanner(model, device)
+        plan = planner.plan_under_budget(budget_bytes)
+        if not plan.fits:
+            continue
+        executor = Executor(model.graph, device)
+        base_time = executor.run(native_plan(model.graph, fuse_elementwise=True)).total_time_us
+        minibatch = base_time + plan.extra_time_us
+        decisions.append(
+            BatchDecision(
+                batch_size=batch,
+                per_sample_us=minibatch / batch,
+                recompute=plan,
+                minibatch_us=minibatch,
+            )
+        )
+    decisions.sort(key=lambda d: d.per_sample_us)
+    return decisions

@@ -1,0 +1,83 @@
+"""AstraSession: the public entry point of the library.
+
+Typical use::
+
+    from repro import AstraSession
+    from repro.models import build_scrnn, ModelConfig
+
+    model = build_scrnn(ModelConfig(batch_size=32, seq_len=6))
+    session = AstraSession(model, features="all")
+    report = session.optimize()
+    print(report.speedup_over_native, report.configs_explored)
+
+A session owns the traced model, the device, the enumerator/wirer pair and
+the baseline measurement, and reports speedups the way the paper's tables
+do (relative to the native single-stream framework execution).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..baselines.native import native_plan
+from ..gpu.device import GPUSpec, P100
+from ..ir.graph import Graph
+from ..models.cells import TracedModel
+from ..runtime.executor import Executor
+from .enumerator import AstraFeatures
+from .profile_index import ProfileIndex
+from .wirer import AstraReport, CustomWirer
+
+
+@dataclass
+class SessionReport:
+    """An :class:`AstraReport` plus baseline-relative numbers."""
+
+    astra: AstraReport
+    native_time_us: float
+    speedup_over_native: float
+
+    @property
+    def configs_explored(self) -> int:
+        return self.astra.configs_explored
+
+    @property
+    def best_time_us(self) -> float:
+        return self.astra.best_time_us
+
+
+class AstraSession:
+    """Optimizes one traced training job on one (simulated) device."""
+
+    def __init__(
+        self,
+        model: TracedModel | Graph,
+        device: GPUSpec = P100,
+        features: AstraFeatures | str = "all",
+        seed: int = 0,
+        context: tuple = (),
+        index: ProfileIndex | None = None,
+    ):
+        self.graph = model.graph if isinstance(model, TracedModel) else model
+        self.model = model if isinstance(model, TracedModel) else None
+        self.device = device
+        if isinstance(features, str):
+            features = AstraFeatures.preset(features)
+        self.features = features
+        self.wirer = CustomWirer(
+            self.graph, device, features, seed=seed, context=context, index=index
+        )
+
+    def measure_native(self) -> float:
+        """Mini-batch time of the unadapted framework execution."""
+        executor = Executor(self.graph, self.device)
+        return executor.run(native_plan(self.graph)).total_time_us
+
+    def optimize(self, max_minibatches: int = 5000) -> SessionReport:
+        native_time = self.measure_native()
+        report = self.wirer.optimize(max_minibatches=max_minibatches)
+        return SessionReport(
+            astra=report,
+            native_time_us=native_time,
+            speedup_over_native=native_time / report.best_time_us,
+        )

@@ -1,0 +1,338 @@
+"""The custom-wirer: Astra's runtime half.
+
+Section 4.7: takes the enumerator's templated schedules, runs one
+configuration per training mini-batch (work-conserving exploration:
+every exploration mini-batch still advances training), feeds fine-grained
+measurements into the profile index, drives the update tree, and finally
+custom-wires the job to the best configuration found.
+
+Exploration proceeds per allocation strategy (the hierarchical fork of
+section 4.5.2): within each strategy, a fusion/kernel phase (parallel
+exploration over independent variables), then a stream phase (barrier +
+prefix exploration), then the per-strategy best configurations are
+compared end to end.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..gpu.device import GPUSpec
+from ..ir.graph import Graph
+from ..runtime.executor import Executor, MiniBatchResult
+from ..runtime.plan import ExecutionPlan
+from .adaptive import AdaptiveVariable, UpdateNode
+from .allocation import AllocationStrategy
+from .enumerator import AstraFeatures, BuiltPlan, Enumerator
+from .epochs import EpochPartition
+from .profile_index import ProfileIndex, mangle
+
+
+@dataclass
+class PhaseStats:
+    name: str
+    minibatches: int = 0
+    index_hits: int = 0
+
+
+@dataclass
+class AstraReport:
+    """Outcome of one optimization run."""
+
+    best_plan: ExecutionPlan
+    best_time_us: float
+    best_strategy: AllocationStrategy
+    configs_explored: int
+    exploration_time_us: float
+    phases: list[PhaseStats]
+    profile_entries: int
+    #: mean fraction of mini-batch time spent on profiling events
+    profiling_overhead: float
+    #: per-strategy best end-to-end times
+    strategy_times: dict[int, float]
+    #: chosen assignment of every adaptive variable
+    assignment: dict[str, object] = field(default_factory=dict)
+    #: per exploration mini-batch: (phase name, mini-batch time in us);
+    #: the work-conservation record -- every entry was real training work
+    timeline: list = field(default_factory=list)
+
+    def amortization(self, native_time_us: float) -> "Amortization":
+        """How quickly the exploration pays for itself.
+
+        Exploration mini-batches are slower than the final custom-wired
+        plan but still do real training work; relative to running native
+        forever, the extra cost is recouped after a number of
+        steady-state mini-batches (the paper runs "a few thousand out of
+        millions", section 4.2).
+        """
+        explored = sum(t for _phase, t in self.timeline)
+        native_equivalent = native_time_us * len(self.timeline)
+        overhead_vs_native = explored - native_equivalent
+        gain_per_batch = native_time_us - self.best_time_us
+        breakeven = (
+            overhead_vs_native / gain_per_batch if gain_per_batch > 0 else float("inf")
+        )
+        return Amortization(
+            exploration_minibatches=len(self.timeline),
+            exploration_time_us=explored,
+            overhead_vs_native_us=max(0.0, overhead_vs_native),
+            breakeven_minibatches=max(0.0, breakeven),
+        )
+
+
+@dataclass
+class Amortization:
+    """Cost/benefit of the online exploration vs running native."""
+
+    exploration_minibatches: int
+    exploration_time_us: float
+    overhead_vs_native_us: float
+    #: steady-state mini-batches until the exploration overhead is repaid
+    breakeven_minibatches: float
+
+
+class CustomWirer:
+    """Runs the online exploration for one traced graph on one device."""
+
+    def __init__(
+        self,
+        graph: Graph,
+        device: GPUSpec,
+        features: AstraFeatures,
+        seed: int = 0,
+        context: tuple = (),
+        index: ProfileIndex | None = None,
+    ):
+        self.graph = graph
+        self.device = device
+        self.features = features
+        self.enumerator = Enumerator(graph, device, features)
+        self.executor = Executor(graph, device, seed=seed)
+        self.index = index if index is not None else ProfileIndex()
+        self.base_context = context
+        self._overhead_samples: list[float] = []
+        self._timeline: list[tuple[str, float]] = []
+
+    # -- measurement plumbing ---------------------------------------------
+
+    def _record_measurements(
+        self,
+        tree: UpdateNode,
+        built: BuiltPlan,
+        result: MiniBatchResult,
+        context: tuple,
+    ) -> None:
+        """Feed this mini-batch's fine-grained profile into the index under
+        context-mangled keys (sections 4.6, 4.7)."""
+        for var in tree.variables():
+            key = var.profile_key(context)
+            if key in self.index:
+                continue
+            metric = self._metric_for(var, built, result)
+            if metric is not None:
+                self.index.record(key, metric)
+
+    def _metric_for(
+        self, var: AdaptiveVariable, built: BuiltPlan, result: MiniBatchResult
+    ) -> float | None:
+        if var.metric_kind == "units":
+            unit_ids = built.var_units.get(var.name, [])
+            if not unit_ids:
+                return None
+            return sum(result.unit_times.get(uid, 0.0) for uid in unit_ids)
+        if var.metric_kind == "epoch":
+            _ordinal, epoch = var.payload  # type: ignore[misc]
+            return result.epoch_metrics.get((epoch.super_epoch, epoch.index))
+        if var.metric_kind == "end_to_end":
+            return result.total_time_us
+        raise ValueError(f"unknown metric kind {var.metric_kind!r}")
+
+    # -- exploration phases ---------------------------------------------------
+
+    def _explore_tree(
+        self,
+        tree: UpdateNode,
+        context: tuple,
+        build,
+        stats: PhaseStats,
+        budget: int,
+    ) -> int:
+        """Generic explore loop: run current config, record, advance."""
+        spent = 0
+        while True:
+            live_vars = [
+                v for v in tree.variables() if not v.measured(self.index, context)
+            ]
+            if live_vars:
+                built = build(tree.assignment(), {v.name for v in live_vars})
+                result = self.executor.run(built.plan)
+                self._overhead_samples.append(result.profiling_overhead_fraction)
+                self._record_measurements(tree, built, result, context)
+                self._timeline.append((stats.name, result.total_time_us))
+                stats.minibatches += 1
+                spent += 1
+            else:
+                stats.index_hits += 1
+            if spent >= budget:
+                tree.finalize(self.index, context)
+                break
+            if not tree.advance(self.index, context):
+                break
+        return spent
+
+    def optimize(self, max_minibatches: int = 5000) -> AstraReport:
+        """Run the full online exploration and return the custom-wired plan."""
+        total_spent = 0
+        exploration_time = 0.0
+        phases: list[PhaseStats] = []
+        strategy_best: dict[int, tuple[float, ExecutionPlan, dict[str, object]]] = {}
+
+        for strategy in self.enumerator.strategies:
+            context = self.base_context + strategy.context_key()
+            budget_left = max(1, max_minibatches - total_spent)
+
+            # Phase 1: fusion chunking x kernel selection (parallel)
+            fk_tree = self.enumerator.build_fk_tree(strategy)
+            fk_stats = PhaseStats(name=f"fk/{strategy.label}")
+            spent = self._explore_tree(
+                fk_tree,
+                context,
+                lambda assignment, live: self.enumerator.build_plan(
+                    strategy, assignment, profile_vars=live
+                ),
+                fk_stats,
+                budget_left,
+            )
+            total_spent += spent
+            phases.append(fk_stats)
+            fk_tree.finalize(self.index, context)
+            fk_assignment = fk_tree.assignment()
+
+            # Phase 2: stream adaptation (barrier + prefix exploration)
+            stream_assignment: dict[str, object] = {}
+            partition: EpochPartition | None = None
+            stream_tree: UpdateNode | None = None
+            if self.features.streams and not self.features.tf_mode:
+                partition, stream_tree = self.enumerator.prepare_stream_phase(
+                    strategy, fk_assignment
+                )
+                stream_stats = PhaseStats(name=f"streams/{strategy.label}")
+                budget_left = max(1, max_minibatches - total_spent)
+                build_stream = lambda assignment, live: self._build_with_streams(
+                    strategy, fk_assignment, assignment, partition, stream_tree,
+                    profile_vars=live,
+                )
+                spent = self._explore_tree(
+                    stream_tree, context, build_stream, stream_stats, budget_left
+                )
+                total_spent += spent
+                phases.append(stream_stats)
+                stream_tree.finalize(self.index, context)
+                stream_assignment = stream_tree.assignment()
+
+            # best configuration for this strategy, measured end to end.
+            # Astra can turn an optimization off when the measurement says
+            # so (section 6.6): the stream-adapted plan competes against
+            # the plain fusion/kernel plan and the faster one wins.
+            candidates = [
+                (self.enumerator.build_plan(strategy, fk_assignment), fk_assignment)
+            ]
+            if stream_tree is not None and partition is not None:
+                candidates.append((
+                    self._build_with_streams(
+                        strategy, fk_assignment, stream_tree.assignment(),
+                        partition, stream_tree,
+                    ),
+                    {**fk_assignment, **stream_assignment},
+                ))
+            measured = []
+            for built, assignment in candidates:
+                result = self.executor.run(built.plan)
+                total_spent += 1
+                self._timeline.append((f"compare/{strategy.label}", result.total_time_us))
+                measured.append((result.total_time_us, built.plan, assignment))
+            best_time, best_plan_local, best_assignment_local = min(
+                measured, key=lambda entry: entry[0]
+            )
+            end_key = mangle(context, ("end_to_end", "best"))
+            self.index.record(end_key, best_time)
+            strategy_best[strategy.strategy_id] = (
+                best_time,
+                best_plan_local,
+                best_assignment_local,
+            )
+
+        exploration_time = sum(t for t, _p, _a in strategy_best.values())
+        best_id = min(strategy_best, key=lambda sid: strategy_best[sid][0])
+        best_time, best_plan, best_assignment = strategy_best[best_id]
+        best_strategy = next(
+            s for s in self.enumerator.strategies if s.strategy_id == best_id
+        )
+
+        # production mode: same plan with profiling events disabled
+        production = ExecutionPlan(
+            units=best_plan.units,
+            stream_of=best_plan.stream_of,
+            barriers_after=best_plan.barriers_after,
+            profile=False,
+            label=best_plan.label + "/production",
+        )
+        production_time = self.executor.run(production).total_time_us
+
+        overhead = (
+            sum(self._overhead_samples) / len(self._overhead_samples)
+            if self._overhead_samples
+            else 0.0
+        )
+        return AstraReport(
+            best_plan=production,
+            best_time_us=production_time,
+            best_strategy=best_strategy,
+            configs_explored=total_spent,
+            exploration_time_us=exploration_time,
+            phases=phases,
+            profile_entries=len(self.index),
+            profiling_overhead=overhead,
+            strategy_times={sid: t for sid, (t, _p, _a) in strategy_best.items()},
+            assignment=best_assignment,
+            timeline=list(self._timeline),
+        )
+
+    def _build_with_streams(
+        self,
+        strategy: AllocationStrategy,
+        fk_assignment: dict[str, object],
+        stream_assignment: dict[str, object],
+        partition: EpochPartition,
+        stream_tree: UpdateNode,
+        profile_vars: set[str] | None = None,
+    ) -> BuiltPlan:
+        options: dict[int, dict[int, int]] = {}
+        for var in stream_tree.variables():
+            ordinal, epoch = var.payload  # type: ignore[misc]
+            choice = stream_assignment.get(var.name, var.value)
+            options[ordinal] = epoch.options[choice]
+        built = self.enumerator.build_plan(
+            strategy,
+            fk_assignment,
+            stream_options=options,
+            partition=partition,
+            profile_vars=profile_vars,
+            label="astra+streams",
+        )
+        # stream variables own their epoch's units: the epoch-completion
+        # metric needs an event on the epoch's last unit, and only live
+        # epochs pay for it (regions of interest, section 5.2)
+        extra_profile: set[int] = set()
+        for var in stream_tree.variables():
+            _ordinal, epoch = var.payload  # type: ignore[misc]
+            built.var_units.setdefault(var.name, list(epoch.unit_ids))
+            if profile_vars is None or var.name in profile_vars:
+                extra_profile.add(max(epoch.unit_ids))
+                # the super-epoch start is read from the first unit's record
+                extra_profile.add(min(epoch.unit_ids))
+        if built.plan.profile_unit_ids is not None:
+            built.plan.profile_unit_ids = frozenset(
+                built.plan.profile_unit_ids | extra_profile
+            )
+        return built

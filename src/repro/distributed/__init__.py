@@ -1,0 +1,31 @@
+"""Multi-GPU data parallelism as an adaptive dimension (section 3.4).
+
+The paper's prototype adapts a single GPU; this subpackage implements the
+extension it sketches: measuring -- never modelling -- the best degree of
+data parallelism given the model's communication cost and the fabric."""
+
+from .data_parallel import (
+    ReplicaMeasurement,
+    choose_parallelism,
+    gradient_bytes,
+    measure_degree,
+)
+from .interconnect import INTERCONNECTS, Interconnect, NVLINK, PCIE
+
+__all__ = [
+    "ReplicaMeasurement", "choose_parallelism", "gradient_bytes",
+    "measure_degree", "INTERCONNECTS", "Interconnect", "NVLINK", "PCIE",
+]
+
+from .pipeline import (
+    PartitioningDecision,
+    PipelineMeasurement,
+    StageMeasurement,
+    choose_partitioning,
+    measure_pipeline,
+)
+
+__all__ += [
+    "PartitioningDecision", "PipelineMeasurement", "StageMeasurement",
+    "choose_partitioning", "measure_pipeline",
+]

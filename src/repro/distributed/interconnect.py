@@ -1,0 +1,54 @@
+"""Interconnect models for multi-GPU training (section 3.4).
+
+The paper lists distributed/multi-GPU training as a natural further
+dimension of the optimization state space: "depending on the
+communication cost of the model and the physical characteristics of the
+network, the choice of ideal degree of parallelism ... could be taken in
+an automated manner with runtime measurement and adaptation."
+
+This module prices the communication side: ring all-reduce over a PCIe
+or NVLink fabric.  Like the GPU cost model, it is deterministic in the
+inputs Astra can observe (tensor bytes, fabric, world size), so measured
+step times are repeatable and the adaptive choice is sound.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class Interconnect:
+    """A GPU-to-GPU fabric."""
+
+    name: str
+    #: per-link bandwidth, bytes per microsecond
+    link_bw_bytes_per_us: float
+    #: per-message latency, microseconds
+    latency_us: float
+    #: maximum ring size the fabric supports at full bandwidth
+    max_world: int = 16
+
+    def allreduce_us(self, bytes_per_replica: int, world: int) -> float:
+        """Ring all-reduce: 2(N-1)/N of the data crosses each link, in
+        2(N-1) latency-bound steps."""
+        if world <= 1:
+            return 0.0
+        steps = 2 * (world - 1)
+        volume = 2.0 * (world - 1) / world * bytes_per_replica
+        return steps * self.latency_us + volume / self.link_bw_bytes_per_us
+
+    def broadcast_us(self, nbytes: int, world: int) -> float:
+        """Pipeline broadcast (used for initial weight distribution)."""
+        if world <= 1:
+            return 0.0
+        return self.latency_us * (world - 1) + nbytes / self.link_bw_bytes_per_us
+
+
+#: PCIe 3.0 x16-ish fabric: what the paper's Azure VMs had
+PCIE = Interconnect(name="pcie", link_bw_bytes_per_us=12e3, latency_us=12.0)
+
+#: NVLink-connected DGX-style fabric
+NVLINK = Interconnect(name="nvlink", link_bw_bytes_per_us=45e3, latency_us=6.0)
+
+INTERCONNECTS = {"pcie": PCIE, "nvlink": NVLINK}

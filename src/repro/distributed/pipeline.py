@@ -1,0 +1,209 @@
+"""Pipeline (model) parallelism, chosen by measurement (section 6.7).
+
+The paper's discussion extends the deterministic-adaptation idea to
+"specifics of model-partitioning and data partitioning in multi-GPU
+jobs".  This module implements the model-partitioning half: split the
+layer stack across GPUs, stream micro-batches through the pipeline
+(GPipe-style), and *measure* the resulting step time -- including the
+pipeline bubble and the inter-stage activation transfers -- so the
+partitioning choice (and the data-vs-pipeline question) is decided by
+numbers, not a model.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable
+
+from ..baselines.native import native_plan
+from ..gpu.device import GPUSpec, P100
+from ..ir.graph import Graph
+from ..models.cells import ModelConfig, TracedModel
+from ..runtime.executor import Executor
+from .interconnect import Interconnect, PCIE
+from .data_parallel import measure_degree
+
+
+@dataclass
+class StageMeasurement:
+    """One pipeline stage's measured compute and boundary traffic."""
+
+    stage: int
+    scopes: tuple[str, ...]
+    compute_us: float
+    boundary_bytes: int
+
+
+@dataclass
+class PipelineMeasurement:
+    """A fully measured pipeline configuration."""
+
+    num_stages: int
+    num_microbatches: int
+    stages: list[StageMeasurement]
+    #: per-microbatch time of the slowest stage (the pipeline's beat)
+    beat_us: float
+    transfer_us: float
+    step_us: float
+    per_sample_us: float
+
+
+def _layer_scopes(graph: Graph) -> list[str]:
+    """Stackable layer provenances in forward order (layer0, layer1, ...).
+
+    Only step-structured scopes are split across stages; the embedding
+    goes to the first stage and the head (plus gradient accumulation and
+    anything unscoped) to the last -- the way practitioners place them.
+    """
+    seen: dict[str, int] = {}
+    for node in graph.compute_nodes():
+        if "/step" not in node.scope:
+            continue
+        scope = node.scope.split("/")[0]
+        if scope in ("embed", "head", "attention"):
+            continue
+        if scope not in seen:
+            seen[scope] = node.node_id
+    return [s for s, _ in sorted(seen.items(), key=lambda kv: kv[1])]
+
+
+def _stage_compute_us(graph: Graph, scopes: set[str], device: GPUSpec) -> float:
+    """Measured time of the subset of the mini-batch in ``scopes``."""
+    executor = Executor(graph, device)
+    plan = native_plan(graph, fuse_elementwise=True)
+    result = executor.run(plan)
+    layer_scopes = set(_layer_scopes(graph))
+
+    def owner(node_scope: str) -> str:
+        top = node_scope.split("/")[0] if node_scope else ""
+        if top in layer_scopes:
+            return top
+        if top == "embed":
+            return "__first__"
+        return "__last__"  # head, attention glue, accumulation, unscoped
+
+    ordered = _layer_scopes(graph)
+    first_owner = ordered[0] if ordered else "__first__"
+    last_owner = ordered[-1] if ordered else "__last__"
+    total = 0.0
+    for unit in plan.units:
+        top = owner(graph.node(unit.node_ids[0]).scope)
+        if top == "__first__":
+            top = first_owner
+        elif top == "__last__":
+            top = last_owner
+        if top in scopes:
+            total += result.unit_times.get(unit.unit_id, 0.0)
+            total += device.launch_overhead_us
+    return total
+
+
+def measure_pipeline(
+    builder: Callable[[ModelConfig], TracedModel],
+    config: ModelConfig,
+    num_stages: int,
+    num_microbatches: int = 4,
+    device: GPUSpec = P100,
+    interconnect: Interconnect = PCIE,
+) -> PipelineMeasurement:
+    """Measure a GPipe-style pipeline split of the layer stack.
+
+    The layer scopes are partitioned into ``num_stages`` contiguous
+    groups; each micro-batch of size B/num_microbatches flows through
+    them.  Step time follows the classic pipeline formula measured from
+    per-stage numbers: ``(num_microbatches + num_stages - 1) * beat``,
+    where the beat is the slowest stage's per-microbatch time plus the
+    boundary transfer.
+    """
+    micro = max(1, config.batch_size // num_microbatches)
+    model = builder(config.scaled(batch_size=micro))
+    graph = model.graph
+    scopes = _layer_scopes(graph)
+    if num_stages > len(scopes):
+        raise ValueError(
+            f"cannot split {len(scopes)} layer scopes into {num_stages} stages"
+        )
+
+    per_stage = max(1, len(scopes) // num_stages)
+    groups = [
+        tuple(scopes[i * per_stage: (i + 1) * per_stage if i < num_stages - 1 else None])
+        for i in range(num_stages)
+    ]
+
+    boundary_bytes = config.batch_size // num_microbatches * config.hidden_size * 4
+
+    stages = []
+    for i, group in enumerate(groups):
+        compute = _stage_compute_us(graph, set(group), device)
+        stages.append(
+            StageMeasurement(
+                stage=i,
+                scopes=group,
+                compute_us=compute,
+                boundary_bytes=boundary_bytes,
+            )
+        )
+
+    transfer = boundary_bytes / interconnect.link_bw_bytes_per_us + interconnect.latency_us
+    beat = max(s.compute_us for s in stages) + (transfer if num_stages > 1 else 0.0)
+    step = (num_microbatches + num_stages - 1) * beat
+    return PipelineMeasurement(
+        num_stages=num_stages,
+        num_microbatches=num_microbatches,
+        stages=stages,
+        beat_us=beat,
+        transfer_us=transfer if num_stages > 1 else 0.0,
+        step_us=step,
+        per_sample_us=step / config.batch_size,
+    )
+
+
+@dataclass
+class PartitioningDecision:
+    """Data-parallel vs pipeline-parallel, decided by measurement."""
+
+    kind: str  # "data" or "pipeline"
+    world: int
+    per_sample_us: float
+    detail: object
+
+
+def choose_partitioning(
+    builder: Callable[[ModelConfig], TracedModel],
+    config: ModelConfig,
+    world: int,
+    device: GPUSpec = P100,
+    interconnect: Interconnect = PCIE,
+    num_microbatches: int = 4,
+) -> list[PartitioningDecision]:
+    """Measure data parallelism and pipeline parallelism at the same world
+    size; best (lowest measured us/sample) first.
+
+    This is the section 6.7 extension in miniature: the *kind* of
+    partitioning, like every other knob, is picked by running both.
+    """
+    decisions = []
+    data = measure_degree(
+        builder, config, world, device=device, interconnect=interconnect
+    )
+    decisions.append(
+        PartitioningDecision(
+            kind="data", world=world, per_sample_us=data.per_sample_us, detail=data
+        )
+    )
+    try:
+        pipe = measure_pipeline(
+            builder, config, num_stages=world,
+            num_microbatches=num_microbatches,
+            device=device, interconnect=interconnect,
+        )
+        decisions.append(
+            PartitioningDecision(
+                kind="pipeline", world=world,
+                per_sample_us=pipe.per_sample_us, detail=pipe,
+            )
+        )
+    except ValueError:
+        pass  # not enough layers to split this deep
+    decisions.sort(key=lambda d: d.per_sample_us)
+    return decisions

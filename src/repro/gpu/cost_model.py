@@ -1,0 +1,93 @@
+"""Shared cost-model helpers: rooflines and utilization queries.
+
+The per-kernel duration models live with their kernels
+(:mod:`repro.gpu.libraries` for GEMMs, :mod:`repro.gpu.kernels` for the
+rest); this module provides the cross-cutting quantities used by static
+knowledge (section 4.8), the epoch calibrator, and analysis tooling:
+roofline bounds, achieved-utilization queries, and launch-bound
+diagnostics.
+
+None of this feeds back into Astra's *decisions* -- the paper's point is
+that decisions come from measurement.  These helpers exist for
+calibration (is a kernel where the roofline says it could be?), for the
+enumerator's coarse flop budgeting, and for tests.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from .device import GPUSpec
+from .kernels import Kernel
+from .streams import ExecutionResult
+
+
+@dataclass(frozen=True)
+class Roofline:
+    """Classic roofline bounds for a piece of work on a device."""
+
+    flops: float
+    bytes_moved: float
+    device_name: str
+    compute_bound_us: float
+    memory_bound_us: float
+
+    @property
+    def bound_us(self) -> float:
+        """The roofline: no implementation can beat this."""
+        return max(self.compute_bound_us, self.memory_bound_us)
+
+    @property
+    def is_compute_bound(self) -> bool:
+        return self.compute_bound_us >= self.memory_bound_us
+
+    @property
+    def arithmetic_intensity(self) -> float:
+        """Flops per byte; decides which wall the work hits first."""
+        return self.flops / max(1.0, self.bytes_moved)
+
+
+def roofline(flops: float, bytes_moved: float, device: GPUSpec) -> Roofline:
+    return Roofline(
+        flops=flops,
+        bytes_moved=bytes_moved,
+        device_name=device.name,
+        compute_bound_us=flops / device.peak_flops_per_us,
+        memory_bound_us=bytes_moved / device.mem_bw_bytes_per_us,
+    )
+
+
+def gemm_roofline(m: int, k: int, n: int, device: GPUSpec) -> Roofline:
+    """Roofline of an (m,k) x (k,n) GEMM at fp32."""
+    return roofline(2.0 * m * k * n, 4.0 * (m * k + k * n + m * n), device)
+
+
+def achieved_fraction(kernel: Kernel, device: GPUSpec) -> float:
+    """Fraction of the roofline bound this kernel's model achieves.
+
+    Always <= 1 by construction (the simulator never beats physics); the
+    calibration tests pin typical values per kernel family.
+    """
+    flops = kernel.flops()
+    if flops <= 0:
+        return 0.0
+    bound = flops / device.peak_flops_per_us
+    return bound / kernel.duration_us(device)
+
+
+def launch_bound_fraction(result: ExecutionResult, device: GPUSpec) -> float:
+    """Share of a mini-batch's wall time attributable to CPU dispatch.
+
+    High values mean the schedule is launch-bound -- the regime where
+    fusion pays (section 2.3); it shrinks as batch size grows, which is
+    the mechanism behind the decaying speedups of Tables 2-4.
+    """
+    launch_time = len(result.records) * device.launch_overhead_us
+    return min(1.0, launch_time / max(result.total_time_us, 1e-9))
+
+
+def device_utilization(result: ExecutionResult, device: GPUSpec) -> float:
+    """Achieved flops over peak for one executed mini-batch."""
+    flops = sum(r.kernel.flops() for r in result.records)
+    peak = device.peak_flops_per_us * max(result.total_time_us, 1e-9)
+    return flops / peak

@@ -1,0 +1,79 @@
+"""Simulated GPU device specifications.
+
+The simulator models the architectural features the paper's optimizations
+interact with (section 2.3):
+
+* massive but *quantized* parallelism -- work is issued in tiles/blocks onto
+  a fixed number of SM slots, producing wave-quantization performance cliffs;
+* a 5-10 microsecond kernel-launch cost paid on a serialized CPU dispatch
+  timeline, so many small kernels become launch-bound;
+* streams: FIFO queues whose resident kernels share the SM array;
+* cudaEvent-style lightweight timestamps;
+* a clock that is exactly deterministic at base frequency and *jittery*
+  under autoboost -- section 7's "predictable execution" hardware
+  requirement, which we expose as a switch so the ablation benchmarks can
+  show adaptation degrading when determinism is lost.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+
+CLOCK_BASE = "base"
+CLOCK_AUTOBOOST = "autoboost"
+
+
+@dataclass(frozen=True)
+class GPUSpec:
+    """Architectural parameters of a simulated accelerator."""
+
+    name: str = "P100"
+    num_sms: int = 56
+    #: resident thread blocks per SM for a typical GEMM tile
+    blocks_per_sm: int = 1
+    #: peak single-precision throughput, flops per microsecond
+    peak_flops_per_us: float = 9.0e6  # 9 Tflops/s
+    #: HBM bandwidth, bytes per microsecond
+    mem_bw_bytes_per_us: float = 720e3  # 720 GB/s
+    #: host <-> device transfer bandwidth (PCIe), bytes per microsecond
+    pcie_bw_bytes_per_us: float = 12e3  # 12 GB/s
+    #: fixed latency of a host<->device transfer, microseconds
+    pcie_latency_us: float = 10.0
+    #: CPU cost to issue one kernel launch, microseconds
+    launch_overhead_us: float = 5.0
+    #: extra CPU cost to record a cuda event, microseconds
+    event_overhead_us: float = 0.3
+    #: CPU cost of a cross-stream barrier synchronization, microseconds
+    barrier_overhead_us: float = 2.0
+    #: clock mode: deterministic base clock, or autoboost with jitter
+    clock_mode: str = CLOCK_BASE
+    #: autoboost jitter: multiplicative half-width (e.g. 0.12 = +/-12%)
+    autoboost_jitter: float = 0.12
+    #: mean speedup from autoboost (slightly above base clock)
+    autoboost_gain: float = 0.04
+
+    @property
+    def sm_slots(self) -> int:
+        """Concurrent thread-block slots available across the device."""
+        return self.num_sms * self.blocks_per_sm
+
+    def with_clock(self, mode: str) -> "GPUSpec":
+        if mode not in (CLOCK_BASE, CLOCK_AUTOBOOST):
+            raise ValueError(f"unknown clock mode {mode!r}")
+        return replace(self, clock_mode=mode)
+
+
+#: the device used throughout the paper's evaluation (section 6.1)
+P100 = GPUSpec()
+
+#: a newer-generation device profile (section 6.7's discussion that faster
+#: hardware makes even more operations launch-bound, increasing Astra's scope)
+V100 = GPUSpec(
+    name="V100",
+    num_sms=80,
+    peak_flops_per_us=15.0e6,
+    mem_bw_bytes_per_us=900e3,
+    launch_overhead_us=5.0,
+)
+
+DEVICES = {"P100": P100, "V100": V100}

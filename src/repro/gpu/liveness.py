@@ -1,0 +1,162 @@
+"""Tensor liveness analysis and arena reuse.
+
+The simple arena of :mod:`repro.gpu.memory` places every tensor at a
+distinct offset -- fine for contiguity reasoning, pessimistic for
+footprint.  Real framework allocators reuse a tensor's space once its
+last consumer has run.  This module computes per-tensor live intervals
+over an execution order and a linear-scan reuse plan, giving the *peak*
+memory a training mini-batch actually needs.
+
+It quantifies the memory side of section 3.4's recomputation trade: a
+recomputed segment's forward activations die right after the forward
+pass instead of surviving into backward, which is exactly a shortened
+live interval.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..ir.graph import Graph
+
+
+@dataclass(frozen=True)
+class LiveInterval:
+    """One tensor's lifetime in execution-order positions, inclusive."""
+
+    node_id: int
+    start: int
+    end: int
+    size_bytes: int
+
+    def overlaps(self, other: "LiveInterval") -> bool:
+        return self.start <= other.end and other.start <= self.end
+
+
+def live_intervals(
+    graph: Graph,
+    order: list[int] | None = None,
+    keep_until_end: set[int] | None = None,
+    end_overrides: dict[int, int] | None = None,
+) -> list[LiveInterval]:
+    """Per-tensor live intervals over an execution order.
+
+    ``order`` defaults to node-id order (the trace order, which is a valid
+    schedule).  Leaves (inputs/params) and graph outputs live for the whole
+    range; ``keep_until_end`` forces extra node ids to the horizon, and
+    ``end_overrides`` caps specific tensors' lifetimes (a recomputed
+    activation dies at its last *forward* consumer -- the backward pass
+    reads a recomputed clone instead).
+    """
+    order = order if order is not None else [n.node_id for n in graph.nodes]
+    position = {nid: i for i, nid in enumerate(order)}
+    horizon = len(order) - 1
+    keep = set(keep_until_end or ())
+    keep.update(graph.outputs)
+    end_overrides = end_overrides or {}
+
+    intervals = []
+    for node in graph.nodes:
+        if node.node_id not in position:
+            continue
+        start = position[node.node_id]
+        consumers = [position[c] for c in graph.consumers(node.node_id) if c in position]
+        if node.node_id in end_overrides:
+            end = max(start, end_overrides[node.node_id])
+        elif node.is_leaf or node.node_id in keep:
+            end = horizon
+        elif consumers:
+            end = max(consumers)
+        else:
+            end = start  # dead value: dies immediately
+        if node.is_leaf:
+            start = 0
+        intervals.append(
+            LiveInterval(node.node_id, start, end, node.spec.size_bytes)
+        )
+    return intervals
+
+
+@dataclass
+class ReusePlan:
+    """Linear-scan allocation with reuse: offsets + peak footprint."""
+
+    offsets: dict[int, int]
+    peak_bytes: int
+    #: footprint without any reuse, for comparison
+    naive_bytes: int
+
+    @property
+    def reuse_factor(self) -> float:
+        return self.naive_bytes / max(1, self.peak_bytes)
+
+
+def plan_with_reuse(
+    graph: Graph,
+    order: list[int] | None = None,
+    alignment: int = 256,
+    keep_until_end: set[int] | None = None,
+    end_overrides: dict[int, int] | None = None,
+) -> ReusePlan:
+    """Greedy first-fit allocation over live intervals.
+
+    Tensors whose intervals do not overlap may share space.  First-fit
+    over a free-list keyed by offset gives the classic linear-scan shape;
+    deterministic for reproducibility.
+    """
+    intervals = sorted(
+        live_intervals(graph, order, keep_until_end, end_overrides),
+        key=lambda iv: (iv.start, iv.node_id),
+    )
+
+    def aligned(n: int) -> int:
+        rem = n % alignment
+        return n if rem == 0 else n + alignment - rem
+
+    # active allocations: (end, offset, size)
+    active: list[tuple[int, int, int]] = []
+    offsets: dict[int, int] = {}
+    peak = 0
+    for interval in intervals:
+        active = [a for a in active if a[0] >= interval.start]
+        size = aligned(max(1, interval.size_bytes))
+        # first-fit: scan gaps between active allocations
+        taken = sorted((offset, offset + length) for _e, offset, length in active)
+        cursor = 0
+        placed = None
+        for begin, end in taken:
+            if begin - cursor >= size:
+                placed = cursor
+                break
+            cursor = max(cursor, end)
+        if placed is None:
+            placed = cursor
+        offsets[interval.node_id] = placed
+        active.append((interval.end, placed, size))
+        peak = max(peak, placed + size)
+
+    naive = sum(aligned(max(1, iv.size_bytes)) for iv in intervals)
+    return ReusePlan(offsets=offsets, peak_bytes=peak, naive_bytes=naive)
+
+
+def activation_peak_bytes(graph: Graph, recomputed: set[int] | None = None) -> int:
+    """Peak memory of one training mini-batch under reuse.
+
+    ``recomputed`` marks forward nodes whose activations are *not* kept
+    for the backward pass (section 3.4): their live interval ends at
+    their last forward consumer, shrinking the peak.
+    """
+    recomputed = recomputed or set()
+    position = {n.node_id: i for i, n in enumerate(graph.nodes)}
+    overrides: dict[int, int] = {}
+    for nid in recomputed:
+        node = graph.node(nid)
+        if node.is_leaf or node.pass_tag != "forward":
+            continue
+        forward_consumers = [
+            position[c]
+            for c in graph.consumers(nid)
+            if graph.node(c).pass_tag == "forward"
+        ]
+        overrides[nid] = max(forward_consumers, default=position[nid])
+    return plan_with_reuse(graph, end_overrides=overrides).peak_bytes

@@ -1,0 +1,121 @@
+"""GPU memory arenas and allocation plans.
+
+GEMM fusion requires the fused operands to be *contiguous* in device memory
+(paper section 3.2): multiplying ``x @ W1`` and ``x @ W2`` as one GEMM
+``x @ [W1 W2]`` is copy-free only if W1 and W2 are adjacent.  Different
+fusion choices may demand conflicting layouts (Figure 1), which is why the
+allocation strategy is a top-level fork in Astra's exploration hierarchy
+(section 4.5.2).
+
+An :class:`AllocationPlan` places tensors (DFG node ids) into an arena.
+Contiguity groups are placed back to back; the dispatcher queries
+``is_contiguous`` to decide whether a fused GEMM needs a gather copy.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..ir.graph import Graph
+
+
+@dataclass(frozen=True)
+class ContiguityGroup:
+    """An ordered run of tensors that must be adjacent in memory."""
+
+    node_ids: tuple[int, ...]
+    label: str = ""
+
+    def __post_init__(self) -> None:
+        if len(self.node_ids) < 2:
+            raise ValueError("a contiguity group needs at least two tensors")
+        if len(set(self.node_ids)) != len(self.node_ids):
+            raise ValueError("duplicate tensor in contiguity group")
+
+
+class AllocationPlan:
+    """A concrete placement of graph tensors into a flat arena.
+
+    The plan is built from a set of non-overlapping contiguity groups; all
+    remaining tensors are placed individually.  Offsets are deterministic
+    (insertion order), so plans are comparable and hashable by their group
+    structure (``strategy_key``).
+    """
+
+    def __init__(self, graph: Graph, groups: list[ContiguityGroup] | None = None,
+                 alignment: int = 256, label: str = "default"):
+        self.graph = graph
+        self.groups = list(groups or [])
+        self.alignment = alignment
+        self.label = label
+        self._offsets: dict[int, int] = {}
+        self._arena_size = 0
+        self._grouped: dict[int, int] = {}  # node id -> group index
+        self._validate_groups()
+        self._place()
+
+    def _validate_groups(self) -> None:
+        for gi, group in enumerate(self.groups):
+            for nid in group.node_ids:
+                if nid >= len(self.graph.nodes):
+                    raise ValueError(f"group {group.label!r} names unknown node {nid}")
+                if nid in self._grouped:
+                    other = self.groups[self._grouped[nid]]
+                    raise ValueError(
+                        f"tensor %{nid} claimed by both {other.label!r} and {group.label!r}"
+                    )
+                self._grouped[nid] = gi
+
+    def _align(self, offset: int) -> int:
+        rem = offset % self.alignment
+        return offset if rem == 0 else offset + self.alignment - rem
+
+    def _place(self) -> None:
+        cursor = 0
+        for group in self.groups:
+            cursor = self._align(cursor)
+            for nid in group.node_ids:
+                self._offsets[nid] = cursor
+                cursor += self.graph.node(nid).spec.size_bytes
+        for node in self.graph.nodes:
+            if node.node_id in self._offsets:
+                continue
+            cursor = self._align(cursor)
+            self._offsets[node.node_id] = cursor
+            cursor += node.spec.size_bytes
+        self._arena_size = cursor
+
+    # -- queries ---------------------------------------------------------
+
+    @property
+    def arena_size_bytes(self) -> int:
+        return self._arena_size
+
+    def offset_of(self, node_id: int) -> int:
+        return self._offsets[node_id]
+
+    def is_contiguous(self, node_ids: tuple[int, ...] | list[int]) -> bool:
+        """True if the tensors sit back to back, in order, with no gaps."""
+        ids = list(node_ids)
+        if len(ids) <= 1:
+            return True
+        cursor = self._offsets[ids[0]]
+        for nid in ids:
+            if self._offsets[nid] != cursor:
+                return False
+            cursor += self.graph.node(nid).spec.size_bytes
+        return True
+
+    def gather_bytes(self, node_ids: tuple[int, ...] | list[int]) -> int:
+        """Bytes a gather copy must move to compact these tensors."""
+        return sum(self.graph.node(nid).spec.size_bytes for nid in node_ids)
+
+    def strategy_key(self) -> tuple:
+        """Hashable identity of the layout choice (profile-index context)."""
+        return tuple(group.node_ids for group in self.groups)
+
+    def __repr__(self) -> str:
+        return (
+            f"AllocationPlan({self.label!r}, groups={len(self.groups)}, "
+            f"arena={self._arena_size}B)"
+        )

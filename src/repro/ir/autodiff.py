@@ -1,0 +1,236 @@
+"""Reverse-mode automatic differentiation over traced graphs.
+
+The DL toolkits Astra builds on generate the backward-pass code from the
+user's forward-pass model (paper section 5.1: "roughly two-thirds of the
+computation happens during the backward pass").  This module plays that
+role: given a traced forward graph and a loss node, it *appends* the
+backward computation to the same graph, tagging every new node with
+``pass_tag="backward"`` so the enumerator can reason about forward/backward
+fusion conflicts (section 3.2, Figure 1).
+
+Gradients are expressed in terms of the ordinary op vocabulary (matmuls
+with transpose flags, elementwise ops, reductions), so the backward pass is
+subject to exactly the same fusion / kernel-selection / stream adaptation
+as the forward pass.
+"""
+
+from __future__ import annotations
+
+from . import ops
+from .graph import Node
+from .tensor import TensorSpec
+from .trace import Tracer, Var
+
+
+def _reduce_to_shape(tracer: Tracer, grad: Var, target: TensorSpec) -> Var:
+    """Sum a broadcast gradient back down to the shape of the operand.
+
+    Handles the two broadcast forms the IR admits: extra leading dims
+    (summed away) and interior dims of size 1 (summed with keepdims).
+    """
+    while grad.spec.rank > target.rank:
+        grad = tracer.reduce_sum(grad, axis=0)
+    if grad.spec.rank == target.rank:
+        for axis in range(target.rank):
+            if target.shape[axis] == 1 and grad.shape[axis] != 1:
+                grad = tracer.reduce_sum(grad, axis=axis, keepdims=True)
+    if grad.spec.shape != target.shape:
+        raise ValueError(f"cannot reduce grad {grad.spec} to {target}")
+    return grad
+
+
+def _matmul_vjp(tracer: Tracer, node: Node, grad: Var, a: Var, b: Var) -> list[Var]:
+    """Gradients of ``y = A' @ B'`` where primes apply the transpose flags.
+
+    Each gradient is a single matmul with transpose flags -- no transpose
+    copies are materialised, matching how real frameworks lower these.
+    """
+    op: ops.MatMul = node.op  # type: ignore[assignment]
+    ta, tb = op.transpose_a, op.transpose_b
+    if ta:
+        grad_a = tracer.matmul(b, grad, transpose_a=tb, transpose_b=True)
+    else:
+        grad_a = tracer.matmul(grad, b, transpose_b=not tb)
+    if tb:
+        grad_b = tracer.matmul(grad, a, transpose_a=True, transpose_b=ta)
+    else:
+        grad_b = tracer.matmul(a, grad, transpose_a=not ta)
+    return [grad_a, grad_b]
+
+
+def _vjp(tracer: Tracer, node: Node, grad: Var, inputs: list[Var], out: Var) -> list[Var | None]:
+    """Per-op vector-Jacobian products.  Returns one grad (or None) per input."""
+    op = node.op
+    assert op is not None
+
+    if isinstance(op, ops.MatMul):
+        ga, gb = _matmul_vjp(tracer, node, grad, inputs[0], inputs[1])
+        return [ga, gb]
+
+    if isinstance(op, ops.Add):
+        return [
+            _reduce_to_shape(tracer, grad, inputs[0].spec),
+            _reduce_to_shape(tracer, grad, inputs[1].spec),
+        ]
+    if isinstance(op, ops.Sub):
+        return [
+            _reduce_to_shape(tracer, grad, inputs[0].spec),
+            _reduce_to_shape(tracer, tracer.scale(grad, -1.0), inputs[1].spec),
+        ]
+    if isinstance(op, ops.Mul):
+        return [
+            _reduce_to_shape(tracer, tracer.mul(grad, inputs[1]), inputs[0].spec),
+            _reduce_to_shape(tracer, tracer.mul(grad, inputs[0]), inputs[1].spec),
+        ]
+    if isinstance(op, ops.Div):
+        a, b = inputs
+        grad_a = _reduce_to_shape(tracer, tracer.div(grad, b), a.spec)
+        grad_b = tracer.scale(tracer.div(tracer.mul(grad, a), tracer.mul(b, b)), -1.0)
+        return [grad_a, _reduce_to_shape(tracer, grad_b, b.spec)]
+
+    if isinstance(op, ops.Sigmoid):
+        one_minus = tracer.add_scalar(tracer.scale(out, -1.0), 1.0)
+        return [tracer.mul(tracer.mul(grad, out), one_minus)]
+    if isinstance(op, ops.Tanh):
+        one_minus_sq = tracer.add_scalar(tracer.scale(tracer.mul(out, out), -1.0), 1.0)
+        return [tracer.mul(grad, one_minus_sq)]
+    if isinstance(op, ops.Relu):
+        return [tracer.mul(grad, tracer.emit(ops.Step(), [inputs[0]]))]
+    if isinstance(op, ops.Log):
+        return [tracer.div(grad, inputs[0])]
+    if isinstance(op, ops.Exp):
+        return [tracer.mul(grad, out)]
+    if isinstance(op, ops.Scale):
+        return [tracer.scale(grad, op.factor)]
+    if isinstance(op, ops.AddScalar):
+        return [grad]
+    if isinstance(op, ops.Step):
+        return [None]  # zero a.e.
+
+    if isinstance(op, ops.Softmax):
+        inner = tracer.reduce_sum(tracer.mul(grad, out), axis=-1, keepdims=True)
+        return [tracer.mul(out, tracer.sub(grad, inner))]
+    if isinstance(op, ops.ReduceSum):
+        in_spec = inputs[0].spec
+        ones = tracer.fill(in_spec.shape, 1.0, in_spec.dtype)
+        if op.axis is None or op.keepdims:
+            expanded = grad
+        else:
+            axis = op.axis % in_spec.rank
+            keep_shape = list(grad.shape)
+            if grad.spec.rank == in_spec.rank - 1:
+                keep_shape.insert(axis, 1)
+            expanded = tracer.reshape(grad, keep_shape)
+        return [tracer.mul(ones, expanded)]
+
+    if isinstance(op, ops.Embedding):
+        table, indices = inputs
+        vocab = table.spec.shape[0]
+        return [tracer.emit(ops.EmbeddingGrad(vocab), [indices, grad]), None]
+
+    if isinstance(op, ops.Concat):
+        axis = op.axis % out.spec.rank
+        grads: list[Var | None] = []
+        offset = 0
+        for inp in inputs:
+            extent = inp.spec.shape[axis]
+            grads.append(tracer.slice(grad, axis, offset, offset + extent))
+            offset += extent
+        return grads
+    if isinstance(op, ops.Slice):
+        in_spec = inputs[0].spec
+        axis = op.axis % in_spec.rank
+        return [tracer.emit(ops.PadZero(axis, op.start, in_spec.shape[axis]), [grad])]
+    if isinstance(op, ops.PadZero):
+        in_spec = inputs[0].spec
+        axis = op.axis % in_spec.rank
+        return [tracer.slice(grad, axis, op.start, op.start + in_spec.shape[axis])]
+    if isinstance(op, ops.Transpose):
+        return [tracer.transpose(grad)]
+    if isinstance(op, ops.Reshape):
+        return [tracer.reshape(grad, inputs[0].spec.shape)]
+    if isinstance(op, ops.Fill):
+        return []
+    if isinstance(op, ops.EmbeddingGrad):
+        raise ValueError("cannot differentiate through embedding_grad")
+
+    raise NotImplementedError(f"no vjp rule for op {op.name!r}")
+
+
+def backward(tracer: Tracer, loss: Var, wrt: list[Var] | None = None) -> dict[int, Var]:
+    """Append the backward pass for ``loss`` to the tracer's graph.
+
+    Returns a map from the node id of each differentiable leaf (parameters
+    by default, or the nodes in ``wrt``) to the Var holding its gradient.
+    Gradient nodes are marked as graph outputs so dead-code analysis keeps
+    them live.
+    """
+    graph = tracer.graph
+    targets = {v.node.node_id for v in wrt} if wrt is not None else {
+        n.node_id for n in graph.params()
+    }
+
+    # Work out which nodes the loss actually depends on and which feed a target.
+    needed = _influence_set(tracer, loss, targets)
+
+    grads: dict[int, Var] = {}
+    saved_tag = tracer.pass_tag
+    tracer.pass_tag = "backward"
+    try:
+        with tracer.scope("backward"):
+            seed = tracer.fill(loss.spec.shape, 1.0, loss.spec.dtype)
+        grads[loss.node.node_id] = seed
+        for node in reversed(graph.nodes[: loss.node.node_id + 1]):
+            if node.node_id not in grads or node.is_leaf or node.node_id not in needed:
+                continue
+            grad_var = grads[node.node_id]
+            input_vars = [tracer.var_for(graph.node(i)) for i in node.input_ids]
+            out_var = tracer.var_for(node)
+            with tracer.scope(node.scope or "backward"):
+                input_grads = _vjp(tracer, node, grad_var, input_vars, out_var)
+            for inp_id, g in zip(node.input_ids, input_grads):
+                if g is None or inp_id not in needed:
+                    continue
+                if inp_id in grads:
+                    with tracer.scope("autodiff/accum"):
+                        grads[inp_id] = tracer.add(grads[inp_id], g)
+                else:
+                    grads[inp_id] = g
+    finally:
+        tracer.pass_tag = saved_tag
+
+    result = {}
+    for target_id in targets:
+        if target_id in grads:
+            result[target_id] = grads[target_id]
+            graph.mark_output(grads[target_id].node)
+    return result
+
+
+def _influence_set(tracer: Tracer, loss: Var, targets: set[int]) -> set[int]:
+    """Nodes on some path from a target leaf to the loss.
+
+    Backward work is only emitted for these nodes, mirroring real autodiff
+    engines that prune branches not reaching any parameter.
+    """
+    graph = tracer.graph
+    # ancestors of loss
+    ancestors = set()
+    stack = [loss.node.node_id]
+    while stack:
+        nid = stack.pop()
+        if nid in ancestors:
+            continue
+        ancestors.add(nid)
+        stack.extend(graph.node(nid).input_ids)
+
+    # nodes reaching a target, via reverse traversal over consumers
+    reaches = set(targets & ancestors)
+    frontier = list(reaches)
+    while frontier:
+        nid = frontier.pop()
+        for consumer in graph.consumers(nid):
+            if consumer in ancestors and consumer not in reaches:
+                reaches.add(consumer)
+                frontier.append(consumer)
+    return reaches

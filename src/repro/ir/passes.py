@@ -1,0 +1,114 @@
+"""Graph-level cleanup passes: dead-code elimination and CSE.
+
+Real frameworks run these before dispatch (section 5.1's "graph
+building"); traced graphs accumulate dead branches (e.g. gradients the
+optimizer never reads) and duplicate subexpressions (e.g. re-traced
+constants).  Both passes are value-preserving by construction and emit a
+*new* graph plus an old-id -> new-id mapping, since graphs are
+append-only.
+
+Astra benefits indirectly: fewer nodes means fewer kernels to schedule
+and a smaller exploration surface, and CSE canonicalization makes
+common-argument fusion groups easier to detect.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from .graph import Graph, Node
+
+
+@dataclass
+class RewriteResult:
+    """A rewritten graph plus the node-id mapping old -> new."""
+
+    graph: Graph
+    node_map: dict[int, int]
+
+    def mapped(self, node_id: int) -> int:
+        return self.node_map[node_id]
+
+
+def _copy_node(dst: Graph, node: Node, node_map: dict[int, int]) -> int:
+    if node.is_leaf:
+        new = dst.add_input(node.spec, label=node.label, role=node.role)
+    else:
+        new = dst.add_op(
+            node.op,
+            [dst.node(node_map[i]) for i in node.input_ids],
+            scope=node.scope,
+            pass_tag=node.pass_tag,
+            label=node.label,
+        )
+    node_map[node.node_id] = new.node_id
+    return new.node_id
+
+
+def eliminate_dead_code(graph: Graph, keep_params: bool = True) -> RewriteResult:
+    """Drop compute nodes that no graph output (transitively) consumes.
+
+    Leaves are kept when ``keep_params`` (parameters exist independently
+    of this trace); unused plain inputs are dropped.
+    """
+    live: set[int] = set()
+    stack = list(graph.outputs)
+    while stack:
+        nid = stack.pop()
+        if nid in live:
+            continue
+        live.add(nid)
+        stack.extend(graph.node(nid).input_ids)
+
+    result = Graph(graph.name + "/dce")
+    node_map: dict[int, int] = {}
+    for node in graph.nodes:
+        keep = node.node_id in live
+        if node.is_leaf and keep_params and node.role == "param":
+            keep = True
+        if keep:
+            _copy_node(result, node, node_map)
+    for out in graph.outputs:
+        result.mark_output(result.node(node_map[out]))
+    return RewriteResult(graph=result, node_map=node_map)
+
+
+def common_subexpression_elimination(graph: Graph) -> RewriteResult:
+    """Merge structurally identical compute nodes.
+
+    Two nodes are identical when they apply the same op (same
+    ``signature()``) to the same (already canonicalized) inputs.  The
+    first occurrence survives; later duplicates map to it.  Sound because
+    the IR is pure: ops have no side effects and costs depend only on
+    shapes.
+    """
+    result = Graph(graph.name + "/cse")
+    node_map: dict[int, int] = {}
+    seen: dict[tuple, int] = {}
+    for node in graph.nodes:
+        if node.is_leaf:
+            _copy_node(result, node, node_map)
+            continue
+        key = (node.op.signature(), tuple(node_map[i] for i in node.input_ids))
+        if key in seen:
+            node_map[node.node_id] = seen[key]
+            continue
+        new_id = _copy_node(result, node, node_map)
+        seen[key] = new_id
+    for out in graph.outputs:
+        mapped = node_map[out]
+        if mapped not in result.outputs:
+            result.mark_output(result.node(mapped))
+    return RewriteResult(graph=result, node_map=node_map)
+
+
+def simplify(graph: Graph) -> RewriteResult:
+    """DCE then CSE; the composition real frameworks run before dispatch."""
+    dce = eliminate_dead_code(graph)
+    cse = common_subexpression_elimination(dce.graph)
+    combined = {
+        old: cse.node_map[mid]
+        for old, mid in dce.node_map.items()
+        if mid in cse.node_map
+    }
+    return RewriteResult(graph=cse.graph, node_map=combined)

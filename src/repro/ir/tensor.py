@@ -1,0 +1,111 @@
+"""Tensor specifications for the data-flow graph IR.
+
+The IR is shape-typed but value-free: every edge in the graph carries a
+:class:`TensorSpec` describing shape and dtype.  This mirrors the property
+Astra exploits -- the *cost* of a deep-learning operator depends only on the
+shapes of its operands, never on their values (paper section 4.1), so the
+whole optimization problem can be posed over specs.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+#: bytes per element for the dtypes the simulator understands
+DTYPE_SIZES = {
+    "fp16": 2,
+    "fp32": 4,
+    "fp64": 8,
+    "int32": 4,
+    "int64": 8,
+}
+
+
+@dataclass(frozen=True)
+class TensorSpec:
+    """Static description of a tensor: shape and element type.
+
+    Instances are immutable and hashable so they can be used as parts of
+    profile-index keys (paper section 4.6).
+    """
+
+    shape: tuple[int, ...]
+    dtype: str = "fp32"
+
+    def __post_init__(self) -> None:
+        if not isinstance(self.shape, tuple):
+            object.__setattr__(self, "shape", tuple(self.shape))
+        for dim in self.shape:
+            if not isinstance(dim, int) or dim <= 0:
+                raise ValueError(f"shape dims must be positive ints, got {self.shape}")
+        if self.dtype not in DTYPE_SIZES:
+            raise ValueError(f"unknown dtype {self.dtype!r}")
+
+    @property
+    def rank(self) -> int:
+        return len(self.shape)
+
+    @property
+    def num_elements(self) -> int:
+        return math.prod(self.shape)
+
+    @property
+    def size_bytes(self) -> int:
+        return self.num_elements * DTYPE_SIZES[self.dtype]
+
+    def with_shape(self, shape: tuple[int, ...]) -> "TensorSpec":
+        return TensorSpec(tuple(shape), self.dtype)
+
+    def transposed(self) -> "TensorSpec":
+        if self.rank != 2:
+            raise ValueError(f"transpose needs a rank-2 tensor, got rank {self.rank}")
+        return TensorSpec((self.shape[1], self.shape[0]), self.dtype)
+
+    def __str__(self) -> str:  # compact form used in schedule dumps
+        dims = "x".join(str(d) for d in self.shape)
+        return f"{dims}:{self.dtype}"
+
+
+def matmul_result(a: TensorSpec, b: TensorSpec) -> TensorSpec:
+    """Shape inference for a 2-D matrix multiply ``a @ b``."""
+    if a.rank != 2 or b.rank != 2:
+        raise ValueError(f"matmul needs rank-2 operands, got {a} and {b}")
+    if a.shape[1] != b.shape[0]:
+        raise ValueError(f"matmul inner dims differ: {a} @ {b}")
+    if a.dtype != b.dtype:
+        raise ValueError(f"matmul dtype mismatch: {a.dtype} vs {b.dtype}")
+    return TensorSpec((a.shape[0], b.shape[1]), a.dtype)
+
+
+def matmul_flops(a: TensorSpec, b: TensorSpec) -> int:
+    """Multiply-add flop count of ``a @ b`` (2*M*K*N convention)."""
+    m, k = a.shape
+    _, n = b.shape
+    return 2 * m * k * n
+
+
+def broadcast_result(a: TensorSpec, b: TensorSpec) -> TensorSpec:
+    """Shape inference for elementwise ops with numpy-style broadcasting.
+
+    Shapes are aligned on trailing dimensions; each aligned pair must match
+    or contain a 1 (which broadcasts).  Examples the model zoo relies on:
+    ``(B, N) + (N,)`` for biases and ``(B, N) - (B, 1)`` for softmax-style
+    keepdims reductions.
+    """
+    if a.dtype != b.dtype:
+        raise ValueError(f"elementwise dtype mismatch: {a.dtype} vs {b.dtype}")
+    if a.shape == b.shape:
+        return a
+    rank = max(a.rank, b.rank)
+    pad_a = (1,) * (rank - a.rank) + a.shape
+    pad_b = (1,) * (rank - b.rank) + b.shape
+    out = []
+    for da, db in zip(pad_a, pad_b):
+        if da == db or db == 1:
+            out.append(da)
+        elif da == 1:
+            out.append(db)
+        else:
+            raise ValueError(f"incompatible elementwise shapes: {a} vs {b}")
+    return TensorSpec(tuple(out), a.dtype)

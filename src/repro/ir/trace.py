@@ -1,0 +1,182 @@
+"""Tracing frontend: build data-flow graphs from imperative python code.
+
+This plays the role of PyTorch's ``torch.jit.trace`` in the paper's
+prototype (section 5.1): model code is ordinary python that manipulates
+:class:`Var` handles, and every operation appends a node to the underlying
+:class:`~repro.ir.graph.Graph`.
+
+``Tracer.scope`` records the model-code provenance of each op (layer,
+timestep), which the enumerator later uses for equivalence classes and to
+restrict fusion candidates to nodes of the same provenance (section 4.4.1).
+"""
+
+from __future__ import annotations
+
+from contextlib import contextmanager
+from typing import Iterator, Sequence
+
+from . import ops
+from .graph import Graph, Node
+from .tensor import TensorSpec
+
+
+class Var:
+    """A traced tensor value: a handle to a graph node.
+
+    Supports python operator syntax (``a @ b``, ``a + b`` ...) so model
+    code reads like the PyTorch it substitutes for.
+    """
+
+    __slots__ = ("tracer", "node")
+
+    def __init__(self, tracer: "Tracer", node: Node):
+        self.tracer = tracer
+        self.node = node
+
+    @property
+    def spec(self) -> TensorSpec:
+        return self.node.spec
+
+    @property
+    def shape(self) -> tuple[int, ...]:
+        return self.node.spec.shape
+
+    def __matmul__(self, other: "Var") -> "Var":
+        return self.tracer.matmul(self, other)
+
+    def __add__(self, other: "Var") -> "Var":
+        return self.tracer.add(self, other)
+
+    def __sub__(self, other: "Var") -> "Var":
+        return self.tracer.sub(self, other)
+
+    def __mul__(self, other) -> "Var":
+        if isinstance(other, (int, float)):
+            return self.tracer.scale(self, other)
+        return self.tracer.mul(self, other)
+
+    __rmul__ = __mul__
+
+    def __truediv__(self, other: "Var") -> "Var":
+        return self.tracer.div(self, other)
+
+    def __repr__(self) -> str:
+        return f"Var(%{self.node.node_id}: {self.spec})"
+
+
+class Tracer:
+    """Records model computation into a :class:`Graph`."""
+
+    def __init__(self, name: str = "traced"):
+        self.graph = Graph(name)
+        self._scope_stack: list[str] = []
+        self.pass_tag = "forward"
+
+    # -- scopes ---------------------------------------------------------------
+
+    @contextmanager
+    def scope(self, name: str) -> Iterator[None]:
+        self._scope_stack.append(name)
+        try:
+            yield
+        finally:
+            self._scope_stack.pop()
+
+    @property
+    def current_scope(self) -> str:
+        return "/".join(self._scope_stack)
+
+    # -- leaves ---------------------------------------------------------------
+
+    def input(self, shape: Sequence[int], dtype: str = "fp32", label: str = "") -> Var:
+        node = self.graph.add_input(TensorSpec(tuple(shape), dtype), label=label)
+        return Var(self, node)
+
+    def param(self, shape: Sequence[int], dtype: str = "fp32", label: str = "") -> Var:
+        node = self.graph.add_param(TensorSpec(tuple(shape), dtype), label=label)
+        return Var(self, node)
+
+    def output(self, var: Var) -> Var:
+        self.graph.mark_output(var.node)
+        return var
+
+    # -- op emission ------------------------------------------------------------
+
+    def emit(self, op: ops.Op, inputs: Sequence[Var], label: str = "") -> Var:
+        node = self.graph.add_op(
+            op,
+            [v.node for v in inputs],
+            scope=self.current_scope,
+            pass_tag=self.pass_tag,
+            label=label,
+        )
+        return Var(self, node)
+
+    # -- functional API -----------------------------------------------------
+
+    def matmul(self, a: Var, b: Var, transpose_a: bool = False, transpose_b: bool = False) -> Var:
+        return self.emit(ops.MatMul(transpose_a, transpose_b), [a, b])
+
+    def add(self, a: Var, b: Var) -> Var:
+        return self.emit(ops.Add(), [a, b])
+
+    def sub(self, a: Var, b: Var) -> Var:
+        return self.emit(ops.Sub(), [a, b])
+
+    def mul(self, a: Var, b: Var) -> Var:
+        return self.emit(ops.Mul(), [a, b])
+
+    def div(self, a: Var, b: Var) -> Var:
+        return self.emit(ops.Div(), [a, b])
+
+    def sigmoid(self, x: Var) -> Var:
+        return self.emit(ops.Sigmoid(), [x])
+
+    def tanh(self, x: Var) -> Var:
+        return self.emit(ops.Tanh(), [x])
+
+    def relu(self, x: Var) -> Var:
+        return self.emit(ops.Relu(), [x])
+
+    def log(self, x: Var) -> Var:
+        return self.emit(ops.Log(), [x])
+
+    def exp(self, x: Var) -> Var:
+        return self.emit(ops.Exp(), [x])
+
+    def scale(self, x: Var, factor: float) -> Var:
+        return self.emit(ops.Scale(factor), [x])
+
+    def add_scalar(self, x: Var, value: float) -> Var:
+        return self.emit(ops.AddScalar(value), [x])
+
+    def softmax(self, x: Var) -> Var:
+        return self.emit(ops.Softmax(), [x])
+
+    def reduce_sum(self, x: Var, axis: int | None = None, keepdims: bool = False) -> Var:
+        return self.emit(ops.ReduceSum(axis, keepdims), [x])
+
+    def embedding(self, table: Var, indices: Var) -> Var:
+        return self.emit(ops.Embedding(), [table, indices])
+
+    def concat(self, parts: Sequence[Var], axis: int = -1) -> Var:
+        return self.emit(ops.Concat(axis), list(parts))
+
+    def slice(self, x: Var, axis: int, start: int, stop: int) -> Var:
+        return self.emit(ops.Slice(axis, start, stop), [x])
+
+    def transpose(self, x: Var) -> Var:
+        return self.emit(ops.Transpose(), [x])
+
+    def reshape(self, x: Var, shape: Sequence[int]) -> Var:
+        return self.emit(ops.Reshape(tuple(shape)), [x])
+
+    def fill(self, shape: Sequence[int], value: float, dtype: str = "fp32") -> Var:
+        spec = TensorSpec(tuple(shape), dtype)
+        return self.emit(ops.Fill(spec, value), [])
+
+    def var_for(self, node: Node) -> Var:
+        """Wrap an existing graph node (used by autodiff)."""
+        if node.node_id >= len(self.graph.nodes) or self.graph.nodes[node.node_id] is not node:
+            raise ValueError("node does not belong to this tracer's graph")
+        return Var(self, node)

@@ -1,0 +1,50 @@
+"""Model zoo: the five models of the paper's evaluation (section 6.1).
+
+Long-tail cells (SC-RNN, MI-LSTM, subLSTM) exercise Astra where cuDNN has
+no coverage; the stacked LSTM and GNMT provide the cuDNN comparison
+points.  Each builder traces one training mini-batch (forward + loss +
+backward) at fixed shapes.
+"""
+
+from .cells import ModelBuilder, ModelConfig, TracedModel
+from .datasets import (
+    HUTTER_LENGTHS,
+    PAPER_PTB_BUCKETS,
+    PTB_LENGTHS,
+    LengthDistribution,
+    bucket_for,
+    compute_buckets,
+)
+from .attn_lstm import build_attn_lstm
+from .gnmt import build_gnmt
+from .milstm import build_milstm
+from .rhn import build_rhn
+from .scrnn import build_scrnn
+from .stacked_lstm import build_stacked_lstm
+from .sublstm import build_sublstm
+from .tcn import build_tcn
+
+#: the five models of the paper's evaluation (section 6.1)
+MODEL_BUILDERS = {
+    "scrnn": build_scrnn,
+    "milstm": build_milstm,
+    "sublstm": build_sublstm,
+    "stacked_lstm": build_stacked_lstm,
+    "gnmt": build_gnmt,
+}
+
+#: additional long-tail cells named in the paper's introduction
+EXTRA_BUILDERS = {
+    "rhn": build_rhn,
+    "attn_lstm": build_attn_lstm,
+    "tcn": build_tcn,
+}
+
+__all__ = [
+    "ModelBuilder", "ModelConfig", "TracedModel",
+    "HUTTER_LENGTHS", "PAPER_PTB_BUCKETS", "PTB_LENGTHS",
+    "LengthDistribution", "bucket_for", "compute_buckets",
+    "build_attn_lstm", "build_gnmt", "build_milstm", "build_rhn",
+    "build_scrnn", "build_stacked_lstm", "build_sublstm",
+    "build_tcn", "MODEL_BUILDERS", "EXTRA_BUILDERS",
+]

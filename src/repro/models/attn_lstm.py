@@ -1,0 +1,60 @@
+"""LSTM with Attention over its own history (Wu et al. 2016-style).
+
+Another long-tail structure from the paper's introduction: a single-layer
+LSTM whose output at each step attends over all *previous* step outputs.
+The recurrent core is standard LSTM (cuDNN could cover it in isolation),
+but the interleaved attention breaks the accelerator's layer abstraction
+(section 2.4: "these APIs work at the abstraction of a single layer") --
+so the hand-optimized path does not apply end to end, while Astra's
+whole-graph view does.
+"""
+
+from __future__ import annotations
+
+from ..ir.trace import Var
+from .cells import ModelBuilder, ModelConfig, TracedModel
+from .stacked_lstm import lstm_step, make_lstm_weights
+
+DEFAULT_CONFIG = ModelConfig(hidden_size=650, embed_size=650, vocab_size=2000)
+
+
+def build_attn_lstm(config: ModelConfig = DEFAULT_CONFIG) -> TracedModel:
+    """Trace one training mini-batch of the attention-augmented LSTM."""
+    builder = ModelBuilder("attn_lstm", config)
+    tr = builder.tracer
+    hidden = config.hidden_size
+
+    with tr.scope("params"):
+        weights = make_lstm_weights(tr, config.embed_size, hidden, "l0")
+        w_q = tr.param((hidden, hidden), label="attn_Wq")
+        w_mix = tr.param((2 * hidden, hidden), label="attn_Wmix")
+
+    xs = builder.token_inputs()
+    h = builder.zeros_state("h0")
+    c = builder.zeros_state("c0")
+
+    history: list[Var] = []
+    hiddens: list[Var] = []
+    for t, x in enumerate(xs):
+        with tr.scope(f"layer0/step{t}"):
+            h, c = lstm_step(tr, x, h, c, weights)
+        if history:
+            with tr.scope(f"attention/step{t}"):
+                # batch-pooled memory of previous outputs: (t, H)
+                pooled = [
+                    tr.scale(tr.reduce_sum(o, axis=0, keepdims=True),
+                             1.0 / config.batch_size)
+                    for o in history
+                ]
+                memory = pooled[0] if len(pooled) == 1 else tr.concat(pooled, axis=0)
+                keys = tr.transpose(memory)          # (H, t)
+                scores = tr.matmul(tr.matmul(h, w_q), keys)   # (B, t)
+                attn = tr.softmax(scores)
+                context = tr.matmul(attn, memory)    # (B, H)
+                mixed = tr.concat([h, context], axis=1)
+                h = tr.tanh(tr.matmul(mixed, w_mix))
+        history.append(h)
+        hiddens.append(h)
+
+    loss = builder.lm_loss(hiddens)
+    return builder.finish(loss)

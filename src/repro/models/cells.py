@@ -1,0 +1,129 @@
+"""Shared scaffolding for the model zoo.
+
+Every model is written the way a researcher writes a *long-tail* cell
+(paper section 1): gate by gate, one matmul per projection, relying on the
+framework -- not hand-fused kernels -- for performance.  That naive
+structure is precisely what gives Astra's enumerator its fusion
+candidates: per step, the gate GEMMs share the step input ``x_t`` and the
+recurrent state ``h_{t-1}`` (common-argument fusion, section 4.4.1), and
+``x@W + h@U`` forms a GEMM-accumulator ladder.
+
+Tracing scopes record provenance (``layerL/stepT``), which the enumerator
+uses for equivalence classes and candidate pruning.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+
+from ..ir.autodiff import backward
+from ..ir.graph import Graph
+from ..ir.trace import Tracer, Var
+
+
+@dataclass(frozen=True)
+class ModelConfig:
+    """Workload parameters for a traced training mini-batch."""
+
+    batch_size: int = 32
+    seq_len: int = 6
+    hidden_size: int = 650
+    embed_size: int = 650
+    vocab_size: int = 10000
+    num_layers: int = 1
+    #: skip the embedding lookup (Table 9 evaluates embedding-less variants)
+    use_embedding: bool = True
+    #: trace the backward pass as well (training vs inference)
+    train: bool = True
+
+    def scaled(self, **changes) -> "ModelConfig":
+        return replace(self, **changes)
+
+
+@dataclass
+class TracedModel:
+    """A model traced at fixed shapes: the unit Astra optimizes."""
+
+    name: str
+    config: ModelConfig
+    tracer: Tracer
+    graph: Graph
+    loss: Var
+    #: node ids of per-step logits (useful for tests)
+    logit_nodes: list[int] = field(default_factory=list)
+
+    def __post_init__(self) -> None:
+        self.graph.validate()
+
+
+class ModelBuilder:
+    """Helpers every recurrent language model shares."""
+
+    def __init__(self, name: str, config: ModelConfig):
+        self.name = name
+        self.config = config
+        self.tracer = Tracer(name)
+        self._logits: list[int] = []
+
+    # -- inputs -------------------------------------------------------------
+
+    def token_inputs(self) -> list[Var]:
+        """Per-step inputs: embedded tokens, or raw feature vectors when
+        embeddings are disabled (the Table 9 variant)."""
+        tr, cfg = self.tracer, self.config
+        steps = []
+        if cfg.use_embedding:
+            table = tr.param((cfg.vocab_size, cfg.embed_size), label="embed")
+            for t in range(cfg.seq_len):
+                with tr.scope(f"embed/step{t}"):
+                    idx = tr.input((cfg.batch_size,), dtype="int64", label=f"tok{t}")
+                    steps.append(tr.embedding(table, idx))
+        else:
+            for t in range(cfg.seq_len):
+                steps.append(
+                    tr.input((cfg.batch_size, cfg.embed_size), label=f"x{t}")
+                )
+        return steps
+
+    def zeros_state(self, label: str) -> Var:
+        cfg = self.config
+        return self.tracer.input((cfg.batch_size, cfg.hidden_size), label=label)
+
+    # -- output head ----------------------------------------------------------
+
+    def lm_loss(self, hiddens: list[Var]) -> Var:
+        """Per-step projection to the vocabulary + cross-entropy.
+
+        Targets arrive as one-hot input tensors; the loss is
+        ``-sum(onehot * log softmax(logits))`` summed over steps.
+        """
+        tr, cfg = self.tracer, self.config
+        w_out = tr.param((cfg.hidden_size, cfg.vocab_size), label="w_out")
+        step_losses = []
+        for t, h in enumerate(hiddens):
+            with tr.scope(f"head/step{t}"):
+                logits = tr.matmul(h, w_out)
+                self._logits.append(logits.node.node_id)
+                probs = tr.softmax(logits)
+                logp = tr.log(probs)
+                onehot = tr.input((cfg.batch_size, cfg.vocab_size), label=f"y{t}")
+                step_losses.append(tr.reduce_sum(tr.mul(logp, onehot)))
+        with tr.scope("head/total"):
+            total = step_losses[0]
+            for part in step_losses[1:]:
+                total = tr.add(total, part)
+            return tr.scale(total, -1.0 / (cfg.batch_size * cfg.seq_len))
+
+    def finish(self, loss: Var) -> TracedModel:
+        tr = self.tracer
+        tr.output(loss)
+        if self.config.train:
+            backward(tr, loss)
+        return TracedModel(
+            name=self.name,
+            config=self.config,
+            tracer=tr,
+            graph=tr.graph,
+            loss=loss,
+            logit_nodes=self._logits,
+        )

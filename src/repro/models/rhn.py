@@ -1,0 +1,66 @@
+"""RHN: Recurrent Highway Network (Zilly et al. 2016).
+
+One of the long-tail architectures the paper's introduction names as
+"not currently accelerated by cuDNN" (section 1).  Each step runs a
+*stack of highway micro-layers* inside the recurrence:
+
+    for layer l in 1..depth:
+        h_l = tanh(x@W_h [l==1 only] + s_{l-1}@R_h^l + b_h^l)
+        t_l = sigmoid(x@W_t [l==1 only] + s_{l-1}@R_t^l + b_t^l)
+        s_l = h_l * t_l + s_{l-1} * (1 - t_l)
+
+The first micro-layer sees the input (a 2-GEMM ladder per gate); deeper
+micro-layers are recurrence-only (single GEMMs sharing s_{l-1} -- a
+common-argument fusion pair per micro-layer).
+"""
+
+from __future__ import annotations
+
+from ..ir.trace import Var
+from .cells import ModelBuilder, ModelConfig, TracedModel
+
+DEFAULT_CONFIG = ModelConfig(hidden_size=830, embed_size=830, vocab_size=2000)
+
+#: recurrence depth (micro-layers per step); the RHN paper uses up to 10
+DEFAULT_DEPTH = 3
+
+
+def build_rhn(config: ModelConfig = DEFAULT_CONFIG, depth: int = DEFAULT_DEPTH) -> TracedModel:
+    """Trace one training mini-batch of the RHN language model."""
+    builder = ModelBuilder("rhn", config)
+    tr = builder.tracer
+    hidden = config.hidden_size
+
+    with tr.scope("params"):
+        w_h = tr.param((config.embed_size, hidden), label="W_h")
+        w_t = tr.param((config.embed_size, hidden), label="W_t")
+        layers = []
+        for l in range(depth):
+            layers.append((
+                tr.param((hidden, hidden), label=f"R_h{l}"),
+                tr.param((hidden, hidden), label=f"R_t{l}"),
+                tr.param((hidden,), label=f"b_h{l}"),
+                tr.param((hidden,), label=f"b_t{l}"),
+            ))
+
+    xs = builder.token_inputs()
+    s = builder.zeros_state("s0")
+
+    hiddens: list[Var] = []
+    for t, x in enumerate(xs):
+        for l, (r_h, r_t, b_h, b_t) in enumerate(layers):
+            with tr.scope(f"hwy{l}/step{t}"):
+                if l == 0:
+                    pre_h = tr.add(tr.add(x @ w_h, s @ r_h), b_h)
+                    pre_t = tr.add(tr.add(x @ w_t, s @ r_t), b_t)
+                else:
+                    pre_h = tr.add(s @ r_h, b_h)
+                    pre_t = tr.add(s @ r_t, b_t)
+                h = tr.tanh(pre_h)
+                gate = tr.sigmoid(pre_t)
+                carry = tr.add_scalar(tr.scale(gate, -1.0), 1.0)
+                s = tr.add(tr.mul(h, gate), tr.mul(s, carry))
+        hiddens.append(s)
+
+    loss = builder.lm_loss(hiddens)
+    return builder.finish(loss)

@@ -1,0 +1,52 @@
+"""SC-RNN: structurally constrained recurrent network (Mikolov et al. 2014).
+
+A long-tail cell with a fast hidden state and a slowly-moving context
+state:
+
+    s_t = (1 - alpha) * (x_t @ B) + alpha * s_{t-1}
+    h_t = sigmoid(s_t @ P + x_t @ A + h_{t-1} @ R)
+    y_t = h_t @ U + s_t @ V        (folded into the shared LM head here)
+
+Per step the three h-projections share arguments pairwise and form a
+GEMM-accumulator ladder -- the exact fusion pattern of paper Figure 1,
+which is drawn from this model's backward pass.
+"""
+
+from __future__ import annotations
+
+from ..ir.trace import Var
+from .cells import ModelBuilder, ModelConfig, TracedModel
+
+#: paper section 6.1 evaluates SC-RNN on the Penn Tree Bank dataset
+DEFAULT_CONFIG = ModelConfig(hidden_size=650, embed_size=650, vocab_size=2000)
+
+
+def build_scrnn(config: ModelConfig = DEFAULT_CONFIG, context_fraction: float = 0.5,
+                alpha: float = 0.95) -> TracedModel:
+    """Trace one training mini-batch of the SC-RNN language model."""
+    builder = ModelBuilder("scrnn", config)
+    tr = builder.tracer
+    hidden = config.hidden_size
+    context = max(8, int(hidden * context_fraction))
+
+    with tr.scope("params"):
+        w_b = tr.param((config.embed_size, context), label="B")
+        w_p = tr.param((context, hidden), label="P")
+        w_a = tr.param((config.embed_size, hidden), label="A")
+        w_r = tr.param((hidden, hidden), label="R")
+
+    xs = builder.token_inputs()
+    h = builder.zeros_state("h0")
+    s = tr.input((config.batch_size, context), label="s0")
+
+    hiddens: list[Var] = []
+    for t, x in enumerate(xs):
+        with tr.scope(f"layer0/step{t}"):
+            s_in = tr.scale(tr.matmul(x, w_b), 1.0 - alpha)
+            s = tr.add(s_in, tr.scale(s, alpha))
+            pre = tr.add(tr.add(tr.matmul(s, w_p), tr.matmul(x, w_a)), tr.matmul(h, w_r))
+            h = tr.sigmoid(pre)
+            hiddens.append(h)
+
+    loss = builder.lm_loss(hiddens)
+    return builder.finish(loss)

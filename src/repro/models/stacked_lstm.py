@@ -1,0 +1,78 @@
+"""PTB Stacked LSTM -- the "popular" structure cuDNN fully accelerates.
+
+A standard multi-layer LSTM language model in the "large" PTB
+configuration (hidden/input size 1500, paper section 6.3).  Because the
+cell is a vanilla LSTM, the cuDNN baseline applies to the whole recurrent
+stack; Table 5 compares Astra against it.
+"""
+
+from __future__ import annotations
+
+from ..ir.trace import Tracer, Var
+from .cells import ModelBuilder, ModelConfig, TracedModel
+
+#: the paper's "large" PTB configuration (input size of 1500), 2 layers
+DEFAULT_CONFIG = ModelConfig(
+    hidden_size=1500, embed_size=1500, vocab_size=2000, num_layers=2
+)
+
+_GATES = ("i", "f", "o", "g")
+
+
+def lstm_step(tr: Tracer, x: Var, h: Var, c: Var, weights: dict) -> tuple[Var, Var]:
+    """One standard LSTM step, written gate-by-gate (one GEMM pair per
+    gate) the way unfused framework code executes it."""
+    pre = {}
+    for name in _GATES:
+        w, u, b = weights[name]
+        pre[name] = tr.add(tr.add(tr.matmul(x, w), tr.matmul(h, u)), b)
+    i = tr.sigmoid(pre["i"])
+    f = tr.sigmoid(pre["f"])
+    o = tr.sigmoid(pre["o"])
+    g = tr.tanh(pre["g"])
+    c_next = tr.add(tr.mul(f, c), tr.mul(i, g))
+    h_next = tr.mul(o, tr.tanh(c_next))
+    return h_next, c_next
+
+
+def make_lstm_weights(tr: Tracer, input_size: int, hidden: int, tag: str) -> dict:
+    return {
+        name: (
+            tr.param((input_size, hidden), label=f"{tag}_W{name}"),
+            tr.param((hidden, hidden), label=f"{tag}_U{name}"),
+            tr.param((hidden,), label=f"{tag}_b{name}"),
+        )
+        for name in _GATES
+    }
+
+
+def build_stacked_lstm(config: ModelConfig = DEFAULT_CONFIG) -> TracedModel:
+    """Trace one training mini-batch of the stacked-LSTM language model."""
+    builder = ModelBuilder("stacked_lstm", config)
+    tr = builder.tracer
+    hidden = config.hidden_size
+
+    with tr.scope("params"):
+        layer_weights = []
+        for layer in range(config.num_layers):
+            input_size = config.embed_size if layer == 0 else hidden
+            layer_weights.append(make_lstm_weights(tr, input_size, hidden, f"l{layer}"))
+
+    xs = builder.token_inputs()
+    states = [
+        (builder.zeros_state(f"h0_l{layer}"), builder.zeros_state(f"c0_l{layer}"))
+        for layer in range(config.num_layers)
+    ]
+
+    hiddens: list[Var] = []
+    for t, x in enumerate(xs):
+        inp = x
+        for layer in range(config.num_layers):
+            with tr.scope(f"layer{layer}/step{t}"):
+                h, c = lstm_step(tr, inp, *states[layer], layer_weights[layer])
+                states[layer] = (h, c)
+                inp = h
+        hiddens.append(inp)
+
+    loss = builder.lm_loss(hiddens)
+    return builder.finish(loss)

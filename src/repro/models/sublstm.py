@@ -1,0 +1,57 @@
+"""subLSTM: subtractive-gating LSTM (Costa et al. 2017).
+
+A cortical-microcircuit-inspired cell where gating is subtractive rather
+than multiplicative:
+
+    i, f, o, z = sigmoid(x@W* + h@U* + b*)        (all four sigmoidal)
+    c_t = f * c_{t-1} + z - i
+    h_t = sigmoid(c_t) - o
+
+Another long-tail structure with the classic 8-GEMMs-per-step skeleton.
+Paper Table 4 reports up to 3x speedup on this model (PTB dataset).
+"""
+
+from __future__ import annotations
+
+from ..ir.trace import Var
+from .cells import ModelBuilder, ModelConfig, TracedModel
+
+DEFAULT_CONFIG = ModelConfig(hidden_size=650, embed_size=650, vocab_size=2000)
+
+_GATES = ("i", "f", "o", "z")
+
+
+def build_sublstm(config: ModelConfig = DEFAULT_CONFIG) -> TracedModel:
+    """Trace one training mini-batch of the subLSTM language model."""
+    builder = ModelBuilder("sublstm", config)
+    tr = builder.tracer
+    hidden = config.hidden_size
+
+    with tr.scope("params"):
+        weights = {
+            name: (
+                tr.param((config.embed_size, hidden), label=f"W{name}"),
+                tr.param((hidden, hidden), label=f"U{name}"),
+                tr.param((hidden,), label=f"b{name}"),
+            )
+            for name in _GATES
+        }
+
+    xs = builder.token_inputs()
+    h = builder.zeros_state("h0")
+    c = builder.zeros_state("c0")
+
+    hiddens: list[Var] = []
+    for t, x in enumerate(xs):
+        with tr.scope(f"layer0/step{t}"):
+            acts = {}
+            for name in _GATES:
+                w, u, b = weights[name]
+                pre = tr.add(tr.add(tr.matmul(x, w), tr.matmul(h, u)), b)
+                acts[name] = tr.sigmoid(pre)
+            c = tr.add(tr.mul(acts["f"], c), tr.sub(acts["z"], acts["i"]))
+            h = tr.sub(tr.sigmoid(c), acts["o"])
+            hiddens.append(h)
+
+    loss = builder.lm_loss(hiddens)
+    return builder.finish(loss)

@@ -1,0 +1,64 @@
+"""TCN: a temporal convolutional network (conv-style model, section 6.7).
+
+The paper's evaluation focuses on recurrent models, but section 6.7
+argues the approach generalizes: "with faster hardware ... even
+operations such as convolution become 'cheap' and hence would benefit
+from techniques such as cross-layer fusion and using multiple streams."
+
+This model exercises that claim.  Causal 1-D convolutions are lowered the
+way frameworks actually execute them -- im2col + GEMM: at each step the
+window ``[x_{t-k+1} .. x_t]`` is concatenated and multiplied by the
+filter matrix.  All steps share the filter (a cross-step common-B fusion
+group), adjacent layers stack with residual connections, and unlike the
+RNNs there is **no recurrence**: every step of a layer is independent,
+giving stream adaptation far more parallelism to harvest.
+"""
+
+from __future__ import annotations
+
+from ..ir.trace import Var
+from .cells import ModelBuilder, ModelConfig, TracedModel
+
+DEFAULT_CONFIG = ModelConfig(
+    hidden_size=512, embed_size=512, vocab_size=2000, num_layers=3
+)
+
+#: causal receptive field per layer
+KERNEL_SIZE = 3
+
+
+def build_tcn(config: ModelConfig = DEFAULT_CONFIG, kernel_size: int = KERNEL_SIZE) -> TracedModel:
+    """Trace one training mini-batch of the TCN language model."""
+    builder = ModelBuilder("tcn", config)
+    tr = builder.tracer
+    hidden = config.hidden_size
+
+    with tr.scope("params"):
+        layer_filters = []
+        for layer in range(config.num_layers):
+            in_dim = config.embed_size if layer == 0 else hidden
+            layer_filters.append((
+                tr.param((kernel_size * in_dim, hidden), label=f"conv{layer}_W"),
+                tr.param((hidden,), label=f"conv{layer}_b"),
+            ))
+
+    xs = builder.token_inputs()
+    current: list[Var] = list(xs)
+
+    for layer, (w, b) in enumerate(layer_filters):
+        next_steps: list[Var] = []
+        for t in range(config.seq_len):
+            with tr.scope(f"conv{layer}/step{t}"):
+                # causal im2col window: pad the past with the first frame
+                window = [current[max(0, t - offset)]
+                          for offset in range(kernel_size - 1, -1, -1)]
+                col = tr.concat(window, axis=1)
+                pre = tr.add(tr.matmul(col, w), b)
+                out = tr.relu(pre)
+                if layer > 0:  # residual connection on same-width layers
+                    out = tr.add(out, current[t])
+                next_steps.append(out)
+        current = next_steps
+
+    loss = builder.lm_loss(current)
+    return builder.finish(loss)

@@ -1,0 +1,113 @@
+"""Executor: runs a lowered schedule on the GPU simulator and extracts the
+fine-grained measurements that drive Astra's adaptation.
+
+The measurements mirror section 4.7's metrics:
+
+* per-unit elapsed time (GEMM / fused-GEMM / elementwise kernels);
+* per-epoch stream metric: time from the start of the unit's super-epoch
+  to the completion of *all* kernels dispatched on all streams up to and
+  including that epoch;
+* end-to-end mini-batch time and CPU profiling overhead.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..gpu.device import GPUSpec
+from ..gpu.streams import ExecutionResult, StreamSimulator
+from .dispatcher import Dispatcher, LoweredSchedule
+from .plan import ExecutionPlan
+
+
+@dataclass
+class MiniBatchResult:
+    """Everything observed while executing one mini-batch."""
+
+    total_time_us: float
+    cpu_time_us: float
+    profiling_overhead_us: float
+    #: unit id -> kernel execution time (including its gather pre-copies)
+    unit_times: dict[int, float]
+    #: (super_epoch, epoch) -> stream-completion metric (section 4.7)
+    epoch_metrics: dict[tuple[int, int], float]
+    #: raw simulator output, for tests and deep inspection
+    raw: ExecutionResult
+
+    @property
+    def profiling_overhead_fraction(self) -> float:
+        if self.total_time_us <= 0:
+            return 0.0
+        return self.profiling_overhead_us / self.total_time_us
+
+
+class Executor:
+    """Runs execution plans for a fixed graph on a simulated device."""
+
+    def __init__(self, graph, device: GPUSpec, seed: int = 0):
+        self.graph = graph
+        self.device = device
+        self.dispatcher = Dispatcher(graph)
+        self._simulator = StreamSimulator(device, seed=seed)
+
+    def run(self, plan: ExecutionPlan) -> MiniBatchResult:
+        lowered = self.dispatcher.lower(plan)
+        return self.run_lowered(lowered)
+
+    def run_lowered(self, lowered: LoweredSchedule) -> MiniBatchResult:
+        result = self._simulator.run(lowered.items)
+        unit_times = self._unit_times(lowered, result)
+        epoch_metrics = self._epoch_metrics(lowered, result)
+        return MiniBatchResult(
+            total_time_us=result.total_time_us,
+            cpu_time_us=result.cpu_time_us,
+            profiling_overhead_us=result.profiling_overhead_us,
+            unit_times=unit_times,
+            epoch_metrics=epoch_metrics,
+            raw=result,
+        )
+
+    def _unit_times(self, lowered: LoweredSchedule, result: ExecutionResult) -> dict[int, float]:
+        times: dict[int, float] = {}
+        for unit in lowered.plan.units:
+            idx = lowered.unit_record_index.get(unit.unit_id)
+            if idx is None:
+                continue
+            record = result.records[idx]
+            elapsed = record.duration
+            # charge the unit for its gather copies: they exist only because
+            # of this unit's fusion/allocation choice
+            for back in range(1, len(unit.pre_copies) + 1):
+                elapsed += result.records[idx - back].duration
+            times[unit.unit_id] = elapsed
+        return times
+
+    def _epoch_metrics(
+        self, lowered: LoweredSchedule, result: ExecutionResult
+    ) -> dict[tuple[int, int], float]:
+        plan = lowered.plan
+        # group unit completion times by (super_epoch, epoch)
+        starts: dict[int, float] = {}
+        ends: dict[tuple[int, int], float] = {}
+        for unit in plan.units:
+            if unit.super_epoch < 0 or unit.epoch < 0:
+                continue
+            idx = lowered.unit_record_index.get(unit.unit_id)
+            if idx is None:
+                continue
+            record = result.records[idx]
+            first = idx - len(unit.pre_copies)
+            start = result.records[first].start_time
+            se = unit.super_epoch
+            starts[se] = min(starts.get(se, float("inf")), start)
+            key = (se, unit.epoch)
+            ends[key] = max(ends.get(key, 0.0), record.end_time)
+
+        metrics: dict[tuple[int, int], float] = {}
+        for se in starts:
+            epochs = sorted(e for (s, e) in ends if s == se)
+            running_end = 0.0
+            for epoch in epochs:
+                running_end = max(running_end, ends[(se, epoch)])
+                metrics[(se, epoch)] = running_end - starts[se]
+        return metrics

@@ -1,0 +1,159 @@
+"""Node-to-kernel lowering shared by every plan builder.
+
+Maps DFG nodes onto simulator kernels: GEMM nodes become
+:class:`~repro.gpu.kernels.GemmLaunch`, elementwise/reduction chains become
+(optionally JIT-fused, section 5.3) :class:`ElementwiseLaunch`, data
+movement becomes copies, and reshape/fill are free.  The native baseline
+uses these units verbatim; Astra's enumerator replaces the GEMM units with
+fused groups and re-streams everything.
+"""
+
+from __future__ import annotations
+
+import itertools
+
+from ..gpu.kernels import CopyLaunch, ElementwiseLaunch, GemmLaunch, Kernel
+from ..gpu.libraries import DEFAULT_LIBRARY
+from ..ir import ops
+from ..ir.graph import Graph, Node
+from .plan import Unit
+
+#: op kinds lowered into a single (possibly fused) elementwise launch
+_FUSABLE_KINDS = {ops.KIND_ELEMENTWISE, ops.KIND_REDUCTION}
+
+
+def kernel_for_node(graph: Graph, node: Node, library: str = DEFAULT_LIBRARY) -> Kernel | None:
+    """The kernel executing one node alone, or None for free ops."""
+    if node.is_leaf or node.op is None:
+        return None
+    op = node.op
+    if isinstance(op, (ops.Reshape, ops.Fill)):
+        return None
+    in_specs = [graph.node(i).spec for i in node.input_ids]
+    if node.kind == ops.KIND_GEMM:
+        assert isinstance(op, ops.MatMul)
+        m, k, n = op.gemm_dims(in_specs)
+        return GemmLaunch(m, k, n, library, node_ids=(node.node_id,))
+    if node.kind in _FUSABLE_KINDS:
+        elems = node.spec.num_elements
+        flops = op.flops(in_specs, node.spec)
+        traffic = op.bytes_accessed(in_specs, node.spec)
+        return ElementwiseLaunch(
+            num_elements=elems,
+            fused_ops=1,
+            flops_per_element=flops / elems,
+            bytes_per_element=traffic / elems,
+            node_ids=(node.node_id,),
+            label=op.name,
+        )
+    if node.kind == ops.KIND_EMBEDDING:
+        traffic = op.bytes_accessed(in_specs, node.spec)
+        return ElementwiseLaunch(
+            num_elements=node.spec.num_elements,
+            fused_ops=1,
+            flops_per_element=0.0,
+            bytes_per_element=traffic / node.spec.num_elements,
+            node_ids=(node.node_id,),
+            label=op.name,
+        )
+    if node.kind == ops.KIND_MOVEMENT:
+        return CopyLaunch(
+            bytes_moved=node.spec.size_bytes,
+            label=op.name,
+            node_ids=(node.node_id,),
+        )
+    raise NotImplementedError(f"no lowering for op kind {node.kind!r} ({op.name})")
+
+
+def fused_elementwise_kernel(graph: Graph, node_ids: tuple[int, ...]) -> ElementwiseLaunch:
+    """One launch computing a chain of elementwise ops (JIT fusion, 5.3)."""
+    nodes = [graph.node(nid) for nid in node_ids]
+    out = nodes[-1]
+    elems = out.spec.num_elements
+    total_flops = 0
+    for node in nodes:
+        in_specs = [graph.node(i).spec for i in node.input_ids]
+        total_flops += node.op.flops(in_specs, node.spec)  # type: ignore[union-attr]
+    # fused chain streams external inputs once and writes one output
+    external_inputs = {
+        inp
+        for node in nodes
+        for inp in node.input_ids
+        if inp not in set(node_ids)
+    }
+    traffic = out.spec.size_bytes + sum(graph.node(i).spec.size_bytes for i in external_inputs)
+    return ElementwiseLaunch(
+        num_elements=elems,
+        fused_ops=len(nodes),
+        flops_per_element=total_flops / (elems * len(nodes)),
+        bytes_per_element=traffic / (elems * len(nodes)),
+        node_ids=tuple(node_ids),
+        label="fused_" + nodes[-1].op.name,  # type: ignore[union-attr]
+    )
+
+
+def elementwise_chains(graph: Graph, node_ids: set[int] | None = None) -> list[tuple[int, ...]]:
+    """Greedy chain detection for elementwise JIT fusion.
+
+    A node joins its producer's chain when the producer is elementwise,
+    feeds only this node, produces the same element count, and belongs to
+    the same pass (forward/backward) -- the conservative conditions under
+    which a pointwise JIT compiler fuses without materialising.
+    """
+    eligible = {
+        n.node_id
+        for n in graph.nodes
+        if not n.is_leaf and n.kind in _FUSABLE_KINDS
+        and (node_ids is None or n.node_id in node_ids)
+    }
+    chain_of: dict[int, list[int]] = {}
+    chains: list[list[int]] = []
+    for node in graph.nodes:
+        if node.node_id not in eligible:
+            continue
+        merged = None
+        for inp in node.input_ids:
+            if (
+                inp in chain_of
+                and len(graph.consumers(inp)) == 1
+                and graph.node(inp).spec.num_elements == node.spec.num_elements
+                and graph.node(inp).pass_tag == node.pass_tag
+            ):
+                merged = chain_of[inp]
+                break
+        if merged is None:
+            merged = []
+            chains.append(merged)
+        merged.append(node.node_id)
+        chain_of[node.node_id] = merged
+    return [tuple(chain) for chain in chains if chain]
+
+
+def build_units(
+    graph: Graph,
+    gemm_library: str = DEFAULT_LIBRARY,
+    fuse_elementwise: bool = False,
+) -> list[Unit]:
+    """Per-node units (the native execution model), with optional
+    elementwise chain fusion.  GEMMs stay one unit per node here; fused
+    GEMM units are built by the enumerator."""
+    units: list[Unit] = []
+    counter = itertools.count()
+    covered: set[int] = set()
+
+    if fuse_elementwise:
+        for chain in elementwise_chains(graph):
+            if len(chain) < 2:
+                continue
+            kernel = fused_elementwise_kernel(graph, chain)
+            units.append(Unit(next(counter), kernel, chain, label=kernel.label))
+            covered.update(chain)
+
+    for node in graph.nodes:
+        if node.node_id in covered:
+            continue
+        kernel = kernel_for_node(graph, node, library=gemm_library)
+        if kernel is None:
+            continue
+        units.append(Unit(next(counter), kernel, (node.node_id,), label=kernel.name))
+    return units

@@ -1,0 +1,100 @@
+"""ASCII timeline rendering of executed schedules.
+
+Debugging aid for stream adaptation: renders one executed mini-batch as a
+Gantt chart -- one row per stream plus the CPU dispatch row -- so the
+overlap (or lack of it) that the epoch metrics measure is visible at a
+glance.  Used by the examples and handy in tests.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..gpu.streams import ExecutionResult
+
+#: glyphs by kernel kind
+_GLYPHS = {
+    "gemm": "#",
+    "elementwise": "=",
+    "copy": "c",
+    "compound": "@",
+    "transfer": "~",
+    "generic": "+",
+}
+
+
+@dataclass
+class TimelineOptions:
+    width: int = 100
+    show_cpu: bool = True
+    show_legend: bool = True
+
+
+def render_timeline(result: ExecutionResult, options: TimelineOptions | None = None) -> str:
+    """Render an :class:`ExecutionResult` as an ASCII Gantt chart."""
+    options = options or TimelineOptions()
+    width = max(20, options.width)
+    total = max(result.total_time_us, 1e-9)
+    scale = width / total
+
+    streams = sorted({r.stream for r in result.records})
+    lines = [f"timeline: {total:.0f}us total, {len(result.records)} kernels, "
+             f"{len(streams)} stream(s)"]
+
+    if options.show_cpu:
+        row = [" "] * width
+        for record in result.records:
+            pos = min(width - 1, int(record.issue_time * scale))
+            row[pos] = "|"
+        lines.append("cpu     " + "".join(row))
+
+    for stream in streams:
+        row = [" "] * width
+        for record in result.records:
+            if record.stream != stream or record.start_time < 0:
+                continue
+            begin = min(width - 1, int(record.start_time * scale))
+            end = min(width, max(begin + 1, int(record.end_time * scale)))
+            glyph = _GLYPHS.get(record.kernel.kind, "+")
+            for i in range(begin, end):
+                row[i] = glyph
+        lines.append(f"stream{stream} " + "".join(row))
+
+    if options.show_legend:
+        lines.append(
+            "legend: # gemm, = elementwise, c copy, @ compound, ~ transfer, | launch"
+        )
+    return "\n".join(lines)
+
+
+def utilization(result: ExecutionResult) -> dict[int, float]:
+    """Busy fraction per stream over the mini-batch wall time."""
+    total = max(result.total_time_us, 1e-9)
+    busy: dict[int, float] = {}
+    for record in result.records:
+        if record.start_time >= 0:
+            busy[record.stream] = busy.get(record.stream, 0.0) + record.duration
+    return {stream: value / total for stream, value in sorted(busy.items())}
+
+
+def overlap_fraction(result: ExecutionResult) -> float:
+    """Fraction of wall time during which >= 2 kernels run concurrently.
+
+    The quantity stream adaptation tries to maximize; 0.0 for any
+    single-stream schedule.
+    """
+    events: list[tuple[float, int]] = []
+    for record in result.records:
+        if record.start_time >= 0:
+            events.append((record.start_time, 1))
+            events.append((record.end_time, -1))
+    events.sort()
+    active = 0
+    overlap = 0.0
+    last = None
+    for time, delta in events:
+        if last is not None and active >= 2:
+            overlap += time - last
+        active += delta
+        last = time
+    return overlap / max(result.total_time_us, 1e-9)

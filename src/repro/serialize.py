@@ -1,0 +1,209 @@
+"""JSON serialization of graphs, plans and reports.
+
+Lets a downstream user persist what Astra found: the traced graph
+structure, the custom-wired execution plan, and the optimization report
+(including the full adaptive-variable assignment), then reload the plan
+against a freshly traced graph.  Re-wiring a job that was optimized
+before costs zero mini-batches -- the deployment-side counterpart of the
+profile index.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Any
+
+from .core.wirer import AstraReport
+from .core.session import SessionReport
+from .gpu.kernels import (
+    CompoundLaunch,
+    CopyLaunch,
+    ElementwiseLaunch,
+    GemmLaunch,
+    HostTransfer,
+    Kernel,
+)
+from .ir.graph import Graph
+from .runtime.plan import ExecutionPlan, Unit
+
+FORMAT_VERSION = 1
+
+
+# ---------------------------------------------------------------------------
+# graphs
+# ---------------------------------------------------------------------------
+
+
+def graph_to_dict(graph: Graph) -> dict:
+    """Structural dump of a traced graph (op names, shapes, provenance)."""
+    return {
+        "version": FORMAT_VERSION,
+        "name": graph.name,
+        "outputs": list(graph.outputs),
+        "nodes": [
+            {
+                "id": node.node_id,
+                "op": node.op.name if node.op else None,
+                "signature": list(node.op.signature()) if node.op else None,
+                "inputs": list(node.input_ids),
+                "shape": list(node.spec.shape),
+                "dtype": node.spec.dtype,
+                "role": node.role,
+                "scope": node.scope,
+                "pass": node.pass_tag,
+                "label": node.label,
+            }
+            for node in graph.nodes
+        ],
+    }
+
+
+# ---------------------------------------------------------------------------
+# kernels / plans
+# ---------------------------------------------------------------------------
+
+
+def kernel_to_dict(kernel: Kernel) -> dict:
+    if isinstance(kernel, GemmLaunch):
+        return {"kind": "gemm", "m": kernel.m, "k": kernel.k, "n": kernel.n,
+                "library": kernel.library, "node_ids": list(kernel.node_ids)}
+    if isinstance(kernel, ElementwiseLaunch):
+        return {"kind": "elementwise", "num_elements": kernel.num_elements,
+                "fused_ops": kernel.fused_ops,
+                "flops_per_element": kernel.flops_per_element,
+                "bytes_per_element": kernel.bytes_per_element,
+                "label": kernel.label, "node_ids": list(kernel.node_ids)}
+    if isinstance(kernel, CopyLaunch):
+        return {"kind": "copy", "bytes_moved": kernel.bytes_moved,
+                "label": kernel.label, "node_ids": list(kernel.node_ids)}
+    if isinstance(kernel, CompoundLaunch):
+        return {"kind": "compound", "total_flops": kernel.total_flops,
+                "efficiency": kernel.efficiency, "rows": kernel.rows,
+                "label": kernel.label, "node_ids": list(kernel.node_ids)}
+    if isinstance(kernel, HostTransfer):
+        return {"kind": "transfer", "bytes_moved": kernel.bytes_moved,
+                "direction": kernel.direction, "node_ids": list(kernel.node_ids)}
+    raise TypeError(f"cannot serialize kernel {kernel!r}")
+
+
+def kernel_from_dict(data: dict) -> Kernel:
+    kind = data["kind"]
+    node_ids = tuple(data.get("node_ids", ()))
+    if kind == "gemm":
+        return GemmLaunch(data["m"], data["k"], data["n"], data["library"],
+                          node_ids=node_ids)
+    if kind == "elementwise":
+        return ElementwiseLaunch(
+            num_elements=data["num_elements"], fused_ops=data["fused_ops"],
+            flops_per_element=data["flops_per_element"],
+            bytes_per_element=data["bytes_per_element"],
+            label=data["label"], node_ids=node_ids,
+        )
+    if kind == "copy":
+        return CopyLaunch(bytes_moved=data["bytes_moved"], label=data["label"],
+                          node_ids=node_ids)
+    if kind == "compound":
+        return CompoundLaunch(
+            total_flops=data["total_flops"], efficiency=data["efficiency"],
+            rows=data.get("rows", 64), label=data["label"], node_ids=node_ids,
+        )
+    if kind == "transfer":
+        return HostTransfer(bytes_moved=data["bytes_moved"],
+                            direction=data["direction"], node_ids=node_ids)
+    raise ValueError(f"unknown kernel kind {kind!r}")
+
+
+def plan_to_dict(plan: ExecutionPlan) -> dict:
+    return {
+        "version": FORMAT_VERSION,
+        "label": plan.label,
+        "profile": plan.profile,
+        "stream_of": {str(k): v for k, v in plan.stream_of.items()},
+        "barriers_after": sorted(plan.barriers_after),
+        "units": [
+            {
+                "id": unit.unit_id,
+                "kernel": kernel_to_dict(unit.kernel) if unit.kernel else None,
+                "node_ids": list(unit.node_ids),
+                "label": unit.label,
+                "pre_copies": [kernel_to_dict(k) for k in unit.pre_copies],
+                "host_us": unit.host_us,
+                "epoch": unit.epoch,
+                "super_epoch": unit.super_epoch,
+            }
+            for unit in plan.units
+        ],
+    }
+
+
+def plan_from_dict(data: dict) -> ExecutionPlan:
+    if data.get("version") != FORMAT_VERSION:
+        raise ValueError(f"unsupported plan format version {data.get('version')}")
+    units = []
+    for entry in data["units"]:
+        unit = Unit(
+            unit_id=entry["id"],
+            kernel=kernel_from_dict(entry["kernel"]) if entry["kernel"] else None,
+            node_ids=tuple(entry["node_ids"]),
+            label=entry["label"],
+            pre_copies=tuple(kernel_from_dict(k) for k in entry["pre_copies"]),
+            host_us=entry["host_us"],
+            epoch=entry["epoch"],
+            super_epoch=entry["super_epoch"],
+        )
+        units.append(unit)
+    return ExecutionPlan(
+        units=units,
+        stream_of={int(k): v for k, v in data["stream_of"].items()},
+        barriers_after=frozenset(data["barriers_after"]),
+        profile=data["profile"],
+        label=data["label"],
+    )
+
+
+# ---------------------------------------------------------------------------
+# reports
+# ---------------------------------------------------------------------------
+
+
+def report_to_dict(report: AstraReport | SessionReport) -> dict:
+    if isinstance(report, SessionReport):
+        return {
+            "version": FORMAT_VERSION,
+            "native_time_us": report.native_time_us,
+            "speedup_over_native": report.speedup_over_native,
+            "astra": report_to_dict(report.astra),
+        }
+    return {
+        "version": FORMAT_VERSION,
+        "best_time_us": report.best_time_us,
+        "configs_explored": report.configs_explored,
+        "profiling_overhead": report.profiling_overhead,
+        "profile_entries": report.profile_entries,
+        "best_strategy": report.best_strategy.label,
+        "strategy_times": {str(k): v for k, v in report.strategy_times.items()},
+        "phases": [
+            {"name": p.name, "minibatches": p.minibatches, "index_hits": p.index_hits}
+            for p in report.phases
+        ],
+        "assignment": {k: repr(v) for k, v in report.assignment.items()},
+        "plan": plan_to_dict(report.best_plan),
+    }
+
+
+def dumps(obj: Any, **kwargs) -> str:
+    """JSON-encode any of the serializable objects above."""
+    if isinstance(obj, Graph):
+        payload = graph_to_dict(obj)
+    elif isinstance(obj, ExecutionPlan):
+        payload = plan_to_dict(obj)
+    elif isinstance(obj, (AstraReport, SessionReport)):
+        payload = report_to_dict(obj)
+    else:
+        raise TypeError(f"cannot serialize {type(obj).__name__}")
+    return json.dumps(payload, **kwargs)
+
+
+def load_plan(text: str) -> ExecutionPlan:
+    """Reload a serialized plan (for re-wiring a previously optimized job)."""
+    return plan_from_dict(json.loads(text))

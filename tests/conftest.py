@@ -1,0 +1,80 @@
+"""Shared fixtures: small traced models and the simulated device.
+
+Model fixtures are session-scoped -- tracing + autodiff is deterministic
+and the graphs are never mutated by the code under test.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.gpu import P100
+from repro.ir import Tracer, backward
+from repro.models import (
+    ModelConfig,
+    build_gnmt,
+    build_milstm,
+    build_scrnn,
+    build_stacked_lstm,
+    build_sublstm,
+)
+
+#: tiny shapes keep simulator runs fast while preserving every structural
+#: property (gates, ladders, fusion groups, epochs)
+TINY = ModelConfig(batch_size=4, seq_len=3, hidden_size=32, embed_size=32, vocab_size=50)
+SMALL = ModelConfig(batch_size=8, seq_len=4, hidden_size=64, embed_size=64, vocab_size=100)
+
+
+@pytest.fixture(scope="session")
+def device():
+    return P100
+
+
+@pytest.fixture(scope="session")
+def tiny_scrnn():
+    return build_scrnn(TINY)
+
+
+@pytest.fixture(scope="session")
+def tiny_sublstm():
+    return build_sublstm(TINY)
+
+
+@pytest.fixture(scope="session")
+def tiny_milstm():
+    return build_milstm(TINY)
+
+
+@pytest.fixture(scope="session")
+def tiny_stacked_lstm():
+    return build_stacked_lstm(TINY.scaled(num_layers=2))
+
+
+@pytest.fixture(scope="session")
+def tiny_gnmt():
+    return build_gnmt(TINY.scaled(num_layers=2))
+
+
+@pytest.fixture(scope="session")
+def small_sublstm():
+    return build_sublstm(SMALL)
+
+
+@pytest.fixture(scope="session")
+def all_tiny_models(tiny_scrnn, tiny_sublstm, tiny_milstm, tiny_stacked_lstm, tiny_gnmt):
+    return [tiny_scrnn, tiny_sublstm, tiny_milstm, tiny_stacked_lstm, tiny_gnmt]
+
+
+@pytest.fixture()
+def mlp_tracer():
+    """A tiny hand-traced MLP graph (forward only) for IR-level tests."""
+    tr = Tracer("mlp")
+    x = tr.input((4, 8), label="x")
+    w1 = tr.param((8, 16), label="w1")
+    b1 = tr.param((16,), label="b1")
+    w2 = tr.param((16, 4), label="w2")
+    h = tr.tanh(x @ w1 + b1)
+    out = h @ w2
+    loss = tr.reduce_sum(out)
+    tr.output(loss)
+    return tr, loss

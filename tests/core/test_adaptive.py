@@ -1,0 +1,229 @@
+"""Tests for adaptive variables and the update tree's exploration modes."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core import (
+    AdaptiveVariable,
+    MODE_EXHAUSTIVE,
+    MODE_PARALLEL,
+    MODE_PREFIX,
+    ProfileIndex,
+    UpdateNode,
+    count_configurations,
+)
+
+CTX = ("test",)
+
+
+def explore(tree, index, metric):
+    """Drive a tree to completion, measuring each visited configuration
+    with ``metric(assignment) -> {var_name: value}``."""
+    tree.initialize()
+    visited = []
+    while True:
+        assignment = tree.assignment()
+        visited.append(dict(assignment))
+        values = metric(assignment)
+        for var in tree.variables():
+            key = var.profile_key(CTX)
+            if key not in index and var.name in values:
+                index.record(key, values[var.name])
+        if not tree.advance(index, CTX):
+            break
+    return visited
+
+
+class TestAdaptiveVariable:
+    def test_paper_interface(self):
+        """initialize / iterate / get_profile_value (section 4.4.2)."""
+        var = AdaptiveVariable("v", [1, 2, 3])
+        index = ProfileIndex()
+        var.initialize()
+        assert var.value == 1
+        assert var.get_profile_value(index, CTX) is None
+        index.record(var.profile_key(CTX), 7.5)
+        assert var.get_profile_value(index, CTX) == 7.5
+
+    def test_advance_visits_all_choices(self):
+        var = AdaptiveVariable("v", ["a", "b", "c"])
+        index = ProfileIndex()
+        seen = [var.value]
+        while True:
+            index.record(var.profile_key(CTX), 1.0)
+            if not var.advance(index, CTX):
+                break
+            seen.append(var.value)
+        assert seen == ["a", "b", "c"]
+
+    def test_advance_skips_measured_choices(self):
+        """Profile-index hits cost no mini-batches (section 4.6)."""
+        var = AdaptiveVariable("v", ["a", "b", "c"])
+        index = ProfileIndex()
+        index.record(var.profile_key(CTX, "b"), 2.0)
+        index.record(var.profile_key(CTX, "a"), 1.0)
+        assert var.advance(index, CTX)  # lands on "c", skipping "b"
+        assert var.value == "c"
+
+    def test_finalize_picks_best(self):
+        var = AdaptiveVariable("v", ["a", "b", "c"])
+        index = ProfileIndex()
+        for choice, value in [("a", 3.0), ("b", 1.0), ("c", 2.0)]:
+            index.record(var.profile_key(CTX, choice), value)
+        var.finalize(index, CTX)
+        assert var.value == "b"
+
+    def test_finalize_without_measurements_keeps_current(self):
+        var = AdaptiveVariable("v", ["a", "b"])
+        var.finalize(ProfileIndex(), CTX)
+        assert var.value == "a"
+
+    def test_single_choice_exhausted_immediately(self):
+        var = AdaptiveVariable("v", ["only"])
+        assert not var.advance(ProfileIndex(), CTX)
+
+    def test_empty_choices_rejected(self):
+        with pytest.raises(ValueError):
+            AdaptiveVariable("v", [])
+
+
+class TestParallelMode:
+    def test_trial_count_is_max_not_product(self):
+        """Section 4.5.1: parallel exploration makes the space additive."""
+        vars_ = [AdaptiveVariable(f"v{i}", list(range(3 + i))) for i in range(4)]
+        tree = UpdateNode("root", MODE_PARALLEL, list(vars_))
+        index = ProfileIndex()
+        visited = explore(tree, index, lambda a: {k: 1.0 for k in a})
+        assert len(visited) == max(len(v.choices) for v in vars_)
+
+    def test_each_variable_converges_to_its_best(self):
+        v1 = AdaptiveVariable("v1", [0, 1, 2])
+        v2 = AdaptiveVariable("v2", [0, 1])
+        tree = UpdateNode("root", MODE_PARALLEL, [v1, v2])
+        index = ProfileIndex()
+        costs = {"v1": {0: 5.0, 1: 1.0, 2: 3.0}, "v2": {0: 2.0, 1: 9.0}}
+        explore(tree, index, lambda a: {k: costs[k][v] for k, v in a.items()})
+        tree.finalize(index, CTX)
+        assert v1.value == 1
+        assert v2.value == 0
+
+    def test_paper_example_6_trials(self):
+        """The section 4.5.1 example: 5 groups x (3 chunk x 2 kernel)
+        choices need 6 trials, not (3*2)^5 = 7776."""
+        groups = [
+            AdaptiveVariable(
+                f"g{i}", [(c, k) for c in (1, 2, 4) for k in ("a", "b")]
+            )
+            for i in range(5)
+        ]
+        tree = UpdateNode("root", MODE_PARALLEL, list(groups))
+        assert count_configurations(tree) == 6
+        index = ProfileIndex()
+        visited = explore(tree, index, lambda a: {k: hash((k, a[k])) % 7 + 1.0 for k in a})
+        assert len(visited) == 6
+
+
+class TestExhaustiveMode:
+    def test_visits_cartesian_product(self):
+        v1 = AdaptiveVariable("v1", [0, 1])
+        v2 = AdaptiveVariable("v2", ["x", "y", "z"])
+        tree = UpdateNode("root", MODE_EXHAUSTIVE, [v1, v2])
+        tree.initialize()
+        seen = {(tree.assignment()["v1"], tree.assignment()["v2"])}
+        index = ProfileIndex()
+        while tree.advance(index, CTX):
+            a = tree.assignment()
+            seen.add((a["v1"], a["v2"]))
+        assert seen == {(a, b) for a in (0, 1) for b in ("x", "y", "z")}
+
+    def test_count(self):
+        v1 = AdaptiveVariable("v1", [0, 1])
+        v2 = AdaptiveVariable("v2", [0, 1, 2])
+        assert count_configurations(UpdateNode("r", MODE_EXHAUSTIVE, [v1, v2])) == 6
+
+
+class TestPrefixMode:
+    def test_sequential_freezing(self):
+        """Section 4.5.4: child i is frozen at its best before child i+1
+        starts, making the space additive in the number of epochs."""
+        v1 = AdaptiveVariable("e0", [0, 1, 2])
+        v2 = AdaptiveVariable("e1", [0, 1, 2])
+        tree = UpdateNode("se", MODE_PREFIX, [v1, v2])
+        index = ProfileIndex()
+        costs = {"e0": {0: 3.0, 1: 1.0, 2: 2.0}, "e1": {0: 9.0, 1: 8.0, 2: 7.0}}
+
+        order = []
+        tree.initialize()
+        while True:
+            a = tree.assignment()
+            order.append((a["e0"], a["e1"]))
+            for var in tree.variables():
+                key = var.profile_key(CTX)
+                if key not in index:
+                    index.record(key, costs[var.name][var.value])
+            if not tree.advance(index, CTX):
+                break
+        # while e1 explores, e0 is already frozen at its best (1)
+        tail = [pair for pair in order if pair[1] != 0]
+        assert all(pair[0] == 1 for pair in tail)
+        tree.finalize(index, CTX)
+        assert (v1.value, v2.value) == (1, 2)
+
+    def test_count_is_sum(self):
+        v1 = AdaptiveVariable("e0", [0, 1, 2])
+        v2 = AdaptiveVariable("e1", [0, 1])
+        assert count_configurations(UpdateNode("r", MODE_PREFIX, [v1, v2])) == 5
+
+
+class TestTreeComposition:
+    def test_nested_parallel_of_prefix(self):
+        """The stream tree shape: parallel over super-epochs, prefix over
+        epochs inside each (sections 4.5.3-4.5.4)."""
+        se0 = UpdateNode("se0", MODE_PREFIX, [
+            AdaptiveVariable("se0/e0", [0, 1]),
+            AdaptiveVariable("se0/e1", [0, 1, 2]),
+        ])
+        se1 = UpdateNode("se1", MODE_PREFIX, [
+            AdaptiveVariable("se1/e0", [0, 1, 2, 3]),
+        ])
+        root = UpdateNode("root", MODE_PARALLEL, [se0, se1])
+        # parallel: max(2+3, 4) = 5 as an upper bound; the first visit
+        # measures every child's initial choice, saving one trial
+        assert count_configurations(root) == 5
+        index = ProfileIndex()
+        visited = explore(root, index, lambda a: {k: float(v) + 1 for k, v in a.items()})
+        assert len(visited) == 4
+        assert len(visited) <= count_configurations(root)
+
+    def test_unknown_mode_rejected(self):
+        with pytest.raises(ValueError):
+            UpdateNode("bad", "sideways")
+
+    def test_assignment_merges_children(self):
+        tree = UpdateNode("r", MODE_PARALLEL, [
+            AdaptiveVariable("a", [1]), AdaptiveVariable("b", [2]),
+        ])
+        tree.initialize()
+        assert tree.assignment() == {"a": 1, "b": 2}
+
+
+@settings(max_examples=30, deadline=None)
+@given(
+    sizes=st.lists(st.integers(1, 5), min_size=1, max_size=5),
+    costs_seed=st.integers(0, 1000),
+)
+def test_property_parallel_exploration_finds_per_var_optimum(sizes, costs_seed):
+    """Whatever the cost landscape, parallel exploration + finalize leaves
+    every variable at its individually-best measured choice."""
+    import numpy as np
+
+    rng = np.random.default_rng(costs_seed)
+    vars_ = [AdaptiveVariable(f"v{i}", list(range(n))) for i, n in enumerate(sizes)]
+    costs = {v.name: {c: float(rng.uniform(1, 100)) for c in v.choices} for v in vars_}
+    tree = UpdateNode("root", MODE_PARALLEL, list(vars_))
+    index = ProfileIndex()
+    explore(tree, index, lambda a: {k: costs[k][v] for k, v in a.items()})
+    tree.finalize(index, CTX)
+    for var in vars_:
+        best = min(var.choices, key=lambda c: costs[var.name][c])
+        assert costs[var.name][var.value] == costs[var.name][best]

@@ -1,0 +1,55 @@
+"""Tests for the exploration timeline and amortization analysis."""
+
+import pytest
+
+from repro import AstraSession
+from repro.models import build_sublstm
+from tests.conftest import SMALL
+
+
+@pytest.fixture(scope="module")
+def report():
+    model = build_sublstm(SMALL)
+    return AstraSession(model, features="FKS", seed=1).optimize()
+
+
+class TestTimeline:
+    def test_every_exploration_minibatch_recorded(self, report):
+        astra = report.astra
+        assert len(astra.timeline) == astra.configs_explored
+
+    def test_phases_labelled(self, report):
+        phases = {phase for phase, _t in report.astra.timeline}
+        assert any(p.startswith("fk/") for p in phases)
+        assert any(p.startswith("streams/") for p in phases)
+
+    def test_all_entries_positive(self, report):
+        assert all(t > 0 for _p, t in report.astra.timeline)
+
+    def test_exploration_cheap_on_average(self, report):
+        """Work conservation: the *average* exploration mini-batch is no
+        slower than native (most configs already include fusion); only the
+        deliberately-bad points of the state space (e.g. OAI_2 kernels on
+        wide GEMMs) spike, and each is visited once."""
+        times = [t for _p, t in report.astra.timeline]
+        mean = sum(times) / len(times)
+        assert mean < 1.5 * report.native_time_us
+        assert max(times) < 30 * report.native_time_us
+
+
+class TestAmortization:
+    def test_breakeven_finite(self, report):
+        am = report.astra.amortization(report.native_time_us)
+        assert am.exploration_minibatches == report.astra.configs_explored
+        assert am.breakeven_minibatches != float("inf")
+
+    def test_breakeven_tiny_fraction_of_training(self, report):
+        """Section 4.2: 'a few thousand out of millions of mini-batches' --
+        the exploration cost is negligible against a real training run."""
+        am = report.astra.amortization(report.native_time_us)
+        # overhead repaid within a few thousand steady-state mini-batches
+        assert am.breakeven_minibatches < 5000
+
+    def test_no_gain_means_infinite_breakeven(self, report):
+        am = report.astra.amortization(report.astra.best_time_us)
+        assert am.breakeven_minibatches == float("inf") or am.breakeven_minibatches >= 0

@@ -1,0 +1,49 @@
+"""Tests for bucketed adaptation on dynamic graphs (section 5.5)."""
+
+import pytest
+
+from repro.core import run_bucketed
+from repro.models import PTB_LENGTHS, LengthDistribution, build_sublstm
+from tests.conftest import TINY
+
+
+@pytest.fixture(scope="module")
+def bucket_report():
+    return run_bucketed(
+        build_sublstm,
+        TINY,
+        LengthDistribution("toy", mean_log=1.5, sigma_log=0.5, min_len=2, max_len=10),
+        num_buckets=3,
+        num_samples=30,
+        features="F",
+    )
+
+
+class TestBucketedAdaptation:
+    def test_speedup_over_dynamic_native(self, bucket_report):
+        """Table 8: bucketed Astra beats native dynamic graphs."""
+        assert bucket_report.speedup > 1.0
+
+    def test_bucket_count(self, bucket_report):
+        assert 1 <= len(bucket_report.buckets) <= 3
+        assert len(bucket_report.outcomes) == len(bucket_report.buckets)
+
+    def test_each_bucket_explored_independently(self, bucket_report):
+        assert all(o.configs_explored >= 1 for o in bucket_report.outcomes)
+        assert bucket_report.total_configs == sum(
+            o.configs_explored for o in bucket_report.outcomes
+        )
+
+    def test_padding_overhead_bounded(self, bucket_report):
+        """Mapping to the nearest larger bucket wastes some compute, but
+        quantile buckets keep it modest."""
+        assert 0.0 <= bucket_report.padding_overhead < 0.35
+
+    def test_larger_buckets_slower(self, bucket_report):
+        times = [o.best_time_us for o in bucket_report.outcomes]
+        assert times == sorted(times)
+
+    def test_bucket_context_multiplies_state_space(self, bucket_report):
+        """Section 5.5: the profile index is keyed by bucket, so entries
+        accumulate per bucket."""
+        assert bucket_report.profile_entries > len(bucket_report.buckets)

@@ -1,0 +1,117 @@
+"""Tests for the profile index and key mangling (section 4.6)."""
+
+import json
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core import ProfileIndex, mangle
+
+
+class TestMangle:
+    def test_context_prefix(self):
+        assert mangle(("alloc", 1), ("gemm", 5)) == ("alloc", 1, "gemm", 5)
+
+    def test_empty_context(self):
+        assert mangle((), ("gemm", 5)) == ("gemm", 5)
+
+    def test_different_contexts_different_keys(self):
+        """Changing the higher-level binding must miss in the index (the
+        paper's invalidation mechanism)."""
+        assert mangle(("alloc", 0), ("k",)) != mangle(("alloc", 1), ("k",))
+
+
+class TestProfileIndex:
+    def test_record_and_get(self):
+        index = ProfileIndex()
+        index.record(("a",), 5.0)
+        assert index.get(("a",)) == 5.0
+        assert ("a",) in index
+
+    def test_miss_returns_none_and_counts(self):
+        index = ProfileIndex()
+        assert index.get(("missing",)) is None
+        assert index.misses == 1
+        assert index.lookups == 1
+
+    def test_rerecord_updates(self):
+        index = ProfileIndex()
+        index.record(("a",), 5.0)
+        index.record(("a",), 4.0)
+        assert index.get(("a",)) == 4.0
+        assert len(index) == 1
+
+    def test_best_under_prefix(self):
+        index = ProfileIndex()
+        index.record(("alloc", 0, "g", 1), 9.0)
+        index.record(("alloc", 0, "g", 2), 4.0)
+        index.record(("alloc", 1, "g", 1), 1.0)
+        key, value = index.best_under(("alloc", 0))
+        assert value == 4.0 and key == ("alloc", 0, "g", 2)
+
+    def test_best_under_empty(self):
+        assert ProfileIndex().best_under(("x",)) is None
+
+    def test_snapshot_is_copy(self):
+        index = ProfileIndex()
+        index.record(("a",), 1.0)
+        snap = index.snapshot()
+        snap[("a",)] = 99.0
+        assert index.get(("a",)) == 1.0
+
+
+@settings(max_examples=50, deadline=None)
+@given(
+    entries=st.dictionaries(
+        st.tuples(st.text(max_size=3), st.integers(0, 9)),
+        st.floats(0.1, 1e6, allow_nan=False),
+        min_size=1,
+        max_size=20,
+    )
+)
+def test_property_index_is_a_faithful_map(entries):
+    index = ProfileIndex()
+    for key, value in entries.items():
+        index.record(key, value)
+    for key, value in entries.items():
+        assert index.get(key) == value
+    assert len(index) == len(entries)
+
+
+class TestPersistence:
+    def test_round_trip(self):
+        index = ProfileIndex()
+        index.record(("alloc", 0, "fusion:g1", (2, "cublas")), 41.5)
+        index.record(("bucket", 3, "kernel:x"), 7.0)
+        restored = ProfileIndex.loads(index.dumps())
+        assert len(restored) == 2
+        assert restored.get(("bucket", 3, "kernel:x")) == 7.0
+
+    def test_tuple_choice_keys_restored(self):
+        """Fusion choices are (chunk, library) tuples inside the key; the
+        JSON round-trip must restore them as tuples, not lists."""
+        index = ProfileIndex()
+        key = ("alloc", 0, "fusion:g1", (4, "oai_1"))
+        index.record(key, 12.0)
+        restored = ProfileIndex.loads(index.dumps())
+        assert restored.get(key) == 12.0
+
+    def test_version_checked(self):
+        with pytest.raises(ValueError):
+            ProfileIndex.loads(json.dumps({"version": 9, "entries": []}))
+
+    def test_warm_start_skips_exploration(self, tiny_sublstm=None):
+        """A restored index makes a rerun nearly free (checkpoint/resume)."""
+        from repro import AstraSession
+        from repro.models import ModelConfig, build_sublstm
+
+        config = ModelConfig(batch_size=4, seq_len=3, hidden_size=32,
+                             embed_size=32, vocab_size=50)
+        model = build_sublstm(config)
+        cold = AstraSession(model, features="FK", seed=0)
+        cold_report = cold.optimize()
+        restored = ProfileIndex.loads(cold.wirer.index.dumps())
+        warm = AstraSession(model, features="FK", seed=0, index=restored)
+        warm_report = warm.optimize()
+        assert warm_report.configs_explored < cold_report.configs_explored
+        assert warm_report.best_time_us == pytest.approx(cold_report.best_time_us)

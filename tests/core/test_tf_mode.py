@@ -1,0 +1,33 @@
+"""Tests for the TensorFlow-prototype limitations mode (section 5.4)."""
+
+import pytest
+
+from repro import AstraSession
+from repro.core import AstraFeatures
+
+
+class TestTfMode:
+    def test_preset_exists(self):
+        features = AstraFeatures.preset("FK-tf")
+        assert features.tf_mode
+        assert not features.streams
+
+    def test_fusion_pays_copies(self, small_sublstm):
+        """Fused launches in TF mode carry gather copies even for layouts
+        the allocator could satisfy natively."""
+        pt = AstraSession(small_sublstm, features="FK", seed=1).optimize()
+        tf = AstraSession(small_sublstm, features="FK-tf", seed=1).optimize()
+        assert tf.best_time_us >= pt.best_time_us
+
+    def test_still_beats_native(self, small_sublstm):
+        """Despite the copies, adaptation still wins (Table 9's premise)."""
+        tf = AstraSession(small_sublstm, features="FK-tf", seed=1).optimize()
+        assert tf.speedup_over_native > 1.0
+
+    def test_no_stream_phase(self, small_sublstm):
+        report = AstraSession(
+            small_sublstm,
+            features=AstraFeatures(streams=True, tf_mode=True),
+            seed=1,
+        ).optimize()
+        assert not any(p.name.startswith("streams/") for p in report.astra.phases)

@@ -1,0 +1,86 @@
+"""Tests for roofline helpers and utilization queries."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.baselines import run_native
+from repro.gpu import GEMM_LIBRARIES, GemmLaunch, P100
+from repro.gpu.cost_model import (
+    achieved_fraction,
+    device_utilization,
+    gemm_roofline,
+    launch_bound_fraction,
+    roofline,
+)
+
+
+class TestRoofline:
+    def test_compute_bound_gemm(self):
+        r = gemm_roofline(2048, 2048, 2048, P100)
+        assert r.is_compute_bound
+        assert r.arithmetic_intensity > 100
+
+    def test_memory_bound_elementwise_shape(self):
+        r = roofline(flops=1e6, bytes_moved=8e6, device=P100)
+        assert not r.is_compute_bound
+
+    def test_bound_is_max(self):
+        r = roofline(1e6, 1e6, P100)
+        assert r.bound_us == max(r.compute_bound_us, r.memory_bound_us)
+
+
+class TestAchievedFraction:
+    @settings(max_examples=40, deadline=None)
+    @given(
+        m=st.sampled_from([8, 64, 256, 1024]),
+        k=st.sampled_from([64, 650, 2048]),
+        n=st.sampled_from([64, 650, 4096]),
+        lib=st.sampled_from(sorted(GEMM_LIBRARIES)),
+    )
+    def test_never_beats_physics(self, m, k, n, lib):
+        """No simulated kernel exceeds the device's compute roofline."""
+        kernel = GemmLaunch(m, k, n, lib)
+        assert achieved_fraction(kernel, P100) <= 1.0 + 1e-9
+
+    def test_large_gemms_reach_decent_utilization(self):
+        kernel = GemmLaunch(2048, 2048, 2048, "cublas")
+        assert achieved_fraction(kernel, P100) > 0.5
+
+    def test_tiny_gemms_latency_bound(self):
+        kernel = GemmLaunch(8, 64, 64, "cublas")
+        assert achieved_fraction(kernel, P100) < 0.05
+
+    def test_zero_flop_kernels(self):
+        from repro.gpu import CopyLaunch
+
+        assert achieved_fraction(CopyLaunch(1024), P100) == 0.0
+
+
+class TestScheduleDiagnostics:
+    def test_launch_bound_shrinks_with_batch(self, device):
+        """The mechanism behind Tables 2-4's decaying speedups."""
+        import repro.models.sublstm as SU
+        from repro.models import build_sublstm
+
+        fractions = []
+        for batch in (8, 256):
+            model = build_sublstm(
+                SU.DEFAULT_CONFIG.scaled(batch_size=batch, seq_len=3)
+            )
+            result = run_native(model.graph, device).raw
+            fractions.append(launch_bound_fraction(result, device))
+        assert fractions[0] > fractions[1]
+
+    def test_device_utilization_bounded(self, tiny_sublstm, device):
+        result = run_native(tiny_sublstm.graph, device).raw
+        assert 0.0 < device_utilization(result, device) <= 1.0
+
+    def test_astra_raises_utilization(self, small_sublstm, device):
+        """The whole point: custom-wiring lifts achieved utilization."""
+        from repro import AstraSession
+        from repro.runtime import Executor
+
+        native = run_native(small_sublstm.graph, device).raw
+        report = AstraSession(small_sublstm, features="FKS", seed=1).optimize()
+        tuned = Executor(small_sublstm.graph, device).run(report.astra.best_plan).raw
+        assert device_utilization(tuned, device) > device_utilization(native, device)

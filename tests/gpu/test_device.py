@@ -1,0 +1,49 @@
+"""Tests for device specifications and clock modes."""
+
+import pytest
+
+from repro.gpu import CLOCK_AUTOBOOST, CLOCK_BASE, DEVICES, GPUSpec, P100, V100
+
+
+class TestSpecs:
+    def test_p100_matches_paper_setup(self):
+        """Section 6.1: 'a single Tesla P100 GPU with a peak compute
+        bandwidth of 9 teraflops/sec'."""
+        assert P100.name == "P100"
+        assert P100.peak_flops_per_us == pytest.approx(9.0e6)  # 9 Tf/s in us
+
+    def test_launch_overhead_in_paper_range(self):
+        """Section 2.3: 'a fixed cost of about 5-10 usec to launch a
+        kernel'."""
+        assert 5.0 <= P100.launch_overhead_us <= 10.0
+
+    def test_sm_slots(self):
+        assert P100.sm_slots == P100.num_sms * P100.blocks_per_sm
+        assert P100.sm_slots == 56
+
+    def test_v100_newer_generation(self):
+        assert V100.peak_flops_per_us > P100.peak_flops_per_us
+        assert V100.num_sms > P100.num_sms
+
+    def test_registry(self):
+        assert DEVICES["P100"] is P100
+        assert DEVICES["V100"] is V100
+
+    def test_frozen(self):
+        with pytest.raises(Exception):
+            P100.launch_overhead_us = 1.0  # type: ignore[misc]
+
+
+class TestClockModes:
+    def test_default_base_clock(self):
+        assert P100.clock_mode == CLOCK_BASE
+
+    def test_with_clock_returns_new_spec(self):
+        boosted = P100.with_clock(CLOCK_AUTOBOOST)
+        assert boosted.clock_mode == CLOCK_AUTOBOOST
+        assert P100.clock_mode == CLOCK_BASE  # original untouched
+        assert boosted.num_sms == P100.num_sms
+
+    def test_invalid_mode(self):
+        with pytest.raises(ValueError):
+            P100.with_clock("ludicrous")

@@ -1,0 +1,33 @@
+"""Tests for the cudaEvent analog."""
+
+from repro.gpu import EventId, EventNamespace, ProfileRange
+
+
+class TestEventNamespace:
+    def test_unique_ids(self):
+        ns = EventNamespace()
+        events = [ns.new_event() for _ in range(10)]
+        assert len({e.index for e in events}) == 10
+
+    def test_independent_namespaces(self):
+        a, b = EventNamespace(), EventNamespace()
+        assert a.new_event().index == b.new_event().index == 0
+
+    def test_labels(self):
+        ns = EventNamespace()
+        ev = ns.new_event("epoch3")
+        assert "epoch3" in str(ev)
+
+    def test_hashable(self):
+        ns = EventNamespace()
+        e1 = ns.new_event("x")
+        assert e1 in {e1}
+        assert EventId(0, "x") == EventId(0, "x")
+
+
+class TestProfileRange:
+    def test_carries_mangled_key(self):
+        ns = EventNamespace()
+        r = ProfileRange(key=("alloc", 0, "gemm", 3), start=ns.new_event(), end=ns.new_event())
+        assert r.key[0] == "alloc"
+        assert r.start.index != r.end.index

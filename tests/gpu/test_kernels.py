@@ -1,0 +1,93 @@
+"""Tests for kernel launch descriptors."""
+
+import pytest
+
+from repro.gpu import (
+    CompoundLaunch,
+    CopyLaunch,
+    ElementwiseLaunch,
+    GemmLaunch,
+    HostTransfer,
+    P100,
+)
+
+
+class TestGemmLaunch:
+    def test_duration_matches_library(self):
+        from repro.gpu import GEMM_LIBRARIES
+
+        launch = GemmLaunch(64, 512, 512, "oai_1")
+        assert launch.duration_us(P100) == GEMM_LIBRARIES["oai_1"].duration_us(
+            64, 512, 512, P100
+        )
+
+    def test_unknown_library_rejected(self):
+        with pytest.raises(ValueError):
+            GemmLaunch(8, 8, 8, "magma")
+
+    def test_flops(self):
+        assert GemmLaunch(2, 3, 4, "cublas").flops() == 48
+
+    def test_name_describes_shape(self):
+        assert "64x512x256" in GemmLaunch(64, 512, 256, "cublas").name
+
+
+class TestElementwiseLaunch:
+    def test_fusion_reduces_total_time(self):
+        """One fused launch of k ops beats k separate launches."""
+        n = 100_000
+        fused = ElementwiseLaunch(num_elements=n, fused_ops=4)
+        single = ElementwiseLaunch(num_elements=n, fused_ops=1)
+        assert fused.duration_us(P100) < 4 * single.duration_us(P100)
+
+    def test_memory_bound_scaling(self):
+        small = ElementwiseLaunch(num_elements=1_000)
+        large = ElementwiseLaunch(num_elements=10_000_000)
+        assert large.duration_us(P100) > small.duration_us(P100) * 10
+
+    def test_rejects_empty(self):
+        with pytest.raises(ValueError):
+            ElementwiseLaunch(num_elements=0)
+
+    def test_parallelism_scales_with_elements(self):
+        tiny = ElementwiseLaunch(num_elements=512)
+        huge = ElementwiseLaunch(num_elements=10_000_000)
+        assert tiny.parallelism(P100) < huge.parallelism(P100)
+        assert huge.parallelism(P100) == P100.sm_slots
+
+
+class TestCopyAndTransfer:
+    def test_copy_bandwidth_bound(self):
+        mb = CopyLaunch(bytes_moved=1_000_000)
+        assert mb.duration_us(P100) == pytest.approx(
+            1.0 + 2 * 1_000_000 / P100.mem_bw_bytes_per_us
+        )
+
+    def test_transfer_slower_than_device_copy(self):
+        assert HostTransfer(1_000_000).duration_us(P100) > CopyLaunch(
+            1_000_000
+        ).duration_us(P100)
+
+    def test_transfer_uses_copy_engine(self):
+        assert HostTransfer(1024).parallelism(P100) == 0
+
+    def test_transfer_direction_validated(self):
+        with pytest.raises(ValueError):
+            HostTransfer(10, direction="sideways")
+
+
+class TestCompoundLaunch:
+    def test_near_peak_efficiency(self):
+        flops = 10**9
+        launch = CompoundLaunch(total_flops=flops, efficiency=0.72)
+        ideal = flops / P100.peak_flops_per_us
+        assert launch.duration_us(P100) == pytest.approx(2.0 + ideal / 0.72)
+
+    def test_compound_beats_many_small_gemms(self):
+        """A cuDNN-style compound kernel beats the same flops as 8 small
+        launch-bound GEMMs (section 2.4's up-to-6x claim)."""
+        small = GemmLaunch(8, 650, 650, "cublas")
+        total_flops = 8 * small.flops()
+        compound = CompoundLaunch(total_flops=total_flops)
+        naive = 8 * (small.duration_us(P100) + P100.launch_overhead_us)
+        assert compound.duration_us(P100) < naive / 3

@@ -1,0 +1,137 @@
+"""Tests for the simulated GEMM kernel libraries (Table 1 behaviour)."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.gpu import GEMM_LIBRARIES, P100, V100, best_library
+from repro.gpu.libraries import CUBLAS, OAI_1, OAI_2
+
+
+class TestDurations:
+    def test_all_positive(self):
+        for kernel in GEMM_LIBRARIES.values():
+            assert kernel.duration_us(64, 64, 64, P100) > 0
+
+    def test_monotone_in_flops_across_wave_boundaries(self):
+        # N large enough that the bigger shape needs strictly more waves
+        for kernel in GEMM_LIBRARIES.values():
+            small = kernel.duration_us(64, 512, 512, P100)
+            big = kernel.duration_us(64, 512, 32768, P100)
+            assert big > small
+
+    def test_same_wave_count_same_latency(self):
+        """More tiles within one wave cost nothing extra -- the headroom
+        fusion exploits (section 3.2).  Shapes chosen so the library picks
+        the same tile variant and a single wave for both."""
+        from repro.gpu.libraries import OAI_1
+
+        p_small = OAI_1.plan(8, 512, 512, P100)
+        p_big = OAI_1.plan(8, 512, 2048, P100)
+        assert p_small.variant == p_big.variant
+        assert p_big.duration_us == pytest.approx(p_small.duration_us)
+
+    def test_startup_dominates_tiny_gemms(self):
+        tiny = CUBLAS.duration_us(1, 4, 4, P100)
+        assert tiny >= CUBLAS.startup_us
+
+    def test_deterministic(self):
+        a = OAI_1.duration_us(64, 1024, 4096, P100)
+        b = OAI_1.duration_us(64, 1024, 4096, P100)
+        assert a == b
+
+
+class TestTable1Structure:
+    """The paper's Table 1: the best library depends on the shape."""
+
+    def test_row1_oai1_wins(self):
+        # 64x1024x4096: OAI_1 beats cuBLAS, OAI_2 is catastrophic
+        t = {lib: k.duration_us(64, 1024, 4096, P100) for lib, k in GEMM_LIBRARIES.items()}
+        assert t["oai_1"] < t["cublas"]
+        assert t["oai_2"] > 2.5 * t["cublas"]
+
+    def test_row2_cublas_wins(self):
+        # 64x4096x1024: cuBLAS wins, OAI_2 close, OAI_1 behind
+        t = {lib: k.duration_us(64, 4096, 1024, P100) for lib, k in GEMM_LIBRARIES.items()}
+        assert t["cublas"] < t["oai_1"]
+        assert t["cublas"] < t["oai_2"]
+        assert t["oai_2"] < t["oai_1"] * 1.05
+
+    def test_winner_varies_with_shape(self):
+        winners = {
+            best_library(m, k, n, P100)
+            for (m, k, n) in [(64, 1024, 4096), (64, 4096, 1024), (8, 650, 2600)]
+        }
+        assert len(winners) >= 2
+
+    def test_hard_to_predict_statically(self):
+        """Swapping K and N flips the winner -- the paper's static-choice
+        impossibility argument."""
+        w1 = best_library(64, 1024, 4096, P100)
+        w2 = best_library(64, 4096, 1024, P100)
+        assert w1 != w2
+
+
+class TestPlans:
+    def test_plan_reports_chosen_variant(self):
+        plan = CUBLAS.plan(256, 1024, 1024, P100)
+        assert plan.variant in CUBLAS.variants
+        assert plan.tiles >= 1
+        assert plan.split_k >= 1
+
+    def test_parallelism_capped_by_device(self):
+        assert CUBLAS.max_parallel_blocks(10000, 10000, P100) == P100.sm_slots
+        assert CUBLAS.max_parallel_blocks(8, 64, P100, k=64) < P100.sm_slots
+
+    def test_split_k_only_when_supported(self):
+        plan = OAI_2.plan(8, 8192, 64, P100)
+        assert plan.split_k == 1  # OAI_2 has max_split_k=1
+
+    def test_wave_quantization_cliff(self):
+        """Crossing a wave boundary costs a full extra wave (section 3.1)."""
+        slots = P100.sm_slots
+        tile_n = OAI_2.variants[0].tile_n
+        n_full = slots * tile_n  # exactly one wave of 64-row tiles
+        just_under = OAI_2.duration_us(64, 2048, n_full, P100)
+        just_over = OAI_2.duration_us(64, 2048, n_full + tile_n, P100)
+        assert just_over > just_under * 1.5
+
+
+class TestDeviceSensitivity:
+    def test_v100_faster_than_p100(self):
+        for kernel in GEMM_LIBRARIES.values():
+            assert kernel.duration_us(512, 1024, 1024, V100) < kernel.duration_us(
+                512, 1024, 1024, P100
+            )
+
+    def test_efficiency_ramp(self):
+        assert OAI_1.efficiency(64, OAI_1.variants[0]) < OAI_1.efficiency(
+            1024, OAI_1.variants[0]
+        )
+
+    def test_efficiency_decay(self):
+        assert OAI_1.efficiency(4096, OAI_1.variants[0]) < OAI_1.efficiency(
+            1500, OAI_1.variants[0]
+        )
+
+
+@settings(max_examples=60, deadline=None)
+@given(
+    m=st.integers(1, 512),
+    k=st.integers(1, 4096),
+    n=st.integers(1, 4096),
+)
+def test_property_durations_finite_and_positive(m, k, n):
+    for kernel in GEMM_LIBRARIES.values():
+        d = kernel.duration_us(m, k, n, P100)
+        assert d > 0 and d < 1e7
+
+
+@settings(max_examples=40, deadline=None)
+@given(m=st.integers(1, 256), k=st.integers(16, 2048), n=st.integers(16, 2048))
+def test_property_fusion_never_worse_than_sum_of_parts_along_n(m, k, n):
+    """Fusing two identical GEMMs along N never exceeds running them
+    back-to-back (ignoring launch overhead, which only helps fusion)."""
+    for kernel in GEMM_LIBRARIES.values():
+        fused = kernel.duration_us(m, k, 2 * n, P100)
+        two = 2 * kernel.duration_us(m, k, n, P100)
+        assert fused <= two * 1.01

@@ -1,0 +1,123 @@
+"""Tests for liveness analysis and arena reuse."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.gpu.liveness import (
+    LiveInterval,
+    activation_peak_bytes,
+    live_intervals,
+    plan_with_reuse,
+)
+from repro.ir import Tracer
+
+
+def chain_graph(length=5):
+    tr = Tracer("chain")
+    x = tr.input((64, 64))
+    value = x
+    for _ in range(length):
+        value = tr.sigmoid(value)
+    tr.output(tr.reduce_sum(value))
+    return tr.graph
+
+
+class TestIntervals:
+    def test_chain_intervals_nested(self):
+        graph = chain_graph(3)
+        intervals = {iv.node_id: iv for iv in live_intervals(graph)}
+        # each sigmoid dies at its consumer
+        for node in graph.compute_nodes():
+            consumers = graph.consumers(node.node_id)
+            if consumers and node.node_id not in graph.outputs:
+                assert intervals[node.node_id].end == max(consumers)
+
+    def test_leaves_live_throughout(self):
+        graph = chain_graph(3)
+        intervals = {iv.node_id: iv for iv in live_intervals(graph)}
+        for leaf in graph.inputs() + graph.params():
+            assert intervals[leaf.node_id].start == 0
+            assert intervals[leaf.node_id].end == len(graph) - 1
+
+    def test_outputs_kept(self):
+        graph = chain_graph(2)
+        intervals = {iv.node_id: iv for iv in live_intervals(graph)}
+        for out in graph.outputs:
+            assert intervals[out].end == len(graph) - 1
+
+    def test_overlap_predicate(self):
+        a = LiveInterval(0, 0, 5, 10)
+        b = LiveInterval(1, 5, 9, 10)
+        c = LiveInterval(2, 6, 9, 10)
+        assert a.overlaps(b) and not a.overlaps(c)
+
+
+class TestReusePlan:
+    def test_chain_reuses_heavily(self):
+        """A long elementwise chain needs O(1) live tensors, so reuse
+        shrinks the arena dramatically."""
+        plan = plan_with_reuse(chain_graph(20))
+        assert plan.reuse_factor > 4.0
+
+    def test_no_overlapping_tensors_share_space(self):
+        graph = chain_graph(8)
+        plan = plan_with_reuse(graph)
+        intervals = {iv.node_id: iv for iv in live_intervals(graph)}
+        items = sorted(plan.offsets.items())
+        for i, (nid_a, off_a) in enumerate(items):
+            size_a = max(1, graph.node(nid_a).spec.size_bytes)
+            for nid_b, off_b in items[i + 1:]:
+                size_b = max(1, graph.node(nid_b).spec.size_bytes)
+                if intervals[nid_a].overlaps(intervals[nid_b]):
+                    disjoint = (
+                        off_a + size_a <= off_b or off_b + size_b <= off_a
+                    )
+                    assert disjoint, f"%{nid_a} and %{nid_b} overlap in time AND space"
+
+    def test_peak_at_most_naive(self):
+        plan = plan_with_reuse(chain_graph(6))
+        assert plan.peak_bytes <= plan.naive_bytes
+
+    def test_deterministic(self):
+        g = chain_graph(6)
+        assert plan_with_reuse(g).offsets == plan_with_reuse(g).offsets
+
+
+class TestRecomputationEffect:
+    def test_recompute_shrinks_peak(self, tiny_sublstm):
+        """Marking forward activations as recomputed shortens their live
+        intervals and lowers the training peak (section 3.4)."""
+        graph = tiny_sublstm.graph
+        forward_acts = {
+            n.node_id
+            for n in graph.compute_nodes()
+            if n.pass_tag == "forward"
+        }
+        keep_all = activation_peak_bytes(graph, recomputed=set())
+        recompute_all = activation_peak_bytes(graph, recomputed=forward_acts)
+        assert recompute_all < keep_all
+
+    def test_training_peak_above_inference(self, tiny_sublstm):
+        graph = tiny_sublstm.graph
+        training_peak = activation_peak_bytes(graph)
+        plain = plan_with_reuse(graph).peak_bytes
+        assert training_peak >= plain
+
+
+@settings(max_examples=15, deadline=None)
+@given(seed=st.integers(0, 5000))
+def test_property_reuse_never_corrupts(seed):
+    """Fuzz: overlapping-in-time tensors never share space."""
+    from tests.integration.fuzz_utils import random_program
+
+    tr, _loss = random_program(seed, size=8)
+    graph = tr.graph
+    plan = plan_with_reuse(graph)
+    intervals = {iv.node_id: iv for iv in live_intervals(graph)}
+    items = sorted(plan.offsets.items())
+    for i, (nid_a, off_a) in enumerate(items):
+        size_a = max(1, graph.node(nid_a).spec.size_bytes)
+        for nid_b, off_b in items[i + 1: i + 12]:  # local window keeps it fast
+            size_b = max(1, graph.node(nid_b).spec.size_bytes)
+            if intervals[nid_a].overlaps(intervals[nid_b]):
+                assert off_a + size_a <= off_b or off_b + size_b <= off_a

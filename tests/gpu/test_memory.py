@@ -1,0 +1,90 @@
+"""Tests for the arena allocator and contiguity plans."""
+
+import pytest
+
+from repro.gpu import AllocationPlan, ContiguityGroup
+from repro.ir import Tracer
+
+
+@pytest.fixture()
+def weights_graph():
+    tr = Tracer("weights")
+    w1 = tr.param((4, 8), label="w1")
+    w2 = tr.param((4, 8), label="w2")
+    w3 = tr.param((4, 8), label="w3")
+    x = tr.input((2, 4), label="x")
+    tr.output(tr.matmul(x, tr.concat([w1, w2, w3], axis=1)))
+    return tr.graph, (w1.node.node_id, w2.node.node_id, w3.node.node_id)
+
+
+class TestContiguityGroup:
+    def test_requires_two_members(self):
+        with pytest.raises(ValueError):
+            ContiguityGroup(node_ids=(1,))
+
+    def test_rejects_duplicates(self):
+        with pytest.raises(ValueError):
+            ContiguityGroup(node_ids=(1, 1))
+
+
+class TestAllocationPlan:
+    def test_grouped_tensors_contiguous(self, weights_graph):
+        graph, ids = weights_graph
+        plan = AllocationPlan(graph, [ContiguityGroup(ids, "gates")])
+        assert plan.is_contiguous(ids)
+
+    def test_group_order_matters(self, weights_graph):
+        graph, (a, b, c) = weights_graph
+        plan = AllocationPlan(graph, [ContiguityGroup((a, b, c), "gates")])
+        assert not plan.is_contiguous((b, a, c))
+
+    def test_default_plan_not_contiguous_with_alignment_gaps(self, weights_graph):
+        graph, ids = weights_graph
+        # tensor size 4*8*4 = 128 bytes < 256 alignment, so ungrouped
+        # tensors get padded apart
+        plan = AllocationPlan(graph)
+        assert not plan.is_contiguous(ids)
+
+    def test_offsets_aligned(self, weights_graph):
+        graph, ids = weights_graph
+        plan = AllocationPlan(graph, [ContiguityGroup(ids, "g")], alignment=256)
+        for node in graph.nodes:
+            if node.node_id == ids[1] or node.node_id == ids[2]:
+                continue  # interior of a group is deliberately unaligned
+            assert plan.offset_of(node.node_id) % 256 == 0
+
+    def test_arena_covers_all_tensors(self, weights_graph):
+        graph, _ids = weights_graph
+        plan = AllocationPlan(graph)
+        total = sum(n.spec.size_bytes for n in graph.nodes)
+        assert plan.arena_size_bytes >= total
+
+    def test_conflicting_groups_rejected(self, weights_graph):
+        graph, (a, b, c) = weights_graph
+        with pytest.raises(ValueError):
+            AllocationPlan(
+                graph,
+                [ContiguityGroup((a, b), "x"), ContiguityGroup((b, c), "y")],
+            )
+
+    def test_unknown_node_rejected(self, weights_graph):
+        graph, _ = weights_graph
+        with pytest.raises(ValueError):
+            AllocationPlan(graph, [ContiguityGroup((900, 901), "bad")])
+
+    def test_gather_bytes(self, weights_graph):
+        graph, ids = weights_graph
+        plan = AllocationPlan(graph)
+        assert plan.gather_bytes(ids) == 3 * 4 * 8 * 4
+
+    def test_strategy_key_distinguishes_plans(self, weights_graph):
+        graph, (a, b, c) = weights_graph
+        p1 = AllocationPlan(graph, [ContiguityGroup((a, b, c), "g")])
+        p2 = AllocationPlan(graph, [ContiguityGroup((a, c, b), "g")])
+        assert p1.strategy_key() != p2.strategy_key()
+
+    def test_singleton_always_contiguous(self, weights_graph):
+        graph, (a, *_r) = weights_graph
+        plan = AllocationPlan(graph)
+        assert plan.is_contiguous((a,))
+        assert plan.is_contiguous(())

@@ -1,0 +1,233 @@
+"""Tests for the discrete-event stream engine."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.gpu import (
+    CLOCK_AUTOBOOST,
+    EventNamespace,
+    GemmLaunch,
+    HostComputeItem,
+    HostSyncItem,
+    LaunchItem,
+    P100,
+    RecordEventItem,
+    StreamSimulator,
+)
+from repro.gpu.kernels import ElementwiseLaunch
+
+
+def gemm(m=256, k=1024, n=1024, lib="cublas"):
+    return GemmLaunch(m, k, n, lib)
+
+
+def run(items, device=P100, seed=0):
+    return StreamSimulator(device, seed=seed).run(items)
+
+
+class TestSequentialExecution:
+    def test_single_kernel_total(self):
+        res = run([LaunchItem(gemm(), 0), HostSyncItem()])
+        k = gemm().duration_us(P100)
+        assert res.total_time_us == pytest.approx(
+            P100.launch_overhead_us + k + P100.barrier_overhead_us, rel=1e-6
+        )
+
+    def test_fifo_order_within_stream(self):
+        res = run([LaunchItem(gemm(), 0), LaunchItem(gemm(), 0), HostSyncItem()])
+        first, second = res.records
+        assert second.start_time >= first.end_time
+
+    def test_launch_overhead_serializes_dispatch(self):
+        n = 20
+        tiny = ElementwiseLaunch(num_elements=16)
+        res = run([LaunchItem(tiny, 0) for _ in range(n)] + [HostSyncItem()])
+        assert res.cpu_time_us >= n * P100.launch_overhead_us
+
+    def test_empty_schedule(self):
+        res = run([HostSyncItem()])
+        assert res.records == []
+
+    def test_host_compute_stalls_dispatch(self):
+        res_without = run([LaunchItem(gemm(), 0), HostSyncItem()])
+        res_with = run(
+            [HostComputeItem(500.0), LaunchItem(gemm(), 0), HostSyncItem()]
+        )
+        assert res_with.total_time_us >= res_without.total_time_us + 499
+
+
+class TestStreamsOverlap:
+    def test_two_streams_faster_than_one(self):
+        # kernels that underfill the device individually overlap on streams
+        seq = run([LaunchItem(gemm(), 0), LaunchItem(gemm(), 0), HostSyncItem()])
+        par = run([LaunchItem(gemm(), 0), LaunchItem(gemm(), 1), HostSyncItem()])
+        assert par.total_time_us < seq.total_time_us * 0.75
+
+    def test_section_3_2_parallel_beats_fused_beats_sequential(self):
+        """The paper's 172us-vs-211us observation: two 256-GEMMs on two
+        streams beat the fused 512-GEMM, which beats sequential."""
+        seq = run([LaunchItem(gemm(256)), LaunchItem(gemm(256)), HostSyncItem()])
+        par = run([LaunchItem(gemm(256), 0), LaunchItem(gemm(256), 1), HostSyncItem()])
+        fused = run([LaunchItem(gemm(512)), HostSyncItem()])
+        assert par.total_time_us < fused.total_time_us < seq.total_time_us
+
+    def test_sharing_slows_concurrent_kernels(self):
+        alone = run([LaunchItem(gemm(), 0), HostSyncItem()])
+        contended = run(
+            [LaunchItem(gemm(), 0), LaunchItem(gemm(), 1), HostSyncItem()]
+        )
+        # both finish later than a single kernel alone would
+        assert contended.total_time_us > alone.total_time_us
+
+    def test_saturating_kernels_get_no_overlap_benefit(self):
+        big = GemmLaunch(4096, 1024, 4096, "cublas")
+        seq = run([LaunchItem(big, 0), LaunchItem(big, 0), HostSyncItem()])
+        par = run([LaunchItem(big, 0), LaunchItem(big, 1), HostSyncItem()])
+        assert par.total_time_us == pytest.approx(seq.total_time_us, rel=0.05)
+
+
+class TestEventsAndDependencies:
+    def test_cross_stream_wait(self):
+        ns = EventNamespace()
+        ev = ns.new_event()
+        res = run([
+            LaunchItem(gemm(), 0, record=ev),
+            LaunchItem(gemm(), 1, waits=(ev,)),
+            HostSyncItem(),
+        ])
+        first, second = res.records
+        assert second.start_time >= first.end_time
+
+    def test_elapsed_time_query(self):
+        ns = EventNamespace()
+        e0, e1 = ns.new_event(), ns.new_event()
+        res = run([
+            RecordEventItem(0, e0),
+            LaunchItem(gemm(), 0, record=e1),
+            HostSyncItem(e1),
+        ])
+        elapsed = res.elapsed_us(e0, e1)
+        assert elapsed >= gemm().duration_us(P100) * 0.99
+
+    def test_missing_event_raises(self):
+        ns = EventNamespace()
+        res = run([HostSyncItem()])
+        with pytest.raises(KeyError):
+            res.elapsed_us(ns.new_event(), ns.new_event())
+
+    def test_deadlock_detected(self):
+        ns = EventNamespace()
+        never = ns.new_event()
+        with pytest.raises(RuntimeError):
+            run([LaunchItem(gemm(), 1, waits=(never,)), HostSyncItem()])
+
+    def test_host_sync_on_event(self):
+        ns = EventNamespace()
+        ev = ns.new_event()
+        res = run([
+            LaunchItem(gemm(), 0, record=ev),
+            HostSyncItem(ev),
+            LaunchItem(gemm(), 0),
+            HostSyncItem(),
+        ])
+        assert res.records[1].issue_time >= res.records[0].end_time
+
+    def test_profiling_overhead_accounted(self):
+        ns = EventNamespace()
+        res = run([
+            LaunchItem(gemm(), 0, record=ns.new_event()),
+            RecordEventItem(0, ns.new_event()),
+            HostSyncItem(),
+        ])
+        assert res.profiling_overhead_us == pytest.approx(2 * P100.event_overhead_us)
+
+
+class TestDeterminismAndJitter:
+    def test_base_clock_exactly_deterministic(self):
+        items = [LaunchItem(gemm(), 0), LaunchItem(gemm(128), 1), HostSyncItem()]
+        times = {run(items, seed=s).total_time_us for s in range(5)}
+        assert len(times) == 1
+
+    def test_autoboost_varies_across_runs(self):
+        dev = P100.with_clock(CLOCK_AUTOBOOST)
+        sim = StreamSimulator(dev, seed=3)
+        items = [LaunchItem(gemm(), 0), HostSyncItem()]
+        t1 = sim.run(items).total_time_us
+        t2 = sim.run(items).total_time_us
+        assert t1 != t2
+
+    def test_autoboost_mean_faster_than_base(self):
+        """Autoboost raises the clock on average (the paper found no
+        *measurable* benefit but the hardware does boost)."""
+        dev = P100.with_clock(CLOCK_AUTOBOOST)
+        sim = StreamSimulator(dev, seed=0)
+        items = [LaunchItem(gemm(), 0), HostSyncItem()]
+        base = run(items).total_time_us
+        boosted = [sim.run(items).total_time_us for _ in range(50)]
+        assert min(boosted) != max(boosted)
+
+    def test_invalid_clock_mode_rejected(self):
+        with pytest.raises(ValueError):
+            P100.with_clock("overdrive")
+
+
+class TestFastPathEquivalence:
+    def test_sequential_fast_path_matches_concurrent_engine(self):
+        """The O(n) single-stream fast path must agree with the full DES."""
+        ns = EventNamespace()
+        ev = ns.new_event()
+        items = [
+            LaunchItem(gemm(64, 512, 512), 0),
+            LaunchItem(ElementwiseLaunch(num_elements=4096), 0, record=ev),
+            LaunchItem(gemm(32, 256, 1024), 0),
+            HostSyncItem(ev),
+            LaunchItem(gemm(16, 128, 128), 0),
+            HostSyncItem(),
+        ]
+        sim = StreamSimulator(P100)
+        fast = sim._run_sequential(items)
+        slow = sim._run_concurrent(items)
+        assert fast.total_time_us == pytest.approx(slow.total_time_us, rel=1e-9)
+        for fr, sr in zip(fast.records, slow.records):
+            assert fr.start_time == pytest.approx(sr.start_time, rel=1e-9)
+            assert fr.end_time == pytest.approx(sr.end_time, rel=1e-9)
+
+    def test_fast_path_taken_for_single_stream(self):
+        items = [LaunchItem(gemm(), 0), HostSyncItem()]
+        assert StreamSimulator._is_sequential(items)
+
+    def test_fast_path_rejected_for_two_streams(self):
+        items = [LaunchItem(gemm(), 0), LaunchItem(gemm(), 1), HostSyncItem()]
+        assert not StreamSimulator._is_sequential(items)
+
+
+@settings(max_examples=30, deadline=None)
+@given(
+    sizes=st.lists(st.integers(8, 256), min_size=1, max_size=8),
+    streams=st.lists(st.integers(0, 2), min_size=1, max_size=8),
+)
+def test_property_more_streams_never_slower(sizes, streams):
+    """Moving independent kernels onto streams never hurts end-to-end time
+    (with no dependencies and free synchronization)."""
+    n = min(len(sizes), len(streams))
+    kernels = [gemm(sizes[i], 256, 256) for i in range(n)]
+    seq = run([LaunchItem(k, 0) for k in kernels] + [HostSyncItem()])
+    par = run(
+        [LaunchItem(k, s) for k, s in zip(kernels, streams[:n])] + [HostSyncItem()]
+    )
+    assert par.total_time_us <= seq.total_time_us * 1.01
+
+
+@settings(max_examples=30, deadline=None)
+@given(seed=st.integers(0, 1000), n=st.integers(1, 10))
+def test_property_work_conservation(seed, n):
+    """Total busy time across records equals the sum of standalone durations
+    in sequential mode (nothing is lost or double-counted)."""
+    import numpy as np
+
+    rng = np.random.default_rng(seed)
+    kernels = [gemm(int(rng.integers(8, 128)), 256, 256) for _ in range(n)]
+    res = run([LaunchItem(k, 0) for k in kernels] + [HostSyncItem()])
+    assert res.kernel_time_us() == pytest.approx(
+        sum(k.duration_us(P100) for k in kernels), rel=1e-9
+    )

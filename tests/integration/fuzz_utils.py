@@ -1,0 +1,51 @@
+"""Shared random-program generator for fuzz/property tests."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.ir import Tracer, backward
+
+
+def random_program(seed: int, size: int = 12) -> tuple[Tracer, object]:
+    """Generate a random small tensor program ending in a scalar loss.
+
+    Operations are drawn to exercise the fusion patterns: matmuls off a
+    shared pool of values (common-argument opportunities), adds of matmul
+    pairs (ladder opportunities), elementwise chains, reductions.
+    """
+    rng = np.random.default_rng(seed)
+    tr = Tracer(f"fuzz{seed}")
+    dims = [int(rng.choice([4, 8, 16]))]
+    pool = [tr.input((4, dims[0]), label="x0")]
+
+    with tr.scope("fuzz/step0"):
+        for i in range(size):
+            choice = rng.integers(0, 5)
+            src = pool[rng.integers(len(pool))]
+            if choice == 0:  # matmul with a fresh param
+                out_dim = int(rng.choice([4, 8, 16]))
+                w = tr.param((src.shape[-1], out_dim))
+                pool.append(tr.matmul(src, w))
+            elif choice == 1:  # ladder: mm + mm with matching shapes
+                out_dim = int(rng.choice([4, 8]))
+                w1 = tr.param((src.shape[-1], out_dim))
+                other = pool[rng.integers(len(pool))]
+                w2 = tr.param((other.shape[-1], out_dim))
+                pool.append(tr.add(tr.matmul(src, w1), tr.matmul(other, w2)))
+            elif choice == 2:  # elementwise chain
+                pool.append(tr.sigmoid(tr.tanh(src)))
+            elif choice == 3 and src.shape == pool[0].shape:
+                pool.append(tr.mul(src, pool[0]))
+            else:  # scaled copy keeps the pool growing
+                pool.append(tr.scale(src, float(rng.uniform(0.5, 2.0))))
+
+    total = None
+    for value in pool[-3:]:
+        part = tr.reduce_sum(value)
+        total = part if total is None else tr.add(total, part)
+    loss = tr.scale(total, 1e-3)
+    tr.output(loss)
+    backward(tr, loss)
+    tr.graph.validate()
+    return tr, loss

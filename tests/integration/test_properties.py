@@ -1,0 +1,140 @@
+"""Cross-layer property-based tests (hypothesis)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core import AstraFeatures, Enumerator
+from repro.gpu import P100, GemmLaunch, HostSyncItem, LaunchItem, StreamSimulator
+from repro.ir import Interpreter, Tracer, backward, random_bindings
+from repro.models import ModelConfig, build_sublstm
+from repro.runtime import Dispatcher, Executor
+
+
+@settings(max_examples=10, deadline=None)
+@given(
+    batch=st.sampled_from([2, 4, 8]),
+    seq=st.integers(2, 4),
+    hidden=st.sampled_from([16, 32]),
+)
+def test_property_any_shape_optimizes(batch, seq, hidden):
+    """Astra must handle any (reasonable) model shape without error and
+    never produce a plan slower than native."""
+    config = ModelConfig(
+        batch_size=batch, seq_len=seq, hidden_size=hidden,
+        embed_size=hidden, vocab_size=30,
+    )
+    model = build_sublstm(config)
+    from repro import AstraSession
+
+    report = AstraSession(model, features="F", seed=0).optimize()
+    assert report.speedup_over_native >= 1.0
+
+
+@settings(max_examples=10, deadline=None)
+@given(seed=st.integers(0, 50))
+def test_property_plans_value_preserving(seed):
+    """Section 6.7: all optimizations are value-preserving.  Whatever the
+    fusion/kernel assignment, the covered computation is identical --
+    checked by evaluating the graph with the interpreter and confirming
+    the plan only re-partitions the same node set."""
+    config = ModelConfig(batch_size=2, seq_len=2, hidden_size=16,
+                         embed_size=16, vocab_size=20)
+    model = build_sublstm(config)
+    enum = Enumerator(model.graph, P100, AstraFeatures.preset("FK"))
+    strategy = enum.strategies[0]
+    tree = enum.build_fk_tree(strategy)
+    tree.initialize()
+
+    rng = np.random.default_rng(seed)
+    # random assignment over the tree's variables
+    assignment = {}
+    for var in tree.variables():
+        assignment[var.name] = var.choices[rng.integers(len(var.choices))]
+    built = enum.build_plan(strategy, assignment)
+    built.plan.validate_covering()
+    Dispatcher(model.graph).lower(built.plan)
+
+    free = {"reshape", "fill"}
+    expected = {
+        n.node_id for n in model.graph.compute_nodes() if n.op.name not in free
+    }
+    covered = {
+        nid for u in built.plan.units for nid in u.node_ids
+        if not model.graph.node(nid).is_leaf
+    }
+    assert covered == expected
+
+    # and the underlying values are what the model defines (plan-independent)
+    bindings = random_bindings(model.graph, seed=seed, int_high=20)
+    loss = Interpreter(model.graph).run(bindings)[model.loss.node.node_id]
+    assert np.isfinite(loss).all()
+
+
+@settings(max_examples=20, deadline=None)
+@given(
+    n_kernels=st.integers(1, 8),
+    streams=st.lists(st.integers(0, 2), min_size=8, max_size=8),
+    sizes=st.lists(st.sampled_from([16, 64, 128, 256]), min_size=8, max_size=8),
+)
+def test_property_stream_schedules_consistent(n_kernels, streams, sizes):
+    """DES invariants under arbitrary stream assignments: FIFO per stream,
+    total time bounds, determinism."""
+    items = [
+        LaunchItem(GemmLaunch(sizes[i], 128, 128, "cublas"), streams[i])
+        for i in range(n_kernels)
+    ] + [HostSyncItem()]
+    r1 = StreamSimulator(P100).run(items)
+    r2 = StreamSimulator(P100).run(items)
+    assert r1.total_time_us == r2.total_time_us
+
+    # FIFO within each stream
+    by_stream: dict[int, list] = {}
+    for rec in r1.records:
+        by_stream.setdefault(rec.stream, []).append(rec)
+    for recs in by_stream.values():
+        for a, b in zip(recs, recs[1:]):
+            assert b.start_time >= a.end_time - 1e-6
+
+    # total time at least the longest kernel, at most the serial sum + cpu
+    durations = [rec.duration for rec in r1.records]
+    assert r1.total_time_us >= max(durations) - 1e-6
+    serial = sum(durations) + len(items) * P100.launch_overhead_us + 10
+    assert r1.total_time_us <= serial + 1e-6
+
+
+@settings(max_examples=15, deadline=None)
+@given(seed=st.integers(0, 100))
+def test_property_executor_times_consistent(seed):
+    """Unit times reported by the executor always sum to <= wall time
+    x num_streams, and are individually positive."""
+    config = ModelConfig(batch_size=2, seq_len=2, hidden_size=16,
+                         embed_size=16, vocab_size=20)
+    model = build_sublstm(config)
+    from repro.baselines.native import native_plan
+
+    plan = native_plan(model.graph)
+    plan.profile = True
+    result = Executor(model.graph, P100).run(plan)
+    assert all(t > 0 for t in result.unit_times.values())
+    assert sum(result.unit_times.values()) <= result.total_time_us + 1e-6
+
+
+@settings(max_examples=15, deadline=None)
+@given(
+    m=st.integers(1, 16), k=st.integers(4, 64), n=st.integers(4, 64),
+    seed=st.integers(0, 1000),
+)
+def test_property_autodiff_linear_in_seed(m, k, n, seed):
+    """Gradient of sum(x @ W) wrt W is x^T @ ones -- closed form check on
+    random shapes (complements the finite-difference tests)."""
+    tr = Tracer()
+    x = tr.input((m, k))
+    w = tr.param((k, n), label="w")
+    loss = tr.reduce_sum(tr.matmul(x, w))
+    grads = backward(tr, loss, wrt=[w])
+    bindings = random_bindings(tr.graph, seed=seed)
+    values = Interpreter(tr.graph).run(bindings)
+    grad = values[grads[w.node.node_id].node.node_id]
+    expected = bindings[x.node.node_id].T @ np.ones((m, n), dtype=np.float32)
+    np.testing.assert_allclose(grad, expected, rtol=1e-4)

@@ -1,0 +1,235 @@
+"""Autodiff correctness: analytic gradients vs central finite differences.
+
+The predictability argument (paper 4.1) rests on the backward graph being
+a fixed function of the forward graph; these tests pin down that the
+generated backward pass computes the right values for every vjp rule.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.ir import Interpreter, Tracer, backward, random_bindings
+from repro.ir.tensor import TensorSpec
+
+
+def finite_diff_check(tracer, loss, wrt_var, seed=0, probes=3, eps=1e-4, tol=5e-3):
+    """Compare analytic gradient against central differences at a few
+    random coordinates of ``wrt_var``."""
+    grads = backward(tracer, loss, wrt=[wrt_var])
+    tracer.graph.validate()
+    grad_node = grads[wrt_var.node.node_id].node
+
+    bindings = {
+        k: v.astype(np.float64)
+        for k, v in random_bindings(tracer.graph, seed=seed).items()
+    }
+    interp = Interpreter(tracer.graph)
+    values = interp.run(bindings)
+    analytic = values[grad_node.node_id]
+
+    rng = np.random.default_rng(seed + 1)
+    base = bindings[wrt_var.node.node_id]
+    flat_indices = rng.choice(base.size, size=min(probes, base.size), replace=False)
+    for flat in flat_indices:
+        idx = np.unravel_index(flat, base.shape)
+        delta = np.zeros_like(base)
+        delta[idx] = eps
+
+        def loss_at(offset):
+            b = dict(bindings)
+            b[wrt_var.node.node_id] = base + offset
+            return Interpreter(tracer.graph).run(b)[loss.node.node_id].sum()
+
+        numeric = (loss_at(delta) - loss_at(-delta)) / (2 * eps)
+        assert abs(numeric - analytic[idx]) < tol * max(1.0, abs(numeric)), (
+            f"grad mismatch at {idx}: numeric={numeric}, analytic={analytic[idx]}"
+        )
+
+
+class TestMatmulGrads:
+    @pytest.mark.parametrize("ta", [False, True])
+    @pytest.mark.parametrize("tb", [False, True])
+    @pytest.mark.parametrize("side", [0, 1])
+    def test_all_transpose_combinations(self, ta, tb, side):
+        tr = Tracer()
+        a_shape = (6, 4) if ta else (4, 6)
+        b_shape = (5, 6) if tb else (6, 5)
+        a = tr.input(a_shape, label="a")
+        b = tr.param(b_shape, label="b")
+        y = tr.matmul(a, b, transpose_a=ta, transpose_b=tb)
+        loss = tr.reduce_sum(tr.mul(y, y))
+        finite_diff_check(tr, loss, [a, b][side])
+
+
+class TestElementwiseGrads:
+    @pytest.mark.parametrize("fn", ["add", "sub", "mul", "div"])
+    def test_binary(self, fn):
+        tr = Tracer()
+        a = tr.input((3, 4), label="a")
+        b = tr.param((3, 4), label="b")
+        y = getattr(tr, fn)(a, b) if fn != "div" else tr.div(a, tr.add_scalar(tr.mul(b, b), 1.0))
+        loss = tr.reduce_sum(y)
+        finite_diff_check(tr, loss, b)
+
+    def test_bias_broadcast_grad(self):
+        tr = Tracer()
+        x = tr.input((4, 6))
+        bias = tr.param((6,), label="bias")
+        loss = tr.reduce_sum(tr.tanh(tr.add(x, bias)))
+        finite_diff_check(tr, loss, bias)
+
+    @pytest.mark.parametrize("fn", ["sigmoid", "tanh", "relu", "exp"])
+    def test_unary(self, fn):
+        tr = Tracer()
+        x = tr.param((3, 5), label="x")
+        loss = tr.reduce_sum(getattr(tr, fn)(x))
+        finite_diff_check(tr, loss, x, seed=3)
+
+    def test_log_grad(self):
+        tr = Tracer()
+        x = tr.param((3, 5), label="x")
+        positive = tr.add_scalar(tr.mul(x, x), 1.0)
+        loss = tr.reduce_sum(tr.log(positive))
+        finite_diff_check(tr, loss, x)
+
+    def test_scale_grad(self):
+        tr = Tracer()
+        x = tr.param((2, 3))
+        loss = tr.reduce_sum(tr.scale(x, -2.5))
+        grads = backward(tr, loss, wrt=[x])
+        values = Interpreter(tr.graph).run(random_bindings(tr.graph, seed=0))
+        np.testing.assert_allclose(
+            values[grads[x.node.node_id].node.node_id], np.full((2, 3), -2.5), rtol=1e-6
+        )
+
+
+class TestStructuredGrads:
+    def test_softmax_grad(self):
+        tr = Tracer()
+        x = tr.param((3, 6), label="x")
+        weights = tr.input((3, 6), label="w")
+        loss = tr.reduce_sum(tr.mul(tr.softmax(x), weights))
+        finite_diff_check(tr, loss, x, tol=1e-2)
+
+    def test_reduce_sum_axis_grad(self):
+        tr = Tracer()
+        x = tr.param((4, 5))
+        loss = tr.reduce_sum(tr.mul(tr.reduce_sum(x, axis=0), tr.reduce_sum(x, axis=0)))
+        finite_diff_check(tr, loss, x)
+
+    def test_reduce_sum_keepdims_grad(self):
+        tr = Tracer()
+        x = tr.param((4, 5))
+        normalized = tr.sub(x, tr.reduce_sum(x, axis=-1, keepdims=True))
+        loss = tr.reduce_sum(tr.mul(normalized, normalized))
+        finite_diff_check(tr, loss, x)
+
+    def test_slice_and_pad_grads(self):
+        tr = Tracer()
+        x = tr.param((4, 8))
+        left = tr.slice(x, axis=1, start=0, stop=3)
+        right = tr.slice(x, axis=1, start=3, stop=8)
+        loss = tr.add(tr.reduce_sum(tr.mul(left, left)), tr.reduce_sum(right))
+        finite_diff_check(tr, loss, x)
+
+    def test_concat_grad(self):
+        tr = Tracer()
+        a = tr.param((3, 2), label="a")
+        b = tr.input((3, 4), label="b")
+        cat = tr.concat([a, b], axis=1)
+        loss = tr.reduce_sum(tr.mul(cat, cat))
+        finite_diff_check(tr, loss, a)
+
+    def test_transpose_grad(self):
+        tr = Tracer()
+        x = tr.param((3, 5))
+        loss = tr.reduce_sum(tr.mul(tr.transpose(x), tr.transpose(x)))
+        finite_diff_check(tr, loss, x)
+
+    def test_reshape_grad(self):
+        tr = Tracer()
+        x = tr.param((3, 4))
+        flat = tr.reshape(x, (12,))
+        loss = tr.reduce_sum(tr.mul(flat, flat))
+        finite_diff_check(tr, loss, x)
+
+    def test_embedding_grad(self):
+        tr = Tracer()
+        table = tr.param((7, 3), label="table")
+        idx = tr.input((5,), dtype="int64", label="idx")
+        emb = tr.embedding(table, idx)
+        loss = tr.reduce_sum(tr.mul(emb, emb))
+        finite_diff_check(tr, loss, table)
+
+    def test_grad_accumulation_multiple_uses(self):
+        tr = Tracer()
+        x = tr.param((3, 3))
+        y = tr.add(tr.mul(x, x), tr.scale(x, 3.0))  # x used three times
+        loss = tr.reduce_sum(y)
+        finite_diff_check(tr, loss, x)
+
+
+class TestBackwardStructure:
+    def test_backward_nodes_tagged(self, mlp_tracer):
+        tr, loss = mlp_tracer
+        backward(tr, loss)
+        tags = {n.pass_tag for n in tr.graph.compute_nodes()}
+        assert "backward" in tags
+
+    def test_gradients_marked_outputs(self, mlp_tracer):
+        tr, loss = mlp_tracer
+        grads = backward(tr, loss)
+        for var in grads.values():
+            assert var.node.node_id in tr.graph.outputs
+
+    def test_param_gradients_match_param_shapes(self, mlp_tracer):
+        tr, loss = mlp_tracer
+        grads = backward(tr, loss)
+        for pid, gvar in grads.items():
+            assert tr.graph.node(pid).spec.shape == gvar.spec.shape
+
+    def test_wrt_subset(self, mlp_tracer):
+        tr, loss = mlp_tracer
+        w1 = next(n for n in tr.graph.params() if n.label == "w1")
+        grads = backward(tr, loss, wrt=[tr.var_for(w1)])
+        assert set(grads) == {w1.node_id}
+
+    def test_unreachable_target_gets_no_grad(self):
+        tr = Tracer()
+        x = tr.param((2, 2), label="x")
+        unused = tr.param((2, 2), label="unused")
+        loss = tr.reduce_sum(x)
+        grads = backward(tr, loss)
+        assert x.node.node_id in grads
+        assert unused.node.node_id not in grads
+
+    def test_backward_roughly_two_thirds_of_compute(self, tiny_sublstm):
+        """Paper section 5.1: ~2/3 of training compute is the backward pass."""
+        g = tiny_sublstm.graph
+        fwd = bwd = 0
+        for node in g.compute_nodes():
+            in_specs = [g.node(i).spec for i in node.input_ids]
+            flops = node.op.flops(in_specs, node.spec)
+            if node.pass_tag == "backward":
+                bwd += flops
+            else:
+                fwd += flops
+        assert bwd > fwd  # backward strictly dominates
+        assert bwd / (fwd + bwd) > 0.5
+
+
+@settings(max_examples=25, deadline=None)
+@given(
+    m=st.integers(2, 6),
+    k=st.integers(2, 6),
+    n=st.integers(2, 6),
+    seed=st.integers(0, 100),
+)
+def test_property_matmul_chain_gradcheck(m, k, n, seed):
+    """Property: gradient of sum(tanh(A@B)) checks out for random shapes."""
+    tr = Tracer()
+    a = tr.input((m, k))
+    b = tr.param((k, n), label="b")
+    loss = tr.reduce_sum(tr.tanh(tr.matmul(a, b)))
+    finite_diff_check(tr, loss, b, seed=seed, probes=2)

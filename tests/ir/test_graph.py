@@ -1,0 +1,121 @@
+"""Unit tests for the graph container: topology, provenance, validation."""
+
+import pytest
+
+from repro.ir import Graph, Tracer, ops
+from repro.ir.tensor import TensorSpec
+
+
+def build_chain():
+    tr = Tracer("chain")
+    x = tr.input((2, 4), label="x")
+    w = tr.param((4, 4), label="w")
+    y = tr.matmul(x, w)
+    z = tr.sigmoid(y)
+    tr.output(z)
+    return tr, x, w, y, z
+
+
+class TestConstruction:
+    def test_leaves_and_roles(self):
+        tr, x, w, y, z = build_chain()
+        g = tr.graph
+        assert [n.label for n in g.inputs()] == ["x"]
+        assert [n.label for n in g.params()] == ["w"]
+        assert x.node.is_leaf and w.node.is_leaf
+        assert not y.node.is_leaf
+
+    def test_topological_ids(self):
+        tr, x, w, y, z = build_chain()
+        assert x.node.node_id < y.node.node_id < z.node.node_id
+
+    def test_consumers_maintained(self):
+        tr, x, w, y, z = build_chain()
+        g = tr.graph
+        assert g.consumers(x.node.node_id) == [y.node.node_id]
+        assert g.consumers(y.node.node_id) == [z.node.node_id]
+        assert g.consumers(z.node.node_id) == []
+
+    def test_outputs_marked_once(self):
+        tr, *_rest, z = build_chain()
+        tr.output(z)
+        assert tr.graph.outputs.count(z.node.node_id) == 1
+
+    def test_foreign_node_rejected(self):
+        tr1, *_1, z1 = build_chain()
+        tr2, *_2, z2 = build_chain()
+        with pytest.raises(ValueError):
+            tr1.graph.add_op(ops.Sigmoid(), [z2.node])
+
+    def test_bad_leaf_role(self):
+        g = Graph()
+        with pytest.raises(ValueError):
+            g.add_input(TensorSpec((2,)), role="compute")
+
+
+class TestQueries:
+    def test_gemm_nodes(self, tiny_sublstm):
+        g = tiny_sublstm.graph
+        gemms = g.gemm_nodes()
+        assert gemms and all(n.kind == "gemm" for n in gemms)
+
+    def test_total_flops_positive(self, tiny_scrnn):
+        assert tiny_scrnn.graph.total_flops() > 0
+
+    def test_depends_on_direct(self):
+        tr, x, w, y, z = build_chain()
+        g = tr.graph
+        assert g.depends_on(z.node.node_id, x.node.node_id)
+        assert g.depends_on(z.node.node_id, y.node.node_id)
+        assert not g.depends_on(x.node.node_id, z.node.node_id)
+
+    def test_depends_on_self(self):
+        tr, x, *_r = build_chain()
+        assert tr.graph.depends_on(x.node.node_id, x.node.node_id)
+
+    def test_depends_on_unrelated(self):
+        tr = Tracer("par")
+        a = tr.input((2, 2))
+        b = tr.input((2, 2))
+        c = tr.sigmoid(a)
+        d = tr.tanh(b)
+        assert not tr.graph.depends_on(d.node.node_id, c.node.node_id)
+
+    def test_dump_lists_nodes(self):
+        tr, *_r = build_chain()
+        dump = tr.graph.dump()
+        assert "mm" in dump and "sigmoid" in dump
+
+    def test_dump_limit(self):
+        tr, *_r = build_chain()
+        dump = tr.graph.dump(limit=1)
+        assert "more nodes" in dump
+
+
+class TestValidation:
+    def test_validate_accepts_models(self, all_tiny_models):
+        for model in all_tiny_models:
+            model.graph.validate()
+
+    def test_validate_catches_bad_spec(self):
+        tr, *_r, z = build_chain()
+        node = z.node
+        object.__setattr__(node, "spec", TensorSpec((9, 9))) if False else None
+        node.spec = TensorSpec((9, 9))
+        with pytest.raises(ValueError):
+            tr.graph.validate()
+
+
+class TestProvenance:
+    def test_scopes_recorded(self, tiny_sublstm):
+        scopes = {n.scope for n in tiny_sublstm.graph.compute_nodes()}
+        assert any(s.startswith("layer0/step") for s in scopes)
+
+    def test_pass_tags(self, tiny_sublstm):
+        tags = {n.pass_tag for n in tiny_sublstm.graph.compute_nodes()}
+        assert tags == {"forward", "backward"}
+
+    def test_backward_nodes_inherit_forward_scope(self, tiny_sublstm):
+        g = tiny_sublstm.graph
+        bwd_scopes = {n.scope for n in g.compute_nodes() if n.pass_tag == "backward"}
+        assert any(s.startswith("layer0/step") for s in bwd_scopes)

@@ -1,0 +1,196 @@
+"""Unit tests for operator shape inference, cost summaries and numerics."""
+
+import numpy as np
+import pytest
+
+from repro.ir import ops
+from repro.ir.tensor import TensorSpec
+
+
+def spec(*shape, dtype="fp32"):
+    return TensorSpec(tuple(shape), dtype)
+
+
+class TestMatMul:
+    def test_plain(self):
+        op = ops.MatMul()
+        assert op.infer_shape([spec(4, 8), spec(8, 6)]).shape == (4, 6)
+        assert op.gemm_dims([spec(4, 8), spec(8, 6)]) == (4, 8, 6)
+
+    @pytest.mark.parametrize("ta,tb,a,b,out", [
+        (False, False, (4, 8), (8, 6), (4, 6)),
+        (True, False, (8, 4), (8, 6), (4, 6)),
+        (False, True, (4, 8), (6, 8), (4, 6)),
+        (True, True, (8, 4), (6, 8), (4, 6)),
+    ])
+    def test_transpose_flags(self, ta, tb, a, b, out):
+        op = ops.MatMul(ta, tb)
+        assert op.infer_shape([spec(*a), spec(*b)]).shape == out
+        rng = np.random.default_rng(0)
+        va, vb = rng.standard_normal(a), rng.standard_normal(b)
+        expect = (va.T if ta else va) @ (vb.T if tb else vb)
+        np.testing.assert_allclose(op.evaluate(va, vb), expect)
+
+    def test_flops_uses_effective_dims(self):
+        op = ops.MatMul(transpose_b=True)
+        out = op.infer_shape([spec(4, 8), spec(6, 8)])
+        assert op.flops([spec(4, 8), spec(6, 8)], out) == 2 * 4 * 8 * 6
+
+    def test_signature_includes_flags(self):
+        assert ops.MatMul().signature() != ops.MatMul(transpose_b=True).signature()
+
+
+class TestElementwise:
+    @pytest.mark.parametrize("op_cls,fn", [
+        (ops.Add, lambda a, b: a + b),
+        (ops.Sub, lambda a, b: a - b),
+        (ops.Mul, lambda a, b: a * b),
+        (ops.Div, lambda a, b: a / b),
+    ])
+    def test_binary_numerics(self, op_cls, fn):
+        rng = np.random.default_rng(1)
+        a = rng.standard_normal((3, 5))
+        b = rng.standard_normal((3, 5)) + 2.0
+        np.testing.assert_allclose(op_cls().evaluate(a, b), fn(a, b))
+
+    @pytest.mark.parametrize("op_cls,fn", [
+        (ops.Sigmoid, lambda x: 1 / (1 + np.exp(-x))),
+        (ops.Tanh, np.tanh),
+        (ops.Relu, lambda x: np.maximum(x, 0)),
+        (ops.Exp, np.exp),
+        (ops.Step, lambda x: (x > 0).astype(x.dtype)),
+    ])
+    def test_unary_numerics(self, op_cls, fn):
+        x = np.linspace(-3, 3, 24).reshape(4, 6)
+        np.testing.assert_allclose(op_cls().evaluate(x), fn(x), rtol=1e-6)
+
+    def test_unary_preserves_shape(self):
+        assert ops.Sigmoid().infer_shape([spec(4, 6)]).shape == (4, 6)
+
+    def test_scale_and_add_scalar(self):
+        x = np.ones((2, 2))
+        np.testing.assert_allclose(ops.Scale(2.5).evaluate(x), 2.5 * x)
+        np.testing.assert_allclose(ops.AddScalar(-1.0).evaluate(x), x - 1.0)
+
+    def test_scale_signature_distinguishes_factor(self):
+        assert ops.Scale(2.0).signature() != ops.Scale(3.0).signature()
+
+    def test_binary_arity_check(self):
+        with pytest.raises(ValueError):
+            ops.Add().infer_shape([spec(2, 2)])
+
+
+class TestReductions:
+    def test_reduce_sum_all(self):
+        op = ops.ReduceSum()
+        assert op.infer_shape([spec(3, 4)]).shape == (1,)
+        np.testing.assert_allclose(op.evaluate(np.ones((3, 4))), [12.0])
+
+    def test_reduce_sum_axis(self):
+        op = ops.ReduceSum(axis=0)
+        assert op.infer_shape([spec(3, 4)]).shape == (4,)
+        np.testing.assert_allclose(op.evaluate(np.ones((3, 4))), np.full(4, 3.0))
+
+    def test_reduce_sum_keepdims(self):
+        op = ops.ReduceSum(axis=-1, keepdims=True)
+        assert op.infer_shape([spec(3, 4)]).shape == (3, 1)
+        np.testing.assert_allclose(op.evaluate(np.ones((3, 4))), np.full((3, 1), 4.0))
+
+    def test_reduce_to_scalarish_shape(self):
+        op = ops.ReduceSum(axis=0)
+        assert op.infer_shape([spec(3)]).shape == (1,)
+
+    def test_softmax_rows_sum_to_one(self):
+        out = ops.Softmax().evaluate(np.random.default_rng(2).standard_normal((5, 7)))
+        np.testing.assert_allclose(out.sum(axis=-1), np.ones(5), rtol=1e-6)
+        assert (out > 0).all()
+
+    def test_softmax_stability_large_inputs(self):
+        out = ops.Softmax().evaluate(np.array([[1e4, 1e4 + 1.0]]))
+        assert np.isfinite(out).all()
+
+
+class TestEmbedding:
+    def test_lookup(self):
+        table = np.arange(12.0).reshape(6, 2)
+        idx = np.array([0, 5, 3])
+        out = ops.Embedding().evaluate(table, idx)
+        np.testing.assert_allclose(out, table[[0, 5, 3]])
+
+    def test_shape_inference(self):
+        out = ops.Embedding().infer_shape([spec(50, 8), spec(4, dtype="int64")])
+        assert out.shape == (4, 8)
+
+    def test_rejects_float_indices(self):
+        with pytest.raises(ValueError):
+            ops.Embedding().infer_shape([spec(50, 8), spec(4)])
+
+    def test_grad_scatter_adds_duplicates(self):
+        op = ops.EmbeddingGrad(vocab_size=6)
+        idx = np.array([1, 1, 3])
+        grad = np.ones((3, 2))
+        out = op.evaluate(idx, grad)
+        np.testing.assert_allclose(out[1], [2.0, 2.0])
+        np.testing.assert_allclose(out[3], [1.0, 1.0])
+        np.testing.assert_allclose(out[0], [0.0, 0.0])
+
+    def test_grad_shape(self):
+        op = ops.EmbeddingGrad(vocab_size=9)
+        assert op.infer_shape([spec(4, dtype="int64"), spec(4, 3)]).shape == (9, 3)
+
+
+class TestMovement:
+    def test_concat(self):
+        op = ops.Concat(axis=1)
+        assert op.infer_shape([spec(2, 3), spec(2, 5)]).shape == (2, 8)
+        out = op.evaluate(np.ones((2, 3)), np.zeros((2, 5)))
+        assert out.shape == (2, 8)
+
+    def test_concat_mismatch(self):
+        with pytest.raises(ValueError):
+            ops.Concat(axis=1).infer_shape([spec(2, 3), spec(3, 5)])
+
+    def test_slice(self):
+        op = ops.Slice(axis=1, start=2, stop=5)
+        assert op.infer_shape([spec(2, 8)]).shape == (2, 3)
+        out = op.evaluate(np.arange(16.0).reshape(2, 8))
+        np.testing.assert_allclose(out, np.arange(16.0).reshape(2, 8)[:, 2:5])
+
+    def test_slice_bounds_checked(self):
+        with pytest.raises(ValueError):
+            ops.Slice(axis=1, start=2, stop=9).infer_shape([spec(2, 8)])
+        with pytest.raises(ValueError):
+            ops.Slice(axis=0, start=3, stop=3)
+
+    def test_pad_zero_inverse_of_slice(self):
+        x = np.arange(6.0).reshape(2, 3)
+        padded = ops.PadZero(axis=1, start=2, total=8).evaluate(x)
+        assert padded.shape == (2, 8)
+        np.testing.assert_allclose(padded[:, 2:5], x)
+        np.testing.assert_allclose(padded[:, :2], 0)
+
+    def test_transpose(self):
+        assert ops.Transpose().infer_shape([spec(2, 5)]).shape == (5, 2)
+
+    def test_reshape(self):
+        op = ops.Reshape((6,))
+        assert op.infer_shape([spec(2, 3)]).shape == (6,)
+        with pytest.raises(ValueError):
+            ops.Reshape((7,)).infer_shape([spec(2, 3)])
+
+    def test_reshape_is_free(self):
+        op = ops.Reshape((6,))
+        out = op.infer_shape([spec(2, 3)])
+        assert op.bytes_accessed([spec(2, 3)], out) == 0
+        assert op.flops([spec(2, 3)], out) == 0
+
+
+class TestFill:
+    def test_fill(self):
+        op = ops.Fill(spec(2, 3), 0.5)
+        assert op.infer_shape([]).shape == (2, 3)
+        np.testing.assert_allclose(op.evaluate(), np.full((2, 3), 0.5))
+
+    def test_fill_rejects_inputs(self):
+        with pytest.raises(ValueError):
+            ops.Fill(spec(2), 1.0).infer_shape([spec(2)])

@@ -1,0 +1,166 @@
+"""Tests for the DCE / CSE graph cleanup passes."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.ir import Interpreter, Tracer, backward, random_bindings
+from repro.ir.passes import (
+    common_subexpression_elimination,
+    eliminate_dead_code,
+    simplify,
+)
+
+
+def build_graph_with_dead_branch():
+    tr = Tracer("dce")
+    x = tr.input((4, 8), label="x")
+    w = tr.param((8, 8), label="w")
+    live = tr.sigmoid(tr.matmul(x, w))
+    dead = tr.tanh(tr.matmul(live, w))  # never marked as output
+    more_dead = tr.relu(dead)
+    loss = tr.reduce_sum(live)
+    tr.output(loss)
+    return tr, loss, (dead, more_dead)
+
+
+class TestDce:
+    def test_dead_nodes_removed(self):
+        tr, loss, dead_nodes = build_graph_with_dead_branch()
+        result = eliminate_dead_code(tr.graph)
+        assert len(result.graph) < len(tr.graph)
+        for var in dead_nodes:
+            assert var.node.node_id not in result.node_map
+
+    def test_live_nodes_kept_and_mapped(self):
+        tr, loss, _dead = build_graph_with_dead_branch()
+        result = eliminate_dead_code(tr.graph)
+        assert loss.node.node_id in result.node_map
+        result.graph.validate()
+
+    def test_outputs_preserved(self):
+        tr, loss, _dead = build_graph_with_dead_branch()
+        result = eliminate_dead_code(tr.graph)
+        assert result.graph.outputs == [result.mapped(loss.node.node_id)]
+
+    def test_values_preserved(self):
+        tr, loss, _dead = build_graph_with_dead_branch()
+        result = eliminate_dead_code(tr.graph)
+        bindings = random_bindings(tr.graph, seed=3)
+        original = Interpreter(tr.graph).run(bindings)[loss.node.node_id]
+        new_bindings = {
+            result.mapped(nid): value
+            for nid, value in bindings.items()
+            if nid in result.node_map
+        }
+        rewritten = Interpreter(result.graph).run(new_bindings)[
+            result.mapped(loss.node.node_id)
+        ]
+        np.testing.assert_allclose(original, rewritten)
+
+    def test_params_kept_even_if_unused(self):
+        tr = Tracer()
+        x = tr.input((2, 2))
+        unused = tr.param((4, 4), label="unused")
+        tr.output(tr.reduce_sum(x))
+        result = eliminate_dead_code(tr.graph)
+        labels = [n.label for n in result.graph.params()]
+        assert "unused" in labels
+
+    def test_unused_inputs_dropped(self):
+        tr = Tracer()
+        x = tr.input((2, 2), label="x")
+        unused = tr.input((9, 9), label="unused_in")
+        tr.output(tr.reduce_sum(x))
+        result = eliminate_dead_code(tr.graph)
+        labels = [n.label for n in result.graph.inputs()]
+        assert "unused_in" not in labels
+
+
+class TestCse:
+    def test_duplicate_subexpression_merged(self):
+        tr = Tracer()
+        x = tr.input((4, 8))
+        w = tr.param((8, 8))
+        a = tr.sigmoid(tr.matmul(x, w))
+        b = tr.sigmoid(tr.matmul(x, w))  # identical
+        tr.output(tr.reduce_sum(tr.add(a, b)))
+        result = common_subexpression_elimination(tr.graph)
+        assert result.mapped(a.node.node_id) == result.mapped(b.node.node_id)
+        assert len(result.graph) < len(tr.graph)
+
+    def test_different_attributes_not_merged(self):
+        tr = Tracer()
+        x = tr.input((4, 8))
+        a = tr.scale(x, 2.0)
+        b = tr.scale(x, 3.0)
+        tr.output(tr.reduce_sum(tr.add(a, b)))
+        result = common_subexpression_elimination(tr.graph)
+        assert result.mapped(a.node.node_id) != result.mapped(b.node.node_id)
+
+    def test_values_preserved(self):
+        tr = Tracer()
+        x = tr.input((4, 8))
+        w = tr.param((8, 8))
+        a = tr.tanh(tr.matmul(x, w))
+        b = tr.tanh(tr.matmul(x, w))
+        loss = tr.reduce_sum(tr.mul(a, b))
+        tr.output(loss)
+        result = common_subexpression_elimination(tr.graph)
+        bindings = random_bindings(tr.graph, seed=1)
+        original = Interpreter(tr.graph).run(bindings)[loss.node.node_id]
+        new_bindings = {result.mapped(k): v for k, v in bindings.items()}
+        rewritten = Interpreter(result.graph).run(new_bindings)[
+            result.mapped(loss.node.node_id)
+        ]
+        np.testing.assert_allclose(original, rewritten)
+
+    def test_chains_collapse_transitively(self):
+        tr = Tracer()
+        x = tr.input((4, 4))
+        a = tr.relu(tr.sigmoid(x))
+        b = tr.relu(tr.sigmoid(x))
+        tr.output(tr.reduce_sum(tr.add(a, b)))
+        result = common_subexpression_elimination(tr.graph)
+        # both the sigmoid AND the relu merge
+        assert len(result.graph.compute_nodes()) == 4  # sigmoid, relu, add, sum
+
+
+class TestSimplify:
+    def test_composition(self):
+        tr, loss, _dead = build_graph_with_dead_branch()
+        result = simplify(tr.graph)
+        result.graph.validate()
+        assert loss.node.node_id in result.node_map
+
+    def test_model_graphs_already_lean(self, tiny_sublstm):
+        """Traced training graphs with DCE'd autodiff shrink only a little."""
+        result = simplify(tiny_sublstm.graph)
+        assert len(result.graph) >= 0.8 * len(tiny_sublstm.graph)
+        result.graph.validate()
+
+    def test_optimization_still_works_after_simplify(self, tiny_sublstm):
+        from repro import AstraSession
+
+        result = simplify(tiny_sublstm.graph)
+        report = AstraSession(result.graph, features="F", seed=0).optimize()
+        assert report.speedup_over_native >= 1.0
+
+
+@settings(max_examples=15, deadline=None)
+@given(seed=st.integers(0, 5000))
+def test_property_simplify_preserves_outputs(seed):
+    """Fuzz: simplify never changes any output value."""
+    from tests.integration.fuzz_utils import random_program
+
+    tr, loss = random_program(seed, size=8)
+    result = simplify(tr.graph)
+    bindings = random_bindings(tr.graph, seed=seed)
+    original = Interpreter(tr.graph).run(bindings)[loss.node.node_id]
+    new_bindings = {
+        result.mapped(k): v for k, v in bindings.items() if k in result.node_map
+    }
+    rewritten = Interpreter(result.graph).run(new_bindings)[
+        result.mapped(loss.node.node_id)
+    ]
+    np.testing.assert_allclose(original, rewritten, rtol=1e-6)

@@ -1,0 +1,106 @@
+"""Unit tests for TensorSpec and shape arithmetic."""
+
+import pytest
+
+from repro.ir.tensor import (
+    TensorSpec,
+    broadcast_result,
+    matmul_flops,
+    matmul_result,
+)
+
+
+class TestTensorSpec:
+    def test_basic_properties(self):
+        spec = TensorSpec((4, 8))
+        assert spec.rank == 2
+        assert spec.num_elements == 32
+        assert spec.size_bytes == 128  # fp32
+        assert spec.dtype == "fp32"
+
+    def test_dtype_sizes(self):
+        assert TensorSpec((2,), "fp16").size_bytes == 4
+        assert TensorSpec((2,), "fp64").size_bytes == 16
+        assert TensorSpec((2,), "int64").size_bytes == 16
+
+    def test_shape_coerced_to_tuple(self):
+        spec = TensorSpec([3, 4])  # type: ignore[arg-type]
+        assert spec.shape == (3, 4)
+
+    def test_rejects_nonpositive_dims(self):
+        with pytest.raises(ValueError):
+            TensorSpec((0, 4))
+        with pytest.raises(ValueError):
+            TensorSpec((-1,))
+
+    def test_rejects_unknown_dtype(self):
+        with pytest.raises(ValueError):
+            TensorSpec((2,), "bf16")
+
+    def test_hashable_for_profile_keys(self):
+        assert hash(TensorSpec((2, 3))) == hash(TensorSpec((2, 3)))
+        assert TensorSpec((2, 3)) == TensorSpec((2, 3))
+        assert TensorSpec((2, 3)) != TensorSpec((3, 2))
+
+    def test_transposed(self):
+        assert TensorSpec((2, 5)).transposed().shape == (5, 2)
+
+    def test_transposed_requires_rank2(self):
+        with pytest.raises(ValueError):
+            TensorSpec((2, 3, 4)).transposed()
+
+    def test_with_shape_preserves_dtype(self):
+        spec = TensorSpec((2, 3), "fp16").with_shape((6,))
+        assert spec.shape == (6,)
+        assert spec.dtype == "fp16"
+
+    def test_str_compact(self):
+        assert str(TensorSpec((4, 8))) == "4x8:fp32"
+
+
+class TestMatmul:
+    def test_result_shape(self):
+        out = matmul_result(TensorSpec((4, 8)), TensorSpec((8, 16)))
+        assert out.shape == (4, 16)
+
+    def test_inner_dim_mismatch(self):
+        with pytest.raises(ValueError):
+            matmul_result(TensorSpec((4, 8)), TensorSpec((9, 16)))
+
+    def test_dtype_mismatch(self):
+        with pytest.raises(ValueError):
+            matmul_result(TensorSpec((4, 8)), TensorSpec((8, 16), "fp16"))
+
+    def test_rank_check(self):
+        with pytest.raises(ValueError):
+            matmul_result(TensorSpec((4,)), TensorSpec((4, 2)))
+
+    def test_flops_convention(self):
+        # 2*M*K*N multiply-adds
+        assert matmul_flops(TensorSpec((4, 8)), TensorSpec((8, 16))) == 2 * 4 * 8 * 16
+
+
+class TestBroadcast:
+    def test_identical_shapes(self):
+        out = broadcast_result(TensorSpec((4, 8)), TensorSpec((4, 8)))
+        assert out.shape == (4, 8)
+
+    def test_bias_broadcast(self):
+        out = broadcast_result(TensorSpec((4, 8)), TensorSpec((8,)))
+        assert out.shape == (4, 8)
+
+    def test_keepdims_broadcast(self):
+        out = broadcast_result(TensorSpec((4, 8)), TensorSpec((4, 1)))
+        assert out.shape == (4, 8)
+
+    def test_scalar_tensor_broadcast(self):
+        out = broadcast_result(TensorSpec((1,)), TensorSpec((4, 8)))
+        assert out.shape == (4, 8)
+
+    def test_incompatible(self):
+        with pytest.raises(ValueError):
+            broadcast_result(TensorSpec((4, 8)), TensorSpec((5, 8)))
+
+    def test_dtype_mismatch(self):
+        with pytest.raises(ValueError):
+            broadcast_result(TensorSpec((4,)), TensorSpec((4,), "fp16"))

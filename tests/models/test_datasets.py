@@ -1,0 +1,88 @@
+"""Tests for dataset length distributions and bucketing helpers."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.models import (
+    HUTTER_LENGTHS,
+    PAPER_PTB_BUCKETS,
+    PTB_LENGTHS,
+    bucket_for,
+    compute_buckets,
+)
+
+
+class TestDistributions:
+    def test_sampling_deterministic(self):
+        a = PTB_LENGTHS.sample(100, seed=3)
+        b = PTB_LENGTHS.sample(100, seed=3)
+        np.testing.assert_array_equal(a, b)
+
+    def test_bounds_respected(self):
+        lengths = PTB_LENGTHS.sample(2000, seed=0)
+        assert lengths.min() >= PTB_LENGTHS.min_len
+        assert lengths.max() <= PTB_LENGTHS.max_len
+
+    def test_hutter_fixed_length(self):
+        lengths = HUTTER_LENGTHS.sample(50, seed=1)
+        assert (lengths == 50).all()
+
+    def test_ptb_mean_plausible(self):
+        lengths = PTB_LENGTHS.sample(5000, seed=0)
+        assert 18 < lengths.mean() < 27  # PTB averages ~21 tokens
+
+
+class TestBuckets:
+    def test_paper_bucket_boundaries_reproduced(self):
+        """Section 6.5: 5 buckets calibrated on PTB gave 13/18/24/30/83."""
+        lengths = PTB_LENGTHS.sample(5000, seed=0)
+        buckets = compute_buckets(lengths, 5)
+        assert len(buckets) == 5
+        assert buckets[0] == PAPER_PTB_BUCKETS[0]
+        assert buckets[-1] == PAPER_PTB_BUCKETS[-1]
+        # interior bounds within a couple of tokens of the paper's
+        for ours, paper in zip(buckets[1:4], PAPER_PTB_BUCKETS[1:4]):
+            assert abs(ours - paper) <= 3
+
+    def test_last_bucket_covers_max(self):
+        lengths = np.array([5, 10, 20, 40])
+        assert compute_buckets(lengths, 3)[-1] == 40
+
+    def test_degenerate_distribution_dedupes(self):
+        buckets = compute_buckets(np.full(100, 7), 5)
+        assert buckets == (7,)
+
+    def test_invalid_bucket_count(self):
+        with pytest.raises(ValueError):
+            compute_buckets(np.array([1, 2]), 0)
+
+    def test_bucket_for_maps_to_larger(self):
+        buckets = (13, 18, 24, 30, 83)
+        assert bucket_for(5, buckets) == 0
+        assert bucket_for(13, buckets) == 0
+        assert bucket_for(14, buckets) == 1
+        assert bucket_for(83, buckets) == 4
+
+    def test_bucket_for_beyond_max_clamps(self):
+        assert bucket_for(1000, (13, 18)) == 1
+
+
+@settings(max_examples=50, deadline=None)
+@given(
+    lengths=st.lists(st.integers(1, 100), min_size=5, max_size=200),
+    k=st.integers(1, 6),
+)
+def test_property_every_length_fits_its_bucket(lengths, k):
+    arr = np.array(lengths)
+    buckets = compute_buckets(arr, k)
+    for length in lengths:
+        b = bucket_for(int(length), buckets)
+        assert buckets[b] >= length or b == len(buckets) - 1
+
+
+@settings(max_examples=50, deadline=None)
+@given(lengths=st.lists(st.integers(1, 100), min_size=5, max_size=200), k=st.integers(1, 6))
+def test_property_buckets_strictly_increasing(lengths, k):
+    buckets = compute_buckets(np.array(lengths), k)
+    assert all(a < b for a, b in zip(buckets, buckets[1:]))

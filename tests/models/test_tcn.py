@@ -1,0 +1,72 @@
+"""Tests for the TCN model (section 6.7's convolution generalization)."""
+
+import pytest
+
+from repro import AstraSession
+from repro.baselines import detect_lstm_steps
+from repro.core import AstraFeatures, Enumerator, analyse_fusion
+from repro.gpu import P100
+from repro.models import ModelConfig, build_tcn
+from repro.runtime import Dispatcher, ExecutionPlan, build_units
+from repro.core.epochs import partition_epochs
+from tests.conftest import TINY
+
+
+@pytest.fixture(scope="module")
+def tiny_tcn():
+    return build_tcn(TINY.scaled(num_layers=2))
+
+
+class TestStructure:
+    def test_traces_and_validates(self, tiny_tcn):
+        tiny_tcn.graph.validate()
+
+    def test_im2col_gemm_dims(self, tiny_tcn):
+        """Each conv step is one (B, k*C) x (k*C, H) GEMM."""
+        k, hidden = 3, TINY.hidden_size
+        dims = set()
+        for node in tiny_tcn.graph.gemm_nodes():
+            if node.scope.startswith("conv") and node.pass_tag == "forward":
+                m, kk, n = node.op.gemm_dims(
+                    [tiny_tcn.graph.node(i).spec for i in node.input_ids]
+                )
+                dims.add((m, kk, n))
+        assert (TINY.batch_size, k * hidden, hidden) in dims
+
+    def test_not_cudnn_lstm_coverable(self, tiny_tcn):
+        assert detect_lstm_steps(tiny_tcn.graph).fraction_of_gemms == 0.0
+
+    def test_cross_step_fusion_groups_found(self, tiny_tcn):
+        """All steps of a layer share the filter: M-axis batching groups."""
+        analysis = analyse_fusion(tiny_tcn.graph)
+        m_groups = [g for g in analysis.groups if g.axis == "m" and "conv" in g.group_id]
+        assert m_groups
+        assert any(g.size == TINY.seq_len for g in m_groups)
+
+    def test_no_recurrence_wide_epochs(self, tiny_tcn):
+        """Without recurrence, a layer's steps land in the same dependency
+        level -- the parallelism stream adaptation harvests."""
+        units = build_units(tiny_tcn.graph)
+        deps = Dispatcher(tiny_tcn.graph).unit_dependencies(ExecutionPlan(units=units))
+        partition = partition_epochs(units, deps, P100)
+        widest = max(len(e.unit_ids) for e in partition.epochs)
+        assert widest >= TINY.seq_len
+
+
+class TestOptimization:
+    def test_astra_accelerates(self, tiny_tcn):
+        report = AstraSession(tiny_tcn, features="FKS", seed=0).optimize()
+        assert report.speedup_over_native > 1.0
+
+    def test_kernel_size_scales_gemm_k(self):
+        narrow = build_tcn(TINY, kernel_size=2)
+        wide = build_tcn(TINY, kernel_size=4)
+
+        def max_k(model):
+            return max(
+                node.op.gemm_dims([model.graph.node(i).spec for i in node.input_ids])[1]
+                for node in model.graph.gemm_nodes()
+                if node.scope.startswith("conv") and node.pass_tag == "forward"
+            )
+
+        assert max_k(wide) == 2 * max_k(narrow)

@@ -1,0 +1,186 @@
+"""Tests for plan lowering: unit dependencies, ordering, event insertion."""
+
+import pytest
+
+from repro.gpu import P100
+from repro.gpu.kernels import ElementwiseLaunch, GemmLaunch
+from repro.gpu.streams import HostComputeItem, HostSyncItem, LaunchItem
+from repro.ir import Tracer
+from repro.runtime import Dispatcher, ExecutionPlan, Unit, build_units
+from repro.runtime.dispatcher import topological_units
+
+
+@pytest.fixture()
+def diamond():
+    """x -> (a, b) -> c: the classic diamond dependency."""
+    tr = Tracer("diamond")
+    x = tr.input((8, 8))
+    w1 = tr.param((8, 8))
+    w2 = tr.param((8, 8))
+    a = tr.matmul(x, w1)
+    b = tr.matmul(x, w2)
+    c = tr.add(a, b)
+    tr.output(c)
+    units = [
+        Unit(0, GemmLaunch(8, 8, 8, "cublas"), (a.node.node_id,)),
+        Unit(1, GemmLaunch(8, 8, 8, "cublas"), (b.node.node_id,)),
+        Unit(2, ElementwiseLaunch(num_elements=64), (c.node.node_id,)),
+    ]
+    return tr.graph, units
+
+
+class TestDependencies:
+    def test_diamond_deps(self, diamond):
+        graph, units = diamond
+        plan = ExecutionPlan(units=units)
+        deps = Dispatcher(graph).unit_dependencies(plan)
+        assert deps[0] == set() and deps[1] == set()
+        assert deps[2] == {0, 1}
+
+    def test_transparent_nodes(self):
+        """Reshape/fill nodes pass dependencies through."""
+        tr = Tracer()
+        x = tr.input((4, 4))
+        w = tr.param((4, 4))
+        y = tr.matmul(x, w)
+        z = tr.reshape(y, (16,))
+        out = tr.sigmoid(z)
+        units = [
+            Unit(0, GemmLaunch(4, 4, 4, "cublas"), (y.node.node_id,)),
+            Unit(1, ElementwiseLaunch(num_elements=16), (out.node.node_id,)),
+        ]
+        deps = Dispatcher(tr.graph).unit_dependencies(ExecutionPlan(units=units))
+        assert deps[1] == {0}
+
+    def test_model_deps_acyclic(self, tiny_sublstm):
+        units = build_units(tiny_sublstm.graph)
+        plan = ExecutionPlan(units=units)
+        deps = Dispatcher(tiny_sublstm.graph).unit_dependencies(plan)
+        order = topological_units(units, deps)
+        assert len(order) == len(units)
+
+
+class TestOrdering:
+    def test_toposort_respects_deps(self, diamond):
+        graph, units = diamond
+        deps = {0: set(), 1: set(), 2: {0, 1}}
+        order = [u.unit_id for u in topological_units(units, deps)]
+        assert order.index(2) > order.index(0)
+        assert order.index(2) > order.index(1)
+
+    def test_cycle_raises(self, diamond):
+        _graph, units = diamond
+        with pytest.raises(ValueError):
+            topological_units(units, {0: {2}, 1: set(), 2: {0}})
+
+    def test_explicit_dispatch_order_honored(self, diamond):
+        graph, units = diamond
+        plan = ExecutionPlan(units=units, dispatch_order=[1, 0, 2])
+        lowered = Dispatcher(graph).lower(plan)
+        launches = [i for i in lowered.items if isinstance(i, LaunchItem)]
+        assert launches[0].kernel is units[1].kernel
+
+    def test_bad_dispatch_order_rejected(self, diamond):
+        graph, units = diamond
+        plan = ExecutionPlan(units=units, dispatch_order=[2, 0, 1])
+        with pytest.raises(ValueError):
+            Dispatcher(graph).lower(plan)
+
+    def test_incomplete_dispatch_order_rejected(self, diamond):
+        graph, units = diamond
+        plan = ExecutionPlan(units=units, dispatch_order=[0, 1])
+        with pytest.raises(ValueError):
+            Dispatcher(graph).lower(plan)
+
+
+class TestEventInsertion:
+    def test_single_stream_no_waits(self, diamond):
+        graph, units = diamond
+        lowered = Dispatcher(graph).lower(ExecutionPlan(units=units, profile=False))
+        for item in lowered.items:
+            if isinstance(item, LaunchItem):
+                assert item.waits == ()
+
+    def test_cross_stream_dependency_gets_event(self, diamond):
+        graph, units = diamond
+        plan = ExecutionPlan(units=units, stream_of={0: 0, 1: 1, 2: 0}, profile=False)
+        lowered = Dispatcher(graph).lower(plan)
+        launches = [i for i in lowered.items if isinstance(i, LaunchItem)]
+        consumer = launches[-1]
+        assert consumer.waits  # waits on unit 1's event
+        producers = [l for l in launches if l.record is not None]
+        assert producers
+
+    def test_same_stream_dependency_no_event(self, diamond):
+        graph, units = diamond
+        plan = ExecutionPlan(units=units, stream_of={0: 0, 1: 0, 2: 0}, profile=False)
+        lowered = Dispatcher(graph).lower(plan)
+        launches = [i for i in lowered.items if isinstance(i, LaunchItem)]
+        assert all(not l.waits for l in launches)
+
+    def test_profile_events_added(self, diamond):
+        graph, units = diamond
+        lowered = Dispatcher(graph).lower(ExecutionPlan(units=units, profile=True))
+        launches = [i for i in lowered.items if isinstance(i, LaunchItem)]
+        assert all(l.record is not None for l in launches)
+
+    def test_profile_restricted_to_unit_subset(self, diamond):
+        graph, units = diamond
+        plan = ExecutionPlan(units=units, profile=True, profile_unit_ids=frozenset({1}))
+        lowered = Dispatcher(graph).lower(plan)
+        launches = [i for i in lowered.items if isinstance(i, LaunchItem)]
+        assert sum(1 for l in launches if l.record is not None) == 1
+
+    def test_barrier_inserted_after_unit(self, diamond):
+        graph, units = diamond
+        plan = ExecutionPlan(units=units, barriers_after=frozenset({1}), profile=False)
+        lowered = Dispatcher(graph).lower(plan)
+        kinds = [type(i).__name__ for i in lowered.items]
+        # a sync before the final end-of-batch sync
+        assert kinds.count("HostSyncItem") == 2
+
+    def test_trailing_sync_always_present(self, diamond):
+        graph, units = diamond
+        lowered = Dispatcher(graph).lower(ExecutionPlan(units=units, profile=False))
+        assert isinstance(lowered.items[-1], HostSyncItem)
+
+
+class TestHostUnits:
+    def test_host_unit_emits_compute_item(self, diamond):
+        graph, units = diamond
+        units = units[:2] + [
+            Unit(2, None, (units[2].node_ids[0],), host_us=25.0, label="host"),
+        ]
+        lowered = Dispatcher(graph).lower(ExecutionPlan(units=units, profile=False))
+        assert any(isinstance(i, HostComputeItem) for i in lowered.items)
+
+    def test_host_unit_syncs_on_device_deps(self, diamond):
+        graph, units = diamond
+        units = units[:2] + [
+            Unit(2, None, (units[2].node_ids[0],), host_us=25.0, label="host"),
+        ]
+        lowered = Dispatcher(graph).lower(ExecutionPlan(units=units, profile=False))
+        sync_positions = [
+            idx for idx, i in enumerate(lowered.items) if isinstance(i, HostSyncItem)
+        ]
+        host_pos = next(
+            idx for idx, i in enumerate(lowered.items) if isinstance(i, HostComputeItem)
+        )
+        assert any(p < host_pos for p in sync_positions)
+
+
+class TestUnitValidation:
+    def test_unit_needs_kernel_or_host_work(self):
+        with pytest.raises(ValueError):
+            Unit(0, None, (1,))
+
+    def test_unit_needs_nodes(self):
+        with pytest.raises(ValueError):
+            Unit(0, GemmLaunch(2, 2, 2, "cublas"), ())
+
+    def test_double_covering_rejected(self, diamond):
+        graph, units = diamond
+        units.append(Unit(3, GemmLaunch(8, 8, 8, "cublas"), units[0].node_ids))
+        plan = ExecutionPlan(units=units)
+        with pytest.raises(ValueError):
+            plan.validate_covering()

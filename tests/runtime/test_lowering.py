@@ -1,0 +1,139 @@
+"""Tests for node-to-kernel lowering and elementwise chain fusion."""
+
+import pytest
+
+from repro.gpu import P100
+from repro.ir import Tracer, ops
+from repro.runtime import build_units, elementwise_chains, fused_elementwise_kernel
+from repro.runtime.lowering import kernel_for_node
+
+
+class TestKernelForNode:
+    def test_gemm_lowering(self):
+        tr = Tracer()
+        x, w = tr.input((4, 8)), tr.param((8, 16))
+        y = tr.matmul(x, w)
+        kernel = kernel_for_node(tr.graph, y.node)
+        assert kernel.kind == "gemm"
+        assert (kernel.m, kernel.k, kernel.n) == (4, 8, 16)
+
+    def test_transposed_gemm_dims(self):
+        tr = Tracer()
+        x, w = tr.input((8, 4)), tr.param((8, 16))
+        y = tr.matmul(x, w, transpose_a=True)
+        kernel = kernel_for_node(tr.graph, y.node)
+        assert (kernel.m, kernel.k, kernel.n) == (4, 8, 16)
+
+    def test_elementwise_lowering(self):
+        tr = Tracer()
+        x = tr.input((4, 8))
+        y = tr.sigmoid(x)
+        kernel = kernel_for_node(tr.graph, y.node)
+        assert kernel.kind == "elementwise"
+        assert kernel.num_elements == 32
+
+    def test_movement_lowering(self):
+        tr = Tracer()
+        x = tr.input((4, 8))
+        y = tr.slice(x, axis=1, start=0, stop=4)
+        assert kernel_for_node(tr.graph, y.node).kind == "copy"
+
+    def test_free_ops_have_no_kernel(self):
+        tr = Tracer()
+        x = tr.input((4, 8))
+        y = tr.reshape(x, (32,))
+        f = tr.fill((4, 8), 1.0)
+        assert kernel_for_node(tr.graph, y.node) is None
+        assert kernel_for_node(tr.graph, f.node) is None
+        assert kernel_for_node(tr.graph, x.node) is None
+
+    def test_embedding_lowering(self):
+        tr = Tracer()
+        table = tr.param((100, 16))
+        idx = tr.input((8,), dtype="int64")
+        e = tr.embedding(table, idx)
+        kernel = kernel_for_node(tr.graph, e.node)
+        assert kernel.kind == "elementwise"
+        assert kernel.flops_per_element == 0.0
+
+
+class TestElementwiseChains:
+    def test_linear_chain_fused(self):
+        tr = Tracer()
+        x = tr.input((4, 8))
+        y = tr.sigmoid(tr.tanh(tr.relu(x)))
+        chains = elementwise_chains(tr.graph)
+        assert any(len(c) == 3 for c in chains)
+
+    def test_fanout_breaks_chain(self):
+        tr = Tracer()
+        x = tr.input((4, 8))
+        mid = tr.tanh(x)
+        tr.output(tr.sigmoid(mid))
+        tr.output(tr.relu(mid))  # mid has two consumers
+        chains = elementwise_chains(tr.graph)
+        assert all(len(c) == 1 for c in chains)
+
+    def test_shape_change_breaks_chain(self):
+        tr = Tracer()
+        x = tr.input((4, 8))
+        summed = tr.reduce_sum(tr.tanh(x), axis=0)
+        tr.sigmoid(summed)
+        chains = elementwise_chains(tr.graph)
+        chain_of_tanh = next(c for c in chains if len(c) >= 1)
+        assert all(len(c) <= 2 for c in chains)
+
+    def test_pass_boundary_breaks_chain(self, tiny_scrnn):
+        g = tiny_scrnn.graph
+        for chain in elementwise_chains(g):
+            tags = {g.node(nid).pass_tag for nid in chain}
+            assert len(tags) == 1
+
+    def test_restriction_to_subset(self):
+        tr = Tracer()
+        x = tr.input((4, 8))
+        y = tr.tanh(x)
+        z = tr.sigmoid(y)
+        only_z = elementwise_chains(tr.graph, {z.node.node_id})
+        assert only_z == [(z.node.node_id,)]
+
+    def test_fused_kernel_cost_beats_separate(self):
+        tr = Tracer()
+        x = tr.input((256, 256))
+        y = tr.sigmoid(tr.tanh(tr.relu(x)))
+        chain = next(c for c in elementwise_chains(tr.graph) if len(c) == 3)
+        fused = fused_elementwise_kernel(tr.graph, chain)
+        separate = sum(
+            kernel_for_node(tr.graph, tr.graph.node(nid)).duration_us(P100)
+            for nid in chain
+        )
+        assert fused.duration_us(P100) < separate
+
+
+class TestBuildUnits:
+    def test_every_compute_node_covered_or_free(self, tiny_sublstm):
+        g = tiny_sublstm.graph
+        units = build_units(g)
+        covered = {nid for u in units for nid in u.node_ids}
+        for node in g.compute_nodes():
+            if node.op.name in ("reshape", "fill"):
+                continue
+            assert node.node_id in covered, f"missing {node}"
+
+    def test_no_double_coverage(self, tiny_sublstm):
+        units = build_units(tiny_sublstm.graph, fuse_elementwise=True)
+        seen = set()
+        for u in units:
+            for nid in u.node_ids:
+                assert nid not in seen
+                seen.add(nid)
+
+    def test_fusion_reduces_unit_count(self, tiny_sublstm):
+        plain = build_units(tiny_sublstm.graph, fuse_elementwise=False)
+        fused = build_units(tiny_sublstm.graph, fuse_elementwise=True)
+        assert len(fused) < len(plain)
+
+    def test_gemm_library_selectable(self, tiny_scrnn):
+        units = build_units(tiny_scrnn.graph, gemm_library="oai_1")
+        gemms = [u for u in units if u.kernel.kind == "gemm"]
+        assert gemms and all(u.kernel.library == "oai_1" for u in gemms)

@@ -1,0 +1,78 @@
+"""Tests for the ASCII timeline renderer and utilization metrics."""
+
+import pytest
+
+from repro.gpu import GemmLaunch, HostSyncItem, LaunchItem, P100, StreamSimulator
+from repro.runtime.timeline import (
+    TimelineOptions,
+    overlap_fraction,
+    render_timeline,
+    utilization,
+)
+
+
+def run(items):
+    return StreamSimulator(P100).run(items)
+
+
+@pytest.fixture()
+def two_stream_result():
+    g = lambda: GemmLaunch(256, 1024, 1024, "cublas")
+    return run([LaunchItem(g(), 0), LaunchItem(g(), 1), HostSyncItem()])
+
+
+@pytest.fixture()
+def one_stream_result():
+    g = lambda: GemmLaunch(256, 1024, 1024, "cublas")
+    return run([LaunchItem(g(), 0), LaunchItem(g(), 0), HostSyncItem()])
+
+
+class TestRender:
+    def test_rows_per_stream(self, two_stream_result):
+        text = render_timeline(two_stream_result)
+        assert "stream0" in text and "stream1" in text
+        assert "cpu" in text
+
+    def test_gemm_glyph(self, two_stream_result):
+        assert "#" in render_timeline(two_stream_result)
+
+    def test_width_respected(self, two_stream_result):
+        text = render_timeline(two_stream_result, TimelineOptions(width=40))
+        for line in text.splitlines():
+            if line.startswith(("stream", "cpu")):
+                assert len(line) <= 40 + 10
+
+    def test_no_legend_option(self, two_stream_result):
+        text = render_timeline(
+            two_stream_result, TimelineOptions(show_legend=False)
+        )
+        assert "legend" not in text
+
+    def test_empty_result(self):
+        text = render_timeline(run([HostSyncItem()]))
+        assert "0 kernels" in text
+
+
+class TestMetrics:
+    def test_utilization_per_stream(self, two_stream_result):
+        util = utilization(two_stream_result)
+        assert set(util) == {0, 1}
+        assert all(0 < u <= 1 for u in util.values())
+
+    def test_overlap_positive_for_two_streams(self, two_stream_result):
+        assert overlap_fraction(two_stream_result) > 0.5
+
+    def test_overlap_zero_for_single_stream(self, one_stream_result):
+        assert overlap_fraction(one_stream_result) == pytest.approx(0.0, abs=1e-9)
+
+    def test_astra_streams_increase_overlap(self, small_sublstm, device):
+        """Stream adaptation should produce measurable kernel overlap."""
+        from repro import AstraSession
+        from repro.runtime import Executor
+
+        fk = AstraSession(small_sublstm, features="FK", seed=1).optimize()
+        fks = AstraSession(small_sublstm, features="FKS", seed=1).optimize()
+        executor = Executor(small_sublstm.graph, device)
+        fk_overlap = overlap_fraction(executor.run(fk.astra.best_plan).raw)
+        fks_overlap = overlap_fraction(executor.run(fks.astra.best_plan).raw)
+        assert fks_overlap >= fk_overlap

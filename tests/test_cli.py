@@ -1,0 +1,59 @@
+"""Tests for the command-line front-end."""
+
+import pytest
+
+from repro.cli import main, make_parser
+
+
+class TestParser:
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            make_parser().parse_args([])
+
+    def test_defaults(self):
+        args = make_parser().parse_args(["optimize"])
+        assert args.model == "sublstm"
+        assert args.features == "all"
+        assert args.device == "P100"
+
+    def test_unknown_model_rejected(self):
+        with pytest.raises(SystemExit):
+            make_parser().parse_args(["optimize", "--model", "transformer"])
+
+
+class TestCommands:
+    ARGS = ["--model", "sublstm", "--batch", "4", "--seq-len", "2",
+            "--features", "F", "--budget", "20"]
+
+    def test_optimize(self, capsys):
+        assert main(["optimize", *self.ARGS]) == 0
+        out = capsys.readouterr().out
+        assert "speedup" in out
+
+    def test_optimize_verbose(self, capsys):
+        assert main(["optimize", "--verbose", *self.ARGS]) == 0
+        assert "chosen configuration" in capsys.readouterr().out
+
+    def test_sweep(self, capsys):
+        assert main(["sweep", "--batches", "4,8", *self.ARGS]) == 0
+        out = capsys.readouterr().out
+        assert out.count("\n") >= 3
+
+    def test_baselines(self, capsys):
+        assert main(["baselines", *self.ARGS]) == 0
+        out = capsys.readouterr().out
+        assert "native" in out and "astra" in out
+        assert "not applicable" in out  # subLSTM is long-tail
+
+    def test_inspect(self, capsys):
+        assert main(["inspect", *self.ARGS]) == 0
+        out = capsys.readouterr().out
+        assert "fusion groups" in out
+
+    def test_inspect_with_streams(self, capsys):
+        assert main(["inspect", "--features", "FKS", "--model", "sublstm",
+                     "--batch", "4", "--seq-len", "2"]) == 0
+        assert "stream phase" in capsys.readouterr().out
+
+    def test_no_embedding_flag(self, capsys):
+        assert main(["inspect", "--no-embedding", *self.ARGS]) == 0

@@ -1,0 +1,152 @@
+"""Tests for the multi-GPU data-parallel dimension (§3.4 extension)."""
+
+import pytest
+
+from repro.distributed import (
+    NVLINK,
+    PCIE,
+    choose_parallelism,
+    gradient_bytes,
+    measure_degree,
+)
+from repro.models import build_sublstm
+from tests.conftest import TINY
+
+
+class TestInterconnect:
+    def test_allreduce_zero_for_single(self):
+        assert PCIE.allreduce_us(10**6, 1) == 0.0
+
+    def test_allreduce_grows_with_world(self):
+        assert PCIE.allreduce_us(10**6, 4) > PCIE.allreduce_us(10**6, 2)
+
+    def test_allreduce_grows_with_bytes(self):
+        assert PCIE.allreduce_us(10**7, 4) > PCIE.allreduce_us(10**6, 4)
+
+    def test_nvlink_faster_than_pcie(self):
+        assert NVLINK.allreduce_us(10**7, 4) < PCIE.allreduce_us(10**7, 4)
+
+    def test_ring_volume_saturates(self):
+        """Per-replica traffic approaches 2x bytes as N grows (ring
+        all-reduce property), so doubling N far from doubles the time."""
+        t2 = PCIE.allreduce_us(10**7, 2)
+        t16 = PCIE.allreduce_us(10**7, 16)
+        assert t16 < 2.5 * t2
+
+    def test_broadcast(self):
+        assert PCIE.broadcast_us(10**6, 1) == 0.0
+        assert PCIE.broadcast_us(10**6, 4) > 0
+
+
+class TestMeasureDegree:
+    def test_strong_scaling_divides_batch(self):
+        config = TINY.scaled(batch_size=8)
+        m = measure_degree(build_sublstm, config, world=4)
+        assert m.per_replica_batch == 2
+
+    def test_weak_scaling_keeps_batch(self):
+        config = TINY.scaled(batch_size=8)
+        m = measure_degree(build_sublstm, config, world=4, strong_scaling=False)
+        assert m.per_replica_batch == 8
+
+    def test_communication_overlap_bounded(self):
+        config = TINY.scaled(batch_size=8)
+        m = measure_degree(build_sublstm, config, world=4)
+        assert 0 <= m.exposed_comm_us <= m.allreduce_us
+
+    def test_gradient_bytes_counts_params(self, tiny_sublstm):
+        assert gradient_bytes(tiny_sublstm.graph) == sum(
+            n.spec.size_bytes for n in tiny_sublstm.graph.params()
+        )
+
+    def test_astra_inside_replicas(self):
+        """Section 6.7: single-GPU adaptation benefits each replica."""
+        config = TINY.scaled(batch_size=8)
+        plain = measure_degree(build_sublstm, config, world=2)
+        tuned = measure_degree(build_sublstm, config, world=2, use_astra=True)
+        assert tuned.compute_us < plain.compute_us
+        assert tuned.astra_speedup > 1.0
+
+
+class TestChooseParallelism:
+    def test_sorted_by_per_sample_time(self):
+        config = TINY.scaled(batch_size=16)
+        ms = choose_parallelism(build_sublstm, config, degrees=(1, 2, 4))
+        per_sample = [m.per_sample_us for m in ms]
+        assert per_sample == sorted(per_sample)
+
+    def test_fabric_changes_the_answer(self):
+        """The paper's point: the ideal degree depends on the physical
+        network, so it must be measured per deployment."""
+        config = TINY.scaled(batch_size=16, hidden_size=64, embed_size=64)
+        pcie = choose_parallelism(build_sublstm, config, degrees=(1, 2, 4),
+                                  interconnect=PCIE)
+        nvlink = choose_parallelism(build_sublstm, config, degrees=(1, 2, 4),
+                                    interconnect=NVLINK)
+        # NVLink's winner scales at least as far as PCIe's
+        assert nvlink[0].world >= pcie[0].world
+
+    def test_degrees_beyond_batch_skipped(self):
+        config = TINY.scaled(batch_size=2)
+        ms = choose_parallelism(build_sublstm, config, degrees=(1, 2, 4, 8))
+        assert {m.world for m in ms} <= {1, 2, 4, 8}
+
+    def test_scaling_efficiency_baseline(self):
+        config = TINY.scaled(batch_size=16)
+        ms = choose_parallelism(build_sublstm, config, degrees=(1, 2))
+        base = next(m for m in ms if m.world == 1)
+        assert base.scaling_efficiency == pytest.approx(1.0)
+
+
+class TestPipeline:
+    def test_stages_partition_layers(self):
+        from repro.distributed import measure_pipeline
+        from repro.models import build_stacked_lstm
+        import repro.models.stacked_lstm as ST
+
+        cfg = ST.DEFAULT_CONFIG.scaled(batch_size=16, seq_len=3, num_layers=4,
+                                       hidden_size=256, embed_size=256)
+        pipe = measure_pipeline(build_stacked_lstm, cfg, num_stages=2)
+        assert pipe.num_stages == 2
+        all_scopes = [s for stage in pipe.stages for s in stage.scopes]
+        assert sorted(all_scopes) == sorted(set(all_scopes))  # disjoint
+        assert all(stage.compute_us > 0 for stage in pipe.stages)
+
+    def test_bubble_grows_with_stages(self):
+        from repro.distributed import measure_pipeline
+        from repro.models import build_stacked_lstm
+        import repro.models.stacked_lstm as ST
+
+        cfg = ST.DEFAULT_CONFIG.scaled(batch_size=16, seq_len=3, num_layers=4,
+                                       hidden_size=256, embed_size=256)
+        two = measure_pipeline(build_stacked_lstm, cfg, num_stages=2)
+        four = measure_pipeline(build_stacked_lstm, cfg, num_stages=4)
+        # deeper pipelines pay more bubble slots
+        assert four.step_us / four.beat_us > two.step_us / two.beat_us
+
+    def test_too_many_stages_rejected(self):
+        from repro.distributed import measure_pipeline
+        from repro.models import build_sublstm
+
+        with pytest.raises(ValueError):
+            measure_pipeline(build_sublstm, TINY, num_stages=5)
+
+    def test_partitioning_decision_measured(self):
+        from repro.distributed import choose_partitioning
+        from repro.models import build_stacked_lstm
+        import repro.models.stacked_lstm as ST
+
+        cfg = ST.DEFAULT_CONFIG.scaled(batch_size=16, seq_len=3, num_layers=4,
+                                       hidden_size=256, embed_size=256)
+        decisions = choose_partitioning(build_stacked_lstm, cfg, world=2)
+        kinds = {d.kind for d in decisions}
+        assert kinds == {"data", "pipeline"}
+        per_sample = [d.per_sample_us for d in decisions]
+        assert per_sample == sorted(per_sample)
+
+    def test_single_layer_model_has_no_pipeline_option(self):
+        from repro.distributed import choose_partitioning
+        from repro.models import build_sublstm
+
+        decisions = choose_partitioning(build_sublstm, TINY, world=3)
+        assert {d.kind for d in decisions} == {"data"}
