@@ -10,7 +10,9 @@ Layers (bottom-up):
 * :mod:`repro.models` -- the paper's five evaluation models;
 * :mod:`repro.baselines` -- native framework, cuDNN-style, XLA-style;
 * :mod:`repro.core` -- Astra itself: enumerator, adaptive variables,
-  profile index, custom-wirer, public session API.
+  profile index, custom-wirer, public session API;
+* :mod:`repro.obs` -- observability: Chrome-trace export, metrics
+  registry, structured run reports (all zero-cost when disabled).
 """
 
 from .core.enumerator import AstraFeatures

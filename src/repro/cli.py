@@ -3,22 +3,33 @@
 Commands:
 
 * ``optimize``  — trace a model, run the Astra exploration, print the report
+  (``--json`` for a machine-readable document with the convergence curve
+  and profile-index hit rates; ``--metrics-out`` / ``--report-out`` to
+  persist the metrics registry and the per-mini-batch JSONL report)
 * ``sweep``     — speedups across mini-batch sizes for one model
 * ``baselines`` — native / XLA-style / cuDNN-style / Astra side by side
 * ``inspect``   — dump what the enumerator found (fusion groups, strategies,
   epochs) for a model, without running any exploration
+* ``trace``     — emit a Chrome trace-event ``.trace.json`` of one executed
+  mini-batch, openable in Perfetto (https://ui.perfetto.dev) or
+  ``chrome://tracing``; see ``docs/observability.md``
 """
 
 from __future__ import annotations
 
 import argparse
+import json
 import sys
 
 from . import AstraSession
 from .baselines import cudnn_applicable, run_cudnn, run_native, run_xla
+from .baselines.native import native_plan
 from .core import AstraFeatures, Enumerator, count_configurations
 from .gpu import DEVICES, P100
 from .models import MODEL_BUILDERS
+from .obs import MetricsRegistry, RunReporter
+from .obs.trace import PID_GPU, validate_chrome_trace, write_chrome_trace
+from .runtime.executor import Executor
 
 _CONFIG_MODULES = {
     "scrnn": "repro.models.scrnn",
@@ -38,12 +49,42 @@ def _build(args):
     return MODEL_BUILDERS[args.model](config)
 
 
+def _obs_hooks(args) -> tuple[MetricsRegistry | None, RunReporter | None]:
+    """Instantiate observability hooks only when some output wants them."""
+    wants = args.json or args.metrics_out or getattr(args, "report_out", None)
+    if not wants:
+        return None, None
+    return MetricsRegistry(), RunReporter()
+
+
+def _write_obs_outputs(args, metrics, reporter) -> None:
+    if args.metrics_out and metrics is not None:
+        with open(args.metrics_out, "w") as fh:
+            fh.write(metrics.to_json(indent=2))
+    if getattr(args, "report_out", None) and reporter is not None:
+        reporter.write_jsonl(args.report_out)
+
+
 def cmd_optimize(args) -> int:
     model = _build(args)
     device = DEVICES[args.device]
-    session = AstraSession(model, device=device, features=args.features, seed=args.seed)
+    metrics, reporter = _obs_hooks(args)
+    session = AstraSession(
+        model, device=device, features=args.features, seed=args.seed,
+        metrics=metrics, reporter=reporter,
+    )
     report = session.optimize(max_minibatches=args.budget)
     astra = report.astra
+    _write_obs_outputs(args, metrics, reporter)
+    if args.json:
+        doc = reporter.summary(
+            astra, native_time_us=report.native_time_us, metrics=metrics
+        )
+        doc["model"] = args.model
+        doc["batch"] = args.batch
+        doc["device"] = args.device
+        print(json.dumps(doc, indent=2))
+        return 0
     print(f"model: {args.model}  batch={args.batch}  device={args.device}  "
           f"features=Astra_{args.features}")
     print(f"native:   {report.native_time_us / 1000:9.3f} ms/mini-batch")
@@ -62,16 +103,44 @@ def cmd_optimize(args) -> int:
 def cmd_sweep(args) -> int:
     device = DEVICES[args.device]
     batches = [int(b) for b in args.batches.split(",")]
-    print(f"{'batch':>6}  {'native(ms)':>11}  {'astra(ms)':>10}  {'speedup':>8}")
+    rows: list[dict] = []
+    metrics_by_batch: dict[str, dict] = {}
+    if not args.json:
+        print(f"{'batch':>6}  {'native(ms)':>11}  {'astra(ms)':>10}  {'speedup':>8}")
     for batch in batches:
         args.batch = batch
         model = _build(args)
+        metrics, reporter = _obs_hooks(args)
         report = AstraSession(
-            model, device=device, features=args.features, seed=args.seed
+            model, device=device, features=args.features, seed=args.seed,
+            metrics=metrics, reporter=reporter,
         ).optimize(max_minibatches=args.budget)
-        print(f"{batch:6d}  {report.native_time_us / 1000:11.3f}  "
-              f"{report.best_time_us / 1000:10.3f}  "
-              f"{report.speedup_over_native:8.2f}")
+        rows.append({
+            "batch": batch,
+            "native_time_us": report.native_time_us,
+            "astra_time_us": report.best_time_us,
+            "speedup_over_native": report.speedup_over_native,
+            "configs_explored": report.configs_explored,
+            "convergence_curve": (
+                [[s, v] for s, v in reporter.convergence_curve()]
+                if reporter is not None else []
+            ),
+        })
+        if metrics is not None:
+            metrics_by_batch[str(batch)] = metrics.snapshot()
+        if not args.json:
+            print(f"{batch:6d}  {report.native_time_us / 1000:11.3f}  "
+                  f"{report.best_time_us / 1000:10.3f}  "
+                  f"{report.speedup_over_native:8.2f}")
+    if args.metrics_out:
+        with open(args.metrics_out, "w") as fh:
+            json.dump({"version": 1, "metrics_by_batch": metrics_by_batch}, fh,
+                      indent=2)
+    if args.json:
+        print(json.dumps({
+            "version": 1, "model": args.model, "device": args.device,
+            "sweep": rows,
+        }, indent=2))
     return 0
 
 
@@ -127,6 +196,34 @@ def cmd_inspect(args) -> int:
     return 0
 
 
+def cmd_trace(args) -> int:
+    model = _build(args)
+    device = DEVICES[args.device]
+    graph = model.graph
+    if args.plan == "native":
+        plan = native_plan(graph)
+        label = f"{args.model}/native"
+    else:
+        session = AstraSession(
+            model, device=device, features=args.features, seed=args.seed
+        )
+        plan = session.optimize(max_minibatches=args.budget).astra.best_plan
+        label = f"{args.model}/astra"
+    executor = Executor(graph, device, seed=args.seed)
+    lowered = executor.dispatcher.lower(plan)
+    result = executor.run_lowered(lowered).raw
+    out = args.output or f"{args.model}.trace.json"
+    doc = write_chrome_trace(out, result, lowered=lowered, device=device, label=label)
+    summary = validate_chrome_trace(doc)
+    gpu_tracks = sum(1 for pid, _tid in summary["tracks"] if pid == PID_GPU)
+    print(f"wrote {out}: {summary['events']} events, "
+          f"{len(result.records)} kernels on {gpu_tracks} stream track(s) "
+          f"+ CPU dispatch; mini-batch {result.total_time_us / 1000:.3f} ms "
+          f"({plan.label})")
+    print("open it in https://ui.perfetto.dev or chrome://tracing")
+    return 0
+
+
 def make_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro",
@@ -135,8 +232,12 @@ def make_parser() -> argparse.ArgumentParser:
     )
     sub = parser.add_subparsers(dest="command", required=True)
 
-    def common(p):
-        p.add_argument("--model", choices=sorted(MODEL_BUILDERS), default="sublstm")
+    def common(p, positional_model: bool = False):
+        if positional_model:
+            p.add_argument("model", choices=sorted(MODEL_BUILDERS))
+        else:
+            p.add_argument("--model", choices=sorted(MODEL_BUILDERS),
+                           default="sublstm")
         p.add_argument("--batch", type=int, default=16)
         p.add_argument("--seq-len", type=int, default=5, dest="seq_len")
         p.add_argument("--device", choices=sorted(DEVICES), default="P100")
@@ -146,13 +247,23 @@ def make_parser() -> argparse.ArgumentParser:
                        help="max exploration mini-batches")
         p.add_argument("--no-embedding", action="store_true")
 
+    def obs_flags(p):
+        p.add_argument("--json", action="store_true",
+                       help="print a machine-readable JSON report")
+        p.add_argument("--metrics-out", default=None, metavar="PATH",
+                       help="write the metrics-registry snapshot as JSON")
+
     p = sub.add_parser("optimize", help="optimize one training job")
     common(p)
+    obs_flags(p)
+    p.add_argument("--report-out", default=None, metavar="PATH",
+                   help="write the per-mini-batch run report as JSON lines")
     p.add_argument("--verbose", action="store_true")
     p.set_defaults(fn=cmd_optimize)
 
     p = sub.add_parser("sweep", help="speedups across batch sizes")
     common(p)
+    obs_flags(p)
     p.add_argument("--batches", default="8,16,32,64,128,256")
     p.set_defaults(fn=cmd_sweep)
 
@@ -163,6 +274,18 @@ def make_parser() -> argparse.ArgumentParser:
     p = sub.add_parser("inspect", help="dump the enumerator's static analysis")
     common(p)
     p.set_defaults(fn=cmd_inspect)
+
+    p = sub.add_parser(
+        "trace",
+        help="emit a Chrome/Perfetto trace of one executed mini-batch",
+    )
+    common(p, positional_model=True)
+    p.add_argument("-o", "--output", default=None, metavar="PATH",
+                   help="output path (default: <model>.trace.json)")
+    p.add_argument("--plan", choices=["astra", "native"], default="astra",
+                   help="trace the custom-wired plan (runs the exploration "
+                        "first) or the native single-stream baseline")
+    p.set_defaults(fn=cmd_trace)
     return parser
 
 

@@ -64,6 +64,32 @@ class ProfileIndex:
     def __len__(self) -> int:
         return len(self._store)
 
+    # -- observability -------------------------------------------------------
+
+    @property
+    def hits(self) -> int:
+        return self.lookups - self.misses
+
+    @property
+    def hit_rate(self) -> float:
+        """Fraction of :meth:`get` calls answered from the store."""
+        return self.hits / self.lookups if self.lookups else 0.0
+
+    def stats(self) -> dict:
+        return {
+            "entries": len(self._store),
+            "lookups": self.lookups,
+            "misses": self.misses,
+            "hits": self.hits,
+            "hit_rate": self.hit_rate,
+        }
+
+    def observe_into(self, registry) -> None:
+        """Publish entry count and hit rate as gauges into a
+        :class:`~repro.obs.metrics.MetricsRegistry`."""
+        for name, value in self.stats().items():
+            registry.gauge(f"profile_index.{name}").set(value)
+
     def best_under(self, prefix: Key) -> tuple[Key, float] | None:
         """Smallest value among keys sharing ``prefix`` (diagnostics)."""
         best: tuple[Key, float] | None = None

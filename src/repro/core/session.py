@@ -57,6 +57,9 @@ class AstraSession:
         seed: int = 0,
         context: tuple = (),
         index: ProfileIndex | None = None,
+        metrics=None,
+        reporter=None,
+        tracer=None,
     ):
         self.graph = model.graph if isinstance(model, TracedModel) else model
         self.model = model if isinstance(model, TracedModel) else None
@@ -65,7 +68,8 @@ class AstraSession:
             features = AstraFeatures.preset(features)
         self.features = features
         self.wirer = CustomWirer(
-            self.graph, device, features, seed=seed, context=context, index=index
+            self.graph, device, features, seed=seed, context=context, index=index,
+            metrics=metrics, reporter=reporter, tracer=tracer,
         )
 
     def measure_native(self) -> float:

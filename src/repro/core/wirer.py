@@ -19,6 +19,9 @@ from dataclasses import dataclass, field
 
 from ..gpu.device import GPUSpec
 from ..ir.graph import Graph
+from ..obs.metrics import NULL_REGISTRY, MetricsRegistry
+from ..obs.report import KIND_COMPARE, KIND_EXPLORE, KIND_PRODUCTION, NULL_REPORTER, RunReporter
+from ..obs.trace import NULL_TRACER
 from ..runtime.executor import Executor, MiniBatchResult
 from ..runtime.plan import ExecutionPlan
 from .adaptive import AdaptiveVariable, UpdateNode
@@ -27,12 +30,22 @@ from .enumerator import AstraFeatures, BuiltPlan, Enumerator
 from .epochs import EpochPartition
 from .profile_index import ProfileIndex, mangle
 
+#: sentinel distinguishing "variable never assigned" from any real choice
+_UNSET = object()
+
 
 @dataclass
 class PhaseStats:
     name: str
     minibatches: int = 0
     index_hits: int = 0
+
+    @property
+    def index_hit_rate(self) -> float:
+        """Fraction of this phase's configurations answered from the
+        profile index instead of spending a training mini-batch."""
+        total = self.minibatches + self.index_hits
+        return self.index_hits / total if total else 0.0
 
 
 @dataclass
@@ -54,7 +67,7 @@ class AstraReport:
     assignment: dict[str, object] = field(default_factory=dict)
     #: per exploration mini-batch: (phase name, mini-batch time in us);
     #: the work-conservation record -- every entry was real training work
-    timeline: list = field(default_factory=list)
+    timeline: list[tuple[str, float]] = field(default_factory=list)
 
     def amortization(self, native_time_us: float) -> "Amortization":
         """How quickly the exploration pays for itself.
@@ -102,6 +115,9 @@ class CustomWirer:
         seed: int = 0,
         context: tuple = (),
         index: ProfileIndex | None = None,
+        metrics: MetricsRegistry | None = None,
+        reporter: RunReporter | None = None,
+        tracer=None,
     ):
         self.graph = graph
         self.device = device
@@ -110,8 +126,48 @@ class CustomWirer:
         self.executor = Executor(graph, device, seed=seed)
         self.index = index if index is not None else ProfileIndex()
         self.base_context = context
+        # observability hooks; null objects when not requested, so the
+        # instrumented paths cost nothing and change nothing when disabled
+        self.metrics = metrics if metrics is not None else NULL_REGISTRY
+        self.reporter = reporter if reporter is not None else NULL_REPORTER
+        self.tracer = tracer if tracer is not None else NULL_TRACER
         self._overhead_samples: list[float] = []
         self._timeline: list[tuple[str, float]] = []
+        self._last_assignment: dict[str, object] = {}
+        self._best_so_far = float("inf")
+
+    # -- observability plumbing -------------------------------------------
+
+    def _log_minibatch(
+        self,
+        phase: str,
+        time_us: float,
+        context: tuple,
+        assignment: dict[str, object] | None = None,
+        kind: str = KIND_EXPLORE,
+    ) -> None:
+        """One executed mini-batch: timeline entry + metrics + run report.
+
+        Production-mode measurements (``kind == KIND_PRODUCTION``) are
+        logged but excluded from the work-conservation timeline and the
+        configs-explored count -- they happen after exploration ends.
+        """
+        delta: dict[str, object] = {}
+        if assignment:
+            delta = {
+                name: choice for name, choice in assignment.items()
+                if self._last_assignment.get(name, _UNSET) != choice
+            }
+            self._last_assignment.update(assignment)
+        if kind != KIND_PRODUCTION:
+            self._timeline.append((phase, time_us))
+            self._best_so_far = min(self._best_so_far, time_us)
+            self.metrics.counter("astra.configs_explored").inc()
+            self.metrics.series("astra.best_so_far_us").append(self._best_so_far)
+        self.metrics.histogram(f"astra.minibatch_us.{phase}").observe(time_us)
+        self.reporter.minibatch(
+            phase, time_us, context=context, assignment_delta=delta, kind=kind
+        )
 
     # -- measurement plumbing ---------------------------------------------
 
@@ -159,25 +215,31 @@ class CustomWirer:
     ) -> int:
         """Generic explore loop: run current config, record, advance."""
         spent = 0
-        while True:
-            live_vars = [
-                v for v in tree.variables() if not v.measured(self.index, context)
-            ]
-            if live_vars:
-                built = build(tree.assignment(), {v.name for v in live_vars})
-                result = self.executor.run(built.plan)
-                self._overhead_samples.append(result.profiling_overhead_fraction)
-                self._record_measurements(tree, built, result, context)
-                self._timeline.append((stats.name, result.total_time_us))
-                stats.minibatches += 1
-                spent += 1
-            else:
-                stats.index_hits += 1
-            if spent >= budget:
-                tree.finalize(self.index, context)
-                break
-            if not tree.advance(self.index, context):
-                break
+        with self.tracer.span(f"explore/{stats.name}"):
+            while True:
+                live_vars = [
+                    v for v in tree.variables() if not v.measured(self.index, context)
+                ]
+                if live_vars:
+                    assignment = tree.assignment()
+                    built = build(assignment, {v.name for v in live_vars})
+                    result = self.executor.run(built.plan)
+                    self._overhead_samples.append(result.profiling_overhead_fraction)
+                    self._record_measurements(tree, built, result, context)
+                    self._log_minibatch(
+                        stats.name, result.total_time_us, context, assignment
+                    )
+                    stats.minibatches += 1
+                    spent += 1
+                    self.metrics.counter(f"astra.index_misses.{stats.name}").inc()
+                else:
+                    stats.index_hits += 1
+                    self.metrics.counter(f"astra.index_hits.{stats.name}").inc()
+                if spent >= budget:
+                    tree.finalize(self.index, context)
+                    break
+                if not tree.advance(self.index, context):
+                    break
         return spent
 
     def optimize(self, max_minibatches: int = 5000) -> AstraReport:
@@ -249,7 +311,10 @@ class CustomWirer:
             for built, assignment in candidates:
                 result = self.executor.run(built.plan)
                 total_spent += 1
-                self._timeline.append((f"compare/{strategy.label}", result.total_time_us))
+                self._log_minibatch(
+                    f"compare/{strategy.label}", result.total_time_us, context,
+                    assignment, kind=KIND_COMPARE,
+                )
                 measured.append((result.total_time_us, built.plan, assignment))
             best_time, best_plan_local, best_assignment_local = min(
                 measured, key=lambda entry: entry[0]
@@ -278,6 +343,23 @@ class CustomWirer:
             label=best_plan.label + "/production",
         )
         production_time = self.executor.run(production).total_time_us
+        self._log_minibatch(
+            "production", production_time,
+            self.base_context + best_strategy.context_key(),
+            best_assignment, kind=KIND_PRODUCTION,
+        )
+
+        # publish run-level gauges and the profile-index stats
+        self.metrics.gauge("astra.best_time_us").set(production_time)
+        self.metrics.gauge("astra.exploration_time_us").set(exploration_time)
+        self.metrics.gauge("astra.exploration_minibatches").set(total_spent)
+        for stats in phases:
+            self.metrics.gauge(f"astra.index_hit_rate.{stats.name}").set(
+                stats.index_hit_rate
+            )
+        self.index.observe_into(self.metrics)
+        self.tracer.instant("custom-wired", best_time_us=production_time,
+                            strategy=best_strategy.label)
 
         overhead = (
             sum(self._overhead_samples) / len(self._overhead_samples)

@@ -82,7 +82,13 @@ DispatchItem = LaunchItem | RecordEventItem | HostSyncItem | HostComputeItem
 
 @dataclass
 class KernelRecord:
-    """Timing of one executed kernel instance."""
+    """Timing of one executed kernel instance.
+
+    Every record carries its stream and kernel kind (via the uniform
+    ``stream_id`` / ``kind`` accessors) so downstream consumers -- the
+    timeline renderer and the Chrome-trace exporter in
+    :mod:`repro.obs.trace` -- never have to fall back to defaults.
+    """
 
     kernel: Kernel
     stream: int
@@ -93,6 +99,16 @@ class KernelRecord:
     @property
     def duration(self) -> float:
         return self.end_time - self.start_time
+
+    @property
+    def stream_id(self) -> int:
+        """The stream this kernel was dispatched to (alias of ``stream``)."""
+        return self.stream
+
+    @property
+    def kind(self) -> str:
+        """Kernel classification (gemm/elementwise/copy/compound/transfer)."""
+        return self.kernel.kind
 
 
 @dataclass
@@ -115,6 +131,14 @@ class ExecutionResult:
 
     def kernel_time_us(self) -> float:
         return sum(r.duration for r in self.records)
+
+    def stream_ids(self) -> list[int]:
+        """Sorted ids of every stream that executed at least one kernel."""
+        return sorted({r.stream_id for r in self.records})
+
+    def records_for_stream(self, stream: int) -> list[KernelRecord]:
+        """Kernel records dispatched to ``stream``, in dispatch order."""
+        return [r for r in self.records if r.stream_id == stream]
 
 
 class _Running:

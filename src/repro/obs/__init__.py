@@ -1,0 +1,53 @@
+"""Observability: tracing, metrics, and structured run reports.
+
+The subsystem that turns every benchmark run into an inspectable
+artifact (see ``docs/observability.md``):
+
+* :mod:`repro.obs.trace` -- host-side span recording and a Chrome
+  trace-event (Perfetto-compatible) exporter for executed mini-batches;
+* :mod:`repro.obs.metrics` -- counter/gauge/histogram/series registry
+  fed by the custom-wirer and the profile index;
+* :mod:`repro.obs.report` -- JSON-lines per-mini-batch run reports plus
+  a machine-readable summary document.
+
+Everything is zero-cost when disabled: the default hooks are null
+objects, and the trace exporter is a pure function of data the simulator
+already produces -- enabling observability never changes what gets
+dispatched to the (simulated) GPU.
+"""
+
+from .metrics import (
+    NULL_REGISTRY,
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    NullRegistry,
+    Series,
+)
+from .report import (
+    KIND_COMPARE,
+    KIND_EXPLORE,
+    KIND_PRODUCTION,
+    NULL_REPORTER,
+    MiniBatchRecord,
+    NullReporter,
+    RunReporter,
+)
+from .trace import (
+    NULL_TRACER,
+    Tracer,
+    chrome_trace,
+    kernel_args,
+    validate_chrome_trace,
+    write_chrome_trace,
+)
+
+__all__ = [
+    "Counter", "Gauge", "Histogram", "Series",
+    "MetricsRegistry", "NullRegistry", "NULL_REGISTRY",
+    "MiniBatchRecord", "RunReporter", "NullReporter", "NULL_REPORTER",
+    "KIND_EXPLORE", "KIND_COMPARE", "KIND_PRODUCTION",
+    "Tracer", "NULL_TRACER",
+    "chrome_trace", "kernel_args", "validate_chrome_trace", "write_chrome_trace",
+]

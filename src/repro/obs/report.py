@@ -1,0 +1,180 @@
+"""Structured run reports: JSON-lines per-mini-batch records + summary.
+
+Every exploration mini-batch becomes one machine-readable record (phase,
+context key, assignment delta, measured time, best-so-far), so a run can
+be replayed, diffed against another seed, or plotted as a convergence
+curve without re-running anything.  The summary document bundles the
+convergence curve, per-phase profile-index hit rates and (optionally) the
+full serialized :class:`~repro.core.wirer.AstraReport`, following the
+same versioned-JSON conventions as :mod:`repro.serialize`.
+
+:data:`NULL_REPORTER` is the zero-cost disabled variant used when no
+report was requested.
+"""
+
+from __future__ import annotations
+
+import json
+import math
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, Any
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard (serialize -> wirer)
+    from ..core.wirer import AstraReport
+
+#: record kinds, in the order they appear in a run
+KIND_EXPLORE = "explore"
+KIND_COMPARE = "compare"
+KIND_PRODUCTION = "production"
+
+
+@dataclass
+class MiniBatchRecord:
+    """One exploration mini-batch, as logged by the custom-wirer."""
+
+    seq: int
+    phase: str
+    kind: str
+    #: context-mangled prefix the measurements were indexed under
+    context: tuple
+    #: adaptive variables whose choice changed since the previous record
+    assignment_delta: dict[str, str]
+    time_us: float
+    best_so_far_us: float
+
+    def to_dict(self) -> dict:
+        return {
+            "seq": self.seq,
+            "phase": self.phase,
+            "kind": self.kind,
+            "context": list(self.context),
+            "assignment_delta": dict(self.assignment_delta),
+            "time_us": self.time_us,
+            "best_so_far_us": self.best_so_far_us,
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "MiniBatchRecord":
+        return cls(
+            seq=data["seq"],
+            phase=data["phase"],
+            kind=data["kind"],
+            context=tuple(
+                tuple(part) if isinstance(part, list) else part
+                for part in data["context"]
+            ),
+            assignment_delta=dict(data["assignment_delta"]),
+            time_us=data["time_us"],
+            best_so_far_us=data["best_so_far_us"],
+        )
+
+
+@dataclass
+class RunReporter:
+    """Collects per-mini-batch records during one optimization run."""
+
+    enabled: bool = True
+    records: list[MiniBatchRecord] = field(default_factory=list)
+
+    def minibatch(
+        self,
+        phase: str,
+        time_us: float,
+        context: tuple = (),
+        assignment_delta: dict[str, Any] | None = None,
+        kind: str = KIND_EXPLORE,
+    ) -> None:
+        best = min(self.best_so_far(), time_us)
+        self.records.append(MiniBatchRecord(
+            seq=len(self.records),
+            phase=phase,
+            kind=kind,
+            context=tuple(context),
+            # repr keeps arbitrary choice objects JSON-safe, matching the
+            # assignment encoding in serialize.report_to_dict
+            assignment_delta={k: repr(v) for k, v in (assignment_delta or {}).items()},
+            time_us=time_us,
+            best_so_far_us=best,
+        ))
+
+    def best_so_far(self) -> float:
+        return self.records[-1].best_so_far_us if self.records else math.inf
+
+    def convergence_curve(self) -> list[tuple[int, float]]:
+        """(seq, best-so-far end-to-end time) for every logged mini-batch."""
+        return [(r.seq, r.best_so_far_us) for r in self.records]
+
+    # -- serialization ------------------------------------------------------
+
+    def jsonl(self) -> str:
+        """One JSON object per line, one line per mini-batch."""
+        return "\n".join(json.dumps(r.to_dict()) for r in self.records)
+
+    def write_jsonl(self, path) -> None:
+        with open(path, "w") as fh:
+            fh.write(self.jsonl())
+            if self.records:
+                fh.write("\n")
+
+    @classmethod
+    def from_jsonl(cls, text: str) -> "RunReporter":
+        reporter = cls()
+        for line in text.splitlines():
+            line = line.strip()
+            if line:
+                reporter.records.append(MiniBatchRecord.from_dict(json.loads(line)))
+        return reporter
+
+    def summary(
+        self,
+        report: "AstraReport | None" = None,
+        native_time_us: float | None = None,
+        metrics=None,
+    ) -> dict:
+        """Machine-readable summary of the run.
+
+        Includes the convergence curve and, when an ``AstraReport`` is
+        supplied, per-phase profile-index hit rates and the fully
+        serialized report (via :mod:`repro.serialize`).
+        """
+        from .. import serialize  # deferred: serialize imports core.wirer
+
+        doc: dict = {
+            "version": serialize.FORMAT_VERSION,
+            "minibatches": len(self.records),
+            "convergence_curve": [[s, v] for s, v in self.convergence_curve()],
+            "records": [r.to_dict() for r in self.records],
+        }
+        if native_time_us is not None:
+            doc["native_time_us"] = native_time_us
+        if report is not None:
+            doc["astra"] = serialize.report_to_dict(report)
+            doc["phases"] = [
+                {
+                    "name": p.name,
+                    "minibatches": p.minibatches,
+                    "index_hits": p.index_hits,
+                    "index_hit_rate": p.index_hit_rate,
+                }
+                for p in report.phases
+            ]
+            if native_time_us is not None and report.best_time_us > 0:
+                doc["speedup_over_native"] = native_time_us / report.best_time_us
+        if metrics is not None:
+            doc["metrics"] = metrics.snapshot()
+        return doc
+
+
+class NullReporter(RunReporter):
+    """Disabled reporter: records nothing, costs nothing."""
+
+    def __init__(self) -> None:
+        super().__init__(enabled=False)
+
+    def minibatch(self, phase, time_us, context=(), assignment_delta=None,
+                  kind=KIND_EXPLORE) -> None:
+        pass
+
+
+#: shared disabled reporter -- the default in the custom-wirer
+NULL_REPORTER = NullReporter()

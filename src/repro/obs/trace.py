@@ -1,0 +1,307 @@
+"""Span/instant recording and Chrome trace-event export.
+
+Two halves:
+
+* :class:`Tracer` -- a host-side span/instant/counter recorder for the
+  *optimizer itself* (which exploration phase ran when, in wall-clock
+  time).  :data:`NULL_TRACER` is the zero-cost disabled variant.
+* :func:`chrome_trace` -- renders one executed mini-batch
+  (:class:`~repro.gpu.streams.ExecutionResult`, in simulated microseconds)
+  as a Chrome trace-event document openable in Perfetto
+  (https://ui.perfetto.dev) or ``chrome://tracing``: one track per
+  simulated stream with a slice per kernel (args: kind, flops, library,
+  waves, occupancy, unit id), a CPU-dispatch track showing the serialized
+  launch overheads the paper's fusion optimization targets, and flow
+  arrows for every cross-stream wait-event edge.
+
+The exporter is a pure function of data the simulator already produces --
+enabling it launches no extra kernels and records no extra events, so
+traced and untraced executions are cycle-identical.
+"""
+
+from __future__ import annotations
+
+import json
+import math
+import time
+from contextlib import contextmanager, nullcontext
+
+from ..gpu.device import GPUSpec
+from ..gpu.kernels import GemmLaunch, Kernel
+from ..gpu.streams import ExecutionResult, HostComputeItem, LaunchItem
+
+#: trace-event process ids: the dispatch thread and the simulated device
+PID_CPU = 0
+PID_GPU = 1
+
+_VALID_PHASES = {"X", "B", "E", "i", "I", "C", "M", "s", "f", "t"}
+
+
+# ---------------------------------------------------------------------------
+# host-side tracer (spans over the optimizer's own phases)
+# ---------------------------------------------------------------------------
+
+
+class Tracer:
+    """Records host wall-clock spans/instants/counters as trace events."""
+
+    enabled = True
+
+    def __init__(self, clock=time.perf_counter):
+        self._clock = clock
+        self._t0 = clock()
+        self._events: list[dict] = []
+
+    def _now_us(self) -> float:
+        return (self._clock() - self._t0) * 1e6
+
+    @contextmanager
+    def span(self, name: str, cat: str = "astra", **args):
+        start = self._now_us()
+        try:
+            yield self
+        finally:
+            self._events.append({
+                "ph": "X", "pid": PID_CPU, "tid": 0, "name": name, "cat": cat,
+                "ts": start, "dur": self._now_us() - start,
+                "args": args,
+            })
+
+    def instant(self, name: str, cat: str = "astra", **args) -> None:
+        self._events.append({
+            "ph": "i", "s": "t", "pid": PID_CPU, "tid": 0, "name": name,
+            "cat": cat, "ts": self._now_us(), "args": args,
+        })
+
+    def counter(self, name: str, value: float, cat: str = "astra") -> None:
+        self._events.append({
+            "ph": "C", "pid": PID_CPU, "tid": 0, "name": name, "cat": cat,
+            "ts": self._now_us(), "args": {"value": value},
+        })
+
+    def chrome(self) -> dict:
+        events = [_metadata(PID_CPU, 0, "optimizer (host)", "phases")]
+        events.extend(self._events)
+        return {"traceEvents": events, "displayTimeUnit": "ms"}
+
+
+class _NullTracer:
+    """Disabled tracer: span yields nothing, everything else is a no-op."""
+
+    enabled = False
+
+    def span(self, name: str, cat: str = "astra", **args):
+        return nullcontext()
+
+    def instant(self, name: str, cat: str = "astra", **args) -> None:
+        pass
+
+    def counter(self, name: str, value: float, cat: str = "astra") -> None:
+        pass
+
+    def chrome(self) -> dict:
+        return {"traceEvents": [], "displayTimeUnit": "ms"}
+
+
+#: shared disabled tracer -- the default everywhere instrumentation hooks in
+NULL_TRACER = _NullTracer()
+
+
+# ---------------------------------------------------------------------------
+# mini-batch execution -> Chrome trace-event document
+# ---------------------------------------------------------------------------
+
+
+def _metadata(pid: int, tid: int | None, process: str, thread: str | None) -> dict:
+    if tid is None:
+        return {"ph": "M", "pid": pid, "tid": 0, "name": "process_name",
+                "args": {"name": process}}
+    return {"ph": "M", "pid": pid, "tid": tid, "name": "thread_name",
+            "args": {"name": thread}}
+
+
+def kernel_args(kernel: Kernel, device: GPUSpec | None = None) -> dict:
+    """Per-slice args: everything the profiler knows about the launch."""
+    args: dict = {"kind": kernel.kind, "flops": kernel.flops()}
+    node_ids = getattr(kernel, "node_ids", ())
+    if node_ids:
+        args["nodes"] = len(node_ids)
+    if isinstance(kernel, GemmLaunch):
+        args.update(m=kernel.m, k=kernel.k, n=kernel.n, library=kernel.library)
+        if device is not None:
+            plan = kernel.impl.plan(kernel.m, kernel.k, kernel.n, device)
+            args["tiles"] = plan.tiles
+            args["split_k"] = plan.split_k
+            args["waves"] = math.ceil(plan.tiles / device.sm_slots)
+            args["occupancy"] = round(min(1.0, plan.tiles / device.sm_slots), 4)
+    elif kernel.kind == "elementwise":
+        args.update(num_elements=kernel.num_elements, fused_ops=kernel.fused_ops)
+    elif kernel.kind in ("copy", "transfer"):
+        args["bytes_moved"] = kernel.bytes_moved
+        if kernel.kind == "transfer":
+            args["direction"] = kernel.direction
+    elif kernel.kind == "compound":
+        args["efficiency"] = kernel.efficiency
+    if device is not None and kernel.parallelism(device) > 0:
+        args.setdefault(
+            "occupancy",
+            round(min(1.0, kernel.parallelism(device) / device.sm_slots), 4),
+        )
+    return args
+
+
+def chrome_trace(
+    result: ExecutionResult,
+    lowered=None,
+    device: GPUSpec | None = None,
+    label: str = "repro",
+) -> dict:
+    """Render an :class:`ExecutionResult` as a Chrome trace-event document.
+
+    ``lowered`` (a :class:`~repro.runtime.dispatcher.LoweredSchedule`)
+    supplies per-record unit ids and the wait/record edges used to draw
+    cross-stream flow arrows; without it the document still contains every
+    kernel slice and the CPU-dispatch track.
+    """
+    events: list[dict] = [
+        _metadata(PID_CPU, None, f"{label}: CPU dispatch", None),
+        _metadata(PID_CPU, 0, "", "dispatch thread"),
+        _metadata(PID_GPU, None, f"{label}: GPU (simulated)", None),
+    ]
+    for stream in result.stream_ids():
+        events.append(_metadata(PID_GPU, stream, "", f"stream {stream}"))
+
+    record_units = getattr(lowered, "record_units", None) if lowered else None
+    launch_us = device.launch_overhead_us if device is not None else 0.0
+
+    for i, rec in enumerate(result.records):
+        args = kernel_args(rec.kernel, device)
+        args["stream"] = rec.stream_id
+        if record_units is not None and i < len(record_units):
+            args["unit"] = record_units[i]
+        if rec.start_time >= 0:
+            events.append({
+                "ph": "X", "pid": PID_GPU, "tid": rec.stream_id,
+                "name": rec.kernel.name, "cat": rec.kind,
+                "ts": rec.start_time, "dur": max(0.0, rec.duration),
+                "args": args,
+            })
+        # launch overhead on the serialized dispatch thread
+        events.append({
+            "ph": "X", "pid": PID_CPU, "tid": 0,
+            "name": f"launch {rec.kernel.name}", "cat": "dispatch",
+            "ts": max(0.0, rec.issue_time - launch_us), "dur": launch_us,
+            "args": {"stream": rec.stream_id, "kind": rec.kind},
+        })
+
+    events.extend(_flow_events(result, lowered))
+    events.extend(_host_events(lowered))
+
+    return {
+        "traceEvents": events,
+        "displayTimeUnit": "ms",
+        "otherData": {
+            "generator": "repro.obs.trace",
+            "total_time_us": result.total_time_us,
+            "cpu_time_us": result.cpu_time_us,
+            "num_kernels": len(result.records),
+            "num_streams": len(result.stream_ids()),
+        },
+    }
+
+
+def _flow_events(result: ExecutionResult, lowered) -> list[dict]:
+    """Flow arrows for every cross-stream wait-event edge in the schedule."""
+    if lowered is None:
+        return []
+    # the k-th LaunchItem in dispatch order produced result.records[k]
+    launches = [item for item in lowered.items if isinstance(item, LaunchItem)]
+    if len(launches) != len(result.records):
+        return []
+    recorded_by = {
+        item.record: idx for idx, item in enumerate(launches)
+        if item.record is not None
+    }
+    events: list[dict] = []
+    flow_id = 0
+    for idx, item in enumerate(launches):
+        for ev in item.waits:
+            src = recorded_by.get(ev)
+            if src is None:
+                continue
+            producer, consumer = result.records[src], result.records[idx]
+            if producer.stream_id == consumer.stream_id:
+                continue
+            if producer.start_time < 0 or consumer.start_time < 0:
+                continue
+            common = {"cat": "sync", "name": str(ev), "id": flow_id, "pid": PID_GPU}
+            events.append({**common, "ph": "s", "tid": producer.stream_id,
+                           "ts": producer.end_time})
+            events.append({**common, "ph": "f", "bp": "e",
+                           "tid": consumer.stream_id, "ts": consumer.start_time})
+            flow_id += 1
+    return events
+
+
+def _host_events(lowered) -> list[dict]:
+    """Instants marking host-side compute stalls (their exact position on
+    the dispatch timeline is only known to the simulator; the instants
+    record presence and duration for inspection)."""
+    if lowered is None:
+        return []
+    events = []
+    for item in lowered.items:
+        if isinstance(item, HostComputeItem):
+            events.append({
+                "ph": "i", "s": "p", "pid": PID_CPU, "tid": 0,
+                "name": f"host:{item.label}", "cat": "host",
+                "ts": 0.0, "args": {"duration_us": item.duration_us},
+            })
+    return events
+
+
+def write_chrome_trace(path, result: ExecutionResult, lowered=None,
+                       device: GPUSpec | None = None, label: str = "repro") -> dict:
+    """Export and write a ``.trace.json``; returns the document."""
+    doc = chrome_trace(result, lowered=lowered, device=device, label=label)
+    with open(path, "w") as fh:
+        json.dump(doc, fh)
+    return doc
+
+
+def validate_chrome_trace(doc: dict) -> dict:
+    """Validate a document against the Chrome trace-event schema subset we
+    emit; raises :class:`ValueError` on the first violation.
+
+    Returns a summary: event count and the set of (pid, tid) tracks.
+    Used by tests and the CI trace-smoke step.
+    """
+    if not isinstance(doc, dict) or "traceEvents" not in doc:
+        raise ValueError("trace document must be an object with 'traceEvents'")
+    events = doc["traceEvents"]
+    if not isinstance(events, list):
+        raise ValueError("'traceEvents' must be a list")
+    tracks: set[tuple[int, int]] = set()
+    for n, ev in enumerate(events):
+        if not isinstance(ev, dict):
+            raise ValueError(f"event {n} is not an object")
+        ph = ev.get("ph")
+        if ph not in _VALID_PHASES:
+            raise ValueError(f"event {n} has invalid phase {ph!r}")
+        for field in ("pid", "tid"):
+            if not isinstance(ev.get(field), int):
+                raise ValueError(f"event {n} missing integer {field!r}")
+        if "name" not in ev:
+            raise ValueError(f"event {n} missing 'name'")
+        if ph != "M":
+            ts = ev.get("ts")
+            if not isinstance(ts, (int, float)) or ts < 0:
+                raise ValueError(f"event {n} has invalid ts {ts!r}")
+        if ph == "X":
+            dur = ev.get("dur")
+            if not isinstance(dur, (int, float)) or dur < 0:
+                raise ValueError(f"event {n} has invalid dur {dur!r}")
+            tracks.add((ev["pid"], ev["tid"]))
+        if ph in ("s", "f") and "id" not in ev:
+            raise ValueError(f"flow event {n} missing 'id'")
+    return {"events": len(events), "tracks": sorted(tracks)}

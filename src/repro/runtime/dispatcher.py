@@ -9,7 +9,7 @@ only in the :class:`~repro.runtime.plan.ExecutionPlan` handed in.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 
 from ..gpu.events import EventId, EventNamespace
 from ..gpu.streams import (
@@ -33,6 +33,9 @@ class LoweredSchedule:
     unit_stream: dict[int, int]
     plan: ExecutionPlan
     graph: Graph
+    #: unit id of every launched kernel, in record order (pre-copies carry
+    #: their owning unit's id); consumed by the Chrome-trace exporter
+    record_units: list[int] = field(default_factory=list)
 
 
 def topological_units(units: list[Unit], deps: dict[int, set[int]]) -> list[Unit]:
@@ -143,6 +146,7 @@ class Dispatcher:
         items: list[DispatchItem] = []
         unit_record_index: dict[int, int] = {}
         unit_stream: dict[int, int] = {}
+        record_units: list[int] = []
         record_counter = 0
 
         # which units need a completion event: any unit consumed from a
@@ -199,6 +203,7 @@ class Dispatcher:
                 )
                 unit_record_index[uid] = record_counter + len(unit.pre_copies)
                 record_counter += 1 + len(unit.pre_copies)
+                record_units.extend([uid] * (1 + len(unit.pre_copies)))
 
             issued.add(uid)
             if uid in barrier_pending:
@@ -212,4 +217,5 @@ class Dispatcher:
             unit_stream=unit_stream,
             plan=plan,
             graph=self.graph,
+            record_units=record_units,
         )

@@ -76,8 +76,13 @@ class Executor:
             record = result.records[idx]
             elapsed = record.duration
             # charge the unit for its gather copies: they exist only because
-            # of this unit's fusion/allocation choice
+            # of this unit's fusion/allocation choice.  A hand-built schedule
+            # may map a unit near the head of the record list; never walk
+            # past index 0 (a negative index would silently charge the
+            # wrong record from the tail).
             for back in range(1, len(unit.pre_copies) + 1):
+                if idx - back < 0:
+                    break
                 elapsed += result.records[idx - back].duration
             times[unit.unit_id] = elapsed
         return times
@@ -96,7 +101,7 @@ class Executor:
             if idx is None:
                 continue
             record = result.records[idx]
-            first = idx - len(unit.pre_copies)
+            first = max(0, idx - len(unit.pre_copies))
             start = result.records[first].start_time
             se = unit.super_epoch
             starts[se] = min(starts.get(se, float("inf")), start)

@@ -4,6 +4,10 @@ Debugging aid for stream adaptation: renders one executed mini-batch as a
 Gantt chart -- one row per stream plus the CPU dispatch row -- so the
 overlap (or lack of it) that the epoch metrics measure is visible at a
 glance.  Used by the examples and handy in tests.
+
+For an interactive, zoomable view of the same data, export a Chrome
+trace instead (:func:`repro.obs.trace.chrome_trace`) and open it in
+Perfetto -- see ``docs/observability.md``.
 """
 
 from __future__ import annotations
@@ -37,7 +41,7 @@ def render_timeline(result: ExecutionResult, options: TimelineOptions | None = N
     total = max(result.total_time_us, 1e-9)
     scale = width / total
 
-    streams = sorted({r.stream for r in result.records})
+    streams = result.stream_ids()
     lines = [f"timeline: {total:.0f}us total, {len(result.records)} kernels, "
              f"{len(streams)} stream(s)"]
 
@@ -50,12 +54,12 @@ def render_timeline(result: ExecutionResult, options: TimelineOptions | None = N
 
     for stream in streams:
         row = [" "] * width
-        for record in result.records:
-            if record.stream != stream or record.start_time < 0:
+        for record in result.records_for_stream(stream):
+            if record.start_time < 0:
                 continue
             begin = min(width - 1, int(record.start_time * scale))
             end = min(width, max(begin + 1, int(record.end_time * scale)))
-            glyph = _GLYPHS.get(record.kernel.kind, "+")
+            glyph = _GLYPHS.get(record.kind, "+")
             for i in range(begin, end):
                 row[i] = glyph
         lines.append(f"stream{stream} " + "".join(row))

@@ -183,9 +183,11 @@ def report_to_dict(report: AstraReport | SessionReport) -> dict:
         "best_strategy": report.best_strategy.label,
         "strategy_times": {str(k): v for k, v in report.strategy_times.items()},
         "phases": [
-            {"name": p.name, "minibatches": p.minibatches, "index_hits": p.index_hits}
+            {"name": p.name, "minibatches": p.minibatches, "index_hits": p.index_hits,
+             "index_hit_rate": p.index_hit_rate}
             for p in report.phases
         ],
+        "timeline": [[phase, t] for phase, t in report.timeline],
         "assignment": {k: repr(v) for k, v in report.assignment.items()},
         "plan": plan_to_dict(report.best_plan),
     }

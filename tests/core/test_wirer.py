@@ -136,3 +136,71 @@ class TestRobustness:
         model = build_sublstm(TINY.scaled(train=False))
         rep = AstraSession(model, features="F", seed=0).optimize()
         assert rep.speedup_over_native >= 1.0
+
+
+class TestObservability:
+    """The obs hooks observe the exploration; they must never steer it."""
+
+    def test_disabled_observability_changes_nothing(self, tiny_sublstm):
+        from repro.obs import MetricsRegistry, RunReporter
+        from repro.obs.trace import Tracer
+
+        plain = AstraSession(tiny_sublstm, features="FK", seed=2).optimize()
+        observed = AstraSession(
+            tiny_sublstm, features="FK", seed=2,
+            metrics=MetricsRegistry(), reporter=RunReporter(), tracer=Tracer(),
+        ).optimize()
+        assert observed.best_time_us == plain.best_time_us
+        assert observed.configs_explored == plain.configs_explored
+        assert observed.astra.timeline == plain.astra.timeline
+        assert observed.astra.assignment == plain.astra.assignment
+
+    def test_metrics_agree_with_report(self, tiny_sublstm):
+        from repro.obs import MetricsRegistry
+
+        metrics = MetricsRegistry()
+        rep = AstraSession(
+            tiny_sublstm, features="FK", seed=0, metrics=metrics
+        ).optimize()
+        astra = rep.astra
+        assert metrics.counter("astra.configs_explored").value == astra.configs_explored
+        assert metrics.gauge("astra.best_time_us").value == astra.best_time_us
+        assert metrics.gauge("profile_index.entries").value == astra.profile_entries
+        for phase in astra.phases:
+            gauge = metrics.gauge(f"astra.index_hit_rate.{phase.name}")
+            assert gauge.value == pytest.approx(phase.index_hit_rate)
+            hits = metrics.counter(f"astra.index_hits.{phase.name}").value
+            assert hits == phase.index_hits
+
+    def test_best_so_far_series_is_non_increasing(self, tiny_sublstm):
+        from repro.obs import MetricsRegistry
+
+        metrics = MetricsRegistry()
+        AstraSession(
+            tiny_sublstm, features="FK", seed=0, metrics=metrics
+        ).optimize()
+        values = [v for _s, v in metrics.series("astra.best_so_far_us").points]
+        assert values == sorted(values, reverse=True)
+        assert len(values) >= 2
+
+    def test_phase_stats_hit_rate(self):
+        from repro.core import PhaseStats
+
+        stats = PhaseStats(name="fk", minibatches=3, index_hits=1)
+        assert stats.index_hit_rate == pytest.approx(0.25)
+        assert PhaseStats(name="empty").index_hit_rate == 0.0
+
+    def test_shared_index_raises_hit_rate_on_rerun(self, tiny_sublstm):
+        """Re-optimizing with a warm profile index should answer phases
+        from the index -- visible in the new hit-rate metric."""
+        index = ProfileIndex()
+        first = AstraSession(
+            tiny_sublstm, features="FK", seed=0, index=index
+        ).optimize()
+        second = AstraSession(
+            tiny_sublstm, features="FK", seed=0, index=index
+        ).optimize()
+        cold = [p.index_hit_rate for p in first.astra.phases]
+        warm = [p.index_hit_rate for p in second.astra.phases]
+        assert all(w >= c for w, c in zip(warm, cold))
+        assert any(w > 0 for w in warm)

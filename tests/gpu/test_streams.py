@@ -231,3 +231,41 @@ def test_property_work_conservation(seed, n):
     assert res.kernel_time_us() == pytest.approx(
         sum(k.duration_us(P100) for k in kernels), rel=1e-9
     )
+
+
+class TestRecordFields:
+    """Every record must carry stream id and kernel kind uniformly -- the
+    Chrome-trace exporter relies on never falling back to defaults."""
+
+    def test_every_record_carries_stream_id_and_kind(self):
+        ns = EventNamespace()
+        ev = ns.new_event("x")
+        items = [
+            LaunchItem(gemm(), 0, record=ev),
+            LaunchItem(ElementwiseLaunch(num_elements=4096), 1, waits=(ev,)),
+            LaunchItem(gemm(lib="oai_1"), 1),
+            HostSyncItem(),
+        ]
+        res = run(items)
+        assert len(res.records) == 3
+        for record in res.records:
+            assert record.stream_id == record.stream
+            assert isinstance(record.stream_id, int) and record.stream_id >= 0
+            assert record.kind == record.kernel.kind
+            assert record.kind in ("gemm", "elementwise", "copy", "compound",
+                                   "transfer")
+        assert [r.kind for r in res.records] == ["gemm", "elementwise", "gemm"]
+        assert [r.stream_id for r in res.records] == [0, 1, 1]
+
+    def test_stream_ids_sorted_and_complete(self):
+        ns = EventNamespace()
+        ev = ns.new_event("x")
+        items = [
+            LaunchItem(gemm(), 2, record=ev),
+            LaunchItem(gemm(), 0, waits=(ev,)),
+            HostSyncItem(),
+        ]
+        res = run(items)
+        assert res.stream_ids() == [0, 2]
+        assert [r.stream_id for r in res.records_for_stream(2)] == [2]
+        assert res.records_for_stream(1) == []

@@ -1,0 +1,95 @@
+"""Tests for the counter/gauge/histogram/series registry."""
+
+import json
+
+import pytest
+
+from repro.obs import NULL_REGISTRY, MetricsRegistry
+
+
+class TestInstruments:
+    def test_counter(self):
+        reg = MetricsRegistry()
+        reg.counter("c").inc()
+        reg.counter("c").inc(4)
+        assert reg.counter("c").value == 5
+
+    def test_gauge_last_write_wins(self):
+        reg = MetricsRegistry()
+        reg.gauge("g").set(1.5)
+        reg.gauge("g").set(2.5)
+        assert reg.gauge("g").value == 2.5
+
+    def test_histogram_stats(self):
+        reg = MetricsRegistry()
+        h = reg.histogram("h")
+        for v in (1.0, 3.0, 5.0):
+            h.observe(v)
+        assert h.count == 3
+        assert h.mean == pytest.approx(3.0)
+        assert h.min == 1.0 and h.max == 5.0
+
+    def test_histogram_power_of_two_buckets(self):
+        reg = MetricsRegistry()
+        h = reg.histogram("h")
+        h.observe(3.0)   # -> bucket 4
+        h.observe(4.0)   # -> bucket 4
+        h.observe(5.0)   # -> bucket 8
+        h.observe(0.0)   # -> bucket 0
+        assert h.buckets == {4.0: 2, 8.0: 1, 0.0: 1}
+
+    def test_series_auto_steps(self):
+        reg = MetricsRegistry()
+        s = reg.series("s")
+        s.append(10.0)
+        s.append(9.0)
+        s.append(8.5, step=10)
+        assert s.points == [(0, 10.0), (1, 9.0), (10, 8.5)]
+        assert s.last == 8.5
+
+
+class TestRegistry:
+    def test_get_or_create_returns_same_instrument(self):
+        reg = MetricsRegistry()
+        assert reg.counter("x") is reg.counter("x")
+
+    def test_kind_conflict_rejected(self):
+        reg = MetricsRegistry()
+        reg.counter("x")
+        with pytest.raises(TypeError):
+            reg.gauge("x")
+
+    def test_snapshot_round_trips_through_json(self):
+        reg = MetricsRegistry()
+        reg.counter("a").inc(2)
+        reg.gauge("b").set(0.5)
+        reg.histogram("c").observe(7.0)
+        reg.series("d").append(1.0)
+        data = json.loads(reg.to_json())
+        assert data["version"] == 1
+        snap = data["metrics"]
+        assert snap["a"] == {"type": "counter", "value": 2}
+        assert snap["b"]["value"] == 0.5
+        assert snap["c"]["count"] == 1
+        assert snap["d"]["points"] == [[0, 1.0]]
+
+    def test_snapshot_sorted_by_name(self):
+        reg = MetricsRegistry()
+        reg.counter("z")
+        reg.counter("a")
+        assert list(reg.snapshot()) == ["a", "z"]
+
+
+class TestNullRegistry:
+    def test_all_operations_are_noops(self):
+        NULL_REGISTRY.counter("c").inc()
+        NULL_REGISTRY.gauge("g").set(1.0)
+        NULL_REGISTRY.histogram("h").observe(1.0)
+        NULL_REGISTRY.series("s").append(1.0)
+        assert NULL_REGISTRY.snapshot() == {}
+        assert not NULL_REGISTRY.enabled
+
+    def test_shared_instrument_never_accumulates(self):
+        c = NULL_REGISTRY.counter("c")
+        c.inc(100)
+        assert c.value == 0

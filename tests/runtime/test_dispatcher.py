@@ -184,3 +184,30 @@ class TestUnitValidation:
         plan = ExecutionPlan(units=units)
         with pytest.raises(ValueError):
             plan.validate_covering()
+
+
+class TestRecordUnits:
+    """Lowering metadata for the trace exporter: one unit id per launched
+    kernel, in record order, pre-copies tagged with their owner."""
+
+    def test_record_units_cover_every_launch(self, diamond):
+        graph, units = diamond
+        lowered = Dispatcher(graph).lower(ExecutionPlan(units=units))
+        launches = [i for i in lowered.items if isinstance(i, LaunchItem)]
+        assert len(lowered.record_units) == len(launches)
+        assert set(lowered.record_units) == {u.unit_id for u in units}
+
+    def test_pre_copies_tagged_with_owner(self, diamond):
+        from repro.gpu.kernels import CopyLaunch
+
+        graph, units = diamond
+        copy = CopyLaunch(bytes_moved=4096)
+        units[2] = Unit(
+            units[2].unit_id, units[2].kernel, units[2].node_ids,
+            pre_copies=(copy,),
+        )
+        lowered = Dispatcher(graph).lower(ExecutionPlan(units=units))
+        uid = units[2].unit_id
+        main_idx = lowered.unit_record_index[uid]
+        assert lowered.record_units[main_idx] == uid
+        assert lowered.record_units[main_idx - 1] == uid  # the pre-copy

@@ -98,3 +98,62 @@ class TestProfilingOverhead:
         t1 = executor.run(plan).total_time_us
         t2 = executor.run(plan).total_time_us
         assert t1 == t2
+
+
+class TestMeasurementEdgeCases:
+    def test_pre_copy_walk_never_wraps_negative(self, chain_graph):
+        """Regression: a hand-built schedule that maps a unit with
+        pre-copies to the head of the record list must not walk to a
+        negative index (which would silently charge the *last* record)."""
+        from repro.gpu.streams import HostSyncItem, LaunchItem
+        from repro.runtime.dispatcher import LoweredSchedule
+
+        graph, yid, zid = chain_graph
+        main = GemmLaunch(32, 64, 64, "cublas")
+        other = GemmLaunch(32, 64, 64, "oai_1")
+        copy = CopyLaunch(bytes_moved=1_000_000)
+        # the unit claims a pre-copy, but its main kernel is record 0
+        unit = Unit(0, main, (yid,), pre_copies=(copy,))
+        plan = ExecutionPlan(units=[unit])
+        lowered = LoweredSchedule(
+            items=[LaunchItem(main, 0), LaunchItem(other, 0), HostSyncItem()],
+            unit_record_index={0: 0},
+            unit_stream={0: 0},
+            plan=plan,
+            graph=graph,
+        )
+        result = Executor(graph, P100).run_lowered(lowered)
+        # only the main kernel is charged; records[-1] (the other GEMM)
+        # must not leak into the measurement
+        assert result.unit_times[0] == pytest.approx(main.duration_us(P100))
+
+    def test_overhead_fraction_zero_total(self):
+        from repro.gpu.streams import ExecutionResult
+        from repro.runtime.executor import MiniBatchResult
+
+        raw = ExecutionResult(
+            total_time_us=0.0, cpu_time_us=0.0, records=[], event_times={}
+        )
+        result = MiniBatchResult(
+            total_time_us=0.0, cpu_time_us=0.0, profiling_overhead_us=0.0,
+            unit_times={}, epoch_metrics={}, raw=raw,
+        )
+        assert result.profiling_overhead_fraction == 0.0
+
+    def test_negative_super_epoch_excluded_from_epoch_metrics(self, chain_graph):
+        graph, yid, zid = chain_graph
+        u0 = Unit(0, GemmLaunch(32, 64, 64, "cublas"), (yid,))
+        u1 = Unit(1, GemmLaunch(32, 64, 64, "cublas"), (zid,))
+        u0.super_epoch, u0.epoch = -1, 0   # pre-assignment sentinel
+        u1.super_epoch, u1.epoch = 0, 0
+        result = Executor(graph, P100).run(ExecutionPlan(units=[u0, u1]))
+        assert set(result.epoch_metrics) == {(0, 0)}
+
+    def test_all_negative_super_epochs_yield_empty_metrics(self, chain_graph):
+        graph, yid, zid = chain_graph
+        u0 = Unit(0, GemmLaunch(32, 64, 64, "cublas"), (yid,))
+        u1 = Unit(1, GemmLaunch(32, 64, 64, "cublas"), (zid,))
+        u0.super_epoch, u0.epoch = -1, -1
+        u1.super_epoch, u1.epoch = -1, -1
+        result = Executor(graph, P100).run(ExecutionPlan(units=[u0, u1]))
+        assert result.epoch_metrics == {}

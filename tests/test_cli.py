@@ -57,3 +57,81 @@ class TestCommands:
 
     def test_no_embedding_flag(self, capsys):
         assert main(["inspect", "--no-embedding", *self.ARGS]) == 0
+
+
+class TestObservabilityFlags:
+    ARGS = ["--model", "sublstm", "--batch", "4", "--seq-len", "2",
+            "--features", "F", "--budget", "20"]
+
+    def test_optimize_json(self, capsys):
+        import json
+
+        assert main(["optimize", "--json", *self.ARGS]) == 0
+        doc = json.loads(capsys.readouterr().out)
+        assert doc["model"] == "sublstm"
+        assert doc["convergence_curve"]
+        best = [v for _s, v in doc["convergence_curve"]]
+        assert best == sorted(best, reverse=True)
+        assert all("index_hit_rate" in p for p in doc["phases"])
+        assert "profile_index.hit_rate" in doc["metrics"]
+        assert doc["speedup_over_native"] > 0
+
+    def test_optimize_metrics_and_report_out(self, capsys, tmp_path):
+        import json
+
+        metrics_path = tmp_path / "metrics.json"
+        report_path = tmp_path / "run.jsonl"
+        assert main(["optimize", "--metrics-out", str(metrics_path),
+                     "--report-out", str(report_path), *self.ARGS]) == 0
+        assert "speedup" in capsys.readouterr().out  # human output intact
+        metrics = json.loads(metrics_path.read_text())
+        assert "astra.configs_explored" in metrics["metrics"]
+        lines = report_path.read_text().strip().splitlines()
+        records = [json.loads(line) for line in lines]
+        assert all({"phase", "context", "assignment_delta", "time_us"}
+                   <= set(r) for r in records)
+
+    def test_sweep_json(self, capsys):
+        import json
+
+        assert main(["sweep", "--json", "--batches", "4,8", *self.ARGS]) == 0
+        doc = json.loads(capsys.readouterr().out)
+        assert [row["batch"] for row in doc["sweep"]] == [4, 8]
+        assert all(row["convergence_curve"] for row in doc["sweep"])
+
+
+class TestTraceCommand:
+    def test_trace_positional_model(self, capsys, tmp_path):
+        import json
+
+        from repro.obs.trace import PID_GPU, validate_chrome_trace
+
+        out = tmp_path / "out.trace.json"
+        assert main(["trace", "scrnn", "--batch", "8", "--budget", "200",
+                     "-o", str(out)]) == 0
+        assert "wrote" in capsys.readouterr().out
+        doc = json.loads(out.read_text())
+        summary = validate_chrome_trace(doc)
+        gpu_tracks = {tid for pid, tid in summary["tracks"] if pid == PID_GPU}
+        assert len(gpu_tracks) >= 2          # stream adaptation won
+        assert (0, 0) in summary["tracks"]   # CPU dispatch track
+        gemms = [e for e in doc["traceEvents"]
+                 if e["ph"] == "X" and e.get("cat") == "gemm"]
+        assert gemms
+        assert all({"library", "waves", "unit"} <= set(e["args"]) for e in gemms)
+
+    def test_trace_native_plan(self, capsys, tmp_path):
+        out = tmp_path / "native.trace.json"
+        assert main(["trace", "sublstm", "--batch", "4", "--seq-len", "2",
+                     "--plan", "native", "-o", str(out)]) == 0
+        assert out.exists()
+
+    def test_trace_default_output_name(self, capsys, tmp_path, monkeypatch):
+        monkeypatch.chdir(tmp_path)
+        assert main(["trace", "sublstm", "--batch", "4", "--seq-len", "2",
+                     "--plan", "native"]) == 0
+        assert (tmp_path / "sublstm.trace.json").exists()
+
+    def test_trace_requires_model(self):
+        with pytest.raises(SystemExit):
+            make_parser().parse_args(["trace"])
