@@ -12,13 +12,27 @@ Layers (bottom-up):
 * :mod:`repro.core` -- Astra itself: enumerator, adaptive variables,
   profile index, custom-wirer, public session API;
 * :mod:`repro.obs` -- observability: Chrome-trace export, metrics
-  registry, structured run reports (all zero-cost when disabled).
+  registry, structured run reports (all zero-cost when disabled);
+* :mod:`repro.check` -- schedule-correctness validation: static
+  race/liveness/layout checking of lowered schedules, the oracle behind
+  ``Executor(validate=True)`` and ``repro check``.
 """
 
+from .check import ScheduleValidationError, ValidationReport, validate_schedule
 from .core.enumerator import AstraFeatures
 from .core.session import AstraSession, SessionReport
 from .gpu.device import P100, V100, GPUSpec
 
 __version__ = "1.0.0"
 
-__all__ = ["AstraFeatures", "AstraSession", "SessionReport", "P100", "V100", "GPUSpec"]
+__all__ = [
+    "AstraFeatures",
+    "AstraSession",
+    "SessionReport",
+    "P100",
+    "V100",
+    "GPUSpec",
+    "ScheduleValidationError",
+    "ValidationReport",
+    "validate_schedule",
+]

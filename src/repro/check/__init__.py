@@ -1,0 +1,70 @@
+"""Schedule-correctness subsystem: static race/liveness validation.
+
+Astra's exploration is only trustworthy if every configuration it tries
+-- stream assignments, dispatch orders, fusion ladders, allocation
+strategies -- still respects the DFG's data dependencies and memory
+lifetimes.  This package is the oracle: it reconstructs the simulator's
+happens-before guarantees from a lowered schedule
+(:class:`~repro.check.hb.HappensBefore`), checks every dependency edge
+and allocation decision against them, and reports typed
+:class:`~repro.check.violations.Violation`\\ s.
+
+Entry points: :func:`validate_schedule` / :func:`assert_valid` for one
+lowered schedule, ``Executor(validate=True)`` for validated execution,
+and the ``repro check <model>`` CLI command.  See ``docs/validation.md``.
+"""
+
+from .hb import HappensBefore
+from .memory import (
+    FreeEvent,
+    check_arena_layout,
+    check_frees,
+    check_reuse_plan,
+    derive_frees,
+    schedule_node_order,
+    tensor_accessors,
+)
+from .races import check_races, dependency_edges, unit_item_spans
+from .validate import assert_valid, validate_schedule
+from .violations import (
+    ALL_KINDS,
+    DEADLOCK,
+    DOUBLE_FREE,
+    GROUP_BROKEN,
+    GROUP_OVERLAP,
+    MISSING_EVENT,
+    RAW_RACE,
+    USE_WHILE_FREED,
+    WAR_RACE,
+    ScheduleValidationError,
+    ValidationReport,
+    Violation,
+)
+
+__all__ = [
+    "ALL_KINDS",
+    "DEADLOCK",
+    "DOUBLE_FREE",
+    "GROUP_BROKEN",
+    "GROUP_OVERLAP",
+    "MISSING_EVENT",
+    "RAW_RACE",
+    "USE_WHILE_FREED",
+    "WAR_RACE",
+    "FreeEvent",
+    "HappensBefore",
+    "ScheduleValidationError",
+    "ValidationReport",
+    "Violation",
+    "assert_valid",
+    "check_arena_layout",
+    "check_frees",
+    "check_races",
+    "check_reuse_plan",
+    "dependency_edges",
+    "derive_frees",
+    "schedule_node_order",
+    "tensor_accessors",
+    "unit_item_spans",
+    "validate_schedule",
+]

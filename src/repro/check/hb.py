@@ -1,0 +1,243 @@
+"""Happens-before closure over a lowered dispatch-item list.
+
+This module statically reconstructs the ordering guarantees the
+discrete-event simulator (:mod:`repro.gpu.streams`) actually provides,
+so the race detector can ask "does item *i* always complete before item
+*j* starts?" without running anything.
+
+The model mirrors the simulator's semantics exactly:
+
+* **same-stream FIFO** -- a stream executes its kernels one at a time in
+  launch order, so each :class:`LaunchItem` happens after the previous
+  launch on its stream;
+* **record/wait events** -- an event completes when its recording work
+  completes (a ``record=`` on a launch stamps at that kernel's end; a
+  bare :class:`RecordEventItem` piggybacks on the last kernel launched
+  into its stream, or completes immediately if the stream is idle);
+  a waiting launch starts only after every waited event completes;
+* **dispatch barriers** -- :class:`HostSyncItem` blocks the dispatch
+  thread (on one event, or on *all* in-flight work when ``event is
+  None``), and :class:`HostComputeItem` stalls it for its duration; in
+  both cases nothing dispatched later can start before the barrier
+  resolves.
+
+The relation is built as a DAG over *ordering nodes*: one per work item
+(launch / host compute) plus virtual nodes for event records and
+barriers.  An edge ``a -> b`` means "a completes before b starts".  The
+closure is a bitset reachability computed in topological order; a cycle
+means the schedule deadlocks (the simulator would raise at runtime),
+and a wait on an event no item ever records is reported as
+``missing-event``.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+
+from ..gpu.events import EventId
+from ..gpu.streams import (
+    DispatchItem,
+    HostComputeItem,
+    HostSyncItem,
+    LaunchItem,
+    RecordEventItem,
+)
+from .violations import DEADLOCK, MISSING_EVENT, Violation
+
+
+class HappensBefore:
+    """Static happens-before relation for one dispatch-item list.
+
+    ``item_units`` maps item indices (launches and host computes) to the
+    schedule unit that emitted them; it is only used to attribute
+    violations to units and may be partial.
+    """
+
+    def __init__(
+        self,
+        items: list[DispatchItem],
+        item_units: dict[int, int] | None = None,
+    ):
+        self.items = items
+        self.item_units = dict(item_units or {})
+        #: missing-event / deadlock violations found while building
+        self.violations: list[Violation] = []
+        #: number of launch + host-compute items (the race detector's nodes)
+        self.work_count = 0
+        #: number of distinct events the schedule records
+        self.event_count = 0
+
+        self._item_node: dict[int, int] = {}
+        self._node_item: list[int | None] = []
+        self._in_edges: list[list[int]] = []
+        self._labels: list[str] = []
+        self._build()
+        self._close()
+
+    # -- construction ----------------------------------------------------
+
+    def _new_node(self, label: str, item_index: int | None = None) -> int:
+        nid = len(self._in_edges)
+        self._in_edges.append([])
+        self._labels.append(label)
+        self._node_item.append(item_index)
+        if item_index is not None:
+            self._item_node[item_index] = nid
+        return nid
+
+    def _build(self) -> None:
+        last_on_stream: dict[int, int] = {}
+        last_barrier: int | None = None
+        # event -> ordering node whose completion stamps it (first record wins,
+        # matching the simulator: once stamped, an event stays complete)
+        event_source: dict[EventId, int] = {}
+        # (waiting node, event, waiting item index) resolved after the walk,
+        # because a wait may legally name an event recorded later in dispatch
+        # order (cross-stream); unresolvable waits are missing-event.
+        pending_waits: list[tuple[int, EventId, int]] = []
+
+        for idx, item in enumerate(self.items):
+            if isinstance(item, LaunchItem):
+                node = self._new_node(
+                    f"launch[{idx}] {item.kernel.name} s{item.stream}", idx
+                )
+                self.work_count += 1
+                edges = self._in_edges[node]
+                prev = last_on_stream.get(item.stream)
+                if prev is not None:
+                    edges.append(prev)
+                if last_barrier is not None:
+                    edges.append(last_barrier)
+                for event in item.waits:
+                    pending_waits.append((node, event, idx))
+                if item.record is not None:
+                    event_source.setdefault(item.record, node)
+                last_on_stream[item.stream] = node
+            elif isinstance(item, RecordEventItem):
+                # The record is itself subject to dispatch order: it cannot
+                # stamp before preceding barriers resolve, and it stamps no
+                # earlier than the last kernel launched into its stream.
+                node = self._new_node(f"record[{idx}] {item.event} s{item.stream}")
+                edges = self._in_edges[node]
+                prev = last_on_stream.get(item.stream)
+                if prev is not None:
+                    edges.append(prev)
+                if last_barrier is not None:
+                    edges.append(last_barrier)
+                event_source.setdefault(item.event, node)
+            elif isinstance(item, HostComputeItem):
+                # Host work is both a work node and a dispatch barrier: it
+                # completes before anything dispatched after it starts.
+                node = self._new_node(f"host[{idx}] {item.label}", idx)
+                self.work_count += 1
+                if last_barrier is not None:
+                    self._in_edges[node].append(last_barrier)
+                last_barrier = node
+            elif isinstance(item, HostSyncItem):
+                what = "all" if item.event is None else str(item.event)
+                node = self._new_node(f"sync[{idx}] {what}")
+                edges = self._in_edges[node]
+                if last_barrier is not None:
+                    edges.append(last_barrier)
+                if item.event is None:
+                    # blocks until every in-flight kernel completes; the last
+                    # launch per stream dominates the rest via stream FIFO
+                    edges.extend(last_on_stream.values())
+                else:
+                    pending_waits.append((node, item.event, idx))
+                last_barrier = node
+            else:  # pragma: no cover - defensive
+                raise TypeError(f"unknown dispatch item {item!r}")
+
+        self.event_count = len(event_source)
+        for node, event, idx in pending_waits:
+            source = event_source.get(event)
+            if source is None:
+                unit = self.item_units.get(idx)
+                self.violations.append(
+                    Violation(
+                        MISSING_EVENT,
+                        unit_ids=(unit,) if unit is not None else (),
+                        message=(
+                            f"{self._labels[node]} waits on {event}, "
+                            "which no item records"
+                        ),
+                    )
+                )
+            else:
+                self._in_edges[node].append(source)
+
+    # -- closure ---------------------------------------------------------
+
+    def _close(self) -> None:
+        n_nodes = len(self._in_edges)
+        out: list[list[int]] = [[] for _ in range(n_nodes)]
+        indegree = [0] * n_nodes
+        for child, parents in enumerate(self._in_edges):
+            indegree[child] = len(parents)
+            for parent in parents:
+                out[parent].append(child)
+
+        # Kahn topological order; reach[n] is a bitset of ancestor nodes.
+        reach = [0] * n_nodes
+        processed = [False] * n_nodes
+        queue = deque(n for n in range(n_nodes) if indegree[n] == 0)
+        done = 0
+        while queue:
+            node = queue.popleft()
+            processed[node] = True
+            done += 1
+            mask = reach[node] | (1 << node)
+            for child in out[node]:
+                reach[child] |= mask
+                indegree[child] -= 1
+                if indegree[child] == 0:
+                    queue.append(child)
+        self._reach = reach
+        self._processed = processed
+
+        if done != n_nodes:
+            stuck = [n for n in range(n_nodes) if not processed[n]]
+            units = sorted(
+                {
+                    self.item_units[self._node_item[n]]
+                    for n in stuck
+                    if self._node_item[n] is not None
+                    and self._node_item[n] in self.item_units
+                }
+            )
+            shown = ", ".join(self._labels[n] for n in stuck[:4])
+            more = f" (+{len(stuck) - 4} more)" if len(stuck) > 4 else ""
+            self.violations.append(
+                Violation(
+                    DEADLOCK,
+                    unit_ids=tuple(units),
+                    message=(
+                        f"cyclic happens-before relation; the dispatch list can "
+                        f"never complete: {shown}{more}"
+                    ),
+                )
+            )
+
+    # -- queries ---------------------------------------------------------
+
+    @property
+    def has_deadlock(self) -> bool:
+        return not all(self._processed)
+
+    def is_work_item(self, item_index: int) -> bool:
+        return item_index in self._item_node
+
+    def ordered(self, item_i: int, item_j: int) -> bool:
+        """True if work item ``item_i`` is guaranteed to complete before
+        work item ``item_j`` starts, on every execution of the schedule.
+
+        Conservative under a deadlock: unreachable portions report
+        unordered (the deadlock itself is already a violation).
+        """
+        a = self._item_node[item_i]
+        b = self._item_node[item_j]
+        return bool((self._reach[b] >> a) & 1)
+
+    def describe_item(self, item_index: int) -> str:
+        return self._labels[self._item_node[item_index]]

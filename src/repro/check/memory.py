@@ -1,0 +1,314 @@
+"""Memory-safety checks: arena layout, reuse lifetimes, and frees.
+
+Three families of checks, all replaying allocation decisions against the
+schedule's happens-before order:
+
+* :func:`check_arena_layout` -- validates a no-reuse
+  :class:`~repro.gpu.memory.AllocationPlan`: every contiguity group must
+  actually be contiguous (``contiguity-broken``) and no two placed
+  tensors may overlap (``contiguity-group-overlap``);
+* :func:`check_reuse_plan` -- validates a
+  :class:`~repro.gpu.liveness.ReusePlan` against the schedule: two
+  tensors sharing arena bytes must have happens-before-ordered lifetimes
+  (``war-race``), where a tensor's lifetime is the span of the units that
+  write or read its buffer;
+* :func:`check_frees` -- replays explicit :class:`FreeEvent`\\ s,
+  catching ``double-free`` and ``use-while-freed``.
+
+The buffer model matches :mod:`repro.gpu.liveness` exactly: every DFG
+node id owns its own buffer; a tensor is written by the units covering
+it and read by the units covering its direct consumers.  Accesses inside
+a single unit are assumed reads-before-writes (a fused kernel may
+legally operate in place), so same-unit pairs never race.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..gpu.liveness import ReusePlan
+from ..gpu.memory import AllocationPlan
+from ..ir.graph import Graph
+from ..runtime.plan import ExecutionPlan
+from .hb import HappensBefore
+from .races import unit_item_spans
+from .violations import (
+    DOUBLE_FREE,
+    GROUP_BROKEN,
+    GROUP_OVERLAP,
+    USE_WHILE_FREED,
+    WAR_RACE,
+    ValidationReport,
+    Violation,
+)
+
+
+@dataclass(frozen=True)
+class FreeEvent:
+    """Return ``node_id``'s buffer to the arena once the work item at
+    ``after_item`` completes."""
+
+    node_id: int
+    after_item: int
+
+
+# -- buffer/access model ---------------------------------------------------
+
+
+def tensor_accessors(graph: Graph, plan: ExecutionPlan) -> dict[int, frozenset[int]]:
+    """node id -> units that touch that node's buffer.
+
+    Writers are the units covering the node (a leaf covered by a pack
+    unit is written by the pack copy); readers are the units covering the
+    node's direct consumers.  Uncovered nodes (reshapes, fills) own their
+    own buffer per the liveness model and contribute no work of their
+    own.
+    """
+    covering: dict[int, set[int]] = {}
+    for unit in plan.units:
+        for nid in unit.node_ids:
+            covering.setdefault(nid, set()).add(unit.unit_id)
+
+    accessors: dict[int, set[int]] = {}
+    for node in graph.nodes:
+        nid = node.node_id
+        units = set(covering.get(nid, ()))
+        for consumer in graph.consumers(nid):
+            units |= covering.get(consumer, set())
+        if units:
+            accessors[nid] = units
+    return {nid: frozenset(units) for nid, units in accessors.items()}
+
+
+def schedule_node_order(
+    graph: Graph, plan: ExecutionPlan, item_units: dict[int, int]
+) -> list[int]:
+    """All node ids ordered by when the schedule materializes them.
+
+    Covered nodes sit at their unit's first work item; leaves precede
+    everything; uncovered nodes inherit the latest position among their
+    inputs.  The result is a valid execution order for
+    :func:`~repro.gpu.liveness.plan_with_reuse` (consumers never precede
+    producers; ties break by node id, which is trace order).
+    """
+    spans = unit_item_spans(item_units)
+    position: dict[int, float] = {}
+    for unit in plan.units:
+        if unit.unit_id not in spans:
+            continue
+        first = float(spans[unit.unit_id][0])
+        for nid in unit.node_ids:
+            position[nid] = min(position.get(nid, first), first)
+
+    def pos_of(nid: int) -> float:
+        if nid in position:
+            return position[nid]
+        node = graph.node(nid)
+        if node.is_leaf:
+            result = -1.0
+        else:
+            result = max((pos_of(inp) for inp in node.input_ids), default=-1.0)
+        position[nid] = result
+        return result
+
+    for node in graph.nodes:
+        pos_of(node.node_id)
+    return sorted(position, key=lambda nid: (position[nid], nid))
+
+
+# -- arena layout (no-reuse AllocationPlan) --------------------------------
+
+
+def check_arena_layout(allocation: AllocationPlan, report: ValidationReport) -> None:
+    graph = allocation.graph
+    for group in allocation.groups:
+        if not allocation.is_contiguous(group.node_ids):
+            report.violations.append(
+                Violation(
+                    GROUP_BROKEN,
+                    unit_ids=(),
+                    node_ids=tuple(group.node_ids),
+                    message=(
+                        f"contiguity group {group.label!r} is not laid out "
+                        "back to back; a copy-free fused GEMM over it would "
+                        "read the wrong bytes"
+                    ),
+                )
+            )
+
+    ranges: list[tuple[int, int, int]] = []
+    for node in graph.nodes:
+        size = node.spec.size_bytes
+        if size <= 0:
+            continue
+        offset = allocation.offset_of(node.node_id)
+        ranges.append((offset, offset + size, node.node_id))
+    report.tensors += len(ranges)
+
+    # the arena never reuses space, so ANY byte overlap is a layout bug
+    ranges.sort()
+    high_end, high_nid = -1, -1
+    for offset, end, nid in ranges:
+        if offset < high_end:
+            report.violations.append(
+                Violation(
+                    GROUP_OVERLAP,
+                    unit_ids=(),
+                    node_ids=(high_nid, nid),
+                    message=(
+                        f"tensors %{high_nid} ({_group_of(allocation, high_nid)}) "
+                        f"and %{nid} ({_group_of(allocation, nid)}) overlap in "
+                        "a no-reuse arena"
+                    ),
+                )
+            )
+        if end > high_end:
+            high_end, high_nid = end, nid
+
+
+def _group_of(allocation: AllocationPlan, nid: int) -> str:
+    label = allocation.group_label(nid)
+    return f"group {label!r}" if label is not None else "ungrouped"
+
+
+# -- lifetime-aware reuse (ReusePlan) --------------------------------------
+
+
+def check_reuse_plan(
+    graph: Graph,
+    plan: ExecutionPlan,
+    reuse: ReusePlan,
+    item_units: dict[int, int],
+    hb: HappensBefore,
+    report: ValidationReport,
+    alignment: int = 256,
+) -> None:
+    """Every pair of tensors sharing arena bytes must have lifetimes
+    ordered one way or the other by happens-before."""
+    spans = unit_item_spans(item_units)
+    accessors = tensor_accessors(graph, plan)
+
+    def aligned(n: int) -> int:
+        rem = n % alignment
+        return n if rem == 0 else n + alignment - rem
+
+    ranges: list[tuple[int, int, int, tuple[int, ...]]] = []
+    for nid, offset in reuse.offsets.items():
+        units = tuple(sorted(u for u in accessors.get(nid, ()) if u in spans))
+        if not units:
+            continue
+        size = aligned(max(1, graph.node(nid).spec.size_bytes))
+        ranges.append((offset, offset + size, nid, units))
+    report.tensors += len(ranges)
+
+    def fully_ordered(first: tuple[int, ...], then: tuple[int, ...]) -> bool:
+        for ua in first:
+            for ub in then:
+                if ua == ub:
+                    continue  # intra-unit accesses cannot race
+                if not hb.ordered(spans[ua][1], spans[ub][0]):
+                    return False
+        return True
+
+    ranges.sort()
+    active: list[tuple[int, int, int, tuple[int, ...]]] = []
+    for offset, end, nid, units in ranges:
+        active = [a for a in active if a[1] > offset]
+        for _aoff, _aend, other, other_units in active:
+            if fully_ordered(other_units, units) or fully_ordered(units, other_units):
+                continue
+            report.violations.append(
+                Violation(
+                    WAR_RACE,
+                    unit_ids=tuple(sorted(set(other_units) | set(units))),
+                    node_ids=(other, nid),
+                    message=(
+                        f"tensors %{other} and %{nid} share arena bytes but "
+                        "their lifetimes are not happens-before ordered"
+                    ),
+                )
+            )
+        active.append((offset, end, nid, units))
+
+
+# -- explicit frees --------------------------------------------------------
+
+
+def derive_frees(
+    graph: Graph,
+    plan: ExecutionPlan,
+    item_units: dict[int, int],
+    hb: HappensBefore,
+) -> list[FreeEvent]:
+    """Frees a correct allocator would issue: each non-leaf, non-output
+    tensor is freed after the access unit that dominates all others
+    (exists for sequential schedules; unordered concurrent readers mean
+    the tensor is conservatively never freed)."""
+    spans = unit_item_spans(item_units)
+    accessors = tensor_accessors(graph, plan)
+    keep = set(graph.outputs)
+    frees: list[FreeEvent] = []
+    for nid in sorted(accessors):
+        if graph.node(nid).is_leaf or nid in keep:
+            continue
+        lasts = sorted({spans[u][1] for u in accessors[nid] if u in spans})
+        for candidate in lasts:
+            if all(
+                other == candidate or hb.ordered(other, candidate)
+                for other in lasts
+            ):
+                frees.append(FreeEvent(nid, candidate))
+                break
+    return frees
+
+
+def check_frees(
+    graph: Graph,
+    plan: ExecutionPlan,
+    frees: list[FreeEvent],
+    item_units: dict[int, int],
+    hb: HappensBefore,
+    report: ValidationReport,
+) -> None:
+    spans = unit_item_spans(item_units)
+    accessors = tensor_accessors(graph, plan)
+    freed_at: dict[int, int] = {}
+    for free in frees:
+        free_unit = item_units.get(free.after_item)
+        if free.node_id in freed_at:
+            prior_unit = item_units.get(freed_at[free.node_id])
+            report.violations.append(
+                Violation(
+                    DOUBLE_FREE,
+                    unit_ids=tuple(
+                        sorted({u for u in (prior_unit, free_unit) if u is not None})
+                    ),
+                    node_ids=(free.node_id,),
+                    message=f"tensor %{free.node_id} is freed twice",
+                )
+            )
+            continue
+        freed_at[free.node_id] = free.after_item
+        for unit in sorted(accessors.get(free.node_id, ())):
+            span = spans.get(unit)
+            if span is None:
+                continue
+            last = span[1]
+            if (
+                last == free.after_item
+                or unit == free_unit
+                or hb.ordered(last, free.after_item)
+            ):
+                continue
+            report.violations.append(
+                Violation(
+                    USE_WHILE_FREED,
+                    unit_ids=(unit,) if free_unit is None else (free_unit, unit),
+                    node_ids=(free.node_id,),
+                    message=(
+                        f"tensor %{free.node_id} is freed after "
+                        f"{hb.describe_item(free.after_item)} but unit {unit} "
+                        "still accesses it without ordering"
+                    ),
+                )
+            )

@@ -1,0 +1,109 @@
+"""RAW race detection over lowered schedules.
+
+Every producer->consumer tensor edge of the source :class:`Graph` must be
+enforced by the schedule: the producing unit's last dispatch item has to
+be happens-before-ordered ahead of the consuming unit's *first* item
+(pre-copies may already read the producer's outputs, e.g. the gather
+copy feeding a fused GEMM).  Edges inside one unit are enforced by the
+kernel itself and are not checked.
+"""
+
+from __future__ import annotations
+
+from ..ir.graph import Graph
+from ..runtime.plan import ExecutionPlan
+from .hb import HappensBefore
+from .violations import RAW_RACE, ValidationReport, Violation
+
+
+def unit_item_spans(item_units: dict[int, int]) -> dict[int, tuple[int, int]]:
+    """unit id -> (first, last) work-item index it emitted.
+
+    Within one unit the items are totally ordered (host syncs and host
+    compute block dispatch, pre-copies and the main kernel share the
+    unit's stream in FIFO order), so the span's endpoints bound every
+    access the unit makes.
+    """
+    spans: dict[int, tuple[int, int]] = {}
+    for idx, uid in item_units.items():
+        if uid in spans:
+            lo, hi = spans[uid]
+            spans[uid] = (min(lo, idx), max(hi, idx))
+        else:
+            spans[uid] = (idx, idx)
+    return spans
+
+
+def dependency_edges(
+    graph: Graph, plan: ExecutionPlan
+) -> dict[tuple[int, int], set[int]]:
+    """(producer unit, consumer unit) -> tensor node ids carried across.
+
+    Mirrors :meth:`Dispatcher.unit_dependencies` exactly: nodes not
+    covered by any unit (reshapes, fills) are transparent, and a covered
+    leaf counts as produced by its covering (pack) unit.
+    """
+    node_unit: dict[int, int] = {}
+    for unit in plan.units:
+        for nid in unit.node_ids:
+            node_unit[nid] = unit.unit_id
+
+    cache: dict[int, frozenset[int]] = {}
+
+    def producing_units(node_id: int) -> frozenset[int]:
+        if node_id in cache:
+            return cache[node_id]
+        node = graph.node(node_id)
+        if node_id in node_unit:
+            result = frozenset((node_unit[node_id],))
+        elif node.is_leaf:
+            result = frozenset()
+        else:
+            acc: set[int] = set()
+            for inp in node.input_ids:
+                acc |= producing_units(inp)
+            result = frozenset(acc)
+        cache[node_id] = result
+        return result
+
+    edges: dict[tuple[int, int], set[int]] = {}
+    for unit in plan.units:
+        for nid in unit.node_ids:
+            for inp in graph.node(nid).input_ids:
+                for producer in producing_units(inp):
+                    if producer != unit.unit_id:
+                        edges.setdefault((producer, unit.unit_id), set()).add(inp)
+    return edges
+
+
+def check_races(
+    graph: Graph,
+    plan: ExecutionPlan,
+    item_units: dict[int, int],
+    hb: HappensBefore,
+    report: ValidationReport,
+) -> None:
+    """Append a ``raw-race`` violation for every unenforced dependency."""
+    spans = unit_item_spans(item_units)
+    edges = dependency_edges(graph, plan)
+    report.dependencies += len(edges)
+    for (producer, consumer), node_ids in sorted(
+        edges.items(), key=lambda kv: kv[0]
+    ):
+        p_span = spans.get(producer)
+        c_span = spans.get(consumer)
+        if p_span is None or c_span is None:
+            continue  # a unit that emitted no work cannot race
+        if not hb.ordered(p_span[1], c_span[0]):
+            report.violations.append(
+                Violation(
+                    RAW_RACE,
+                    unit_ids=(producer, consumer),
+                    node_ids=tuple(sorted(node_ids)),
+                    message=(
+                        f"unit {consumer} reads outputs of unit {producer}, but "
+                        f"{hb.describe_item(c_span[0])} is not ordered after "
+                        f"{hb.describe_item(p_span[1])}"
+                    ),
+                )
+            )

@@ -1,0 +1,75 @@
+"""Top-level schedule validation entry points.
+
+:func:`validate_schedule` is what the executor (``validate=True``), the
+wirer, and the ``repro check`` CLI command all call.  The default pass
+checks what can be decided for *any* schedule, concurrent or not:
+
+* happens-before construction (``missing-event``, ``deadlock``),
+* RAW race detection over every DFG dependency edge,
+* arena-layout checks when the plan carries an
+  :class:`~repro.gpu.memory.AllocationPlan`.
+
+``deep=True`` additionally derives a lifetime-reuse plan and explicit
+frees from the schedule and replays them (``war-race``,
+``use-while-freed``, ``double-free``).  Reuse derivation linearizes the
+schedule, which is only meaningful for sequential (single-stream)
+programs -- native plans, golden schedules -- so deep mode is opt-in.
+"""
+
+from __future__ import annotations
+
+from ..runtime.dispatcher import LoweredSchedule
+from .hb import HappensBefore
+from .memory import (
+    check_arena_layout,
+    check_frees,
+    check_reuse_plan,
+    derive_frees,
+    schedule_node_order,
+)
+from .races import check_races
+from .violations import ScheduleValidationError, ValidationReport
+
+
+def validate_schedule(
+    lowered: LoweredSchedule, deep: bool = False, label: str = ""
+) -> ValidationReport:
+    """Statically validate one lowered schedule; never raises."""
+    report = ValidationReport(label=label or lowered.plan.label)
+    items = lowered.items
+    item_units = lowered.item_units
+
+    hb = HappensBefore(items, item_units)
+    report.launches = hb.work_count
+    report.events = hb.event_count
+    report.violations.extend(hb.violations)
+
+    # A deadlocked schedule never runs; race/lifetime checks against a
+    # cyclic relation would only pile noise on top of the real defect.
+    if not hb.has_deadlock:
+        check_races(lowered.graph, lowered.plan, item_units, hb, report)
+
+    allocation = getattr(lowered.plan, "allocation", None)
+    if allocation is not None:
+        check_arena_layout(allocation, report)
+
+    if deep and not hb.has_deadlock:
+        from ..gpu.liveness import plan_with_reuse
+
+        order = schedule_node_order(lowered.graph, lowered.plan, item_units)
+        reuse = plan_with_reuse(lowered.graph, order=order)
+        check_reuse_plan(lowered.graph, lowered.plan, reuse, item_units, hb, report)
+        frees = derive_frees(lowered.graph, lowered.plan, item_units, hb)
+        check_frees(lowered.graph, lowered.plan, frees, item_units, hb, report)
+
+    return report
+
+
+def assert_valid(
+    lowered: LoweredSchedule, deep: bool = False, label: str = ""
+) -> ValidationReport:
+    """Validate and raise :class:`ScheduleValidationError` on violations."""
+    report = validate_schedule(lowered, deep=deep, label=label)
+    if not report.ok:
+        raise ScheduleValidationError(report)
+    return report

@@ -1,0 +1,142 @@
+"""Violation taxonomy and validation reports.
+
+Every defect the schedule-correctness subsystem can detect is one
+:class:`Violation` with a ``kind`` drawn from the fixed taxonomy below
+(documented in ``docs/validation.md``):
+
+* ``raw-race`` -- a producer->consumer data dependency of the source DFG
+  is not enforced by the schedule's happens-before order;
+* ``war-race`` -- two tensors share arena bytes but their lifetimes are
+  not ordered, so a writer can clobber memory a reader still needs;
+* ``missing-event`` -- a wait (or host sync) references an event no
+  dispatch item ever records: the waiter blocks forever;
+* ``deadlock`` -- the happens-before relation is cyclic (e.g. two streams
+  waiting on each other's events);
+* ``use-while-freed`` -- a buffer is returned to the arena while a unit
+  that reads it is still unordered with respect to the free point;
+* ``double-free`` -- the same tensor's buffer is freed twice;
+* ``contiguity-broken`` -- a contiguity group's members are not laid out
+  back to back, so the copy-free fused GEMM would read garbage;
+* ``contiguity-group-overlap`` -- two tensors' arena ranges overlap in a
+  no-reuse arena (typically two groups placed on top of each other).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+#: producer->consumer dependency not enforced by happens-before order
+RAW_RACE = "raw-race"
+#: overlapping arena ranges with unordered lifetimes (write-after-read)
+WAR_RACE = "war-race"
+#: wait/sync on an event that is never recorded
+MISSING_EVENT = "missing-event"
+#: cyclic happens-before relation: the schedule can never complete
+DEADLOCK = "deadlock"
+#: buffer freed while a reader is still unordered with the free point
+USE_WHILE_FREED = "use-while-freed"
+#: the same buffer freed twice
+DOUBLE_FREE = "double-free"
+#: contiguity-group members not adjacent in memory
+GROUP_BROKEN = "contiguity-broken"
+#: two tensors' arena byte ranges overlap in a no-reuse arena
+GROUP_OVERLAP = "contiguity-group-overlap"
+
+ALL_KINDS = (
+    RAW_RACE,
+    WAR_RACE,
+    MISSING_EVENT,
+    DEADLOCK,
+    USE_WHILE_FREED,
+    DOUBLE_FREE,
+    GROUP_BROKEN,
+    GROUP_OVERLAP,
+)
+
+
+@dataclass(frozen=True)
+class Violation:
+    """One detected schedule-correctness defect."""
+
+    kind: str
+    #: schedule units involved (producer/consumer, freer/reader, ...)
+    unit_ids: tuple[int, ...]
+    message: str
+    #: DFG tensors involved, when the defect is about specific buffers
+    node_ids: tuple[int, ...] = ()
+
+    def __str__(self) -> str:
+        units = ",".join(f"u{u}" for u in self.unit_ids)
+        nodes = ",".join(f"%{n}" for n in self.node_ids)
+        where = " ".join(part for part in (units, nodes) if part)
+        return f"[{self.kind}] {where}: {self.message}" if where else (
+            f"[{self.kind}] {self.message}"
+        )
+
+    def to_dict(self) -> dict:
+        return {
+            "kind": self.kind,
+            "unit_ids": list(self.unit_ids),
+            "node_ids": list(self.node_ids),
+            "message": self.message,
+        }
+
+
+@dataclass
+class ValidationReport:
+    """Outcome of validating one lowered schedule."""
+
+    violations: list[Violation] = field(default_factory=list)
+    #: kernel launches / host-compute items examined
+    launches: int = 0
+    #: producer->consumer unit edges checked for happens-before coverage
+    dependencies: int = 0
+    #: distinct events recorded by the schedule
+    events: int = 0
+    #: tensors examined by the memory checkers
+    tensors: int = 0
+    label: str = ""
+
+    @property
+    def ok(self) -> bool:
+        return not self.violations
+
+    def by_kind(self) -> dict[str, int]:
+        counts: dict[str, int] = {}
+        for violation in self.violations:
+            counts[violation.kind] = counts.get(violation.kind, 0) + 1
+        return counts
+
+    def kinds(self) -> set[str]:
+        return {v.kind for v in self.violations}
+
+    def summary(self) -> str:
+        head = (
+            f"{self.launches} launches, {self.dependencies} dependencies, "
+            f"{self.events} events, {self.tensors} tensors checked"
+        )
+        if self.ok:
+            return f"OK ({head})"
+        lines = [f"{len(self.violations)} violation(s) ({head}):"]
+        lines.extend(f"  {v}" for v in self.violations)
+        return "\n".join(lines)
+
+    def to_dict(self) -> dict:
+        return {
+            "ok": self.ok,
+            "label": self.label,
+            "launches": self.launches,
+            "dependencies": self.dependencies,
+            "events": self.events,
+            "tensors": self.tensors,
+            "violations": [v.to_dict() for v in self.violations],
+        }
+
+
+class ScheduleValidationError(RuntimeError):
+    """Raised by validated execution when a schedule fails the checker."""
+
+    def __init__(self, report: ValidationReport):
+        self.report = report
+        label = f" for {report.label!r}" if report.label else ""
+        super().__init__(f"schedule validation failed{label}: {report.summary()}")

@@ -13,6 +13,10 @@ Commands:
 * ``trace``     — emit a Chrome trace-event ``.trace.json`` of one executed
   mini-batch, openable in Perfetto (https://ui.perfetto.dev) or
   ``chrome://tracing``; see ``docs/observability.md``
+* ``check``     — schedule-correctness validation: deep-check the native
+  lowering, then run the full exploration in validated mode so every
+  configuration Astra tries is race/liveness-checked; exits non-zero on
+  any violation (see ``docs/validation.md``)
 """
 
 from __future__ import annotations
@@ -224,6 +228,59 @@ def cmd_trace(args) -> int:
     return 0
 
 
+def cmd_check(args) -> int:
+    from .check import ScheduleValidationError, validate_schedule
+
+    model = _build(args)
+    device = DEVICES[args.device]
+    graph = model.graph
+    reports = []
+
+    # 1. the native lowering, deep-checked (lifetime reuse + frees)
+    executor = Executor(graph, device, seed=args.seed)
+    lowered = executor.dispatcher.lower(native_plan(graph))
+    reports.append(validate_schedule(lowered, deep=True,
+                                     label=f"{args.model}/native"))
+
+    # 2. every configuration the exploration tries, in validated mode
+    metrics = MetricsRegistry()
+    reporter = RunReporter()
+    session = AstraSession(
+        model, device=device, features=args.features, seed=args.seed,
+        metrics=metrics, reporter=reporter, validate=True,
+    )
+    error = None
+    try:
+        session.optimize(max_minibatches=args.budget)
+    except ScheduleValidationError as exc:
+        error = exc
+        reports.append(exc.report)
+
+    snapshot = metrics.snapshot()
+    validated = snapshot.get("check.schedules_validated", {}).get("value", 0)
+    failures = [r for r in reports if not r.ok]
+
+    if args.json:
+        print(json.dumps({
+            "version": 1,
+            "model": args.model,
+            "batch": args.batch,
+            "device": args.device,
+            "ok": not failures,
+            "schedules_validated": validated,
+            "reports": [r.to_dict() for r in reports],
+            "violation_records": [r.to_dict() for r in reporter.violations()],
+        }, indent=2))
+    else:
+        for report in reports:
+            print(f"{report.label}: {report.summary()}")
+        print(f"exploration: {validated} schedule(s) validated"
+              + ("" if error is None else " (aborted on violation)"))
+        verdict = "FAILED" if failures else "OK"
+        print(f"check {args.model}: {verdict}")
+    return 1 if failures else 0
+
+
 def make_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro",
@@ -286,6 +343,15 @@ def make_parser() -> argparse.ArgumentParser:
                    help="trace the custom-wired plan (runs the exploration "
                         "first) or the native single-stream baseline")
     p.set_defaults(fn=cmd_trace)
+
+    p = sub.add_parser(
+        "check",
+        help="validate schedule correctness (races, liveness, layout)",
+    )
+    common(p, positional_model=True)
+    p.add_argument("--json", action="store_true",
+                   help="print a machine-readable validation report")
+    p.set_defaults(fn=cmd_check)
     return parser
 
 

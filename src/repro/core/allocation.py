@@ -160,7 +160,9 @@ def build_arena_plan(graph: Graph, strategy: AllocationStrategy) -> AllocationPl
     groups: list[ContiguityGroup] = []
     placed: set[int] = set()
     for req in sorted(strategy.satisfied, key=lambda r: r.label):
-        flat = tuple(t for member in req.tensors for t in member)
+        # a tensor may appear in several members of one requirement (the
+        # same weight feeding two fused GEMMs); it needs one placement
+        flat = tuple(dict.fromkeys(t for member in req.tensors for t in member))
         if len(flat) < 2 or placed & set(flat):
             continue
         groups.append(ContiguityGroup(node_ids=flat, label=req.label))

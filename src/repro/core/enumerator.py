@@ -31,7 +31,8 @@ from .adaptive import (
     MODE_PREFIX,
     UpdateNode,
 )
-from .allocation import AllocationStrategy, enumerate_strategies
+from ..gpu.memory import AllocationPlan
+from .allocation import AllocationStrategy, build_arena_plan, enumerate_strategies
 from .epochs import EpochPartition, partition_epochs
 from .fusion import (
     FusionAnalysis,
@@ -102,6 +103,17 @@ class Enumerator:
         self._libraries = (
             list(GEMM_LIBRARIES) if features.kernel else [DEFAULT_LIBRARY]
         )
+        # concrete arena placement per strategy, built lazily and shared by
+        # every plan of that strategy so the schedule validator can check
+        # contiguity-group layout during exploration
+        self._arena_plans: dict[int, "AllocationPlan"] = {}
+
+    def arena_plan(self, strategy: AllocationStrategy) -> "AllocationPlan":
+        plan = self._arena_plans.get(strategy.strategy_id)
+        if plan is None:
+            plan = build_arena_plan(self.graph, strategy)
+            self._arena_plans[strategy.strategy_id] = plan
+        return plan
 
     # ------------------------------------------------------------------
     # Phase 1 tree: fusion chunking x kernel selection
@@ -421,6 +433,7 @@ class Enumerator:
 
         plan = ExecutionPlan(
             units=units,
+            allocation=self.arena_plan(strategy),
             stream_of=stream_of,
             barriers_after=barriers,
             profile=profile,

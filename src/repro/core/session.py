@@ -60,6 +60,7 @@ class AstraSession:
         metrics=None,
         reporter=None,
         tracer=None,
+        validate: bool = False,
     ):
         self.graph = model.graph if isinstance(model, TracedModel) else model
         self.model = model if isinstance(model, TracedModel) else None
@@ -69,7 +70,7 @@ class AstraSession:
         self.features = features
         self.wirer = CustomWirer(
             self.graph, device, features, seed=seed, context=context, index=index,
-            metrics=metrics, reporter=reporter, tracer=tracer,
+            metrics=metrics, reporter=reporter, tracer=tracer, validate=validate,
         )
 
     def measure_native(self) -> float:

@@ -118,12 +118,12 @@ class CustomWirer:
         metrics: MetricsRegistry | None = None,
         reporter: RunReporter | None = None,
         tracer=None,
+        validate: bool = False,
     ):
         self.graph = graph
         self.device = device
         self.features = features
         self.enumerator = Enumerator(graph, device, features)
-        self.executor = Executor(graph, device, seed=seed)
         self.index = index if index is not None else ProfileIndex()
         self.base_context = context
         # observability hooks; null objects when not requested, so the
@@ -131,6 +131,13 @@ class CustomWirer:
         self.metrics = metrics if metrics is not None else NULL_REGISTRY
         self.reporter = reporter if reporter is not None else NULL_REPORTER
         self.tracer = tracer if tracer is not None else NULL_TRACER
+        # validated execution: every explored configuration is statically
+        # checked (repro.check) before it runs; violations surface as
+        # metrics counters and run-report records, then abort the run
+        self.validate = validate
+        self.executor = Executor(
+            graph, device, seed=seed, validate=validate, metrics=self.metrics
+        )
         self._overhead_samples: list[float] = []
         self._timeline: list[tuple[str, float]] = []
         self._last_assignment: dict[str, object] = {}
@@ -168,6 +175,25 @@ class CustomWirer:
         self.reporter.minibatch(
             phase, time_us, context=context, assignment_delta=delta, kind=kind
         )
+
+    def _execute(self, plan: ExecutionPlan, context: tuple) -> MiniBatchResult:
+        """Run one configuration, surfacing validation failures.
+
+        In validated mode a defective schedule is recorded in the run
+        report (one record per violation) before the error propagates --
+        a wirer that silently explored unsound schedules would be
+        exactly the bug this subsystem exists to catch.
+        """
+        from ..check import ScheduleValidationError
+
+        try:
+            return self.executor.run(plan)
+        except ScheduleValidationError as exc:
+            for violation in exc.report.violations:
+                self.reporter.violation(
+                    plan.label, violation.kind, str(violation), context=context
+                )
+            raise
 
     # -- measurement plumbing ---------------------------------------------
 
@@ -223,7 +249,7 @@ class CustomWirer:
                 if live_vars:
                     assignment = tree.assignment()
                     built = build(assignment, {v.name for v in live_vars})
-                    result = self.executor.run(built.plan)
+                    result = self._execute(built.plan, context)
                     self._overhead_samples.append(result.profiling_overhead_fraction)
                     self._record_measurements(tree, built, result, context)
                     self._log_minibatch(
@@ -309,7 +335,7 @@ class CustomWirer:
                 ))
             measured = []
             for built, assignment in candidates:
-                result = self.executor.run(built.plan)
+                result = self._execute(built.plan, context)
                 total_spent += 1
                 self._log_minibatch(
                     f"compare/{strategy.label}", result.total_time_us, context,
@@ -342,7 +368,9 @@ class CustomWirer:
             profile=False,
             label=best_plan.label + "/production",
         )
-        production_time = self.executor.run(production).total_time_us
+        production_time = self._execute(
+            production, self.base_context + best_strategy.context_key()
+        ).total_time_us
         self._log_minibatch(
             "production", production_time,
             self.base_context + best_strategy.context_key(),

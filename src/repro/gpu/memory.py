@@ -94,6 +94,12 @@ class AllocationPlan:
     def offset_of(self, node_id: int) -> int:
         return self._offsets[node_id]
 
+    def group_label(self, node_id: int) -> str | None:
+        """Label of the contiguity group holding ``node_id`` (None if
+        the tensor is placed individually)."""
+        index = self._grouped.get(node_id)
+        return self.groups[index].label if index is not None else None
+
     def is_contiguous(self, node_ids: tuple[int, ...] | list[int]) -> bool:
         """True if the tensors sit back to back, in order, with no gaps."""
         ids = list(node_ids)

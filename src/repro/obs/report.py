@@ -26,6 +26,8 @@ if TYPE_CHECKING:  # pragma: no cover - import cycle guard (serialize -> wirer)
 KIND_EXPLORE = "explore"
 KIND_COMPARE = "compare"
 KIND_PRODUCTION = "production"
+#: a schedule-validation failure surfaced by repro.check (validated mode)
+KIND_VIOLATION = "violation"
 
 
 @dataclass
@@ -97,12 +99,48 @@ class RunReporter:
             best_so_far_us=best,
         ))
 
+    def violation(
+        self,
+        phase: str,
+        kind: str,
+        message: str,
+        context: tuple = (),
+    ) -> None:
+        """One schedule-correctness violation (see :mod:`repro.check`).
+
+        Violations carry no mini-batch time -- the schedule was rejected
+        before (or instead of) execution -- so ``time_us`` is zero and
+        the violation kind travels in ``assignment_delta``.
+        """
+        best = self.best_so_far()
+        self.records.append(MiniBatchRecord(
+            seq=len(self.records),
+            phase=phase,
+            kind=KIND_VIOLATION,
+            context=tuple(context),
+            assignment_delta={"violation": kind, "message": message},
+            time_us=0.0,
+            best_so_far_us=best if not math.isinf(best) else 0.0,
+        ))
+
+    def violations(self) -> list[MiniBatchRecord]:
+        return [r for r in self.records if r.kind == KIND_VIOLATION]
+
     def best_so_far(self) -> float:
-        return self.records[-1].best_so_far_us if self.records else math.inf
+        # violation records carry a placeholder 0.0 when nothing has run
+        # yet; they must not reset the running best
+        for record in reversed(self.records):
+            if record.kind != KIND_VIOLATION:
+                return record.best_so_far_us
+        return math.inf
 
     def convergence_curve(self) -> list[tuple[int, float]]:
         """(seq, best-so-far end-to-end time) for every logged mini-batch."""
-        return [(r.seq, r.best_so_far_us) for r in self.records]
+        return [
+            (r.seq, r.best_so_far_us)
+            for r in self.records
+            if r.kind != KIND_VIOLATION
+        ]
 
     # -- serialization ------------------------------------------------------
 
@@ -173,6 +211,9 @@ class NullReporter(RunReporter):
 
     def minibatch(self, phase, time_us, context=(), assignment_delta=None,
                   kind=KIND_EXPLORE) -> None:
+        pass
+
+    def violation(self, phase, kind, message, context=()) -> None:
         pass
 
 

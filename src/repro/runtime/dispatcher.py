@@ -36,6 +36,9 @@ class LoweredSchedule:
     #: unit id of every launched kernel, in record order (pre-copies carry
     #: their owning unit's id); consumed by the Chrome-trace exporter
     record_units: list[int] = field(default_factory=list)
+    #: index of every *work* item (LaunchItem / HostComputeItem) -> the unit
+    #: that emitted it; consumed by the schedule validator (repro.check)
+    item_units: dict[int, int] = field(default_factory=dict)
 
 
 def topological_units(units: list[Unit], deps: dict[int, set[int]]) -> list[Unit]:
@@ -147,15 +150,23 @@ class Dispatcher:
         unit_record_index: dict[int, int] = {}
         unit_stream: dict[int, int] = {}
         record_units: list[int] = []
+        item_units: dict[int, int] = {}
         record_counter = 0
 
         # which units need a completion event: any unit consumed from a
         # different stream (cross-stream dependency -> wait-event), or any
-        # unit feeding host-side work (the dispatch thread must block on it)
+        # unit feeding host-side work (the dispatch thread must block on it).
+        # Only units that launch a kernel can record one -- a host-only
+        # producer is ordered by the dispatch thread itself (HostComputeItem
+        # stalls dispatch), so an event for it would never be recorded and
+        # every waiter would deadlock.
         consumers_cross_stream: set[int] = set()
         host_units = {u.unit_id for u in plan.units if u.host_us > 0.0}
+        kernel_units = {u.unit_id for u in plan.units if u.kernel is not None}
         for uid, dep_ids in deps.items():
             for dep in dep_ids:
+                if dep not in kernel_units:
+                    continue
                 if plan.stream(dep) != plan.stream(uid) or uid in host_units:
                     consumers_cross_stream.add(dep)
 
@@ -172,7 +183,9 @@ class Dispatcher:
 
             waits: list[EventId] = []
             for dep in sorted(deps[uid]):
-                if plan.stream(dep) != stream:
+                # kernel-less deps have no event; the dispatch thread
+                # serializes them (HostComputeItem stalls dispatch)
+                if plan.stream(dep) != stream and dep in completion_events:
                     waits.append(completion_events[dep])
 
             if unit.host_us > 0.0:
@@ -180,10 +193,12 @@ class Dispatcher:
                 for dep in sorted(deps[uid]):
                     if dep in completion_events:
                         items.append(HostSyncItem(completion_events[dep]))
+                item_units[len(items)] = uid
                 items.append(HostComputeItem(unit.host_us, label=unit.label or "host"))
 
             if unit.kernel is not None:
                 for copy_kernel in unit.pre_copies:
+                    item_units[len(items)] = uid
                     items.append(
                         LaunchItem(copy_kernel, stream, waits=tuple(waits))
                     )
@@ -195,6 +210,7 @@ class Dispatcher:
                 is_profiling = wants_profile
                 if record is None and wants_profile:
                     record = namespace.new_event(f"p{uid}")
+                item_units[len(items)] = uid
                 items.append(
                     LaunchItem(
                         unit.kernel, stream, waits=tuple(waits), record=record,
@@ -218,4 +234,5 @@ class Dispatcher:
             plan=plan,
             graph=self.graph,
             record_units=record_units,
+            item_units=item_units,
         )

@@ -16,6 +16,7 @@ from dataclasses import dataclass
 
 from ..gpu.device import GPUSpec
 from ..gpu.streams import ExecutionResult, StreamSimulator
+from ..obs.metrics import NULL_REGISTRY
 from .dispatcher import Dispatcher, LoweredSchedule
 from .plan import ExecutionPlan
 
@@ -42,19 +43,55 @@ class MiniBatchResult:
 
 
 class Executor:
-    """Runs execution plans for a fixed graph on a simulated device."""
+    """Runs execution plans for a fixed graph on a simulated device.
 
-    def __init__(self, graph, device: GPUSpec, seed: int = 0):
+    With ``validate=True`` every lowered schedule is statically checked
+    by :mod:`repro.check` before it reaches the simulator; a defective
+    schedule raises :class:`~repro.check.ScheduleValidationError` instead
+    of executing, and per-kind violation counters are published to
+    ``metrics`` (``check.schedules_validated``,
+    ``check.violations.<kind>``).
+    """
+
+    def __init__(
+        self,
+        graph,
+        device: GPUSpec,
+        seed: int = 0,
+        validate: bool = False,
+        metrics=None,
+    ):
         self.graph = graph
         self.device = device
         self.dispatcher = Dispatcher(graph)
+        self.validate = validate
+        self.metrics = metrics if metrics is not None else NULL_REGISTRY
         self._simulator = StreamSimulator(device, seed=seed)
 
     def run(self, plan: ExecutionPlan) -> MiniBatchResult:
         lowered = self.dispatcher.lower(plan)
         return self.run_lowered(lowered)
 
+    def validate_lowered(self, lowered: LoweredSchedule):
+        """Check one lowered schedule; raise on violations.
+
+        Returns the :class:`~repro.check.ValidationReport` so callers in
+        the exploration loop can inspect pass statistics.
+        """
+        # deferred import: repro.check sits above runtime in the layering
+        from ..check import ScheduleValidationError, validate_schedule
+
+        report = validate_schedule(lowered)
+        self.metrics.counter("check.schedules_validated").inc()
+        for kind, count in report.by_kind().items():
+            self.metrics.counter(f"check.violations.{kind}").inc(count)
+        if not report.ok:
+            raise ScheduleValidationError(report)
+        return report
+
     def run_lowered(self, lowered: LoweredSchedule) -> MiniBatchResult:
+        if self.validate:
+            self.validate_lowered(lowered)
         result = self._simulator.run(lowered.items)
         unit_times = self._unit_times(lowered, result)
         epoch_metrics = self._epoch_metrics(lowered, result)

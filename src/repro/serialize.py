@@ -162,6 +162,65 @@ def plan_from_dict(data: dict) -> ExecutionPlan:
 
 
 # ---------------------------------------------------------------------------
+# lowered schedules (golden-schedule regression tests, repro check --json)
+# ---------------------------------------------------------------------------
+
+
+def schedule_to_dict(lowered) -> dict:
+    """Structural dump of a lowered schedule's dispatch-item list.
+
+    Events are encoded by index (their identity within one lowering),
+    kernels by name/kind; together with per-item unit attribution this
+    pins down exactly what the dispatcher emitted, which is what the
+    golden-schedule tests under ``tests/data/`` compare against.
+    """
+    from .gpu.streams import (
+        HostComputeItem,
+        HostSyncItem,
+        LaunchItem,
+        RecordEventItem,
+    )
+
+    items = []
+    for idx, item in enumerate(lowered.items):
+        if isinstance(item, LaunchItem):
+            items.append({
+                "type": "launch",
+                "stream": item.stream,
+                "kernel": item.kernel.name,
+                "kind": item.kernel.kind,
+                "waits": [ev.index for ev in item.waits],
+                "record": item.record.index if item.record is not None else None,
+                "profiling": item.record_is_profiling,
+                "unit": lowered.item_units.get(idx),
+            })
+        elif isinstance(item, RecordEventItem):
+            items.append({
+                "type": "record", "stream": item.stream, "event": item.event.index,
+            })
+        elif isinstance(item, HostSyncItem):
+            items.append({
+                "type": "sync",
+                "event": item.event.index if item.event is not None else None,
+            })
+        elif isinstance(item, HostComputeItem):
+            items.append({
+                "type": "host",
+                "duration_us": item.duration_us,
+                "label": item.label,
+                "unit": lowered.item_units.get(idx),
+            })
+        else:  # pragma: no cover - defensive
+            raise TypeError(f"cannot serialize dispatch item {item!r}")
+    return {
+        "version": FORMAT_VERSION,
+        "label": lowered.plan.label,
+        "items": items,
+        "unit_stream": {str(k): v for k, v in sorted(lowered.unit_stream.items())},
+    }
+
+
+# ---------------------------------------------------------------------------
 # reports
 # ---------------------------------------------------------------------------
 

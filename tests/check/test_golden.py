@@ -1,0 +1,73 @@
+"""Golden-schedule regression tests.
+
+The dispatcher's native lowering of sCRNN and miLSTM (tiny config) is
+pinned as JSON under ``tests/data/``.  Any change to lowering order,
+event insertion, stream assignment, or unit attribution shows up as a
+structural diff here -- and every golden must also pass the deep
+validator, so the pinned schedules are known-correct, not just
+known-stable.
+
+Regenerating after an *intentional* lowering change::
+
+    REPRO_REGEN_GOLDEN=1 PYTHONPATH=src python -m pytest tests/check/test_golden.py
+
+then review the diff of ``tests/data/golden_schedule_*.json`` like any
+other code change.
+"""
+
+import json
+import os
+from pathlib import Path
+
+import pytest
+
+from repro.baselines.native import native_plan
+from repro.check import validate_schedule
+from repro.runtime import Dispatcher
+from repro.serialize import schedule_to_dict
+
+DATA_DIR = Path(__file__).resolve().parent.parent / "data"
+REGEN = os.environ.get("REPRO_REGEN_GOLDEN") == "1"
+
+
+def _check_golden(name: str, payload: dict) -> None:
+    path = DATA_DIR / f"{name}.json"
+    if REGEN:
+        DATA_DIR.mkdir(parents=True, exist_ok=True)
+        path.write_text(json.dumps(payload, indent=1, sort_keys=True) + "\n")
+    if not path.exists():
+        pytest.fail(
+            f"golden file {path} missing; generate it with "
+            "REPRO_REGEN_GOLDEN=1 (see module docstring)"
+        )
+    assert payload == json.loads(path.read_text()), (
+        f"lowered schedule diverged from {path.name}; if the lowering "
+        "change is intentional, regenerate with REPRO_REGEN_GOLDEN=1 "
+        "and review the diff"
+    )
+
+
+def _native_lowering(model):
+    graph = model.graph
+    return Dispatcher(graph).lower(native_plan(graph))
+
+
+@pytest.mark.parametrize("model_fixture", ["tiny_scrnn", "tiny_milstm"])
+def test_native_schedule_matches_golden(model_fixture, request):
+    model = request.getfixturevalue(model_fixture)
+    lowered = _native_lowering(model)
+    report = validate_schedule(lowered, deep=True, label=f"{model.name}/golden")
+    assert report.ok, report.summary()
+    _check_golden(f"golden_schedule_{model.name}", schedule_to_dict(lowered))
+
+
+def test_golden_covers_every_unit(tiny_scrnn):
+    """Sanity on the serialization itself: each launch row carries its
+    emitting unit, and together they cover the whole plan."""
+    lowered = _native_lowering(tiny_scrnn)
+    payload = schedule_to_dict(lowered)
+    launch_units = {
+        row["unit"] for row in payload["items"] if row["type"] == "launch"
+    }
+    assert None not in launch_units
+    assert launch_units == {u.unit_id for u in lowered.plan.units}

@@ -1,0 +1,337 @@
+"""Mutation tests for the schedule validator: zero surviving mutants.
+
+Each mutation takes a *valid* lowered schedule (or allocation/free list)
+and breaks it in one specific, guaranteed-non-equivalent way -- drop a
+load-bearing wait, reorder dependent launches, free a buffer early,
+overlap contiguity groups.  The validator must flag every mutant with
+the right violation kind; a validator that passes a mutant is itself the
+bug under test here.
+
+Mutants are built surgically on the diamond schedule (where every wait
+and every program-order edge is provably load-bearing) and at scale on a
+two-stream sCRNN lowering.
+"""
+
+from dataclasses import replace
+
+import pytest
+
+from repro.check import (
+    DEADLOCK,
+    DOUBLE_FREE,
+    GROUP_BROKEN,
+    GROUP_OVERLAP,
+    MISSING_EVENT,
+    RAW_RACE,
+    USE_WHILE_FREED,
+    WAR_RACE,
+    FreeEvent,
+    HappensBefore,
+    ValidationReport,
+    check_arena_layout,
+    check_frees,
+    derive_frees,
+    validate_schedule,
+)
+from repro.gpu.events import EventId
+from repro.gpu.kernels import ElementwiseLaunch, GemmLaunch
+from repro.gpu.memory import AllocationPlan, ContiguityGroup
+from repro.gpu.streams import LaunchItem
+from repro.ir import Tracer
+from repro.runtime import Dispatcher, ExecutionPlan, Unit, build_units
+
+
+# ---------------------------------------------------------------------------
+# schedule factories (fresh objects per mutant: mutation is destructive)
+# ---------------------------------------------------------------------------
+
+
+def _diamond():
+    tr = Tracer("diamond")
+    x = tr.input((8, 8))
+    w1 = tr.param((8, 8))
+    w2 = tr.param((8, 8))
+    a = tr.matmul(x, w1)
+    b = tr.matmul(x, w2)
+    c = tr.add(a, b)
+    tr.output(c)
+    units = [
+        Unit(0, GemmLaunch(8, 8, 8, "cublas"), (a.node.node_id,)),
+        Unit(1, GemmLaunch(8, 8, 8, "cublas"), (b.node.node_id,)),
+        Unit(2, ElementwiseLaunch(num_elements=64), (c.node.node_id,)),
+    ]
+    return tr.graph, units
+
+
+def lower_diamond(stream_of=None):
+    graph, units = _diamond()
+    plan = ExecutionPlan(
+        units=units, stream_of=dict(stream_of or {}), profile=False
+    )
+    return Dispatcher(graph).lower(plan)
+
+
+def lower_scrnn_two_streams(tiny_scrnn):
+    graph = tiny_scrnn.graph
+    units = build_units(graph)
+    plan = ExecutionPlan(
+        units=units,
+        stream_of={u.unit_id: u.unit_id % 2 for u in units},
+        profile=False,
+        label="scrnn/rr2",
+    )
+    return Dispatcher(graph).lower(plan)
+
+
+def _launch_indices(lowered, pred=lambda item: True):
+    return [
+        idx
+        for idx, item in enumerate(lowered.items)
+        if isinstance(item, LaunchItem) and pred(item)
+    ]
+
+
+def _swap_items(lowered, i, j):
+    """Swap two dispatch items, keeping the index-keyed unit map honest."""
+    lowered.items[i], lowered.items[j] = lowered.items[j], lowered.items[i]
+    iu = lowered.item_units
+    ui, uj = iu.get(i), iu.get(j)
+    for idx, uid in ((i, uj), (j, ui)):
+        if uid is None:
+            iu.pop(idx, None)
+        else:
+            iu[idx] = uid
+
+
+# ---------------------------------------------------------------------------
+# the mutants
+# ---------------------------------------------------------------------------
+#
+# Each entry: name -> (build_report, expected_kind).  build_report
+# constructs a fresh valid artifact, applies one mutation, and returns the
+# validator's report.  ``MUTANTS`` is shared by the per-mutant parametrized
+# test and the zero-survivors sweep.
+
+
+def mutant_drop_wait(tiny_scrnn):
+    """Remove the consumer's cross-stream wait-event."""
+    lowered = lower_diamond(stream_of={0: 0, 1: 1, 2: 0})
+    waiters = _launch_indices(lowered, lambda item: item.waits)
+    assert waiters, "cross-stream diamond must synchronize with events"
+    idx = waiters[0]
+    lowered.items[idx] = replace(lowered.items[idx], waits=())
+    return validate_schedule(lowered)
+
+
+def mutant_drop_record(tiny_scrnn):
+    """Remove the producer's record; the wait now names a ghost event."""
+    lowered = lower_diamond(stream_of={0: 0, 1: 1, 2: 0})
+    recorders = _launch_indices(lowered, lambda item: item.record is not None)
+    assert recorders
+    idx = recorders[0]
+    lowered.items[idx] = replace(lowered.items[idx], record=None)
+    return validate_schedule(lowered)
+
+
+def mutant_swap_dependent_launches(tiny_scrnn):
+    """Reorder a producer after its consumer on one stream: FIFO was the
+    only thing ordering them."""
+    lowered = lower_diamond()  # single stream: deps enforced by FIFO alone
+    launches = _launch_indices(lowered)
+    # last launch is the add (unit 2); its producers precede it
+    _swap_items(lowered, launches[1], launches[2])
+    return validate_schedule(lowered)
+
+
+def mutant_move_consumer_cross_stream(tiny_scrnn):
+    """Move dependent launches onto different streams without adding
+    events -- the cross-stream variant of the reorder mutant."""
+    lowered = lower_diamond()
+    launches = _launch_indices(lowered)
+    consumer = launches[-1]
+    lowered.items[consumer] = replace(lowered.items[consumer], stream=1)
+    return validate_schedule(lowered)
+
+
+def mutant_drop_all_waits_at_scale(tiny_scrnn):
+    """Strip every wait from a two-stream sCRNN schedule."""
+    lowered = lower_scrnn_two_streams(tiny_scrnn)
+    stripped = 0
+    for idx in _launch_indices(lowered, lambda item: item.waits):
+        lowered.items[idx] = replace(lowered.items[idx], waits=())
+        stripped += 1
+    assert stripped > 0
+    return validate_schedule(lowered)
+
+
+def mutant_wait_cycle_deadlock(tiny_scrnn):
+    """Make the producer wait on an event only its consumer records."""
+    lowered = lower_diamond(stream_of={0: 0, 1: 1, 2: 0})
+    waiters = _launch_indices(lowered, lambda item: item.waits)
+    recorders = _launch_indices(lowered, lambda item: item.record is not None)
+    assert waiters and recorders
+    poison = EventId(9999, "mutant")
+    consumer, producer = waiters[0], recorders[0]
+    lowered.items[consumer] = replace(
+        lowered.items[consumer], record=poison, record_is_profiling=False
+    )
+    lowered.items[producer] = replace(
+        lowered.items[producer],
+        waits=lowered.items[producer].waits + (poison,),
+    )
+    return validate_schedule(lowered)
+
+
+def mutant_free_buffer_early(tiny_scrnn):
+    """Free the left matmul's output right after it is produced, while the
+    add still reads it."""
+    graph, units = _diamond()
+    lowered = Dispatcher(graph).lower(ExecutionPlan(units=units, profile=False))
+    hb = HappensBefore(lowered.items, lowered.item_units)
+    a_nid = units[0].node_ids[0]
+    producer_item = next(
+        idx for idx, uid in sorted(lowered.item_units.items()) if uid == 0
+    )
+    report = ValidationReport()
+    check_frees(
+        graph, lowered.plan, [FreeEvent(a_nid, producer_item)],
+        lowered.item_units, hb, report,
+    )
+    return report
+
+
+def mutant_double_free(tiny_scrnn):
+    """Issue a correct free list, then free one buffer a second time."""
+    graph, units = _diamond()
+    lowered = Dispatcher(graph).lower(ExecutionPlan(units=units, profile=False))
+    hb = HappensBefore(lowered.items, lowered.item_units)
+    frees = derive_frees(graph, lowered.plan, lowered.item_units, hb)
+    assert frees, "diamond has freeable intermediates"
+    report = ValidationReport()
+    check_frees(
+        graph, lowered.plan, frees + [frees[0]], lowered.item_units, hb, report
+    )
+    return report
+
+
+def _two_group_allocation():
+    graph, units = _diamond()
+    a, b, c = (u.node_ids[0] for u in units)
+    x = graph.node(a).input_ids[0]
+    return graph, AllocationPlan(
+        graph,
+        groups=[
+            ContiguityGroup(node_ids=(a, b), label="outputs"),
+            ContiguityGroup(node_ids=(x, c), label="ends"),
+        ],
+    )
+
+
+def mutant_overlap_contiguity_groups(tiny_scrnn):
+    """Slide the second group back onto the first group's bytes."""
+    graph, allocation = _two_group_allocation()
+    first = allocation.groups[0].node_ids[0]
+    shift = allocation.offset_of(allocation.groups[1].node_ids[0]) - (
+        allocation.offset_of(first) + graph.node(first).spec.size_bytes // 2
+    )
+    for nid in allocation.groups[1].node_ids:
+        allocation._offsets[nid] -= shift
+    report = ValidationReport()
+    check_arena_layout(allocation, report)
+    return report
+
+
+def mutant_break_group_contiguity(tiny_scrnn):
+    """Tear one member out of its group (far past the arena: no overlap,
+    pure contiguity break)."""
+    _graph, allocation = _two_group_allocation()
+    member = allocation.groups[0].node_ids[1]
+    allocation._offsets[member] = allocation.arena_size_bytes + (1 << 20)
+    report = ValidationReport()
+    check_arena_layout(allocation, report)
+    return report
+
+
+def mutant_alias_unordered_lifetimes(tiny_scrnn):
+    """Hand the reuse checker a plan that aliases the two concurrent
+    matmul outputs of a cross-stream diamond."""
+    from repro.check import check_reuse_plan
+    from repro.gpu.liveness import ReusePlan
+
+    graph, units = _diamond()
+    plan = ExecutionPlan(
+        units=units, stream_of={0: 0, 1: 1, 2: 0}, profile=False
+    )
+    lowered = Dispatcher(graph).lower(plan)
+    hb = HappensBefore(lowered.items, lowered.item_units)
+    a, b = units[0].node_ids[0], units[1].node_ids[0]
+    # a and b are written concurrently on streams 0 and 1: same offset =
+    # write-write aliasing with unordered lifetimes
+    offsets = {a: 0, b: 0}
+    reuse = ReusePlan(offsets=offsets, peak_bytes=4096, naive_bytes=8192)
+    report = ValidationReport()
+    check_reuse_plan(
+        graph, lowered.plan, reuse, lowered.item_units, hb, report
+    )
+    return report
+
+
+MUTANTS = {
+    "drop-wait": (mutant_drop_wait, RAW_RACE),
+    "drop-record": (mutant_drop_record, MISSING_EVENT),
+    "swap-dependent-launches": (mutant_swap_dependent_launches, RAW_RACE),
+    "move-consumer-cross-stream": (mutant_move_consumer_cross_stream, RAW_RACE),
+    "drop-all-waits-scrnn": (mutant_drop_all_waits_at_scale, RAW_RACE),
+    "wait-cycle": (mutant_wait_cycle_deadlock, DEADLOCK),
+    "free-buffer-early": (mutant_free_buffer_early, USE_WHILE_FREED),
+    "double-free": (mutant_double_free, DOUBLE_FREE),
+    "overlap-contiguity-groups": (mutant_overlap_contiguity_groups, GROUP_OVERLAP),
+    "break-group-contiguity": (mutant_break_group_contiguity, GROUP_BROKEN),
+    "alias-unordered-lifetimes": (mutant_alias_unordered_lifetimes, WAR_RACE),
+}
+
+
+# ---------------------------------------------------------------------------
+# the tests
+# ---------------------------------------------------------------------------
+
+
+def test_baselines_are_valid(tiny_scrnn):
+    """The schedules the mutants start from must themselves be clean --
+    otherwise a mutant could be 'caught' for the wrong reason."""
+    for lowered in (
+        lower_diamond(),
+        lower_diamond(stream_of={0: 0, 1: 1, 2: 0}),
+        lower_scrnn_two_streams(tiny_scrnn),
+    ):
+        report = validate_schedule(lowered)
+        assert report.ok, report.summary()
+
+
+@pytest.mark.parametrize("name", sorted(MUTANTS))
+def test_mutant_is_caught_with_right_kind(name, tiny_scrnn):
+    build_report, expected_kind = MUTANTS[name]
+    report = build_report(tiny_scrnn)
+    assert not report.ok, f"mutant {name!r} survived the validator"
+    assert expected_kind in report.kinds(), (
+        f"mutant {name!r} flagged as {sorted(report.kinds())}, "
+        f"expected {expected_kind!r}"
+    )
+
+
+def test_zero_surviving_mutants(tiny_scrnn):
+    """The aggregate guarantee the CI job asserts by name."""
+    survivors = [
+        name
+        for name, (build_report, _kind) in sorted(MUTANTS.items())
+        if build_report(tiny_scrnn).ok
+    ]
+    assert survivors == []
+
+
+def test_violations_name_offending_units(tiny_scrnn):
+    """Race reports must attribute both endpoints of the unordered edge."""
+    report = mutant_drop_wait(tiny_scrnn)
+    races = [v for v in report.violations if v.kind == RAW_RACE]
+    assert all(len(v.unit_ids) == 2 for v in races)
+    assert {1, 2} in [set(v.unit_ids) for v in races]

@@ -186,6 +186,119 @@ class TestUnitValidation:
             plan.validate_covering()
 
 
+class TestHostOnlyProducers:
+    """Regression: completion events used to be created for kernel-less
+    (host-only) producers, but only LaunchItems ever record events -- so a
+    cross-stream consumer deadlocked waiting on an event nobody stamps,
+    and a host->host chain hit "sync on unrecorded event".  Kernel-less
+    producers are now ordered by dispatch-thread serialization instead."""
+
+    @staticmethod
+    def _host_feeds_kernel():
+        tr = Tracer("hostprod")
+        x = tr.input((8, 8))
+        w = tr.param((8, 8))
+        y = tr.tanh(x)
+        z = tr.matmul(y, w)
+        tr.output(z)
+        units = [
+            Unit(0, None, (y.node.node_id,), host_us=25.0, label="host-prod"),
+            Unit(1, GemmLaunch(8, 8, 8, "cublas"), (z.node.node_id,)),
+        ]
+        return tr.graph, units
+
+    def test_host_producer_cross_stream_consumer_runs(self):
+        from repro.gpu import P100
+        from repro.runtime import Executor
+
+        graph, units = self._host_feeds_kernel()
+        plan = ExecutionPlan(units=units, stream_of={1: 1}, profile=False)
+        result = Executor(graph, P100).run(plan)
+        assert result.total_time_us > 0
+
+    def test_host_producer_schedule_has_no_ghost_waits(self):
+        graph, units = self._host_feeds_kernel()
+        plan = ExecutionPlan(units=units, stream_of={1: 1}, profile=False)
+        lowered = Dispatcher(graph).lower(plan)
+        recorded = {
+            i.record for i in lowered.items
+            if isinstance(i, LaunchItem) and i.record is not None
+        }
+        for item in lowered.items:
+            if isinstance(item, LaunchItem):
+                assert set(item.waits) <= recorded
+
+    def test_host_to_host_chain_runs(self):
+        from repro.gpu import P100
+        from repro.runtime import Executor
+
+        tr = Tracer("hostchain")
+        x = tr.input((8, 8))
+        y = tr.tanh(x)
+        z = tr.sigmoid(y)
+        tr.output(z)
+        units = [
+            Unit(0, None, (y.node.node_id,), host_us=10.0, label="h0"),
+            Unit(1, None, (z.node.node_id,), host_us=10.0, label="h1"),
+        ]
+        plan = ExecutionPlan(units=units, profile=False)
+        result = Executor(tr.graph, P100).run(plan)
+        assert result.total_time_us > 0
+
+    def test_host_producer_schedule_validates(self):
+        from repro.check import validate_schedule
+
+        graph, units = self._host_feeds_kernel()
+        plan = ExecutionPlan(units=units, stream_of={1: 1}, profile=False)
+        report = validate_schedule(Dispatcher(graph).lower(plan))
+        assert report.ok, report.summary()
+
+
+class TestItemUnits:
+    """item_units maps exactly the work items (launches + host computes)
+    back to their emitting units; the validator depends on both directions
+    of that contract."""
+
+    def test_every_work_item_attributed(self, diamond):
+        graph, units = diamond
+        plan = ExecutionPlan(units=units, stream_of={0: 0, 1: 1, 2: 0})
+        lowered = Dispatcher(graph).lower(plan)
+        for idx, item in enumerate(lowered.items):
+            if isinstance(item, (LaunchItem, HostComputeItem)):
+                assert idx in lowered.item_units
+            else:
+                assert idx not in lowered.item_units
+        assert set(lowered.item_units.values()) == {u.unit_id for u in units}
+
+    def test_pre_copies_attributed_to_owner(self, diamond):
+        from repro.gpu.kernels import CopyLaunch
+
+        graph, units = diamond
+        units[2] = Unit(
+            units[2].unit_id, units[2].kernel, units[2].node_ids,
+            pre_copies=(CopyLaunch(bytes_moved=4096),),
+        )
+        lowered = Dispatcher(graph).lower(ExecutionPlan(units=units))
+        owner = [
+            lowered.item_units[idx]
+            for idx, item in enumerate(lowered.items)
+            if isinstance(item, LaunchItem) and item.kernel.kind == "copy"
+        ]
+        assert owner == [units[2].unit_id]
+
+    def test_host_items_attributed(self, diamond):
+        graph, units = diamond
+        units = units[:2] + [
+            Unit(2, None, (units[2].node_ids[0],), host_us=25.0, label="host"),
+        ]
+        lowered = Dispatcher(graph).lower(ExecutionPlan(units=units, profile=False))
+        host_idx = next(
+            idx for idx, i in enumerate(lowered.items)
+            if isinstance(i, HostComputeItem)
+        )
+        assert lowered.item_units[host_idx] == 2
+
+
 class TestRecordUnits:
     """Lowering metadata for the trace exporter: one unit id per launched
     kernel, in record order, pre-copies tagged with their owner."""
