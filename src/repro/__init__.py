@@ -20,7 +20,9 @@ Layers (bottom-up):
 
 from .check import ScheduleValidationError, ValidationReport, validate_schedule
 from .core.enumerator import AstraFeatures
+from .core.measurement import ROBUST, TRUSTING, MeasurementPolicy
 from .core.session import AstraSession, SessionReport
+from .faults import ExplorationCheckpoint, FaultPlan, FaultSpec, FaultWindow
 from .gpu.device import P100, V100, GPUSpec
 
 __version__ = "1.0.0"
@@ -35,4 +37,11 @@ __all__ = [
     "ScheduleValidationError",
     "ValidationReport",
     "validate_schedule",
+    "MeasurementPolicy",
+    "TRUSTING",
+    "ROBUST",
+    "FaultPlan",
+    "FaultSpec",
+    "FaultWindow",
+    "ExplorationCheckpoint",
 ]

@@ -17,6 +17,11 @@ Commands:
   lowering, then run the full exploration in validated mode so every
   configuration Astra tries is race/liveness-checked; exits non-zero on
   any violation (see ``docs/validation.md``)
+* ``chaos``     — fault-injection sweep: run the exploration under each
+  cell of a fault matrix (stragglers, throttling, launch failures,
+  dropped/corrupted timestamps, device OOM, preemption), assert the
+  degradation invariant and the fault accounting, and print a resilience
+  report; exits non-zero if any cell fails (see ``docs/robustness.md``)
 """
 
 from __future__ import annotations
@@ -70,14 +75,32 @@ def _write_obs_outputs(args, metrics, reporter) -> None:
 
 
 def cmd_optimize(args) -> int:
+    from .core.measurement import ROBUST
+    from .faults import FaultPlan, PreemptionError
+
     model = _build(args)
     device = DEVICES[args.device]
     metrics, reporter = _obs_hooks(args)
+    faults = None
+    if getattr(args, "faults", None):
+        with open(args.faults) as fh:
+            faults = FaultPlan.loads(fh.read())
     session = AstraSession(
         model, device=device, features=args.features, seed=args.seed,
         metrics=metrics, reporter=reporter,
+        policy=ROBUST if getattr(args, "robust", False) else None,
+        faults=faults,
+        checkpoint_path=getattr(args, "checkpoint", None),
     )
-    report = session.optimize(max_minibatches=args.budget)
+    try:
+        report = session.optimize(max_minibatches=args.budget)
+    except PreemptionError as exc:
+        print(f"preempted at mini-batch {exc.minibatch}"
+              + (f"; exploration state saved to {exc.checkpoint_path} -- "
+                 "rerun the same command to resume"
+                 if exc.checkpoint_path else " (no --checkpoint path set)"),
+              file=sys.stderr)
+        return 3
     astra = report.astra
     _write_obs_outputs(args, metrics, reporter)
     if args.json:
@@ -97,6 +120,17 @@ def cmd_optimize(args) -> int:
     print(f"explored: {astra.configs_explored} mini-batches  "
           f"(profiling overhead {astra.profiling_overhead * 100:.2f}%)")
     print(f"allocation strategy: {astra.best_strategy.label}")
+    if astra.memory:
+        print(f"memory:   arena {astra.memory['arena_bytes'] / 1024**2:.1f} MiB "
+              f"of {astra.memory['capacity_bytes'] / 1024**3:.0f} GiB "
+              f"({astra.memory['utilization'] * 100:.2f}%)")
+    if astra.degraded:
+        print("DEGRADED: exploration could not beat native; "
+              "custom-wired to the native plan")
+    if astra.fault_summary.get("injected"):
+        injected = ", ".join(f"{k}={v}" for k, v in
+                             sorted(astra.fault_summary["injected"].items()))
+        print(f"faults injected: {injected}")
     if args.verbose:
         print("\nchosen configuration:")
         for name, choice in sorted(astra.assignment.items()):
@@ -281,6 +315,27 @@ def cmd_check(args) -> int:
     return 1 if failures else 0
 
 
+def cmd_chaos(args) -> int:
+    from .faults.chaos import run_chaos
+
+    model = _build(args)
+    device = DEVICES[args.device]
+    report = run_chaos(
+        model,
+        model_name=args.model,
+        budget=args.budget,
+        seed=args.seed,
+        device=device,
+        features=args.features,
+        checkpoint_dir=args.checkpoint_dir,
+    )
+    if args.json:
+        print(json.dumps(report.to_dict(), indent=2))
+    else:
+        print(report.render())
+    return 0 if report.ok else 1
+
+
 def make_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro",
@@ -315,6 +370,15 @@ def make_parser() -> argparse.ArgumentParser:
     obs_flags(p)
     p.add_argument("--report-out", default=None, metavar="PATH",
                    help="write the per-mini-batch run report as JSON lines")
+    p.add_argument("--checkpoint", default=None, metavar="PATH",
+                   help="checkpoint the exploration state here; if the file "
+                        "already exists, resume from it instead of restarting")
+    p.add_argument("--faults", default=None, metavar="PATH",
+                   help="JSON FaultPlan to inject during the exploration "
+                        "(see docs/robustness.md)")
+    p.add_argument("--robust", action="store_true",
+                   help="measure min-of-k with MAD outlier rejection instead "
+                        "of trusting single samples")
     p.add_argument("--verbose", action="store_true")
     p.set_defaults(fn=cmd_optimize)
 
@@ -352,6 +416,19 @@ def make_parser() -> argparse.ArgumentParser:
     p.add_argument("--json", action="store_true",
                    help="print a machine-readable validation report")
     p.set_defaults(fn=cmd_check)
+
+    p = sub.add_parser(
+        "chaos",
+        help="fault-injection sweep: prove the exploration survives a "
+             "hostile device (see docs/robustness.md)",
+    )
+    common(p, positional_model=True)
+    p.add_argument("--json", action="store_true",
+                   help="print a machine-readable resilience report")
+    p.add_argument("--checkpoint-dir", default=None, metavar="DIR",
+                   help="directory for per-cell checkpoints (default: a "
+                        "temporary directory, removed afterwards)")
+    p.set_defaults(fn=cmd_chaos)
     return parser
 
 

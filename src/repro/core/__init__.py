@@ -63,3 +63,19 @@ __all__ += [
 from .wirer import Amortization
 
 __all__ += ["Amortization"]
+
+from .measurement import (
+    QUARANTINED_US,
+    ROBUST,
+    TRUSTING,
+    MeasurementPolicy,
+    mad,
+    median,
+    reject_outliers,
+    robust_min,
+)
+
+__all__ += [
+    "MeasurementPolicy", "TRUSTING", "ROBUST", "QUARANTINED_US",
+    "median", "mad", "reject_outliers", "robust_min",
+]

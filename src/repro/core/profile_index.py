@@ -124,9 +124,19 @@ class ProfileIndex:
             raise ValueError(f"unsupported profile-index version {data.get('version')}")
         index = cls()
         for entry in data["entries"]:
-            key = tuple(
-                tuple(part) if isinstance(part, list) else part
-                for part in entry["key"]
+            index._store[untuple(entry["key"])] = ProfileEntry(
+                entry["value"], entry["hits"]
             )
-            index._store[key] = ProfileEntry(entry["value"], entry["hits"])
         return index
+
+
+def untuple(part):
+    """Invert JSON's tuple->list coercion at every nesting level.
+
+    Mangled keys nest arbitrarily deep (a context may itself embed mangled
+    keys, e.g. a strategy key holding contiguity-group tuples), so a
+    single-level conversion silently produces keys that never match again.
+    """
+    if isinstance(part, list):
+        return tuple(untuple(item) for item in part)
+    return part

@@ -13,13 +13,23 @@ Typical use::
 A session owns the traced model, the device, the enumerator/wirer pair and
 the baseline measurement, and reports speedups the way the paper's tables
 do (relative to the native single-stream framework execution).
+
+A session can also run hardened (see ``docs/robustness.md``): pass a
+:class:`~repro.faults.plan.FaultPlan` to inject faults, a
+:class:`~repro.core.measurement.MeasurementPolicy` for min-of-k robust
+measurement, and ``checkpoint_path`` to make the exploration preemptible
+and resumable.  Hardened sessions enforce the degradation invariant: the
+plan a session returns is never slower than native -- if fault damage
+made the explored winner worse, the session degrades to the native plan.
 """
 
 from __future__ import annotations
 
+import os
 from dataclasses import dataclass
 
 from ..baselines.native import native_plan
+from ..faults.checkpoint import ExplorationCheckpoint
 from ..gpu.device import GPUSpec, P100
 from ..ir.graph import Graph
 from ..models.cells import TracedModel
@@ -45,6 +55,10 @@ class SessionReport:
     def best_time_us(self) -> float:
         return self.astra.best_time_us
 
+    @property
+    def degraded(self) -> bool:
+        return self.astra.degraded
+
 
 class AstraSession:
     """Optimizes one traced training job on one (simulated) device."""
@@ -61,28 +75,81 @@ class AstraSession:
         reporter=None,
         tracer=None,
         validate: bool = False,
+        policy=None,
+        faults=None,
+        checkpoint_path: str | None = None,
     ):
         self.graph = model.graph if isinstance(model, TracedModel) else model
         self.model = model if isinstance(model, TracedModel) else None
         self.device = device
+        self.seed = seed
         if isinstance(features, str):
             features = AstraFeatures.preset(features)
         self.features = features
+        self.checkpoint_path = checkpoint_path
         self.wirer = CustomWirer(
             self.graph, device, features, seed=seed, context=context, index=index,
             metrics=metrics, reporter=reporter, tracer=tracer, validate=validate,
+            policy=policy, faults=faults, checkpoint_path=checkpoint_path,
         )
+        # resume-on-restart: an existing checkpoint for the same
+        # (graph, device, features, seed) is adopted automatically, so
+        # rerunning the same command after a preemption continues the
+        # exploration instead of restarting it
+        if checkpoint_path and os.path.exists(checkpoint_path):
+            self.wirer.restore(ExplorationCheckpoint.load(checkpoint_path))
 
     def measure_native(self) -> float:
-        """Mini-batch time of the unadapted framework execution."""
-        executor = Executor(self.graph, self.device)
+        """Mini-batch time of the unadapted framework execution.
+
+        Always taken on a clean (injector-free) executor: the baseline
+        describes the framework, not the injected interference.
+        """
+        executor = Executor(self.graph, self.device, seed=self.seed)
         return executor.run(native_plan(self.graph)).total_time_us
+
+    def measure_clean(self, plan) -> float:
+        """Mini-batch time of ``plan`` on a clean executor (no injector)."""
+        executor = Executor(self.graph, self.device, seed=self.seed)
+        return executor.run(plan).total_time_us
 
     def optimize(self, max_minibatches: int = 5000) -> SessionReport:
         native_time = self.measure_native()
         report = self.wirer.optimize(max_minibatches=max_minibatches)
+        if self.wirer.injector is not None and not report.degraded:
+            report = self._enforce_degradation(report, native_time)
         return SessionReport(
             astra=report,
             native_time_us=native_time,
             speedup_over_native=native_time / report.best_time_us,
         )
+
+    def _enforce_degradation(
+        self, report: AstraReport, native_time: float
+    ) -> AstraReport:
+        """The degradation invariant: never ship a plan slower than native.
+
+        Under fault injection the exploration can crown a wrong winner
+        (e.g. the true best was quarantined away).  Re-measure the chosen
+        plan on a clean executor; if it is slower than native, custom-wire
+        to the native plan instead and mark the report degraded.
+        """
+        clean_time = self.measure_clean(report.best_plan)
+        if clean_time <= native_time:
+            # the explored winner survives a clean confirmation: report
+            # its clean time so speedups describe the plan, not the noise
+            report.best_time_us = clean_time
+            return report
+        plan = native_plan(self.graph)
+        plan.label = "native/degraded"
+        report.best_plan = plan
+        report.best_time_us = native_time
+        report.degraded = True
+        self.wirer.metrics.counter("recovery.degraded").inc()
+        self.wirer.reporter.fault(
+            "degraded", "degradation",
+            f"explored plan ({clean_time:.1f}us) slower than native "
+            f"({native_time:.1f}us); custom-wired to native plan",
+        )
+        self.wirer.tracer.instant("degraded", best_time_us=native_time)
+        return report

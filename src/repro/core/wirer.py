@@ -11,12 +11,30 @@ section 4.5.2): within each strategy, a fusion/kernel phase (parallel
 exploration over independent variables), then a stream phase (barrier +
 prefix exploration), then the per-strategy best configurations are
 compared end to end.
+
+The wirer is hardened against the fault classes in :mod:`repro.faults`:
+measurements can be taken min-of-k with MAD outlier rejection
+(:class:`~repro.core.measurement.MeasurementPolicy`), mini-batches
+aborted by transient faults are retried with bounded backoff (and the
+re-executed schedule is re-validated by :mod:`repro.check`),
+configurations that keep faulting are quarantined out of the search
+space, allocation strategies whose arenas cannot fit usable device
+memory are pruned, a run that cannot make progress degrades gracefully
+to the native plan, and a preempted run checkpoints its exploration
+state (see :mod:`repro.faults.checkpoint`) so a restart resumes instead
+of re-exploring.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
 
+from ..faults.checkpoint import ExplorationCheckpoint
+from ..faults.events import (
+    DeviceOOMError,
+    FaultError,
+    PreemptionError,
+)
 from ..gpu.device import GPUSpec
 from ..ir.graph import Graph
 from ..obs.metrics import NULL_REGISTRY, MetricsRegistry
@@ -28,6 +46,7 @@ from .adaptive import AdaptiveVariable, UpdateNode
 from .allocation import AllocationStrategy
 from .enumerator import AstraFeatures, BuiltPlan, Enumerator
 from .epochs import EpochPartition
+from .measurement import QUARANTINED_US, TRUSTING, MeasurementPolicy, robust_min
 from .profile_index import ProfileIndex, mangle
 
 #: sentinel distinguishing "variable never assigned" from any real choice
@@ -68,6 +87,13 @@ class AstraReport:
     #: per exploration mini-batch: (phase name, mini-batch time in us);
     #: the work-conservation record -- every entry was real training work
     timeline: list[tuple[str, float]] = field(default_factory=list)
+    #: True when the wirer fell back to the native plan because no
+    #: explored strategy could make progress (see docs/robustness.md)
+    degraded: bool = False
+    #: injected-fault accounting from the fault injector's ledger
+    fault_summary: dict = field(default_factory=dict)
+    #: arena footprint of the chosen plan vs device capacity
+    memory: dict = field(default_factory=dict)
 
     def amortization(self, native_time_us: float) -> "Amortization":
         """How quickly the exploration pays for itself.
@@ -119,10 +145,14 @@ class CustomWirer:
         reporter: RunReporter | None = None,
         tracer=None,
         validate: bool = False,
+        policy: MeasurementPolicy | None = None,
+        faults=None,
+        checkpoint_path: str | None = None,
     ):
         self.graph = graph
         self.device = device
         self.features = features
+        self.seed = seed
         self.enumerator = Enumerator(graph, device, features)
         self.index = index if index is not None else ProfileIndex()
         self.base_context = context
@@ -135,13 +165,112 @@ class CustomWirer:
         # checked (repro.check) before it runs; violations surface as
         # metrics counters and run-report records, then abort the run
         self.validate = validate
+        # measurement policy + fault injection (docs/robustness.md); the
+        # defaults -- single trusting sample, no injector -- reproduce the
+        # paper's base-clock behavior exactly
+        self.policy = policy if policy is not None else TRUSTING
+        self.faults = faults
+        self.injector = (
+            faults.injector() if faults is not None and faults.specs else None
+        )
+        self.checkpoint_path = checkpoint_path
         self.executor = Executor(
-            graph, device, seed=seed, validate=validate, metrics=self.metrics
+            graph, device, seed=seed, validate=validate, metrics=self.metrics,
+            injector=self.injector,
         )
         self._overhead_samples: list[float] = []
         self._timeline: list[tuple[str, float]] = []
         self._last_assignment: dict[str, object] = {}
         self._best_so_far = float("inf")
+        #: mini-batches spent by a prior (checkpointed) incarnation
+        self._prior_spent = 0
+        self._phase_carry: dict[str, tuple[int, int]] = {}
+        #: full-measurement failures per configuration key (quarantine)
+        self._fault_strikes: dict[tuple, int] = {}
+        self._preempted_at: int | None = None
+        self._spent_this_run = 0
+        self._all_phases: list[PhaseStats] = []
+
+    # -- checkpointing ------------------------------------------------------
+
+    def signature(self) -> dict:
+        """Fingerprint of (graph, device, features, seed): what must match
+        for a checkpoint's index keys to be meaningful here."""
+        return {
+            "graph_nodes": len(self.graph.nodes),
+            "graph_flops": float(self.graph.total_flops()),
+            "device": self.device.name,
+            "features": repr(self.features),
+            "seed": self.seed,
+            "context": repr(self.base_context),
+        }
+
+    def checkpoint_state(
+        self, preempted_at: int | None = None, completed: bool = False
+    ) -> ExplorationCheckpoint:
+        import json as _json
+
+        best = self._best_so_far
+        return ExplorationCheckpoint(
+            signature=self.signature(),
+            index_doc=_json.loads(self.index.dumps()),
+            total_spent=self._prior_spent + self._spent_this_run,
+            timeline=list(self._timeline),
+            overhead_samples=list(self._overhead_samples),
+            best_so_far=None if best == float("inf") else best,
+            phase_carry={
+                stats.name: (stats.minibatches, stats.index_hits)
+                for stats in self._all_phases
+            },
+            simulator_rng=self.executor._simulator.rng_state(),
+            injector_state=(
+                self.injector.state() if self.injector is not None else None
+            ),
+            preempted_at=preempted_at,
+            completed=completed,
+        )
+
+    def restore(self, checkpoint: ExplorationCheckpoint) -> None:
+        """Adopt a prior incarnation's exploration state.
+
+        Must be called before :meth:`optimize`.  The profile index, spent
+        budget, work-conservation timeline, and RNG streams all continue
+        where the preempted run stopped."""
+        checkpoint.check_signature(self.signature())
+        self.index = checkpoint.profile_index()
+        self._prior_spent = checkpoint.total_spent
+        self._timeline = list(checkpoint.timeline)
+        self._overhead_samples = list(checkpoint.overhead_samples)
+        if checkpoint.best_so_far is not None:
+            self._best_so_far = checkpoint.best_so_far
+        self._phase_carry = dict(checkpoint.phase_carry)
+        if checkpoint.simulator_rng is not None:
+            self.executor._simulator.set_rng_state(checkpoint.simulator_rng)
+        if checkpoint.injector_state is not None and self.injector is not None:
+            self.injector.restore(checkpoint.injector_state)
+        self.metrics.counter("recovery.resumed").inc()
+        self.tracer.instant(
+            "checkpoint/restored", minibatches=checkpoint.total_spent
+        )
+
+    def _save_checkpoint(
+        self, preempted_at: int | None = None, completed: bool = False
+    ) -> str | None:
+        if self.checkpoint_path is None:
+            return None
+        self.checkpoint_state(preempted_at, completed).save(self.checkpoint_path)
+        self.metrics.counter("recovery.checkpoint_saves").inc()
+        return self.checkpoint_path
+
+    def _phase_stats(self, name: str) -> PhaseStats:
+        """Fresh per-phase stats, seeded with any checkpointed progress so
+        a resumed run reports cumulative counts."""
+        carried = self._phase_carry.get(name, (0, 0))
+        stats = PhaseStats(
+            name=name, minibatches=carried[0], index_hits=carried[1]
+        )
+        self._all_phases.append(stats)
+        return stats
 
     # -- observability plumbing -------------------------------------------
 
@@ -176,7 +305,16 @@ class CustomWirer:
             phase, time_us, context=context, assignment_delta=delta, kind=kind
         )
 
-    def _execute(self, plan: ExecutionPlan, context: tuple) -> MiniBatchResult:
+    def _log_fault(self, kind: str, message: str, context: tuple, phase: str) -> None:
+        """One fault surfaced to the wirer: counter + run-report record +
+        trace annotation."""
+        self.metrics.counter(f"fault.surfaced.{kind}").inc()
+        self.reporter.fault(phase, kind, message, context=context)
+        self.tracer.instant(f"fault/{kind}", detail=message)
+
+    def _execute(
+        self, plan: ExecutionPlan, context: tuple, validate: bool | None = None
+    ) -> MiniBatchResult:
         """Run one configuration, surfacing validation failures.
 
         In validated mode a defective schedule is recorded in the run
@@ -187,7 +325,7 @@ class CustomWirer:
         from ..check import ScheduleValidationError
 
         try:
-            return self.executor.run(plan)
+            return self.executor.run(plan, validate=validate)
         except ScheduleValidationError as exc:
             for violation in exc.report.violations:
                 self.reporter.violation(
@@ -197,22 +335,96 @@ class CustomWirer:
 
     # -- measurement plumbing ---------------------------------------------
 
+    def _measure(
+        self, plan: ExecutionPlan, context: tuple, phase: str
+    ) -> MiniBatchResult | None:
+        """Obtain one measurement sample, retrying transient aborts.
+
+        Returns None when the sample could not be obtained within the
+        policy's attempt budget.  Each retry re-validates the schedule
+        through :mod:`repro.check` before re-execution: recovery must
+        never re-run a plan with ordering or memory violations."""
+        attempts = 0
+        while True:
+            try:
+                # a plan re-executed after a fault is statically
+                # re-validated, even when validated mode is off
+                validate = True if attempts > 0 and not self.validate else None
+                if validate:
+                    self.metrics.counter("recovery.revalidated").inc()
+                result = self._execute(plan, context, validate=validate)
+            except FaultError as exc:
+                if not exc.transient:
+                    raise
+                attempts += 1
+                self._log_fault(exc.kind, str(exc), context, phase)
+                if attempts >= self.policy.max_attempts:
+                    self.metrics.counter("recovery.measurements_failed").inc()
+                    return None
+                backoff = self.policy.backoff_for(attempts)
+                self.metrics.counter("recovery.retries").inc()
+                self.metrics.counter("recovery.backoff_minibatches").inc(backoff)
+                continue
+            if attempts > 0:
+                self.metrics.counter("recovery.retries_succeeded").inc()
+            for fault in result.faults:
+                self._log_fault(fault.kind, fault.detail, context, phase)
+            return result
+
+    def _measure_config(
+        self,
+        plan: ExecutionPlan,
+        context: tuple,
+        stats: PhaseStats,
+        assignment: dict[str, object] | None,
+        kind: str = KIND_EXPLORE,
+    ) -> tuple[list[MiniBatchResult], int]:
+        """Measure one configuration under the policy: up to ``samples``
+        mini-batches (min-of-k), each retried per :meth:`_measure`.
+
+        Returns (successful samples, mini-batches charged).  Failed
+        measurements still charge one mini-batch of budget -- their work
+        was dispatched and lost."""
+        results: list[MiniBatchResult] = []
+        charged = 0
+        for _ in range(self.policy.samples):
+            result = self._measure(plan, context, stats.name)
+            charged += 1
+            self._spent_this_run += 1
+            if result is None:
+                continue
+            results.append(result)
+            self._overhead_samples.append(result.profiling_overhead_fraction)
+            self._log_minibatch(
+                stats.name, result.total_time_us, context, assignment, kind=kind
+            )
+            stats.minibatches += 1
+        return results, charged
+
     def _record_measurements(
         self,
         tree: UpdateNode,
         built: BuiltPlan,
-        result: MiniBatchResult,
+        results: list[MiniBatchResult],
         context: tuple,
     ) -> None:
-        """Feed this mini-batch's fine-grained profile into the index under
-        context-mangled keys (sections 4.6, 4.7)."""
+        """Feed this configuration's fine-grained profiles into the index
+        under context-mangled keys (sections 4.6, 4.7).  With several
+        samples per configuration, each variable's metric is the robust
+        minimum (MAD rejection first) across samples."""
         for var in tree.variables():
             key = var.profile_key(context)
             if key in self.index:
                 continue
-            metric = self._metric_for(var, built, result)
-            if metric is not None:
-                self.index.record(key, metric)
+            values = []
+            for result in results:
+                metric = self._metric_for(var, built, result)
+                if metric is not None:
+                    values.append(metric)
+            if values:
+                self.index.record(
+                    key, robust_min(values, self.policy.mad_threshold)
+                )
 
     def _metric_for(
         self, var: AdaptiveVariable, built: BuiltPlan, result: MiniBatchResult
@@ -221,13 +433,46 @@ class CustomWirer:
             unit_ids = built.var_units.get(var.name, [])
             if not unit_ids:
                 return None
-            return sum(result.unit_times.get(uid, 0.0) for uid in unit_ids)
+            tainted = {f.unit_id for f in result.faults}
+            total = 0.0
+            for uid in unit_ids:
+                time = result.unit_times.get(uid)
+                if time is None:
+                    if uid in tainted:
+                        # this variable's measurement was withheld (lost
+                        # or implausible timestamp): no number at all
+                        # beats a silently-wrong one
+                        return None
+                    time = 0.0  # host-only unit: no kernel to time
+                total += time
+            return total
         if var.metric_kind == "epoch":
             _ordinal, epoch = var.payload  # type: ignore[misc]
             return result.epoch_metrics.get((epoch.super_epoch, epoch.index))
         if var.metric_kind == "end_to_end":
             return result.total_time_us
         raise ValueError(f"unknown metric kind {var.metric_kind!r}")
+
+    def _quarantine(
+        self,
+        live_vars: list[AdaptiveVariable],
+        context: tuple,
+        phase: str,
+    ) -> None:
+        """Write the quarantine sentinel for every live, unmeasured choice
+        of this configuration so exploration moves past it; finalize()
+        can never prefer it over a real measurement."""
+        names = []
+        for var in live_vars:
+            key = var.profile_key(context)
+            if key not in self.index:
+                self.index.record(key, QUARANTINED_US)
+                names.append(f"{var.name}={var.value!r}")
+        self.metrics.counter("recovery.quarantined").inc()
+        self._log_fault(
+            "quarantine", f"configuration quarantined: {', '.join(names)}",
+            context, phase,
+        )
 
     # -- exploration phases ---------------------------------------------------
 
@@ -249,15 +494,25 @@ class CustomWirer:
                 if live_vars:
                     assignment = tree.assignment()
                     built = build(assignment, {v.name for v in live_vars})
-                    result = self._execute(built.plan, context)
-                    self._overhead_samples.append(result.profiling_overhead_fraction)
-                    self._record_measurements(tree, built, result, context)
-                    self._log_minibatch(
-                        stats.name, result.total_time_us, context, assignment
+                    results, charged = self._measure_config(
+                        built.plan, context, stats, assignment
                     )
-                    stats.minibatches += 1
-                    spent += 1
-                    self.metrics.counter(f"astra.index_misses.{stats.name}").inc()
+                    spent += charged
+                    if results:
+                        self._record_measurements(tree, built, results, context)
+                        self._fault_strikes.pop(self._config_key(live_vars, context), None)
+                        self.metrics.counter(f"astra.index_misses.{stats.name}").inc()
+                    else:
+                        # every sample of this configuration failed: strike
+                        # it; quarantine once the policy's patience is out,
+                        # otherwise retry the same configuration
+                        key = self._config_key(live_vars, context)
+                        strikes = self._fault_strikes.get(key, 0) + 1
+                        self._fault_strikes[key] = strikes
+                        if strikes >= self.policy.quarantine_after:
+                            self._quarantine(live_vars, context, stats.name)
+                        if spent < budget:
+                            continue
                 else:
                     stats.index_hits += 1
                     self.metrics.counter(f"astra.index_hits.{stats.name}").inc()
@@ -268,90 +523,55 @@ class CustomWirer:
                     break
         return spent
 
+    @staticmethod
+    def _config_key(live_vars: list[AdaptiveVariable], context: tuple) -> tuple:
+        return tuple(var.profile_key(context) for var in live_vars)
+
     def optimize(self, max_minibatches: int = 5000) -> AstraReport:
-        """Run the full online exploration and return the custom-wired plan."""
-        total_spent = 0
+        """Run the full online exploration and return the custom-wired plan.
+
+        On an injected preemption the exploration state is checkpointed
+        (when a checkpoint path is configured) and the
+        :class:`~repro.faults.events.PreemptionError` propagates with
+        ``checkpoint_path`` filled in; a wirer restored from that
+        checkpoint continues where this one stopped."""
+        self._spent_this_run = 0
+        self._all_phases: list[PhaseStats] = []
+        try:
+            report = self._optimize(max_minibatches)
+        except PreemptionError as exc:
+            self._preempted_at = exc.minibatch
+            exc.checkpoint_path = self._save_checkpoint(preempted_at=exc.minibatch)
+            self.tracer.instant("preempted", minibatch=exc.minibatch)
+            raise
+        self._save_checkpoint(completed=True)
+        return report
+
+    def _optimize(self, max_minibatches: int) -> AstraReport:
         exploration_time = 0.0
         phases: list[PhaseStats] = []
         strategy_best: dict[int, tuple[float, ExecutionPlan, dict[str, object]]] = {}
 
         for strategy in self.enumerator.strategies:
             context = self.base_context + strategy.context_key()
-            budget_left = max(1, max_minibatches - total_spent)
+            try:
+                best = self._explore_strategy(
+                    strategy, context, phases, max_minibatches
+                )
+            except DeviceOOMError as exc:
+                # this strategy's arena cannot fit usable device memory:
+                # prune the whole branch of the exploration fork
+                self._log_fault(exc.kind, str(exc), context, f"alloc/{strategy.label}")
+                self.metrics.counter("recovery.strategies_pruned").inc()
+                continue
+            if best is not None:
+                strategy_best[strategy.strategy_id] = best
 
-            # Phase 1: fusion chunking x kernel selection (parallel)
-            fk_tree = self.enumerator.build_fk_tree(strategy)
-            fk_stats = PhaseStats(name=f"fk/{strategy.label}")
-            spent = self._explore_tree(
-                fk_tree,
-                context,
-                lambda assignment, live: self.enumerator.build_plan(
-                    strategy, assignment, profile_vars=live
-                ),
-                fk_stats,
-                budget_left,
-            )
-            total_spent += spent
-            phases.append(fk_stats)
-            fk_tree.finalize(self.index, context)
-            fk_assignment = fk_tree.assignment()
-
-            # Phase 2: stream adaptation (barrier + prefix exploration)
-            stream_assignment: dict[str, object] = {}
-            partition: EpochPartition | None = None
-            stream_tree: UpdateNode | None = None
-            if self.features.streams and not self.features.tf_mode:
-                partition, stream_tree = self.enumerator.prepare_stream_phase(
-                    strategy, fk_assignment
-                )
-                stream_stats = PhaseStats(name=f"streams/{strategy.label}")
-                budget_left = max(1, max_minibatches - total_spent)
-                build_stream = lambda assignment, live: self._build_with_streams(
-                    strategy, fk_assignment, assignment, partition, stream_tree,
-                    profile_vars=live,
-                )
-                spent = self._explore_tree(
-                    stream_tree, context, build_stream, stream_stats, budget_left
-                )
-                total_spent += spent
-                phases.append(stream_stats)
-                stream_tree.finalize(self.index, context)
-                stream_assignment = stream_tree.assignment()
-
-            # best configuration for this strategy, measured end to end.
-            # Astra can turn an optimization off when the measurement says
-            # so (section 6.6): the stream-adapted plan competes against
-            # the plain fusion/kernel plan and the faster one wins.
-            candidates = [
-                (self.enumerator.build_plan(strategy, fk_assignment), fk_assignment)
-            ]
-            if stream_tree is not None and partition is not None:
-                candidates.append((
-                    self._build_with_streams(
-                        strategy, fk_assignment, stream_tree.assignment(),
-                        partition, stream_tree,
-                    ),
-                    {**fk_assignment, **stream_assignment},
-                ))
-            measured = []
-            for built, assignment in candidates:
-                result = self._execute(built.plan, context)
-                total_spent += 1
-                self._log_minibatch(
-                    f"compare/{strategy.label}", result.total_time_us, context,
-                    assignment, kind=KIND_COMPARE,
-                )
-                measured.append((result.total_time_us, built.plan, assignment))
-            best_time, best_plan_local, best_assignment_local = min(
-                measured, key=lambda entry: entry[0]
-            )
-            end_key = mangle(context, ("end_to_end", "best"))
-            self.index.record(end_key, best_time)
-            strategy_best[strategy.strategy_id] = (
-                best_time,
-                best_plan_local,
-                best_assignment_local,
-            )
+        total_spent = self._prior_spent + self._spent_this_run
+        if not strategy_best:
+            # no strategy made progress (all pruned or fully quarantined):
+            # degrade gracefully to the native plan rather than failing
+            return self._degraded_report(phases, total_spent)
 
         exploration_time = sum(t for t, _p, _a in strategy_best.values())
         best_id = min(strategy_best, key=lambda sid: strategy_best[sid][0])
@@ -363,49 +583,262 @@ class CustomWirer:
         # production mode: same plan with profiling events disabled
         production = ExecutionPlan(
             units=best_plan.units,
+            allocation=best_plan.allocation,
             stream_of=best_plan.stream_of,
             barriers_after=best_plan.barriers_after,
             profile=False,
             label=best_plan.label + "/production",
         )
-        production_time = self._execute(
-            production, self.base_context + best_strategy.context_key()
-        ).total_time_us
+        production_context = self.base_context + best_strategy.context_key()
+        production_result = self._measure(
+            production, production_context, "production"
+        )
+        if production_result is not None:
+            production_time = production_result.total_time_us
+        else:
+            # the confirmation run itself kept faulting; the compare-phase
+            # measurement stands in for it
+            production_time = best_time
         self._log_minibatch(
-            "production", production_time,
-            self.base_context + best_strategy.context_key(),
+            "production", production_time, production_context,
             best_assignment, kind=KIND_PRODUCTION,
         )
 
-        # publish run-level gauges and the profile-index stats
-        self.metrics.gauge("astra.best_time_us").set(production_time)
-        self.metrics.gauge("astra.exploration_time_us").set(exploration_time)
-        self.metrics.gauge("astra.exploration_minibatches").set(total_spent)
-        for stats in phases:
-            self.metrics.gauge(f"astra.index_hit_rate.{stats.name}").set(
-                stats.index_hit_rate
-            )
-        self.index.observe_into(self.metrics)
-        self.tracer.instant("custom-wired", best_time_us=production_time,
-                            strategy=best_strategy.label)
-
-        overhead = (
-            sum(self._overhead_samples) / len(self._overhead_samples)
-            if self._overhead_samples
-            else 0.0
-        )
-        return AstraReport(
+        return self._finish_report(
             best_plan=production,
             best_time_us=production_time,
             best_strategy=best_strategy,
             configs_explored=total_spent,
             exploration_time_us=exploration_time,
             phases=phases,
-            profile_entries=len(self.index),
-            profiling_overhead=overhead,
             strategy_times={sid: t for sid, (t, _p, _a) in strategy_best.items()},
             assignment=best_assignment,
+        )
+
+    def _explore_strategy(
+        self,
+        strategy: AllocationStrategy,
+        context: tuple,
+        phases: list[PhaseStats],
+        max_minibatches: int,
+    ) -> tuple[float, ExecutionPlan, dict[str, object]] | None:
+        """Explore one allocation strategy end to end; returns the
+        strategy's best (time, plan, assignment), or None when every
+        candidate failed."""
+        # OOM-aware pruning: an arena that cannot fit usable memory makes
+        # every plan of this strategy un-runnable -- don't spend a single
+        # mini-batch discovering that by crashing
+        arena = self.enumerator.arena_plan(strategy)
+        capacity = self.device.memory_bytes
+        if self.injector is not None:
+            capacity = self.injector.effective_memory_bytes(self.device)
+        if arena.arena_size_bytes > capacity:
+            raise DeviceOOMError(arena.arena_size_bytes, capacity)
+
+        def budget_left() -> int:
+            return max(
+                1, max_minibatches - self._prior_spent - self._spent_this_run
+            )
+
+        # Phase 1: fusion chunking x kernel selection (parallel)
+        fk_tree = self.enumerator.build_fk_tree(strategy)
+        fk_stats = self._phase_stats(f"fk/{strategy.label}")
+        self._explore_tree(
+            fk_tree,
+            context,
+            lambda assignment, live: self.enumerator.build_plan(
+                strategy, assignment, profile_vars=live
+            ),
+            fk_stats,
+            budget_left(),
+        )
+        phases.append(fk_stats)
+        fk_tree.finalize(self.index, context)
+        fk_assignment = fk_tree.assignment()
+
+        # Phase 2: stream adaptation (barrier + prefix exploration)
+        stream_assignment: dict[str, object] = {}
+        partition: EpochPartition | None = None
+        stream_tree: UpdateNode | None = None
+        if self.features.streams and not self.features.tf_mode:
+            partition, stream_tree = self.enumerator.prepare_stream_phase(
+                strategy, fk_assignment
+            )
+            stream_stats = self._phase_stats(f"streams/{strategy.label}")
+            build_stream = lambda assignment, live: self._build_with_streams(
+                strategy, fk_assignment, assignment, partition, stream_tree,
+                profile_vars=live,
+            )
+            self._explore_tree(
+                stream_tree, context, build_stream, stream_stats, budget_left()
+            )
+            phases.append(stream_stats)
+            stream_tree.finalize(self.index, context)
+            stream_assignment = stream_tree.assignment()
+
+        # best configuration for this strategy, measured end to end.
+        # Astra can turn an optimization off when the measurement says
+        # so (section 6.6): the stream-adapted plan competes against
+        # the plain fusion/kernel plan and the faster one wins.
+        candidates = [
+            ("fk", self.enumerator.build_plan(strategy, fk_assignment),
+             fk_assignment),
+        ]
+        if stream_tree is not None and partition is not None:
+            candidates.append((
+                "streams",
+                self._build_with_streams(
+                    strategy, fk_assignment, stream_tree.assignment(),
+                    partition, stream_tree,
+                ),
+                {**fk_assignment, **stream_assignment},
+            ))
+        compare_stats = self._phase_stats(f"compare/{strategy.label}")
+        measured = []
+        for candidate_label, built, assignment in candidates:
+            # compare measurements are indexed too, so a resumed run never
+            # re-spends mini-batches re-comparing finished strategies
+            compare_key = mangle(context, ("compare", candidate_label))
+            cached = self.index.get(compare_key)
+            if cached is not None:
+                compare_stats.index_hits += 1
+                self.metrics.counter(
+                    f"astra.index_hits.{compare_stats.name}").inc()
+                measured.append((cached, built.plan, assignment))
+                continue
+            results, _charged = self._measure_config(
+                built.plan, context, compare_stats, assignment,
+                kind=KIND_COMPARE,
+            )
+            if not results:
+                continue
+            time_us = robust_min(
+                [r.total_time_us for r in results], self.policy.mad_threshold
+            )
+            self.index.record(compare_key, time_us)
+            measured.append((time_us, built.plan, assignment))
+        if compare_stats.minibatches or compare_stats.index_hits:
+            phases.append(compare_stats)
+        if not measured:
+            return None
+        best_time, best_plan_local, best_assignment_local = min(
+            measured, key=lambda entry: entry[0]
+        )
+        end_key = mangle(context, ("end_to_end", "best"))
+        self.index.record(end_key, best_time)
+        return best_time, best_plan_local, best_assignment_local
+
+    def _degraded_report(
+        self, phases: list[PhaseStats], total_spent: int
+    ) -> AstraReport:
+        """Graceful degradation: custom-wire to the native plan.
+
+        Used when no allocation strategy could produce a measured
+        configuration (all pruned by OOM or quarantined away).  The
+        native plan carries no arena requirements and no cross-stream
+        structure, so it is always runnable; its time is measured on a
+        clean executor because the report's number describes the plan,
+        not the interference."""
+        from ..baselines.native import native_plan
+
+        plan = native_plan(self.graph)
+        plan.label = "native/degraded"
+        clean = Executor(self.graph, self.device, seed=self.seed)
+        native_time = clean.run(plan).total_time_us
+        self.metrics.counter("recovery.degraded").inc()
+        self.tracer.instant("degraded", best_time_us=native_time)
+        self.reporter.fault(
+            "degraded", "degradation",
+            "no strategy made progress; custom-wired to native plan",
+            context=self.base_context,
+        )
+        fallback_strategy = AllocationStrategy(
+            strategy_id=-1, label="native-fallback", satisfied=frozenset()
+        )
+        return self._finish_report(
+            best_plan=plan,
+            best_time_us=native_time,
+            best_strategy=fallback_strategy,
+            configs_explored=total_spent,
+            exploration_time_us=sum(t for _p, t in self._timeline),
+            phases=phases,
+            strategy_times={},
+            assignment={},
+            degraded=True,
+        )
+
+    def _finish_report(
+        self,
+        best_plan: ExecutionPlan,
+        best_time_us: float,
+        best_strategy: AllocationStrategy,
+        configs_explored: int,
+        exploration_time_us: float,
+        phases: list[PhaseStats],
+        strategy_times: dict[int, float],
+        assignment: dict[str, object],
+        degraded: bool = False,
+    ) -> AstraReport:
+        # publish run-level gauges and the profile-index stats
+        self.metrics.gauge("astra.best_time_us").set(best_time_us)
+        self.metrics.gauge("astra.exploration_time_us").set(exploration_time_us)
+        self.metrics.gauge("astra.exploration_minibatches").set(configs_explored)
+        for stats in phases:
+            self.metrics.gauge(f"astra.index_hit_rate.{stats.name}").set(
+                stats.index_hit_rate
+            )
+        self.index.observe_into(self.metrics)
+
+        # memory accounting (arena footprint vs device capacity) grounds
+        # OOM injection and strategy pruning in the device model
+        arena_bytes = (
+            best_plan.allocation.arena_size_bytes
+            if best_plan.allocation is not None else 0
+        )
+        memory = {
+            "arena_bytes": arena_bytes,
+            "capacity_bytes": self.device.memory_bytes,
+            "utilization": arena_bytes / self.device.memory_bytes,
+        }
+        self.metrics.gauge("memory.arena_bytes").set(arena_bytes)
+        self.metrics.gauge("memory.capacity_bytes").set(self.device.memory_bytes)
+        self.metrics.gauge("memory.utilization").set(memory["utilization"])
+
+        # fault accounting: every injected fault must be visible in the
+        # fault.* metrics and as run-report records
+        fault_summary: dict = {}
+        if self.injector is not None:
+            self.injector.observe_into(self.metrics)
+            fault_summary = self.injector.summary()
+            for kind, count in fault_summary["injected"].items():
+                self.reporter.fault(
+                    "summary", kind, f"injected={count}",
+                    context=self.base_context,
+                )
+
+        self.tracer.instant(
+            "custom-wired", best_time_us=best_time_us, strategy=best_strategy.label
+        )
+        overhead = (
+            sum(self._overhead_samples) / len(self._overhead_samples)
+            if self._overhead_samples
+            else 0.0
+        )
+        return AstraReport(
+            best_plan=best_plan,
+            best_time_us=best_time_us,
+            best_strategy=best_strategy,
+            configs_explored=configs_explored,
+            exploration_time_us=exploration_time_us,
+            phases=phases,
+            profile_entries=len(self.index),
+            profiling_overhead=overhead,
+            strategy_times=strategy_times,
+            assignment=assignment,
             timeline=list(self._timeline),
+            degraded=degraded,
+            fault_summary=fault_summary,
+            memory=memory,
         )
 
     def _build_with_streams(

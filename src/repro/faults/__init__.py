@@ -1,0 +1,56 @@
+"""Fault injection and resilience: the hostile-fleet half of the repro.
+
+The paper hedges its "predictable execution" requirement against real
+fleets (base clocks via nvidia-smi, a profile index designed to survive
+restarts); this subsystem reproduces the hostility and proves the runtime
+half survives it:
+
+* :mod:`repro.faults.events` -- the typed fault taxonomy
+  (:class:`FaultError` aborts, :class:`FaultEvent` taints);
+* :mod:`repro.faults.plan` -- declarative, seeded :class:`FaultPlan`
+  (per-class rates, factors, mini-batch windows);
+* :mod:`repro.faults.injector` -- the stateful, deterministic
+  :class:`FaultInjector` the simulator and executor consult, with the
+  ledger that makes every injected fault accountable;
+* :mod:`repro.faults.checkpoint` -- :class:`ExplorationCheckpoint`
+  save/restore so a preempted exploration resumes instead of re-exploring;
+* :mod:`repro.faults.chaos` -- the chaos harness behind ``repro chaos``:
+  sweep a fault matrix, assert the degradation invariant, print a
+  resilience report.
+
+See ``docs/robustness.md`` for the taxonomy and the recovery policies.
+"""
+
+from .events import (
+    FAULT_EVENT_CORRUPT,
+    FAULT_EVENT_DROP,
+    FAULT_KINDS,
+    FAULT_LAUNCH,
+    FAULT_OOM,
+    FAULT_PREEMPT,
+    FAULT_SLOWDOWN,
+    FAULT_THROTTLE,
+    DeviceOOMError,
+    FaultError,
+    FaultEvent,
+    FaultRecord,
+    KernelLaunchError,
+    MinibatchFaultLog,
+    PreemptionError,
+)
+from .plan import FaultPlan, FaultSpec, FaultWindow
+from .injector import FaultInjector
+from .checkpoint import ExplorationCheckpoint
+from .chaos import ChaosCell, ChaosReport, default_matrix, run_chaos
+
+__all__ = [
+    "FAULT_KINDS",
+    "FAULT_SLOWDOWN", "FAULT_THROTTLE", "FAULT_LAUNCH",
+    "FAULT_EVENT_DROP", "FAULT_EVENT_CORRUPT", "FAULT_OOM", "FAULT_PREEMPT",
+    "FaultError", "FaultEvent", "FaultRecord", "MinibatchFaultLog",
+    "KernelLaunchError", "DeviceOOMError", "PreemptionError",
+    "FaultPlan", "FaultSpec", "FaultWindow",
+    "FaultInjector",
+    "ExplorationCheckpoint",
+    "ChaosCell", "ChaosReport", "default_matrix", "run_chaos",
+]

@@ -1,0 +1,227 @@
+"""The stateful fault injector: one per run, consulted by the simulator
+and the executor at every fault opportunity.
+
+Determinism contract: the injector draws from its own seeded RNG in the
+order opportunities arise, and the simulator visits opportunities in a
+deterministic order, so a fixed ``(FaultPlan, workload, seed)`` triple
+always injects the same faults -- chaos results are exactly reproducible
+and recovery tests can assert exact outcomes.
+
+The injector also keeps the *ledger*: every injected fault becomes a
+:class:`~repro.faults.events.FaultRecord` and a ``fault.injected.<kind>``
+counter, which is what lets a chaos run prove that no injected fault went
+unaccounted for.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..gpu.device import GPUSpec
+from .events import (
+    FAULT_EVENT_CORRUPT,
+    FAULT_EVENT_DROP,
+    FAULT_LAUNCH,
+    FAULT_OOM,
+    FAULT_PREEMPT,
+    FAULT_SLOWDOWN,
+    FAULT_THROTTLE,
+    FaultRecord,
+    MinibatchFaultLog,
+    PreemptionError,
+)
+from .plan import FaultPlan
+
+
+class FaultInjector:
+    """Stateful decision-maker for one :class:`~repro.faults.plan.FaultPlan`.
+
+    The executor calls :meth:`begin_minibatch` before dispatching each
+    mini-batch (which is where scheduled preemption fires, so state is
+    never torn mid-batch), and the simulator consults the per-kernel and
+    per-event hooks while it runs.
+    """
+
+    def __init__(self, plan: FaultPlan):
+        self.plan = plan
+        self._rng = np.random.default_rng(plan.seed)
+        self.minibatch = -1  # incremented by begin_minibatch
+        self.ledger: list[FaultRecord] = []
+        self.counts: dict[str, int] = {}
+        self._preempted = False
+        self._log = MinibatchFaultLog()
+
+    # -- bookkeeping ------------------------------------------------------
+
+    def record(self, kind: str, detail: str = "") -> None:
+        self.ledger.append(FaultRecord(kind, self.minibatch, detail))
+        self.counts[kind] = self.counts.get(kind, 0) + 1
+
+    def observe_into(self, registry) -> None:
+        """Publish cumulative ``fault.injected.<kind>`` counts as gauges.
+
+        Gauges, not counters: the injector is the source of truth and this
+        may be called repeatedly (idempotent publication)."""
+        for kind, count in sorted(self.counts.items()):
+            registry.gauge(f"fault.injected.{kind}").set(count)
+        registry.gauge("fault.injected.total").set(len(self.ledger))
+
+    def summary(self) -> dict:
+        return {
+            "minibatches": self.minibatch + 1,
+            "injected": dict(sorted(self.counts.items())),
+            "total": len(self.ledger),
+        }
+
+    # -- lifecycle hooks (executor) ---------------------------------------
+
+    def begin_minibatch(self) -> MinibatchFaultLog:
+        """Advance the mini-batch cursor; fire scheduled preemption.
+
+        Raises :class:`PreemptionError` exactly once when the cursor
+        reaches the plan's preemption point."""
+        self.minibatch += 1
+        self._log = MinibatchFaultLog(minibatch=self.minibatch)
+        spec = self.plan.spec(FAULT_PREEMPT)
+        if (
+            spec is not None
+            and not self._preempted
+            and spec.at is not None
+            and self.minibatch >= spec.at
+        ):
+            self._preempted = True
+            self.record(FAULT_PREEMPT, f"at mini-batch {self.minibatch}")
+            raise PreemptionError(self.minibatch)
+        return self._log
+
+    @property
+    def current_log(self) -> MinibatchFaultLog:
+        return self._log
+
+    def effective_memory_bytes(self, device: GPUSpec) -> int:
+        """Usable device memory this mini-batch (co-tenant OOM window)."""
+        spec = self.plan.spec(FAULT_OOM)
+        if (
+            spec is not None
+            and spec.mem_limit_bytes is not None
+            and spec.window.contains(max(0, self.minibatch))
+        ):
+            return min(device.memory_bytes, spec.mem_limit_bytes)
+        return device.memory_bytes
+
+    # -- per-kernel hooks (simulator) -------------------------------------
+
+    def kernel_multiplier(self, label: str = "") -> float:
+        """Composed slowdown for one kernel execution: throttle window
+        times transient straggler, on top of any autoboost jitter the
+        simulator already applies."""
+        multiplier = 1.0
+        throttle = self.plan.spec(FAULT_THROTTLE)
+        if throttle is not None and throttle.window.contains(self.minibatch):
+            multiplier *= throttle.factor
+            if not self._log.throttled:
+                self._log.throttled = True
+                self.record(FAULT_THROTTLE, f"x{throttle.factor:g}")
+        slow = self.plan.spec(FAULT_SLOWDOWN)
+        if (
+            slow is not None
+            and slow.rate > 0
+            and slow.window.contains(self.minibatch)
+            and self._rng.random() < slow.rate
+        ):
+            multiplier *= slow.factor
+            self._log.slowdowns += 1
+            self.record(FAULT_SLOWDOWN, label or f"x{slow.factor:g}")
+        return multiplier
+
+    def launch_fails(self, label: str = "") -> bool:
+        spec = self.plan.spec(FAULT_LAUNCH)
+        if (
+            spec is not None
+            and spec.rate > 0
+            and spec.window.contains(self.minibatch)
+            and self._rng.random() < spec.rate
+        ):
+            self.record(FAULT_LAUNCH, label)
+            return True
+        return False
+
+    def event_fault(self, record_index: int) -> None:
+        """Decide drop/corruption for one profiled timestamp.
+
+        Marks the fault in the current mini-batch log; the executor reads
+        the log back and withholds or sanity-checks the measurement."""
+        drop = self.plan.spec(FAULT_EVENT_DROP)
+        if (
+            drop is not None
+            and drop.rate > 0
+            and drop.window.contains(self.minibatch)
+            and self._rng.random() < drop.rate
+        ):
+            self._log.dropped_records.add(record_index)
+            self.record(FAULT_EVENT_DROP, f"record {record_index}")
+            return
+        corrupt = self.plan.spec(FAULT_EVENT_CORRUPT)
+        if (
+            corrupt is not None
+            and corrupt.rate > 0
+            and corrupt.window.contains(self.minibatch)
+            and self._rng.random() < corrupt.rate
+        ):
+            # a corrupted timestamp inflates or deflates the apparent
+            # duration by up to `factor`; large errors are detectably
+            # absurd (executor plausibility check), small ones survive as
+            # plausible-but-wrong samples for MAD rejection to catch
+            factor = float(self._rng.uniform(1.0, max(1.0, corrupt.factor)))
+            if self._rng.random() < 0.5:
+                factor = 1.0 / factor
+            self._log.corrupted_records[record_index] = factor
+            self.record(FAULT_EVENT_CORRUPT, f"record {record_index} x{factor:.3f}")
+
+    # -- persistence (checkpointing) --------------------------------------
+
+    def state(self) -> dict:
+        return {
+            "minibatch": self.minibatch,
+            "preempted": self._preempted,
+            "rng": _encode_rng_state(self._rng.bit_generator.state),
+            "counts": dict(self.counts),
+            "ledger": [
+                {"kind": r.kind, "minibatch": r.minibatch, "detail": r.detail}
+                for r in self.ledger
+            ],
+        }
+
+    def restore(self, state: dict) -> None:
+        self.minibatch = state["minibatch"]
+        self._preempted = state["preempted"]
+        self._rng.bit_generator.state = _decode_rng_state(state["rng"])
+        self.counts = dict(state["counts"])
+        self.ledger = [
+            FaultRecord(r["kind"], r["minibatch"], r["detail"])
+            for r in state["ledger"]
+        ]
+
+
+def _encode_rng_state(state: dict) -> dict:
+    """numpy Generator state -> JSON-safe dict (ints become strings: PCG64
+    state words exceed 2**64 and some JSON consumers mangle big ints)."""
+    def enc(value):
+        if isinstance(value, dict):
+            return {k: enc(v) for k, v in value.items()}
+        if isinstance(value, (int, np.integer)):
+            return str(int(value))
+        return value
+
+    return enc(state)
+
+
+def _decode_rng_state(state: dict) -> dict:
+    def dec(value):
+        if isinstance(value, dict):
+            return {k: dec(v) for k, v in value.items()}
+        if isinstance(value, str) and (value.isdigit() or value.lstrip("-").isdigit()):
+            return int(value)
+        return value
+
+    return dec(state)

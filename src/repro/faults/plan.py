@@ -1,0 +1,204 @@
+"""Declarative fault plans: which faults, how often, and when.
+
+A :class:`FaultPlan` is the seeded, reproducible description of a hostile
+environment -- the fault-injection analog of an
+:class:`~repro.runtime.plan.ExecutionPlan`.  It is pure data: per
+fault-class rates, multiplicative factors, and mini-batch windows.  The
+stateful half (RNG, ledger, counters) lives in
+:class:`~repro.faults.injector.FaultInjector`, built via
+:meth:`FaultPlan.injector`, so one plan can drive many independent,
+identically-distributed runs.
+
+Windows are half-open mini-batch intervals ``[start, end)``: fault
+opportunities outside a spec's window never fire, which models throttle
+episodes, noisy-neighbor bursts, and scheduled preemption.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field, replace
+
+from .events import (
+    FAULT_EVENT_CORRUPT,
+    FAULT_EVENT_DROP,
+    FAULT_KINDS,
+    FAULT_LAUNCH,
+    FAULT_OOM,
+    FAULT_PREEMPT,
+    FAULT_SLOWDOWN,
+    FAULT_THROTTLE,
+)
+
+
+@dataclass(frozen=True)
+class FaultWindow:
+    """Half-open mini-batch interval ``[start, end)``; ``end=None`` = open."""
+
+    start: int = 0
+    end: int | None = None
+
+    def contains(self, minibatch: int) -> bool:
+        if minibatch < self.start:
+            return False
+        return self.end is None or minibatch < self.end
+
+    def to_dict(self) -> dict:
+        return {"start": self.start, "end": self.end}
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "FaultWindow":
+        return cls(start=data.get("start", 0), end=data.get("end"))
+
+
+@dataclass(frozen=True)
+class FaultSpec:
+    """One fault class armed with a rate, a factor, and a window.
+
+    Field semantics per class:
+
+    * ``slowdown`` -- each kernel execution is slowed by ``factor`` with
+      probability ``rate`` (a transient straggler / noisy neighbor);
+    * ``clock_throttle`` -- every kernel inside ``window`` runs ``factor``
+      times slower (a deterministic throttle episode; ``rate`` ignored);
+    * ``launch_fail`` -- each kernel launch fails with probability
+      ``rate``, aborting the mini-batch;
+    * ``event_drop`` -- each profiled timestamp is lost with probability
+      ``rate``;
+    * ``event_corrupt`` -- each profiled timestamp is perturbed by up to
+      ``factor`` with probability ``rate``;
+    * ``oom`` -- inside ``window`` the device's usable memory is capped at
+      ``mem_limit_bytes`` (plans whose arena exceeds it abort; ``rate``
+      ignored) -- modelling a co-tenant occupying part of the device;
+    * ``preempt`` -- the job is preempted at mini-batch ``at`` (once).
+    """
+
+    kind: str
+    rate: float = 0.0
+    factor: float = 1.0
+    window: FaultWindow = field(default_factory=FaultWindow)
+    #: preemption point (``preempt`` only)
+    at: int | None = None
+    #: usable-memory cap (``oom`` only); None = the device's capacity
+    mem_limit_bytes: int | None = None
+
+    def __post_init__(self) -> None:
+        if self.kind not in FAULT_KINDS:
+            raise ValueError(
+                f"unknown fault kind {self.kind!r}; choose from {FAULT_KINDS}"
+            )
+        if not 0.0 <= self.rate <= 1.0:
+            raise ValueError(f"rate must be in [0, 1], got {self.rate}")
+        if self.factor < 1.0 and self.kind in (FAULT_SLOWDOWN, FAULT_THROTTLE):
+            raise ValueError(f"{self.kind} factor must be >= 1, got {self.factor}")
+        if self.kind == FAULT_PREEMPT and self.at is None:
+            raise ValueError("preempt spec needs an 'at' mini-batch")
+
+    def to_dict(self) -> dict:
+        return {
+            "kind": self.kind,
+            "rate": self.rate,
+            "factor": self.factor,
+            "window": self.window.to_dict(),
+            "at": self.at,
+            "mem_limit_bytes": self.mem_limit_bytes,
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "FaultSpec":
+        return cls(
+            kind=data["kind"],
+            rate=data.get("rate", 0.0),
+            factor=data.get("factor", 1.0),
+            window=FaultWindow.from_dict(data.get("window") or {}),
+            at=data.get("at"),
+            mem_limit_bytes=data.get("mem_limit_bytes"),
+        )
+
+
+@dataclass(frozen=True)
+class FaultPlan:
+    """A seeded set of :class:`FaultSpec` -- the whole hostile environment.
+
+    Deterministic: the same plan driving the same (deterministic) workload
+    injects the same faults at the same points, so every chaos result is
+    reproducible and every recovery test is exact.
+    """
+
+    specs: tuple[FaultSpec, ...] = ()
+    seed: int = 0
+
+    def __post_init__(self) -> None:
+        kinds = [s.kind for s in self.specs]
+        # one spec per kind keeps injector dispatch unambiguous
+        dupes = {k for k in kinds if kinds.count(k) > 1}
+        if dupes:
+            raise ValueError(f"duplicate fault specs for {sorted(dupes)}")
+
+    def spec(self, kind: str) -> FaultSpec | None:
+        for spec in self.specs:
+            if spec.kind == kind:
+                return spec
+        return None
+
+    @property
+    def active_kinds(self) -> tuple[str, ...]:
+        return tuple(s.kind for s in self.specs)
+
+    def with_seed(self, seed: int) -> "FaultPlan":
+        return replace(self, seed=seed)
+
+    def injector(self):
+        """Build a fresh stateful injector for one run of this plan."""
+        from .injector import FaultInjector
+
+        return FaultInjector(self)
+
+    # -- serialization (CLI --faults files) -------------------------------
+
+    def to_dict(self) -> dict:
+        return {
+            "version": 1,
+            "seed": self.seed,
+            "specs": [s.to_dict() for s in self.specs],
+        }
+
+    def dumps(self, **kwargs) -> str:
+        return json.dumps(self.to_dict(), **kwargs)
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "FaultPlan":
+        if data.get("version") != 1:
+            raise ValueError(f"unsupported fault-plan version {data.get('version')}")
+        return cls(
+            specs=tuple(FaultSpec.from_dict(s) for s in data.get("specs", [])),
+            seed=data.get("seed", 0),
+        )
+
+    @classmethod
+    def loads(cls, text: str) -> "FaultPlan":
+        return cls.from_dict(json.loads(text))
+
+    # -- common shapes ----------------------------------------------------
+
+    @classmethod
+    def none(cls) -> "FaultPlan":
+        return cls()
+
+    @classmethod
+    def single(cls, kind: str, rate: float = 0.1, seed: int = 0,
+               **overrides) -> "FaultPlan":
+        """One armed fault class with sensible defaults (chaos matrix cells)."""
+        defaults: dict = {"rate": rate}
+        if kind == FAULT_SLOWDOWN:
+            defaults["factor"] = 4.0
+        elif kind == FAULT_THROTTLE:
+            defaults.update(factor=2.0, rate=0.0, window=FaultWindow(2, 12))
+        elif kind == FAULT_EVENT_CORRUPT:
+            defaults["factor"] = 3.0
+        elif kind == FAULT_OOM:
+            defaults["rate"] = 0.0
+        elif kind == FAULT_PREEMPT:
+            defaults.update(rate=0.0, at=8)
+        defaults.update(overrides)
+        return cls(specs=(FaultSpec(kind=kind, **defaults),), seed=seed)

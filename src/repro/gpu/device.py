@@ -45,6 +45,10 @@ class GPUSpec:
     event_overhead_us: float = 0.3
     #: CPU cost of a cross-stream barrier synchronization, microseconds
     barrier_overhead_us: float = 2.0
+    #: device memory capacity, bytes (16 GB HBM2 on the P100); arena plans
+    #: exceeding this are un-runnable, which grounds OOM fault injection
+    #: and allocation-strategy pruning in the device model
+    memory_bytes: int = 16 * 1024**3
     #: clock mode: deterministic base clock, or autoboost with jitter
     clock_mode: str = CLOCK_BASE
     #: autoboost jitter: multiplicative half-width (e.g. 0.12 = +/-12%)
@@ -74,6 +78,7 @@ V100 = GPUSpec(
     peak_flops_per_us=15.0e6,
     mem_bw_bytes_per_us=900e3,
     launch_overhead_us=5.0,
+    memory_bytes=32 * 1024**3,
 )
 
 DEVICES = {"P100": P100, "V100": V100}

@@ -181,11 +181,33 @@ class StreamSimulator:
     A fresh simulator is cheap; reuse one only to share the autoboost RNG
     stream across mini-batches (which is what makes autoboost measurements
     non-repeatable run to run).
+
+    ``injector`` (a :class:`~repro.faults.injector.FaultInjector`) arms
+    fault injection: per-kernel slowdowns and throttle windows multiply
+    into execution times on top of any autoboost jitter, kernel launches
+    may abort the run with
+    :class:`~repro.faults.events.KernelLaunchError`, and profiled
+    timestamps may be marked dropped/corrupted in the injector's
+    per-mini-batch log (the executor reads the log back; the simulator's
+    own records stay ground truth).
     """
 
-    def __init__(self, device: GPUSpec, seed: int = 0):
+    def __init__(self, device: GPUSpec, seed: int = 0, injector=None):
         self.device = device
         self._rng = np.random.default_rng(seed)
+        self.injector = injector
+
+    def rng_state(self) -> dict:
+        """JSON-safe snapshot of the jitter RNG, for checkpointing: a
+        resumed run continues the exact autoboost noise stream."""
+        from ..faults.injector import _encode_rng_state
+
+        return _encode_rng_state(self._rng.bit_generator.state)
+
+    def set_rng_state(self, state: dict) -> None:
+        from ..faults.injector import _decode_rng_state
+
+        self._rng.bit_generator.state = _decode_rng_state(state)
 
     def _jitter(self) -> float:
         if self.device.clock_mode != CLOCK_AUTOBOOST:
@@ -193,6 +215,26 @@ class StreamSimulator:
         gain = 1.0 + self.device.autoboost_gain
         half = self.device.autoboost_jitter
         return max(0.05, gain * (1.0 + self._rng.uniform(-half, half)))
+
+    def _duration(self, kernel: Kernel) -> float:
+        """Execution time of one kernel instance: model time, autoboost
+        jitter, then any injected straggler/throttle multiplier."""
+        duration = kernel.duration_us(self.device) * self._jitter()
+        if self.injector is not None:
+            duration *= self.injector.kernel_multiplier(kernel.kind)
+        return duration
+
+    def _check_launch(self, item: LaunchItem) -> None:
+        if self.injector is not None and self.injector.launch_fails(item.kernel.kind):
+            from ..faults.events import KernelLaunchError
+
+            raise KernelLaunchError(item.kernel.kind, self.injector.minibatch)
+
+    def _mark_profiled_record(self, record_index: int) -> None:
+        """Give the injector a chance to drop/corrupt the timestamp pair
+        backing this profiled kernel record."""
+        if self.injector is not None:
+            self.injector.event_fault(record_index)
 
     def run(self, items: list[DispatchItem]) -> ExecutionResult:
         if self._is_sequential(items):
@@ -230,12 +272,14 @@ class StreamSimulator:
         for item in items:
             if isinstance(item, LaunchItem):
                 cpu_time += device.launch_overhead_us
+                self._check_launch(item)
                 if item.record is not None:
                     cpu_time += device.event_overhead_us
                     if item.record_is_profiling:
                         profiling_overhead += device.event_overhead_us
+                        self._mark_profiled_record(len(records))
                 start = max(cpu_time, last_end)
-                duration = item.kernel.duration_us(device) * self._jitter()
+                duration = self._duration(item.kernel)
                 end = start + duration
                 records.append(
                     KernelRecord(item.kernel, item.stream, cpu_time, start, end)
@@ -291,12 +335,14 @@ class StreamSimulator:
                 item = items[idx]
                 if isinstance(item, LaunchItem):
                     cpu_time += device.launch_overhead_us
+                    self._check_launch(item)
                     rec = KernelRecord(item.kernel, item.stream, issue_time=cpu_time)
                     events = []
                     if item.record is not None:
                         cpu_time += device.event_overhead_us
                         if item.record_is_profiling:
                             profiling_overhead += device.event_overhead_us
+                            self._mark_profiled_record(len(records))
                         events.append(item.record)
                     stream_queues.setdefault(item.stream, []).append(
                         (rec, tuple(item.waits), tuple(events))
@@ -434,7 +480,7 @@ class StreamSimulator:
                     kernel = rec.kernel
                     cap = kernel.parallelism(device)
                     uses_sms = cap > 0
-                    base = kernel.duration_us(device) * self._jitter()
+                    base = self._duration(kernel)
                     work = base * (max(1, cap) if uses_sms else 1.0)
                     running.append(_Running(rec, cap, work, uses_sms))
                     started_any = True

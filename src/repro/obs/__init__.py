@@ -28,7 +28,9 @@ from .metrics import (
 from .report import (
     KIND_COMPARE,
     KIND_EXPLORE,
+    KIND_FAULT,
     KIND_PRODUCTION,
+    KIND_VIOLATION,
     NULL_REPORTER,
     MiniBatchRecord,
     NullReporter,
@@ -48,6 +50,7 @@ __all__ = [
     "MetricsRegistry", "NullRegistry", "NULL_REGISTRY",
     "MiniBatchRecord", "RunReporter", "NullReporter", "NULL_REPORTER",
     "KIND_EXPLORE", "KIND_COMPARE", "KIND_PRODUCTION",
+    "KIND_VIOLATION", "KIND_FAULT",
     "Tracer", "NULL_TRACER",
     "chrome_trace", "kernel_args", "validate_chrome_trace", "write_chrome_trace",
 ]

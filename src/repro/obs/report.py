@@ -28,6 +28,12 @@ KIND_COMPARE = "compare"
 KIND_PRODUCTION = "production"
 #: a schedule-validation failure surfaced by repro.check (validated mode)
 KIND_VIOLATION = "violation"
+#: an injected/surfaced fault or recovery action (see repro.faults)
+KIND_FAULT = "fault"
+
+#: record kinds that carry no mini-batch measurement and must never
+#: contribute to the running best or the convergence curve
+_EVENT_KINDS = (KIND_VIOLATION, KIND_FAULT)
 
 
 @dataclass
@@ -61,14 +67,19 @@ class MiniBatchRecord:
             seq=data["seq"],
             phase=data["phase"],
             kind=data["kind"],
-            context=tuple(
-                tuple(part) if isinstance(part, list) else part
-                for part in data["context"]
-            ),
+            context=_untuple(data["context"]),
             assignment_delta=dict(data["assignment_delta"]),
             time_us=data["time_us"],
             best_so_far_us=data["best_so_far_us"],
         )
+
+
+def _untuple(part):
+    """Inverse of the list encoding JSON applies to tuples, at any depth
+    (context keys nest: strategy forks, bucket ids, compare labels)."""
+    if isinstance(part, list):
+        return tuple(_untuple(item) for item in part)
+    return part
 
 
 @dataclass
@@ -123,14 +134,40 @@ class RunReporter:
             best_so_far_us=best if not math.isinf(best) else 0.0,
         ))
 
+    def fault(
+        self,
+        phase: str,
+        kind: str,
+        message: str,
+        context: tuple = (),
+    ) -> None:
+        """One fault surfaced to (or recovery action taken by) the wirer.
+
+        Like violations, fault records carry no mini-batch time; the
+        fault class and message travel in ``assignment_delta``.
+        """
+        best = self.best_so_far()
+        self.records.append(MiniBatchRecord(
+            seq=len(self.records),
+            phase=phase,
+            kind=KIND_FAULT,
+            context=tuple(context),
+            assignment_delta={"fault": kind, "message": message},
+            time_us=0.0,
+            best_so_far_us=best if not math.isinf(best) else 0.0,
+        ))
+
     def violations(self) -> list[MiniBatchRecord]:
         return [r for r in self.records if r.kind == KIND_VIOLATION]
 
+    def faults(self) -> list[MiniBatchRecord]:
+        return [r for r in self.records if r.kind == KIND_FAULT]
+
     def best_so_far(self) -> float:
-        # violation records carry a placeholder 0.0 when nothing has run
-        # yet; they must not reset the running best
+        # violation/fault records carry a placeholder 0.0 when nothing
+        # has run yet; they must not reset the running best
         for record in reversed(self.records):
-            if record.kind != KIND_VIOLATION:
+            if record.kind not in _EVENT_KINDS:
                 return record.best_so_far_us
         return math.inf
 
@@ -139,7 +176,7 @@ class RunReporter:
         return [
             (r.seq, r.best_so_far_us)
             for r in self.records
-            if r.kind != KIND_VIOLATION
+            if r.kind not in _EVENT_KINDS
         ]
 
     # -- serialization ------------------------------------------------------
@@ -185,8 +222,19 @@ class RunReporter:
         }
         if native_time_us is not None:
             doc["native_time_us"] = native_time_us
+        fault_records = self.faults()
+        if fault_records:
+            by_kind: dict[str, int] = {}
+            for record in fault_records:
+                fk = record.assignment_delta.get("fault", "unknown")
+                by_kind[fk] = by_kind.get(fk, 0) + 1
+            doc["faults"] = by_kind
         if report is not None:
             doc["astra"] = serialize.report_to_dict(report)
+            if getattr(report, "memory", None):
+                doc["memory"] = dict(report.memory)
+            if getattr(report, "degraded", False):
+                doc["degraded"] = True
             doc["phases"] = [
                 {
                     "name": p.name,
@@ -214,6 +262,9 @@ class NullReporter(RunReporter):
         pass
 
     def violation(self, phase, kind, message, context=()) -> None:
+        pass
+
+    def fault(self, phase, kind, message, context=()) -> None:
         pass
 
 

@@ -249,6 +249,9 @@ def report_to_dict(report: AstraReport | SessionReport) -> dict:
         "timeline": [[phase, t] for phase, t in report.timeline],
         "assignment": {k: repr(v) for k, v in report.assignment.items()},
         "plan": plan_to_dict(report.best_plan),
+        "degraded": report.degraded,
+        "fault_summary": dict(report.fault_summary),
+        "memory": dict(report.memory),
     }
 
 

@@ -1,0 +1,78 @@
+"""Tests for the noise-robust measurement policy (min-of-k + MAD)."""
+
+import pytest
+
+from repro.core import (
+    QUARANTINED_US,
+    ROBUST,
+    TRUSTING,
+    MeasurementPolicy,
+    mad,
+    median,
+    reject_outliers,
+    robust_min,
+)
+
+
+class TestStatistics:
+    def test_median_odd_even(self):
+        assert median([3.0, 1.0, 2.0]) == 2.0
+        assert median([4.0, 1.0, 3.0, 2.0]) == 2.5
+
+    def test_median_empty_raises(self):
+        with pytest.raises(ValueError):
+            median([])
+
+    def test_mad(self):
+        assert mad([1.0, 2.0, 3.0]) == 1.0
+        assert mad([5.0, 5.0, 5.0]) == 0.0
+
+    def test_reject_outliers_drops_extremes(self):
+        values = [10.0, 10.1, 9.9, 10.0, 100.0]
+        kept = reject_outliers(values)
+        assert 100.0 not in kept
+        assert len(kept) == 4
+
+    def test_reject_outliers_keeps_small_samples(self):
+        # fewer than 3 samples: no robust spread estimate, keep all
+        assert reject_outliers([1.0, 100.0]) == [1.0, 100.0]
+
+    def test_reject_outliers_zero_spread(self):
+        assert reject_outliers([5.0, 5.0, 5.0, 99.0]) == [5.0, 5.0, 5.0, 99.0]
+
+    def test_robust_min_rejects_deflated_sample(self):
+        """The dangerous corruption deflates a duration: a naive min would
+        crown it; MAD rejection must throw it out first."""
+        values = [10.0, 10.2, 9.8, 10.1, 0.5]
+        assert robust_min(values) == 9.8
+
+    def test_robust_min_single_sample(self):
+        assert robust_min([7.0]) == 7.0
+
+
+class TestMeasurementPolicy:
+    def test_defaults_are_paper_behavior(self):
+        assert TRUSTING.samples == 1
+        assert ROBUST.samples > 1
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            MeasurementPolicy(samples=0)
+        with pytest.raises(ValueError):
+            MeasurementPolicy(max_attempts=0)
+
+    def test_backoff_grows_exponentially(self):
+        policy = MeasurementPolicy(backoff_minibatches=2)
+        assert policy.backoff_for(1) == 2
+        assert policy.backoff_for(2) == 4
+        assert policy.backoff_for(3) == 8
+        assert policy.backoff_for(0) == 0
+
+    def test_backoff_disabled(self):
+        assert MeasurementPolicy(backoff_minibatches=0).backoff_for(3) == 0
+
+    def test_quarantine_sentinel_is_json_safe(self):
+        import json
+
+        assert json.loads(json.dumps(QUARANTINED_US)) == QUARANTINED_US
+        assert QUARANTINED_US > 1e12  # larger than any real measurement

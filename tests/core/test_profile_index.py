@@ -115,3 +115,36 @@ class TestPersistence:
         warm_report = warm.optimize()
         assert warm_report.configs_explored < cold_report.configs_explored
         assert warm_report.best_time_us == pytest.approx(cold_report.best_time_us)
+
+
+class TestRoundTripProperty:
+    """Satellite fix: `ProfileIndex.loads` must recursively restore nested
+    tuple keys (fusion choices embed (chunk, library) tuples arbitrarily
+    deep), so dumps/loads is an exact inverse for any well-formed key."""
+
+    _scalar = st.one_of(
+        st.integers(min_value=-(10 ** 6), max_value=10 ** 6),
+        st.text(max_size=12),
+    )
+    _key_part = st.recursive(
+        _scalar,
+        lambda inner: st.lists(inner, min_size=1, max_size=3).map(tuple),
+        max_leaves=6,
+    )
+    _store = st.dictionaries(
+        keys=st.lists(_key_part, min_size=1, max_size=4).map(tuple),
+        values=st.floats(allow_nan=False, allow_infinity=False),
+        max_size=8,
+    )
+
+    @given(store=_store)
+    @settings(max_examples=100, deadline=None)
+    def test_dumps_loads_is_identity(self, store):
+        index = ProfileIndex()
+        for key, value in store.items():
+            index.record(key, value)
+        restored = ProfileIndex.loads(index.dumps())
+        assert len(restored) == len(store)
+        for key, value in store.items():
+            assert key in restored
+            assert restored.get(key) == value

@@ -1,0 +1,112 @@
+"""Tests for the chaos harness behind ``repro chaos``."""
+
+import pytest
+
+from repro.faults import FAULT_LAUNCH, FAULT_OOM, FAULT_PREEMPT, FaultPlan
+from repro.faults.chaos import (
+    ChaosCell,
+    ChaosReport,
+    default_matrix,
+    run_chaos,
+)
+
+
+@pytest.fixture(scope="module")
+def small_sweep(request):
+    """One reduced sweep shared by the assertions below (each full cell
+    runs a complete exploration, so keep the matrix small)."""
+    tiny_scrnn = request.getfixturevalue("tiny_scrnn")
+    cells = [
+        ChaosCell("clean", FaultPlan.none()),
+        ChaosCell("launch_fail", FaultPlan.single(FAULT_LAUNCH, rate=0.004)),
+        ChaosCell(
+            "oom", FaultPlan.single(FAULT_OOM, mem_limit_bytes=1),
+        ),
+        ChaosCell("preempt", FaultPlan.single(FAULT_PREEMPT, at=4)),
+    ]
+    return run_chaos(
+        tiny_scrnn, model_name="scrnn", budget=40, seed=0, cells=cells
+    )
+
+
+class TestSweep:
+    def test_all_cells_terminate_ok(self, small_sweep):
+        assert [c.name for c in small_sweep.cells] == [
+            "clean", "launch_fail", "oom", "preempt",
+        ]
+        assert small_sweep.ok, [
+            (c.name, c.problems) for c in small_sweep.cells if not c.ok
+        ]
+
+    def test_clean_cell_finds_speedup(self, small_sweep):
+        clean = small_sweep.cells[0]
+        assert not clean.degraded and not clean.resumed
+        assert clean.injected == {}
+        assert clean.speedup > 1.0
+
+    def test_faulty_cells_account_their_faults(self, small_sweep):
+        by_name = {c.name: c for c in small_sweep.cells}
+        assert by_name["launch_fail"].injected.get("launch_fail", 0) > 0
+        assert by_name["preempt"].injected == {"preempt": 1}
+
+    def test_oom_cell_degrades_not_crashes(self, small_sweep):
+        oom = small_sweep.cells[2]
+        assert oom.degraded
+        assert oom.speedup == pytest.approx(1.0)
+
+    def test_preempt_cell_resumes(self, small_sweep):
+        preempt = small_sweep.cells[3]
+        assert preempt.resumed
+        assert preempt.speedup > 1.0
+
+    def test_report_round_trips_to_json(self, small_sweep):
+        import json
+
+        doc = json.loads(json.dumps(small_sweep.to_dict()))
+        assert doc["version"] == 1
+        assert doc["model"] == "scrnn"
+        assert doc["ok"] is True
+        assert len(doc["cells"]) == 4
+        assert doc["cells"][3]["resumed"] is True
+
+    def test_render_is_a_table(self, small_sweep):
+        text = small_sweep.render()
+        assert "chaos sweep: scrnn" in text
+        assert "preempted+resumed" in text
+        assert "degraded->native" in text
+        assert text.strip().endswith("OK")
+
+
+class TestDeterminism:
+    def test_same_seed_same_sweep(self, tiny_scrnn):
+        cells = [
+            ChaosCell(
+                "launch_fail", FaultPlan.single(FAULT_LAUNCH, rate=0.004),
+            ),
+        ]
+        a = run_chaos(tiny_scrnn, model_name="m", budget=30, seed=0,
+                      cells=cells)
+        b = run_chaos(tiny_scrnn, model_name="m", budget=30, seed=0,
+                      cells=cells)
+        assert a.to_dict() == b.to_dict()
+
+
+class TestDefaultMatrix:
+    def test_covers_every_fault_class_plus_controls(self):
+        names = [c.name for c in default_matrix()]
+        assert names[0] == "clean"
+        assert names[-1] == "storm"
+        for kind in ("slowdown", "throttle", "launch_fail", "event_drop",
+                     "event_corrupt", "oom", "preempt"):
+            assert kind in names
+
+    def test_report_ok_requires_every_cell(self):
+        from repro.faults.chaos import CellResult
+
+        good = CellResult("a", ok=True, best_time_us=1.0, native_time_us=1.0,
+                          speedup=1.0, degraded=False, resumed=False)
+        bad = CellResult("b", ok=False, best_time_us=1.0, native_time_us=1.0,
+                         speedup=1.0, degraded=False, resumed=False,
+                         problems=["x"])
+        assert ChaosReport(model="m", cells=[good]).ok
+        assert not ChaosReport(model="m", cells=[good, bad]).ok

@@ -1,0 +1,137 @@
+"""Exploration checkpointing: save/restore round trips and the
+preemption/resume invariant (acceptance criterion: an interrupted and
+resumed exploration converges to the same best configuration as an
+uninterrupted one, without re-spending mini-batches on configurations
+already profiled)."""
+
+import json
+
+import pytest
+
+from repro.core.session import AstraSession
+from repro.faults import (
+    FAULT_PREEMPT,
+    ExplorationCheckpoint,
+    FaultPlan,
+    PreemptionError,
+)
+from repro.obs import MetricsRegistry
+
+
+class TestCheckpointRoundTrip:
+    def test_dumps_loads(self):
+        ckpt = ExplorationCheckpoint(
+            signature={"device": "P100", "seed": 0},
+            index_doc={"version": 1, "entries": []},
+            total_spent=7,
+            timeline=[("fk/a", 10.0), ("streams/a", 9.0)],
+            overhead_samples=[0.01],
+            best_so_far=9.0,
+            phase_carry={"fk/a": (5, 2)},
+            preempted_at=7,
+        )
+        again = ExplorationCheckpoint.loads(ckpt.dumps())
+        assert again == ckpt
+
+    def test_save_load_file(self, tmp_path):
+        path = str(tmp_path / "ck.json")
+        ckpt = ExplorationCheckpoint(
+            signature={"seed": 1}, index_doc={"version": 1, "entries": []}
+        )
+        ckpt.save(path)
+        assert ExplorationCheckpoint.load(path) == ckpt
+        # atomic write leaves no temp file behind
+        assert list(tmp_path.iterdir()) == [tmp_path / "ck.json"]
+
+    def test_version_gate(self):
+        with pytest.raises(ValueError, match="version"):
+            ExplorationCheckpoint.from_dict({"version": 99})
+
+    def test_signature_mismatch_refuses(self):
+        ckpt = ExplorationCheckpoint(
+            signature={"device": "P100", "seed": 0},
+            index_doc={"version": 1, "entries": []},
+        )
+        with pytest.raises(ValueError, match="seed"):
+            ckpt.check_signature({"device": "P100", "seed": 1})
+
+
+class TestPreemptResume:
+    def _optimize_resuming(self, model, path, budget=60, seed=0, metrics=None):
+        """Run to completion across any number of preemptions."""
+        resumes = 0
+        while True:
+            session = AstraSession(
+                model, features="all", seed=seed,
+                faults=FaultPlan.single(FAULT_PREEMPT, at=6, seed=seed),
+                checkpoint_path=path, metrics=metrics,
+            )
+            try:
+                return session.optimize(max_minibatches=budget), resumes
+            except PreemptionError as exc:
+                assert exc.checkpoint_path == path
+                resumes += 1
+                assert resumes <= 2, "preemption must fire at most once"
+
+    def test_resume_invariant(self, tiny_scrnn, tmp_path):
+        """The acceptance criterion: interrupted + resumed == uninterrupted,
+        with no mini-batches re-spent on already-profiled configurations."""
+        baseline = AstraSession(tiny_scrnn, features="all", seed=0).optimize(
+            max_minibatches=60
+        )
+        path = str(tmp_path / "ck.json")
+        metrics = MetricsRegistry()
+        resumed, resumes = self._optimize_resuming(
+            tiny_scrnn, path, metrics=metrics
+        )
+        assert resumes == 1
+        # same best configuration and time as the uninterrupted run
+        assert resumed.best_time_us == baseline.best_time_us
+        assert resumed.astra.assignment == baseline.astra.assignment
+        assert resumed.astra.best_strategy == baseline.astra.best_strategy
+        # no re-spend: cumulative mini-batches equal the uninterrupted count
+        assert resumed.configs_explored == baseline.configs_explored
+        assert metrics.counter("recovery.resumed").value == 1
+        assert metrics.counter("recovery.checkpoint_saves").value >= 1
+
+    def test_checkpoint_written_at_preemption(self, tiny_scrnn, tmp_path):
+        path = str(tmp_path / "ck.json")
+        session = AstraSession(
+            tiny_scrnn, features="all", seed=0,
+            faults=FaultPlan.single(FAULT_PREEMPT, at=4),
+            checkpoint_path=path,
+        )
+        with pytest.raises(PreemptionError):
+            session.optimize(max_minibatches=60)
+        ckpt = ExplorationCheckpoint.load(path)
+        assert ckpt.preempted_at == 4
+        assert not ckpt.completed
+        assert ckpt.total_spent > 0
+        assert len(ckpt.index_doc["entries"]) > 0
+        json.dumps(ckpt.to_dict())  # fully JSON-safe (RNG big ints encoded)
+
+    def test_completed_checkpoint_marked(self, tiny_scrnn, tmp_path):
+        path = str(tmp_path / "ck.json")
+        AstraSession(
+            tiny_scrnn, features="all", seed=0, checkpoint_path=path
+        ).optimize(max_minibatches=40)
+        assert ExplorationCheckpoint.load(path).completed
+
+    def test_resume_onto_wrong_run_refused(self, tiny_scrnn, tmp_path):
+        path = str(tmp_path / "ck.json")
+        AstraSession(
+            tiny_scrnn, features="all", seed=0, checkpoint_path=path
+        ).optimize(max_minibatches=20)
+        with pytest.raises(ValueError, match="refusing to resume"):
+            AstraSession(
+                tiny_scrnn, features="all", seed=1, checkpoint_path=path
+            )
+
+    def test_preemption_without_checkpoint_path_still_raises(self, tiny_scrnn):
+        session = AstraSession(
+            tiny_scrnn, features="all", seed=0,
+            faults=FaultPlan.single(FAULT_PREEMPT, at=3),
+        )
+        with pytest.raises(PreemptionError) as exc:
+            session.optimize(max_minibatches=40)
+        assert exc.value.checkpoint_path is None

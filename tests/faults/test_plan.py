@@ -1,0 +1,115 @@
+"""Tests for the declarative fault plans (repro.faults.plan)."""
+
+import pytest
+
+from repro.faults import (
+    FAULT_KINDS,
+    FAULT_LAUNCH,
+    FAULT_OOM,
+    FAULT_PREEMPT,
+    FAULT_SLOWDOWN,
+    FAULT_THROTTLE,
+    FaultPlan,
+    FaultSpec,
+    FaultWindow,
+)
+
+
+class TestFaultWindow:
+    def test_half_open(self):
+        w = FaultWindow(2, 5)
+        assert not w.contains(1)
+        assert w.contains(2)
+        assert w.contains(4)
+        assert not w.contains(5)
+
+    def test_open_ended(self):
+        w = FaultWindow(3)
+        assert not w.contains(2)
+        assert w.contains(3)
+        assert w.contains(10_000)
+
+    def test_default_covers_everything(self):
+        assert FaultWindow().contains(0)
+        assert FaultWindow().contains(999)
+
+
+class TestFaultSpec:
+    def test_unknown_kind_rejected(self):
+        with pytest.raises(ValueError, match="unknown fault kind"):
+            FaultSpec("cosmic_ray")
+
+    def test_rate_bounds(self):
+        with pytest.raises(ValueError, match="rate"):
+            FaultSpec(FAULT_LAUNCH, rate=1.5)
+        with pytest.raises(ValueError, match="rate"):
+            FaultSpec(FAULT_LAUNCH, rate=-0.1)
+
+    def test_slowdown_factor_must_slow(self):
+        with pytest.raises(ValueError, match="factor"):
+            FaultSpec(FAULT_SLOWDOWN, rate=0.1, factor=0.5)
+        with pytest.raises(ValueError, match="factor"):
+            FaultSpec(FAULT_THROTTLE, factor=0.9)
+
+    def test_preempt_needs_at(self):
+        with pytest.raises(ValueError, match="at"):
+            FaultSpec(FAULT_PREEMPT)
+        FaultSpec(FAULT_PREEMPT, at=5)  # ok
+
+
+class TestFaultPlan:
+    def test_duplicate_kinds_rejected(self):
+        with pytest.raises(ValueError, match="duplicate"):
+            FaultPlan(specs=(
+                FaultSpec(FAULT_LAUNCH, rate=0.1),
+                FaultSpec(FAULT_LAUNCH, rate=0.2),
+            ))
+
+    def test_spec_lookup(self):
+        plan = FaultPlan(specs=(FaultSpec(FAULT_LAUNCH, rate=0.1),))
+        assert plan.spec(FAULT_LAUNCH).rate == 0.1
+        assert plan.spec(FAULT_OOM) is None
+        assert plan.active_kinds == (FAULT_LAUNCH,)
+
+    def test_none_is_empty(self):
+        assert FaultPlan.none().specs == ()
+
+    def test_single_defaults(self):
+        plan = FaultPlan.single(FAULT_SLOWDOWN, rate=0.2, seed=7)
+        (spec,) = plan.specs
+        assert spec.kind == FAULT_SLOWDOWN
+        assert spec.rate == 0.2
+        assert spec.factor == 4.0
+        assert plan.seed == 7
+
+    def test_single_override(self):
+        plan = FaultPlan.single(FAULT_PREEMPT, at=11)
+        assert plan.spec(FAULT_PREEMPT).at == 11
+
+    @pytest.mark.parametrize("kind", FAULT_KINDS)
+    def test_roundtrip_every_kind(self, kind):
+        extra = {"at": 4} if kind == FAULT_PREEMPT else {}
+        plan = FaultPlan.single(kind, seed=3, **extra)
+        assert FaultPlan.loads(plan.dumps()) == plan
+
+    def test_roundtrip_full_plan(self):
+        plan = FaultPlan(
+            specs=(
+                FaultSpec(FAULT_SLOWDOWN, rate=0.25, factor=3.5,
+                          window=FaultWindow(1, 9)),
+                FaultSpec(FAULT_OOM, mem_limit_bytes=1234,
+                          window=FaultWindow(4)),
+                FaultSpec(FAULT_PREEMPT, at=6),
+            ),
+            seed=42,
+        )
+        assert FaultPlan.loads(plan.dumps()) == plan
+
+    def test_with_seed(self):
+        plan = FaultPlan.single(FAULT_LAUNCH, rate=0.1, seed=0)
+        assert plan.with_seed(9).seed == 9
+        assert plan.with_seed(9).specs == plan.specs
+
+    def test_version_gate(self):
+        with pytest.raises(ValueError, match="version"):
+            FaultPlan.from_dict({"version": 99, "specs": []})

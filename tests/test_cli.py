@@ -135,3 +135,69 @@ class TestTraceCommand:
     def test_trace_requires_model(self):
         with pytest.raises(SystemExit):
             make_parser().parse_args(["trace"])
+
+
+class TestResilienceFlags:
+    ARGS = ["--model", "sublstm", "--batch", "4", "--seq-len", "2",
+            "--features", "F", "--budget", "20"]
+
+    def test_optimize_robust(self, capsys):
+        assert main(["optimize", "--robust", *self.ARGS]) == 0
+        assert "speedup" in capsys.readouterr().out
+
+    def test_optimize_reports_memory(self, capsys):
+        assert main(["optimize", *self.ARGS]) == 0
+        assert "arena" in capsys.readouterr().out
+
+    def test_preempt_then_resume(self, capsys, tmp_path):
+        from repro.faults import FAULT_PREEMPT, FaultPlan
+
+        faults = tmp_path / "faults.json"
+        faults.write_text(FaultPlan.single(FAULT_PREEMPT, at=4).dumps())
+        ckpt = tmp_path / "ck.json"
+        # first run is preempted: exit 3, state saved
+        assert main(["optimize", "--faults", str(faults),
+                     "--checkpoint", str(ckpt), *self.ARGS]) == 3
+        err = capsys.readouterr().err
+        assert "preempted at mini-batch 4" in err
+        assert ckpt.exists()
+        # rerun resumes from the checkpoint and completes
+        assert main(["optimize", "--faults", str(faults),
+                     "--checkpoint", str(ckpt), *self.ARGS]) == 0
+        out = capsys.readouterr().out
+        assert "speedup" in out
+        assert "faults injected" in out
+
+    def test_faults_flag_injects(self, capsys, tmp_path):
+        from repro.faults import FAULT_SLOWDOWN, FaultPlan
+
+        faults = tmp_path / "faults.json"
+        faults.write_text(
+            FaultPlan.single(FAULT_SLOWDOWN, rate=0.3, factor=4.0).dumps()
+        )
+        assert main(["optimize", "--robust", "--faults", str(faults),
+                     *self.ARGS]) == 0
+        assert "slowdown" in capsys.readouterr().out
+
+
+class TestChaosCommand:
+    def test_chaos_sweep_json(self, capsys):
+        import json
+
+        assert main(["chaos", "scrnn", "--batch", "4", "--seq-len", "2",
+                     "--budget", "30", "--json"]) == 0
+        doc = json.loads(capsys.readouterr().out)
+        assert doc["ok"] is True
+        names = [c["name"] for c in doc["cells"]]
+        assert names[0] == "clean" and "storm" in names
+
+    def test_chaos_table(self, capsys):
+        assert main(["chaos", "scrnn", "--batch", "4", "--seq-len", "2",
+                     "--budget", "30"]) == 0
+        out = capsys.readouterr().out
+        assert "chaos sweep: scrnn" in out
+        assert out.strip().endswith("OK")
+
+    def test_chaos_requires_model(self):
+        with pytest.raises(SystemExit):
+            make_parser().parse_args(["chaos"])
