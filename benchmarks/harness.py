@@ -19,12 +19,14 @@ from __future__ import annotations
 
 import json
 import os
+import time
 from pathlib import Path
 
 from repro import AstraSession
 from repro.baselines import run_cudnn, run_native, run_xla
 from repro.gpu import P100
 from repro.models import MODEL_BUILDERS
+from repro.perf import PhaseClock
 
 RESULTS_DIR = Path(__file__).parent / "results"
 
@@ -64,18 +66,33 @@ def build_model(name: str, batch_size: int, seq_len: int = BENCH_SEQ_LEN, **over
 
 
 def astra_times(model, variants=VARIANTS, seed=1, max_minibatches=3000):
-    """Best mini-batch time and exploration size per Astra variant."""
+    """Best mini-batch time and exploration size per Astra variant.
+
+    Each variant run gets its *own* :class:`~repro.perf.PhaseClock`, so
+    one variant's time can never bleed into another's, and within a run
+    every phase (enumerate / prerank / lower / validate / simulate /
+    explore) is timed by its own exclusive context -- the per-phase
+    seconds sum to the measured wall clock (pinned by the harness-timing
+    regression test).
+    """
     out = {}
     for preset in variants:
-        report = AstraSession(model, features=preset, seed=seed).optimize(
-            max_minibatches=max_minibatches
-        )
+        clock = PhaseClock()
+        start = time.perf_counter()
+        with clock.phase("other"):
+            report = AstraSession(model, features=preset, seed=seed,
+                                  clock=clock).optimize(
+                max_minibatches=max_minibatches
+            )
+        wall_s = time.perf_counter() - start
         out[preset] = {
             "best_us": report.best_time_us,
             "native_us": report.native_time_us,
             "speedup": report.speedup_over_native,
             "configs": report.configs_explored,
             "overhead": report.astra.profiling_overhead,
+            "wall_s": wall_s,
+            "phases_s": dict(sorted(clock.seconds.items())),
         }
     return out
 

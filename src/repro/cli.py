@@ -22,6 +22,10 @@ Commands:
   dropped/corrupted timestamps, device OOM, preemption), assert the
   degradation invariant and the fault accounting, and print a resilience
   report; exits non-zero if any cell fails (see ``docs/robustness.md``)
+* ``bench``     — time the exploration itself: baseline (no cache, no
+  pruning) vs fast path, per phase, writing ``BENCH_<model>.json``;
+  exits non-zero if the fast path's winner diverges from the exhaustive
+  winner or the cache never hits (see ``docs/performance.md``)
 """
 
 from __future__ import annotations
@@ -77,6 +81,7 @@ def _write_obs_outputs(args, metrics, reporter) -> None:
 def cmd_optimize(args) -> int:
     from .core.measurement import ROBUST
     from .faults import FaultPlan, PreemptionError
+    from .perf import FastPath
 
     model = _build(args)
     device = DEVICES[args.device]
@@ -85,12 +90,16 @@ def cmd_optimize(args) -> int:
     if getattr(args, "faults", None):
         with open(args.faults) as fh:
             faults = FaultPlan.loads(fh.read())
+    # the CLI defaults to the full fast path; --no-cache / --no-prune are
+    # the escape hatches back to from-scratch lowering / exhaustive search
+    fast = FastPath(cache=not args.no_cache, prune=not args.no_prune)
     session = AstraSession(
         model, device=device, features=args.features, seed=args.seed,
         metrics=metrics, reporter=reporter,
         policy=ROBUST if getattr(args, "robust", False) else None,
         faults=faults,
         checkpoint_path=getattr(args, "checkpoint", None),
+        fast=fast,
     )
     try:
         report = session.optimize(max_minibatches=args.budget)
@@ -110,6 +119,7 @@ def cmd_optimize(args) -> int:
         doc["model"] = args.model
         doc["batch"] = args.batch
         doc["device"] = args.device
+        doc["fast_path"] = astra.fast_path
         print(json.dumps(doc, indent=2))
         return 0
     print(f"model: {args.model}  batch={args.batch}  device={args.device}  "
@@ -119,6 +129,19 @@ def cmd_optimize(args) -> int:
     print(f"speedup:  {report.speedup_over_native:9.2f} x")
     print(f"explored: {astra.configs_explored} mini-batches  "
           f"(profiling overhead {astra.profiling_overhead * 100:.2f}%)")
+    fast_path = astra.fast_path
+    if fast_path:
+        cache_stats = fast_path.get("cache") or {}
+        parts = [
+            f"cache {'on' if fast_path.get('cache_enabled') else 'off'}",
+            f"prune {'on' if fast_path.get('prune_enabled') else 'off'}",
+        ]
+        if cache_stats:
+            parts.append(f"cache hit rate {cache_stats.get('hit_rate', 0.0) * 100:.1f}%")
+        if fast_path.get("prune_enabled"):
+            parts.append(f"{fast_path.get('choices_pruned', 0)} of "
+                         f"{fast_path.get('choices_total', 0)} choices pruned")
+        print(f"fast path: {'  '.join(parts)}")
     print(f"allocation strategy: {astra.best_strategy.label}")
     if astra.memory:
         print(f"memory:   arena {astra.memory['arena_bytes'] / 1024**2:.1f} MiB "
@@ -336,6 +359,34 @@ def cmd_chaos(args) -> int:
     return 0 if report.ok else 1
 
 
+def cmd_bench(args) -> int:
+    from .perf.bench import DEFAULT_VARIANTS, bench_model, render_bench
+
+    variants = (
+        tuple(v.strip() for v in args.variants.split(",") if v.strip())
+        if args.variants else DEFAULT_VARIANTS
+    )
+    doc = bench_model(
+        args.model,
+        batch=args.batch,
+        seq_len=args.seq_len,
+        device_name=args.device,
+        seed=args.seed,
+        budget=args.budget,
+        variants=variants,
+        quick=args.quick,
+    )
+    out = args.output or f"BENCH_{args.model}.json"
+    with open(out, "w") as fh:
+        json.dump(doc, fh, indent=2)
+    if args.json:
+        print(json.dumps(doc, indent=2))
+    else:
+        print(render_bench(doc))
+        print(f"wrote {out}")
+    return 0 if doc["ok"] else 1
+
+
 def make_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro",
@@ -379,6 +430,12 @@ def make_parser() -> argparse.ArgumentParser:
     p.add_argument("--robust", action="store_true",
                    help="measure min-of-k with MAD outlier rejection instead "
                         "of trusting single samples")
+    p.add_argument("--no-cache", action="store_true",
+                   help="disable the compilation cache (lower every plan "
+                        "from scratch)")
+    p.add_argument("--no-prune", action="store_true",
+                   help="disable cost-model pruning (exhaustive search; "
+                        "converges to the same winner, just slower)")
     p.add_argument("--verbose", action="store_true")
     p.set_defaults(fn=cmd_optimize)
 
@@ -429,6 +486,23 @@ def make_parser() -> argparse.ArgumentParser:
                    help="directory for per-cell checkpoints (default: a "
                         "temporary directory, removed afterwards)")
     p.set_defaults(fn=cmd_chaos)
+
+    p = sub.add_parser(
+        "bench",
+        help="time the exploration itself: baseline vs fast path, per phase",
+    )
+    common(p, positional_model=True)
+    p.add_argument("--variants", default=None, metavar="V1,V2",
+                   help="comma-separated feature variants to bench "
+                        "(default: FK,all)")
+    p.add_argument("--quick", action="store_true",
+                   help="primary variant only, no timing gate: the CI smoke "
+                        "configuration")
+    p.add_argument("-o", "--output", default=None, metavar="PATH",
+                   help="output path (default: BENCH_<model>.json)")
+    p.add_argument("--json", action="store_true",
+                   help="print the full bench document instead of the table")
+    p.set_defaults(fn=cmd_bench)
     return parser
 
 

@@ -16,14 +16,20 @@ the custom-wirer's job, by measurement.
 from __future__ import annotations
 
 import itertools
-from dataclasses import dataclass
+from collections import OrderedDict
+from dataclasses import dataclass, replace
 
 from ..gpu.device import GPUSpec
 from ..gpu.kernels import CopyLaunch, GemmLaunch
 from ..gpu.libraries import DEFAULT_LIBRARY, GEMM_LIBRARIES
 from ..ir.graph import Graph
+from ..obs.metrics import NULL_REGISTRY
 from ..runtime.dispatcher import Dispatcher
-from ..runtime.lowering import elementwise_chains, fused_elementwise_kernel, kernel_for_node
+from ..runtime.lowering import (
+    cached_elementwise_chains,
+    fused_elementwise_kernel,
+    kernel_for_node,
+)
 from ..runtime.plan import ExecutionPlan, Unit
 from .adaptive import (
     AdaptiveVariable,
@@ -81,13 +87,184 @@ class BuiltPlan:
     var_units: dict[str, list[int]]
 
 
-class Enumerator:
-    """Static-analysis half of Astra for one traced graph."""
+class _UnitBuilder:
+    """Shared unit-emission engine.
 
-    def __init__(self, graph: Graph, device: GPUSpec, features: AstraFeatures):
+    :meth:`Enumerator.build_plan` drives it over the whole graph;
+    :meth:`Enumerator.units_for_choice` drives it over a single adaptive
+    variable's emission so the fast-path pre-ranker can score a choice in
+    isolation.  One code path means the scored units are the measured
+    units by construction.
+    """
+
+    def __init__(self, enum: "Enumerator", strategy: AllocationStrategy, library_for):
+        self.enum = enum
+        self.strategy = strategy
+        #: profile-key -> GEMM library (the ``kernel:*`` assignment view)
+        self.library_for = library_for
+        self.units: list[Unit] = []
+        self.var_units: dict[str, list[int]] = {}
+        self.covered: set[int] = set()
+        self.counter = itertools.count()
+
+    def add_unit(self, unit: Unit, var_name: str | None) -> None:
+        self.units.append(unit)
+        self.covered.update(unit.node_ids)
+        if var_name is not None:
+            self.var_units.setdefault(var_name, []).append(unit.unit_id)
+
+    def kernel_var_name(self, key: tuple) -> str | None:
+        name = f"kernel:{key}"
+        return name if len(self.enum._libraries) > 1 else None
+
+    def weight_pack_prologue(self, var_name: str | None, tensors: tuple[int, ...], tag: str) -> None:
+        """Weights are constant within a mini-batch, so an unsatisfied
+        weight layout is gathered once up front (section 4.5.2's
+        alternative to restriction, priced by measurement).  The pack is
+        charged 2x traffic each way: the optimizer updates the canonical
+        layout every mini-batch, so the pack is gathered and the
+        gradient contribution scattered back."""
+        graph = self.enum.graph
+        total = 4 * sum(graph.node(t).spec.size_bytes for t in set(tensors))
+        kernel = CopyLaunch(total, label=f"pack_{tag}")
+        self.add_unit(
+            Unit(next(self.counter), kernel, tuple(dict.fromkeys(tensors)),
+                 label=f"pack_{tag}"),
+            var_name,
+        )
+
+    def emit_member(
+        self,
+        member: FusionMember,
+        force_fuse: bool | None = None,
+        var_override: str | None = None,
+        lib_override: str | None = None,
+    ) -> None:
+        """Emit one member outside group fusion.
+
+        ``var_override`` attributes every emitted unit (including
+        gathers) to a specific adaptive variable so its measurement
+        covers exactly what its choice caused.
+        """
+        graph = self.enum.graph
+        supported = (
+            self.strategy.supports(member.ladder_requirement())
+            and not self.enum.features.tf_mode
+        )
+        fuse = member.is_ladder and (supported if force_fuse is None else force_fuse)
+        if fuse:
+            key = (provenance(member.scope), member.pass_tag,
+                   member.m, member.k_total, member.n)
+            lib = lib_override or self.library_for(key)
+            kernel = GemmLaunch(member.m, member.k_total, member.n, lib,
+                                node_ids=member.node_ids)
+            pre = []
+            if member.a_gather_bytes:
+                pre.append(CopyLaunch(member.a_gather_bytes, label="gather_a"))
+            var_name = var_override or (self.kernel_var_name(key) if supported else None)
+            if not supported:
+                if self.enum._tensors_are_params(member.b_nodes):
+                    self.weight_pack_prologue(var_name, member.b_nodes, "ladder")
+                else:
+                    pre.append(CopyLaunch(
+                        2 * sum(graph.node(b).spec.size_bytes for b in member.b_nodes),
+                        label="gather_b",
+                    ))
+            self.add_unit(
+                Unit(next(self.counter), kernel, member.node_ids,
+                     label=f"ladder@{member.scope}", pre_copies=tuple(pre)),
+                var_name,
+            )
+        else:
+            for mm_id in member.mm_ids:
+                node = graph.node(mm_id)
+                m, k, n = _node_dims(graph, mm_id)
+                key = (provenance(node.scope), node.pass_tag, m, k, n)
+                kernel = GemmLaunch(m, k, n, lib_override or self.library_for(key),
+                                    node_ids=(mm_id,))
+                self.add_unit(
+                    Unit(next(self.counter), kernel, (mm_id,), label=kernel.name),
+                    var_override or self.kernel_var_name(key),
+                )
+            # absorbed adds of an unfused ladder run as elementwise ops;
+            # leave them uncovered so the elementwise sweep picks them up
+
+    def emit_group(self, group, chunk: int, lib: str, var_name: str) -> None:
+        """Emit one fusion group at a chunk granularity > 1."""
+        graph = self.enum.graph
+        members = group.members
+        supported = self.strategy.supports(group.requirement)
+        if self.enum.features.tf_mode:
+            supported = False  # contiguity never free in the TF runtime
+        gather_tensors: list[int] = []
+        if not supported and group.axis == "n":
+            flat = [b for mb in members for b in mb.b_nodes]
+            if self.enum._tensors_are_params(flat):
+                self.weight_pack_prologue(var_name, tuple(flat), "group")
+                gather_tensors = []  # packed once, launches copy-free
+            else:
+                gather_tensors = flat  # gathered per launch below
+        for start in range(0, len(members), chunk):
+            chunk_members = members[start: start + chunk]
+            if len(chunk_members) == 1:
+                self.emit_member(chunk_members[0], var_override=var_name,
+                                 lib_override=lib)
+                continue
+            m, k, n = group.launch_dims(chunk_members)
+            node_ids = tuple(nid for mb in chunk_members for nid in mb.node_ids)
+            lead = chunk_members[0]
+            pre = []
+            if group.axis == "n" and lead.a_gather_bytes:
+                pre.append(CopyLaunch(lead.a_gather_bytes, label="gather_a"))
+            if not supported:
+                if group.axis == "m":
+                    a_bytes = 2 * sum(
+                        graph.node(mb.a_signature[0][0]).spec.size_bytes
+                        for mb in chunk_members
+                    )
+                    pre.append(CopyLaunch(a_bytes, label="gather_a"))
+                elif gather_tensors:
+                    b_bytes = 2 * sum(
+                        graph.node(b).spec.size_bytes
+                        for mb in chunk_members
+                        for b in mb.b_nodes
+                    )
+                    pre.append(CopyLaunch(b_bytes, label="gather_b"))
+            kernel = GemmLaunch(m, k, n, lib, node_ids=node_ids)
+            self.add_unit(
+                Unit(next(self.counter), kernel, node_ids,
+                     label=f"fused@{group.group_id}", pre_copies=tuple(pre)),
+                var_name,
+            )
+
+
+class Enumerator:
+    """Static-analysis half of Astra for one traced graph.
+
+    With ``cache_units`` (the default) the assignment-determined unit
+    list of every ``(strategy, fk assignment)`` is memoized: stream-phase
+    rounds, compare-phase rebuilds and resumed runs reuse the template
+    instead of re-walking the graph.  Cached templates are copied on
+    every return (plan building mutates epoch coordinates in place), so
+    built plans stay bit-identical to uncached builds.
+    """
+
+    def __init__(
+        self,
+        graph: Graph,
+        device: GPUSpec,
+        features: AstraFeatures,
+        metrics=None,
+        cache_units: bool = True,
+    ):
         self.graph = graph
         self.device = device
         self.features = features
+        self.metrics = metrics if metrics is not None else NULL_REGISTRY
+        self.cache_units = cache_units
+        self._template_cache: OrderedDict[tuple, tuple] = OrderedDict()
+        self._template_capacity = 64
+        self._chain_cache: dict[frozenset, list[tuple[int, ...]]] = {}
         if features.fusion:
             self.analysis = resolve_static_conflicts(analyse_fusion(graph))
         else:
@@ -199,6 +376,198 @@ class Enumerator:
     # Plan building
     # ------------------------------------------------------------------
 
+    def _build_units(
+        self, strategy: AllocationStrategy, assignment: dict[str, object]
+    ) -> _UnitBuilder:
+        """Emit the assignment-determined unit list (no streams/profile)."""
+
+        def library_for(key: tuple) -> str:
+            value = assignment.get(f"kernel:{key}", DEFAULT_LIBRARY)
+            return value  # type: ignore[return-value]
+
+        builder = _UnitBuilder(self, strategy, library_for)
+
+        # 1. fusion groups
+        if self.features.fusion:
+            for group in self.analysis.groups:
+                var_name = f"fusion:{group.group_id}"
+                chunk, lib = assignment.get(var_name, (1, DEFAULT_LIBRARY))
+                if chunk == 1:
+                    # members execute individually (for unsupported groups
+                    # this is the paper's "restrict the adaptation"
+                    # fallback); the group variable owns the member units so
+                    # the measurement can compare chunk=1 against real fusion
+                    for member in group.members:
+                        builder.emit_member(member, var_override=var_name,
+                                            lib_override=lib)
+                else:
+                    builder.emit_group(group, chunk, lib, var_name)
+
+        # 2. singleton members (plain GEMMs and lone ladders)
+        for member in self.analysis.singletons:
+            if member.is_ladder and not strategy.supports(member.ladder_requirement()):
+                lvar = f"ladder:{member.mm_ids[0]}"
+                choice = assignment.get(lvar, (False, DEFAULT_LIBRARY))
+                fuse, lib = bool(choice[0]), choice[1]
+                builder.emit_member(member, force_fuse=fuse, var_override=lvar,
+                                    lib_override=lib if fuse else None)
+            else:
+                builder.emit_member(member)
+
+        # 2b. with fusion analysis disabled, GEMMs were never members
+        if not self.features.fusion:
+            for node in self.graph.gemm_nodes():
+                if node.node_id in builder.covered:
+                    continue
+                m, k, n = _node_dims(self.graph, node.node_id)
+                key = (provenance(node.scope), node.pass_tag, m, k, n)
+                kernel = GemmLaunch(m, k, n, library_for(key), node_ids=(node.node_id,))
+                builder.add_unit(
+                    Unit(next(builder.counter), kernel, (node.node_id,),
+                         label=kernel.name),
+                    builder.kernel_var_name(key),
+                )
+
+        # 3. elementwise / reduction chains over everything not yet covered
+        remaining = {
+            n.node_id for n in self.graph.nodes
+            if not n.is_leaf and n.node_id not in builder.covered
+        }
+        if self.features.elementwise_fusion:
+            for chain in cached_elementwise_chains(self.graph, remaining,
+                                                   self._chain_cache):
+                if len(chain) < 2:
+                    continue
+                kernel = fused_elementwise_kernel(self.graph, chain)
+                builder.add_unit(
+                    Unit(next(builder.counter), kernel, chain, label=kernel.label),
+                    None,
+                )
+                remaining -= set(chain)
+
+        for node in self.graph.nodes:
+            if node.node_id not in remaining:
+                continue
+            kernel = kernel_for_node(self.graph, node)
+            if kernel is None:
+                continue
+            builder.add_unit(
+                Unit(next(builder.counter), kernel, (node.node_id,),
+                     label=kernel.name),
+                None,
+            )
+        return builder
+
+    def _built_units(
+        self, strategy: AllocationStrategy, assignment: dict[str, object]
+    ) -> tuple[list[Unit], dict[str, list[int]]]:
+        """Unit template for an assignment, through the template cache.
+
+        Cached units are *copied* on every return: plan building mutates
+        epoch coordinates in place and the serializer writes them, so a
+        shared template would leak one build's coordinates into the next.
+        """
+        if not self.cache_units:
+            builder = self._build_units(strategy, assignment)
+            return builder.units, builder.var_units
+        # only fusion/ladder/kernel keys shape the units; stream or
+        # allocation keys in the assignment must not fragment the cache
+        key = (
+            strategy.strategy_id,
+            tuple(sorted(
+                (name, value) for name, value in assignment.items()
+                if name.partition(":")[0] in ("fusion", "ladder", "kernel")
+            )),
+        )
+        cached = self._template_cache.get(key)
+        if cached is None:
+            self.metrics.counter("perf.cache.units_misses").inc()
+            builder = self._build_units(strategy, assignment)
+            cached = (builder.units, builder.var_units)
+            self._template_cache[key] = cached
+            if len(self._template_cache) > self._template_capacity:
+                self._template_cache.popitem(last=False)
+                self.metrics.counter("perf.cache.units_evictions").inc()
+        else:
+            self._template_cache.move_to_end(key)
+            self.metrics.counter("perf.cache.units_hits").inc()
+        units, var_units = cached
+        return [replace(u) for u in units], {k: list(v) for k, v in var_units.items()}
+
+    def units_for_choice(
+        self, strategy: AllocationStrategy, var: AdaptiveVariable, choice
+    ) -> list[Unit]:
+        """The units one variable's choice emits, in isolation.
+
+        Drives the same emission engine as :meth:`build_plan` over a
+        single variable, so the returned units are exactly the units the
+        variable's ``"units"`` measurement would cover in a full plan --
+        the property the fast-path pre-ranker's exactness rests on.
+        """
+        builder = _UnitBuilder(self, strategy, lambda key: DEFAULT_LIBRARY)
+        name = var.name
+        if name.startswith("fusion:"):
+            group = var.payload
+            chunk, lib = choice
+            if chunk == 1:
+                for member in group.members:
+                    builder.emit_member(member, var_override=name, lib_override=lib)
+            else:
+                builder.emit_group(group, chunk, lib, name)
+        elif name.startswith("ladder:"):
+            member = var.payload
+            fuse, lib = bool(choice[0]), choice[1]
+            builder.emit_member(member, force_fuse=fuse, var_override=name,
+                                lib_override=lib if fuse else None)
+        elif name.startswith("kernel:"):
+            # a kernel variable owns every singleton-emitted launch of its
+            # shape key; replay the singleton sweep with the candidate
+            # library bound to this key only
+            builder = _UnitBuilder(
+                self, strategy,
+                lambda key: choice if f"kernel:{key}" == name else DEFAULT_LIBRARY,
+            )
+            for member in self.analysis.singletons:
+                if member.is_ladder and not strategy.supports(member.ladder_requirement()):
+                    continue  # owned by a ladder variable, not this one
+                if all(
+                    f"kernel:{key}" != name
+                    for key in self._member_shape_keys(member, strategy)
+                ):
+                    continue  # emits nothing owned by this variable
+                builder.emit_member(member)
+            if not self.features.fusion:
+                for node in self.graph.gemm_nodes():
+                    if node.node_id in builder.covered:
+                        continue
+                    m, k, n = _node_dims(self.graph, node.node_id)
+                    key = (provenance(node.scope), node.pass_tag, m, k, n)
+                    lib = choice if f"kernel:{key}" == name else DEFAULT_LIBRARY
+                    kernel = GemmLaunch(m, k, n, lib, node_ids=(node.node_id,))
+                    builder.add_unit(
+                        Unit(next(builder.counter), kernel, (node.node_id,),
+                             label=kernel.name),
+                        builder.kernel_var_name(key),
+                    )
+        else:
+            raise ValueError(f"no unit emission for variable {name!r}")
+        owned = set(builder.var_units.get(name, ()))
+        return [u for u in builder.units if u.unit_id in owned]
+
+    def member_unfused_kernel_vars(self, member: FusionMember) -> set[str]:
+        """``kernel:*`` variable names that would set the libraries of this
+        member's *unfused* GEMM launches.  A ladder variable whose unfused
+        choice shares a shape key with a live kernel variable measures
+        under that variable's concurrent choice -- the pre-ranker must not
+        prune it, because its analytic estimate assumes the default
+        library."""
+        names = set()
+        for mm_id in member.mm_ids:
+            node = self.graph.node(mm_id)
+            m, k, n = _node_dims(self.graph, mm_id)
+            names.add(f"kernel:{(provenance(node.scope), node.pass_tag, m, k, n)}")
+        return names
+
     def build_plan(
         self,
         strategy: AllocationStrategy,
@@ -217,192 +586,7 @@ class Enumerator:
         call but deterministically, so positions are stable for a fixed
         FK assignment).
         """
-        units: list[Unit] = []
-        var_units: dict[str, list[int]] = {}
-        covered: set[int] = set()
-        counter = itertools.count()
-
-        def add_unit(unit: Unit, var_name: str | None) -> None:
-            units.append(unit)
-            covered.update(unit.node_ids)
-            if var_name is not None:
-                var_units.setdefault(var_name, []).append(unit.unit_id)
-
-        def kernel_var_name(key: tuple) -> str | None:
-            name = f"kernel:{key}"
-            return name if len(self._libraries) > 1 else None
-
-        def library_for(key: tuple) -> str:
-            name = f"kernel:{key}"
-            value = assignment.get(name, DEFAULT_LIBRARY)
-            return value  # type: ignore[return-value]
-
-        def weight_pack_prologue(var_name: str, tensors: tuple[int, ...], tag: str) -> None:
-            """Weights are constant within a mini-batch, so an unsatisfied
-            weight layout is gathered once up front (section 4.5.2's
-            alternative to restriction, priced by measurement).  The pack is
-            charged 2x traffic each way: the optimizer updates the canonical
-            layout every mini-batch, so the pack is gathered and the
-            gradient contribution scattered back."""
-            total = 4 * sum(self.graph.node(t).spec.size_bytes for t in set(tensors))
-            kernel = CopyLaunch(total, label=f"pack_{tag}")
-            add_unit(
-                Unit(next(counter), kernel, tuple(dict.fromkeys(tensors)),
-                     label=f"pack_{tag}"),
-                var_name,
-            )
-
-        def emit_member(
-            member: FusionMember,
-            force_fuse: bool | None = None,
-            var_override: str | None = None,
-            lib_override: str | None = None,
-        ) -> None:
-            """Emit one member outside group fusion.
-
-            ``var_override`` attributes every emitted unit (including
-            gathers) to a specific adaptive variable so its measurement
-            covers exactly what its choice caused.
-            """
-            supported = strategy.supports(member.ladder_requirement()) and not self.features.tf_mode
-            fuse = member.is_ladder and (supported if force_fuse is None else force_fuse)
-            if fuse:
-                key = (provenance(member.scope), member.pass_tag,
-                       member.m, member.k_total, member.n)
-                lib = lib_override or library_for(key)
-                kernel = GemmLaunch(member.m, member.k_total, member.n, lib,
-                                    node_ids=member.node_ids)
-                pre = []
-                if member.a_gather_bytes:
-                    pre.append(CopyLaunch(member.a_gather_bytes, label="gather_a"))
-                var_name = var_override or (kernel_var_name(key) if supported else None)
-                if not supported:
-                    if self._tensors_are_params(member.b_nodes):
-                        weight_pack_prologue(var_name, member.b_nodes, "ladder")
-                    else:
-                        pre.append(CopyLaunch(
-                            2 * sum(self.graph.node(b).spec.size_bytes for b in member.b_nodes),
-                            label="gather_b",
-                        ))
-                add_unit(
-                    Unit(next(counter), kernel, member.node_ids,
-                         label=f"ladder@{member.scope}", pre_copies=tuple(pre)),
-                    var_name,
-                )
-            else:
-                for mm_id in member.mm_ids:
-                    node = self.graph.node(mm_id)
-                    m, k, n = _node_dims(self.graph, mm_id)
-                    key = (provenance(node.scope), node.pass_tag, m, k, n)
-                    kernel = GemmLaunch(m, k, n, lib_override or library_for(key),
-                                        node_ids=(mm_id,))
-                    add_unit(
-                        Unit(next(counter), kernel, (mm_id,), label=kernel.name),
-                        var_override or kernel_var_name(key),
-                    )
-                # absorbed adds of an unfused ladder run as elementwise ops;
-                # leave them uncovered so the elementwise sweep picks them up
-
-        # 1. fusion groups
-        for group in self.analysis.groups:
-            var_name = f"fusion:{group.group_id}"
-            if not self.features.fusion:
-                continue
-            chunk, lib = assignment.get(var_name, (1, DEFAULT_LIBRARY))
-            supported = strategy.supports(group.requirement)
-            if chunk == 1:
-                # members execute individually (for unsupported groups this
-                # is the paper's "restrict the adaptation" fallback); the
-                # group variable owns the member units so the measurement
-                # can compare chunk=1 against real fusion
-                for member in group.members:
-                    emit_member(member, var_override=var_name, lib_override=lib)
-                continue
-            members = group.members
-            if self.features.tf_mode:
-                supported = False  # contiguity never free in the TF runtime
-            gather_tensors: list[int] = []
-            if not supported and group.axis == "n":
-                flat = [b for mb in members for b in mb.b_nodes]
-                if self._tensors_are_params(flat):
-                    weight_pack_prologue(var_name, tuple(flat), "group")
-                    gather_tensors = []  # packed once, launches copy-free
-                else:
-                    gather_tensors = flat  # gathered per launch below
-            for start in range(0, len(members), chunk):
-                chunk_members = members[start: start + chunk]
-                if len(chunk_members) == 1:
-                    emit_member(chunk_members[0], var_override=var_name, lib_override=lib)
-                    continue
-                m, k, n = group.launch_dims(chunk_members)
-                node_ids = tuple(nid for mb in chunk_members for nid in mb.node_ids)
-                lead = chunk_members[0]
-                pre = []
-                if group.axis == "n" and lead.a_gather_bytes:
-                    pre.append(CopyLaunch(lead.a_gather_bytes, label="gather_a"))
-                if not supported:
-                    if group.axis == "m":
-                        a_bytes = 2 * sum(
-                            self.graph.node(mb.a_signature[0][0]).spec.size_bytes
-                            for mb in chunk_members
-                        )
-                        pre.append(CopyLaunch(a_bytes, label="gather_a"))
-                    elif gather_tensors:
-                        b_bytes = 2 * sum(
-                            self.graph.node(b).spec.size_bytes
-                            for mb in chunk_members
-                            for b in mb.b_nodes
-                        )
-                        pre.append(CopyLaunch(b_bytes, label="gather_b"))
-                kernel = GemmLaunch(m, k, n, lib, node_ids=node_ids)
-                add_unit(
-                    Unit(next(counter), kernel, node_ids,
-                         label=f"fused@{group.group_id}", pre_copies=tuple(pre)),
-                    var_name,
-                )
-
-        # 2. singleton members (plain GEMMs and lone ladders)
-        for member in self.analysis.singletons:
-            if member.is_ladder and not strategy.supports(member.ladder_requirement()):
-                lvar = f"ladder:{member.mm_ids[0]}"
-                choice = assignment.get(lvar, (False, DEFAULT_LIBRARY))
-                fuse, lib = bool(choice[0]), choice[1]
-                emit_member(member, force_fuse=fuse, var_override=lvar,
-                            lib_override=lib if fuse else None)
-            else:
-                emit_member(member)
-
-        # 2b. with fusion analysis disabled, GEMMs were never members
-        if not self.features.fusion:
-            for node in self.graph.gemm_nodes():
-                if node.node_id in covered:
-                    continue
-                m, k, n = _node_dims(self.graph, node.node_id)
-                key = (provenance(node.scope), node.pass_tag, m, k, n)
-                kernel = GemmLaunch(m, k, n, library_for(key), node_ids=(node.node_id,))
-                add_unit(Unit(next(counter), kernel, (node.node_id,), label=kernel.name),
-                         kernel_var_name(key))
-
-        # 3. elementwise / reduction chains over everything not yet covered
-        remaining = {
-            n.node_id for n in self.graph.nodes
-            if not n.is_leaf and n.node_id not in covered
-        }
-        if self.features.elementwise_fusion:
-            for chain in elementwise_chains(self.graph, remaining):
-                if len(chain) < 2:
-                    continue
-                kernel = fused_elementwise_kernel(self.graph, chain)
-                add_unit(Unit(next(counter), kernel, chain, label=kernel.label), None)
-                remaining -= set(chain)
-
-        for node in self.graph.nodes:
-            if node.node_id not in remaining:
-                continue
-            kernel = kernel_for_node(self.graph, node)
-            if kernel is None:
-                continue
-            add_unit(Unit(next(counter), kernel, (node.node_id,), label=kernel.name), None)
+        units, var_units = self._built_units(strategy, assignment)
 
         # 4. streams
         stream_of: dict[int, int] = {}

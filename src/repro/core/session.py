@@ -78,6 +78,8 @@ class AstraSession:
         policy=None,
         faults=None,
         checkpoint_path: str | None = None,
+        fast=None,
+        clock=None,
     ):
         self.graph = model.graph if isinstance(model, TracedModel) else model
         self.model = model if isinstance(model, TracedModel) else None
@@ -91,6 +93,7 @@ class AstraSession:
             self.graph, device, features, seed=seed, context=context, index=index,
             metrics=metrics, reporter=reporter, tracer=tracer, validate=validate,
             policy=policy, faults=faults, checkpoint_path=checkpoint_path,
+            fast=fast, clock=clock,
         )
         # resume-on-restart: an existing checkpoint for the same
         # (graph, device, features, seed) is adopted automatically, so
@@ -105,12 +108,16 @@ class AstraSession:
         Always taken on a clean (injector-free) executor: the baseline
         describes the framework, not the injected interference.
         """
-        executor = Executor(self.graph, self.device, seed=self.seed)
+        executor = Executor(
+            self.graph, self.device, seed=self.seed, clock=self.wirer.clock
+        )
         return executor.run(native_plan(self.graph)).total_time_us
 
     def measure_clean(self, plan) -> float:
         """Mini-batch time of ``plan`` on a clean executor (no injector)."""
-        executor = Executor(self.graph, self.device, seed=self.seed)
+        executor = Executor(
+            self.graph, self.device, seed=self.seed, clock=self.wirer.clock
+        )
         return executor.run(plan).total_time_us
 
     def optimize(self, max_minibatches: int = 5000) -> SessionReport:

@@ -40,6 +40,9 @@ from ..ir.graph import Graph
 from ..obs.metrics import NULL_REGISTRY, MetricsRegistry
 from ..obs.report import KIND_COMPARE, KIND_EXPLORE, KIND_PRODUCTION, NULL_REPORTER, RunReporter
 from ..obs.trace import NULL_TRACER
+from ..perf.cache import LoweringCache
+from ..perf.ranker import FastPath, prune_fk_tree
+from ..perf.timers import NULL_CLOCK
 from ..runtime.executor import Executor, MiniBatchResult
 from ..runtime.plan import ExecutionPlan
 from .adaptive import AdaptiveVariable, UpdateNode
@@ -94,6 +97,9 @@ class AstraReport:
     fault_summary: dict = field(default_factory=dict)
     #: arena footprint of the chosen plan vs device capacity
     memory: dict = field(default_factory=dict)
+    #: fast-path accounting: compilation-cache stats, pruning counts
+    #: (see docs/performance.md)
+    fast_path: dict = field(default_factory=dict)
 
     def amortization(self, native_time_us: float) -> "Amortization":
         """How quickly the exploration pays for itself.
@@ -148,12 +154,13 @@ class CustomWirer:
         policy: MeasurementPolicy | None = None,
         faults=None,
         checkpoint_path: str | None = None,
+        fast: FastPath | None = None,
+        clock=None,
     ):
         self.graph = graph
         self.device = device
         self.features = features
         self.seed = seed
-        self.enumerator = Enumerator(graph, device, features)
         self.index = index if index is not None else ProfileIndex()
         self.base_context = context
         # observability hooks; null objects when not requested, so the
@@ -161,6 +168,19 @@ class CustomWirer:
         self.metrics = metrics if metrics is not None else NULL_REGISTRY
         self.reporter = reporter if reporter is not None else NULL_REPORTER
         self.tracer = tracer if tracer is not None else NULL_TRACER
+        # fast path (docs/performance.md): compilation caching is on by
+        # default (bit-identical lowering by construction); cost-model
+        # pruning is opt-in at this layer, the CLI flips it on
+        self.fast = fast if fast is not None else FastPath()
+        self.clock = clock if clock is not None else NULL_CLOCK
+        with self.clock.phase("enumerate"):
+            self.enumerator = Enumerator(
+                graph, device, features,
+                metrics=self.metrics, cache_units=self.fast.cache,
+            )
+        self.cache = (
+            LoweringCache(metrics=self.metrics) if self.fast.cache else None
+        )
         # validated execution: every explored configuration is statically
         # checked (repro.check) before it runs; violations surface as
         # metrics counters and run-report records, then abort the run
@@ -176,8 +196,10 @@ class CustomWirer:
         self.checkpoint_path = checkpoint_path
         self.executor = Executor(
             graph, device, seed=seed, validate=validate, metrics=self.metrics,
-            injector=self.injector,
+            injector=self.injector, cache=self.cache, clock=self.clock,
         )
+        self._choices_total = 0
+        self._choices_pruned = 0
         self._overhead_samples: list[float] = []
         self._timeline: list[tuple[str, float]] = []
         self._last_assignment: dict[str, object] = {}
@@ -203,6 +225,10 @@ class CustomWirer:
             "features": repr(self.features),
             "seed": self.seed,
             "context": repr(self.base_context),
+            # pruning reshapes the explored space; a checkpoint from a
+            # pruned run must not resume into an exhaustive one (or vice
+            # versa) -- the tree indices would mean different choices
+            "fast": repr(self.fast),
         }
 
     def checkpoint_state(
@@ -493,7 +519,8 @@ class CustomWirer:
                 ]
                 if live_vars:
                     assignment = tree.assignment()
-                    built = build(assignment, {v.name for v in live_vars})
+                    with self.clock.phase("enumerate"):
+                        built = build(assignment, {v.name for v in live_vars})
                     results, charged = self._measure_config(
                         built.plan, context, stats, assignment
                     )
@@ -538,7 +565,8 @@ class CustomWirer:
         self._spent_this_run = 0
         self._all_phases: list[PhaseStats] = []
         try:
-            report = self._optimize(max_minibatches)
+            with self.clock.phase("explore"):
+                report = self._optimize(max_minibatches)
         except PreemptionError as exc:
             self._preempted_at = exc.minibatch
             exc.checkpoint_path = self._save_checkpoint(preempted_at=exc.minibatch)
@@ -641,7 +669,18 @@ class CustomWirer:
             )
 
         # Phase 1: fusion chunking x kernel selection (parallel)
-        fk_tree = self.enumerator.build_fk_tree(strategy)
+        with self.clock.phase("enumerate"):
+            fk_tree = self.enumerator.build_fk_tree(strategy)
+        self._choices_total += sum(
+            len(v.choices) for v in fk_tree.variables()
+        )
+        if self.fast.prune:
+            with self.clock.phase("prerank"):
+                pruned = prune_fk_tree(
+                    self.enumerator, strategy, fk_tree, self.device,
+                    self.fast, metrics=self.metrics, injector=self.injector,
+                )
+            self._choices_pruned += pruned
         fk_stats = self._phase_stats(f"fk/{strategy.label}")
         self._explore_tree(
             fk_tree,
@@ -661,8 +700,12 @@ class CustomWirer:
         partition: EpochPartition | None = None
         stream_tree: UpdateNode | None = None
         if self.features.streams and not self.features.tf_mode:
-            partition, stream_tree = self.enumerator.prepare_stream_phase(
-                strategy, fk_assignment
+            with self.clock.phase("enumerate"):
+                partition, stream_tree = self.enumerator.prepare_stream_phase(
+                    strategy, fk_assignment
+                )
+            self._choices_total += sum(
+                len(v.choices) for v in stream_tree.variables()
             )
             stream_stats = self._phase_stats(f"streams/{strategy.label}")
             build_stream = lambda assignment, live: self._build_with_streams(
@@ -680,19 +723,20 @@ class CustomWirer:
         # Astra can turn an optimization off when the measurement says
         # so (section 6.6): the stream-adapted plan competes against
         # the plain fusion/kernel plan and the faster one wins.
-        candidates = [
-            ("fk", self.enumerator.build_plan(strategy, fk_assignment),
-             fk_assignment),
-        ]
-        if stream_tree is not None and partition is not None:
-            candidates.append((
-                "streams",
-                self._build_with_streams(
-                    strategy, fk_assignment, stream_tree.assignment(),
-                    partition, stream_tree,
-                ),
-                {**fk_assignment, **stream_assignment},
-            ))
+        with self.clock.phase("enumerate"):
+            candidates = [
+                ("fk", self.enumerator.build_plan(strategy, fk_assignment),
+                 fk_assignment),
+            ]
+            if stream_tree is not None and partition is not None:
+                candidates.append((
+                    "streams",
+                    self._build_with_streams(
+                        strategy, fk_assignment, stream_tree.assignment(),
+                        partition, stream_tree,
+                    ),
+                    {**fk_assignment, **stream_assignment},
+                ))
         compare_stats = self._phase_stats(f"compare/{strategy.label}")
         measured = []
         for candidate_label, built, assignment in candidates:
@@ -819,6 +863,15 @@ class CustomWirer:
         self.tracer.instant(
             "custom-wired", best_time_us=best_time_us, strategy=best_strategy.label
         )
+        fast_path = {
+            "cache_enabled": self.fast.cache,
+            "prune_enabled": self.fast.prune,
+            "cache": self.cache.stats() if self.cache is not None else None,
+            "choices_total": self._choices_total,
+            "choices_pruned": self._choices_pruned,
+        }
+        self.metrics.gauge("perf.choices_total").set(self._choices_total)
+        self.metrics.gauge("perf.choices_pruned").set(self._choices_pruned)
         overhead = (
             sum(self._overhead_samples) / len(self._overhead_samples)
             if self._overhead_samples
@@ -839,6 +892,7 @@ class CustomWirer:
             degraded=degraded,
             fault_summary=fault_summary,
             memory=memory,
+            fast_path=fast_path,
         )
 
     def _build_with_streams(

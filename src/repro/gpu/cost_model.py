@@ -7,10 +7,15 @@ knowledge (section 4.8), the epoch calibrator, and analysis tooling:
 roofline bounds, achieved-utilization queries, and launch-bound
 diagnostics.
 
-None of this feeds back into Astra's *decisions* -- the paper's point is
-that decisions come from measurement.  These helpers exist for
-calibration (is a kernel where the roofline says it could be?), for the
-enumerator's coarse flop budgeting, and for tests.
+Rankings still come from measurement -- the paper's point -- but the
+fast-path pre-ranker (:mod:`repro.perf.ranker`) uses the per-unit cost
+helpers below to *skip provably-losing configurations* before any
+mini-batch is spent on them: at base clock the simulator's sequential
+record durations equal the analytic kernel models exactly, so the
+analytic per-choice cost is the measurement the wirer would have taken.
+The roofline/utilization helpers remain what they were: calibration (is
+a kernel where the roofline says it could be?), the enumerator's coarse
+flop budgeting, and tests.
 """
 
 from __future__ import annotations
@@ -73,6 +78,31 @@ def achieved_fraction(kernel: Kernel, device: GPUSpec) -> float:
         return 0.0
     bound = flops / device.peak_flops_per_us
     return bound / kernel.duration_us(device)
+
+
+def unit_cost_us(unit, device: GPUSpec, include_dispatch: bool = False) -> float:
+    """Analytic serial cost of one schedule unit.
+
+    The kernel's duration model (wave quantization, library efficiency,
+    memory floor) plus its gather pre-copy penalties -- exactly what the
+    wirer's ``"units"`` metric sums for a sequentially executed unit at
+    base clock, which is what makes margin-guarded pruning exact.  With
+    ``include_dispatch`` the CPU launch overhead per launch is added
+    (useful for launch-bound diagnostics; the pre-ranker must *not* add
+    it, because the measured metric never includes it).
+    """
+    cost = sum(k.duration_us(device) for k in unit.pre_copies)
+    if unit.kernel is not None:
+        cost += unit.kernel.duration_us(device)
+    if include_dispatch:
+        launches = len(unit.pre_copies) + (1 if unit.kernel is not None else 0)
+        cost += launches * device.launch_overhead_us
+    return cost
+
+
+def units_cost_us(units, device: GPUSpec, include_dispatch: bool = False) -> float:
+    """Summed :func:`unit_cost_us` over a unit collection."""
+    return sum(unit_cost_us(u, device, include_dispatch) for u in units)
 
 
 def launch_bound_fraction(result: ExecutionResult, device: GPUSpec) -> float:

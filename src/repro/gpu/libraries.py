@@ -77,7 +77,28 @@ class GemmKernel:
         Tiles are issued in waves over the SM slots; a partially-filled
         last wave still costs a full wave -- the performance-cliff
         behaviour of section 3.1.
+
+        The result is a pure function of (library, shape, device physics)
+        and a training job re-asks for the same few dozen shapes every
+        mini-batch, so plans are memoized process-wide (both the simulator
+        and the fast-path pre-ranker hit this on their hot paths).
         """
+        # key on the exact physics inputs the computation reads, so a
+        # modified device spec (tests build them freely) never aliases
+        memo_key = (
+            self, m, k, n,
+            device.sm_slots, device.peak_flops_per_us, device.mem_bw_bytes_per_us,
+        )
+        cached = _PLAN_MEMO.get(memo_key)
+        if cached is not None:
+            return cached
+        plan = self._plan_uncached(m, k, n, device)
+        if len(_PLAN_MEMO) >= _PLAN_MEMO_CAP:
+            _PLAN_MEMO.clear()  # unbounded shape churn is not a real workload
+        _PLAN_MEMO[memo_key] = plan
+        return plan
+
+    def _plan_uncached(self, m: int, k: int, n: int, device: GPUSpec) -> GemmPlan:
         slots = device.sm_slots
         per_slot_throughput = device.peak_flops_per_us / slots
         best: GemmPlan | None = None
@@ -166,6 +187,11 @@ OAI_2 = GemmKernel(
 GEMM_LIBRARIES: dict[str, GemmKernel] = {
     kernel.library: kernel for kernel in (CUBLAS, OAI_1, OAI_2)
 }
+
+#: process-wide GemmPlan memo (see :meth:`GemmKernel.plan`); bounded by a
+#: flush-on-full cap because real jobs reuse a few dozen shapes
+_PLAN_MEMO: dict[tuple, GemmPlan] = {}
+_PLAN_MEMO_CAP = 4096
 
 #: the library the native (unadapted) baseline always uses
 DEFAULT_LIBRARY = "cublas"

@@ -1,0 +1,290 @@
+"""The ``repro bench`` harness: baseline-vs-fast exploration timing.
+
+For each requested feature variant, a model is optimized twice with the
+same graph, device, seed and budget:
+
+* **baseline** -- ``FastPath(cache=False, prune=False)``: the exhaustive
+  path, every plan lowered from scratch;
+* **fast** -- ``FastPath(cache=True, prune=True)``: the compilation
+  cache plus cost-model pruning.
+
+Both runs are wrapped in a :class:`~repro.perf.timers.PhaseClock`, so
+the output breaks wall time into the exploration phases (``enumerate`` /
+``prerank`` / ``lower`` / ``validate`` / ``simulate`` / ``explore``),
+and the process-wide memos (GEMM-plan cache, kernel-key cache) are
+cleared before *every* run so neither leg inherits the other's warmth.
+
+Throughput is reported as **configs/sec**: the number of configuration
+choices the search space contained *before* pruning, divided by wall
+time.  Both legs share that numerator, so the configs/sec ratio equals
+the wall-clock speedup -- pruning is credited for retiring choices
+without measuring them, which is exactly its job.
+
+The harness is also the exactness watchdog: ``ok`` is false -- and
+``repro bench`` exits non-zero -- if the fast run's winning
+configuration or final epoch time differs from the baseline's in any
+variant, or if the cache never hit.  ``BENCH_<model>.json`` is the
+serialized document; see ``docs/performance.md`` for how to read it.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+
+from ..core.session import AstraSession, SessionReport
+from ..gpu import DEVICES
+from ..gpu.device import GPUSpec
+from ..models import MODEL_BUILDERS
+from ..obs.metrics import MetricsRegistry
+from .ranker import FastPath
+from .timers import PhaseClock
+
+BENCH_VERSION = 1
+
+#: the variant the acceptance gate applies to: the fusion+kernel phase is
+#: where both the cache and the pre-ranker bite (the stream phase's epoch
+#: metric is not prunable, so ``all`` runs are simulator-bound)
+PRIMARY_VARIANT = "FK"
+
+DEFAULT_VARIANTS = (PRIMARY_VARIANT, "all")
+
+#: minimum configs/sec ratio (fast vs baseline) a full-scale run of the
+#: primary variant must show; ``--quick`` runs skip this timing gate
+SPEEDUP_TARGET = 2.0
+
+BASELINE_FAST_PATH = FastPath(cache=False, prune=False)
+FAST_FAST_PATH = FastPath(cache=True, prune=True)
+
+
+def _clear_process_memos() -> None:
+    """Reset process-wide memos so every timed leg starts cold.
+
+    Without this, whichever leg runs first warms the GEMM-plan and
+    kernel-key memos for the second -- the comparison must not depend on
+    run order.
+    """
+    from ..gpu import libraries
+    from . import signature
+
+    libraries._PLAN_MEMO.clear()
+    signature._KERNEL_KEY_MEMO.clear()
+
+
+@dataclass
+class BenchRun:
+    """One timed optimization: the report plus its timing instruments."""
+
+    report: SessionReport
+    clock: PhaseClock
+    metrics: MetricsRegistry
+    wall_s: float
+
+    def record(self) -> dict:
+        fast_path = self.report.astra.fast_path
+        choices = fast_path.get("choices_total", 0)
+        return {
+            "wall_s": self.wall_s,
+            "phase_total_s": self.clock.total_s,
+            "phases_s": dict(sorted(self.clock.seconds.items())),
+            "configs_per_sec": (choices / self.wall_s) if self.wall_s > 0 else 0.0,
+            "choices_total": choices,
+            "choices_pruned": fast_path.get("choices_pruned", 0),
+            "configs_explored": self.report.configs_explored,
+            "best_time_us": self.report.best_time_us,
+            "native_time_us": self.report.native_time_us,
+            "speedup_over_native": self.report.speedup_over_native,
+            "cache": fast_path.get("cache"),
+        }
+
+
+def timed_session_run(
+    model,
+    *,
+    features: str = PRIMARY_VARIANT,
+    device: GPUSpec | None = None,
+    seed: int = 1,
+    budget: int = 3000,
+    fast: FastPath | None = None,
+) -> BenchRun:
+    """Optimize ``model`` once under a phase clock, from a cold start.
+
+    The clock's outer ``other`` phase covers session construction and any
+    un-instrumented residue, so the exclusive phase times always sum to
+    the timed wall clock (pinned by the harness-timing regression test).
+    """
+    _clear_process_memos()
+    device = device if device is not None else DEVICES["P100"]
+    clock = PhaseClock()
+    metrics = MetricsRegistry()
+    start = time.perf_counter()
+    with clock.phase("other"):
+        session = AstraSession(
+            model, device=device, features=features, seed=seed,
+            metrics=metrics, fast=fast, clock=clock,
+        )
+        report = session.optimize(max_minibatches=budget)
+    wall_s = time.perf_counter() - start
+    return BenchRun(report=report, clock=clock, metrics=metrics, wall_s=wall_s)
+
+
+def _build_model(name: str, batch: int, seq_len: int):
+    module = __import__(f"repro.models.{name}", fromlist=["DEFAULT_CONFIG"])
+    config = module.DEFAULT_CONFIG.scaled(batch_size=batch, seq_len=seq_len)
+    return MODEL_BUILDERS[name](config)
+
+
+def _winner_match(base: BenchRun, fast: BenchRun) -> dict:
+    """The exactness invariant, checked per variant.
+
+    Choices repr-compare (they are plain values: ints, strings, library
+    names); the final epoch time must be *exactly* equal -- the fast path
+    claims bit-identical winners, not statistically similar ones.
+    """
+    base_assignment = {k: repr(v) for k, v in base.report.astra.assignment.items()}
+    fast_assignment = {k: repr(v) for k, v in fast.report.astra.assignment.items()}
+    return {
+        "assignment_match": base_assignment == fast_assignment,
+        "best_time_match": base.report.best_time_us == fast.report.best_time_us,
+        "assignment": fast_assignment,
+    }
+
+
+@dataclass
+class BenchDoc:
+    """The assembled ``BENCH_<model>.json`` document."""
+
+    doc: dict = field(default_factory=dict)
+
+    @property
+    def ok(self) -> bool:
+        return self.doc["ok"]
+
+
+def bench_model(
+    name: str,
+    *,
+    batch: int = 16,
+    seq_len: int = 5,
+    device_name: str = "P100",
+    seed: int = 1,
+    budget: int = 3000,
+    variants: tuple[str, ...] = DEFAULT_VARIANTS,
+    quick: bool = False,
+) -> dict:
+    """Run the baseline-vs-fast comparison and assemble the document.
+
+    ``quick`` restricts the sweep to the primary variant and waives the
+    configs/sec target (CI smoke must not gate on machine speed); the
+    exactness and cache-effectiveness guards always apply.
+    """
+    if name not in MODEL_BUILDERS:
+        raise ValueError(f"unknown model {name!r}; have {sorted(MODEL_BUILDERS)}")
+    device = DEVICES[device_name]
+    if quick:
+        variants = (PRIMARY_VARIANT,)
+    model = _build_model(name, batch, seq_len)
+
+    failures: list[str] = []
+    variant_docs: dict[str, dict] = {}
+    for variant in variants:
+        base = timed_session_run(
+            model, features=variant, device=device, seed=seed, budget=budget,
+            fast=BASELINE_FAST_PATH,
+        )
+        fast = timed_session_run(
+            model, features=variant, device=device, seed=seed, budget=budget,
+            fast=FAST_FAST_PATH,
+        )
+        match = _winner_match(base, fast)
+        base_rec, fast_rec = base.record(), fast.record()
+        ratio = (
+            fast_rec["configs_per_sec"] / base_rec["configs_per_sec"]
+            if base_rec["configs_per_sec"] > 0 else 0.0
+        )
+        cache = fast_rec["cache"] or {}
+        variant_docs[variant] = {
+            "baseline": base_rec,
+            "fast": fast_rec,
+            "configs_per_sec_ratio": ratio,
+            "wall_speedup": (
+                base_rec["wall_s"] / fast_rec["wall_s"]
+                if fast_rec["wall_s"] > 0 else 0.0
+            ),
+            "cache_hit_rate": cache.get("hit_rate", 0.0),
+            "winner_match": match["assignment_match"] and match["best_time_match"],
+            "assignment_match": match["assignment_match"],
+            "best_time_match": match["best_time_match"],
+            "winning_assignment": match["assignment"],
+        }
+        if not match["assignment_match"]:
+            failures.append(
+                f"{variant}: pruned winner diverged from exhaustive winner"
+            )
+        if not match["best_time_match"]:
+            failures.append(
+                f"{variant}: final epoch time diverged "
+                f"(baseline {base_rec['best_time_us']} us, "
+                f"fast {fast_rec['best_time_us']} us)"
+            )
+
+    primary = variant_docs.get(PRIMARY_VARIANT)
+    if primary is not None:
+        if primary["cache_hit_rate"] <= 0.0:
+            failures.append(f"{PRIMARY_VARIANT}: cache hit rate is 0")
+        if not quick and primary["configs_per_sec_ratio"] < SPEEDUP_TARGET:
+            failures.append(
+                f"{PRIMARY_VARIANT}: configs/sec ratio "
+                f"{primary['configs_per_sec_ratio']:.2f} below the "
+                f"{SPEEDUP_TARGET:.1f}x target"
+            )
+
+    return {
+        "version": BENCH_VERSION,
+        "model": name,
+        "batch": batch,
+        "seq_len": seq_len,
+        "device": device_name,
+        "seed": seed,
+        "budget": budget,
+        "quick": quick,
+        "primary_variant": PRIMARY_VARIANT,
+        "speedup_target": SPEEDUP_TARGET,
+        "variants": variant_docs,
+        "failures": failures,
+        "ok": not failures,
+    }
+
+
+def render_bench(doc: dict) -> str:
+    """Human-readable summary of a bench document."""
+    lines = [
+        f"bench {doc['model']}  batch={doc['batch']} seq={doc['seq_len']} "
+        f"device={doc['device']} seed={doc['seed']}"
+        + ("  [quick]" if doc.get("quick") else ""),
+        f"{'variant':>8}  {'base(s)':>8}  {'fast(s)':>8}  {'ratio':>6}  "
+        f"{'cfg/s base':>10}  {'cfg/s fast':>10}  {'hit%':>5}  "
+        f"{'pruned':>6}  winner",
+    ]
+    for variant, vdoc in doc["variants"].items():
+        base, fast = vdoc["baseline"], vdoc["fast"]
+        lines.append(
+            f"{variant:>8}  {base['wall_s']:8.3f}  {fast['wall_s']:8.3f}  "
+            f"{vdoc['configs_per_sec_ratio']:5.2f}x  "
+            f"{base['configs_per_sec']:10.0f}  {fast['configs_per_sec']:10.0f}  "
+            f"{vdoc['cache_hit_rate'] * 100:5.1f}  "
+            f"{fast['choices_pruned']:6d}  "
+            f"{'match' if vdoc['winner_match'] else 'DIVERGED'}"
+        )
+    for variant, vdoc in doc["variants"].items():
+        phases = vdoc["fast"]["phases_s"]
+        detail = "  ".join(f"{k}={v:.3f}" for k, v in phases.items())
+        lines.append(f"{variant:>8}  fast phases (s): {detail}")
+    if doc["failures"]:
+        lines.append("FAILURES:")
+        lines.extend(f"  - {msg}" for msg in doc["failures"])
+    else:
+        lines.append("ok: winners identical, cache effective"
+                     + ("" if doc.get("quick") else
+                        f", primary ratio >= {doc['speedup_target']:.1f}x"))
+    return "\n".join(lines)

@@ -1,0 +1,117 @@
+"""Cost-model-guided pre-ranking of the fusion/kernel search space.
+
+The fk phase explores ``"units"``-metric variables in parallel: every
+mini-batch measures one choice per live variable, and a variable's
+measurement is the summed execution time of exactly the units its choice
+emitted (kernel duration + gather pre-copies; never launch overhead).
+At base clock, without a fault injector, the simulator computes those
+durations from the same analytic kernel models the cost model exposes --
+so :func:`estimate_choice_us` reproduces the number the wirer *would*
+measure, to float precision.
+
+That exactness is what makes pruning safe: a choice whose estimate
+exceeds the variable's best estimate by more than the guard margin can
+never win ``finalize`` (which picks the measured minimum), so dropping
+it cannot change any winner.  The convergence-equivalence tests pin
+this: pruned and exhaustive exploration pick the same configuration and
+the same final epoch time on every bundled model.
+
+When the exactness preconditions do not hold (autoboost clock jitter, an
+armed fault injector perturbing durations), :func:`prune_fk_tree`
+declines to prune rather than risk a divergent winner.  Stream-phase
+variables are never pruned: their epoch metric depends on cross-stream
+overlap, for which the serial cost model is not admissible.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..gpu.cost_model import units_cost_us
+from ..gpu.device import CLOCK_BASE
+from ..obs.metrics import NULL_REGISTRY
+
+
+@dataclass(frozen=True)
+class FastPath:
+    """Fast-path configuration carried by the wirer.
+
+    The library default keeps the compilation cache on (bit-identical by
+    construction) and pruning off; the CLI turns pruning on and exposes
+    ``--no-prune`` / ``--no-cache`` escape hatches.
+    """
+
+    #: memoize lowering through :class:`repro.perf.cache.LoweringCache`
+    #: and the enumerator's unit-template cache
+    cache: bool = True
+    #: pre-rank fk choices with the cost model and prune losers
+    prune: bool = False
+    #: at most this fraction of a variable's choices may be pruned
+    prune_fraction: float = 0.75
+    #: keep any choice whose estimate is within (1 + margin) of the best
+    #: -- absorbs float-roundoff ties without ever risking the argmin
+    prune_margin: float = 0.05
+
+
+def estimate_choice_us(enumerator, strategy, var, choice, device) -> float:
+    """The ``"units"`` metric this choice would measure, analytically."""
+    units = enumerator.units_for_choice(strategy, var, choice)
+    return units_cost_us(units, device)
+
+
+def prune_fk_tree(
+    enumerator, strategy, tree, device, fast: FastPath,
+    metrics=None, injector=None,
+) -> int:
+    """Prune provably-losing choices from an fk update tree, in place.
+
+    Returns the number of choices removed.  Mutates ``var.choices`` and
+    re-initializes the tree so exploration starts from the pruned space;
+    pruning is deterministic in (graph, device, strategy), so a resumed
+    run reproduces the same pruned space.  Never prunes when the serial
+    cost model is not provably exact (injector armed, non-base clock),
+    and always keeps at least ``1 - prune_fraction`` of each variable's
+    choices, including every choice tied with the best estimate.
+    """
+    metrics = metrics if metrics is not None else NULL_REGISTRY
+    if injector is not None or device.clock_mode != CLOCK_BASE:
+        metrics.counter("perf.prune.skipped_inexact").inc()
+        return 0
+
+    pruned_total = 0
+    tree_var_names = {v.name for v in tree.variables()}
+    for var in tree.variables():
+        if var.metric_kind != "units" or len(var.choices) <= 1:
+            continue
+        if var.name.startswith("ladder:") and (
+            enumerator.member_unfused_kernel_vars(var.payload) & tree_var_names
+        ):
+            # the unfused choice's library is decided by a concurrent
+            # kernel variable, so the analytic estimate (default library)
+            # is not the value the wirer would measure -- don't prune
+            metrics.counter("perf.prune.skipped_coupled").inc()
+            continue
+        estimates = [
+            estimate_choice_us(enumerator, strategy, var, choice, device)
+            for choice in var.choices
+        ]
+        cut = min(estimates) * (1.0 + fast.prune_margin)
+        survivors = [i for i, est in enumerate(estimates) if est <= cut]
+        keep_floor = max(1, len(var.choices) - int(fast.prune_fraction * len(var.choices)))
+        if len(survivors) < keep_floor:
+            # top back up with the next-cheapest choices so no more than
+            # prune_fraction of the space is ever discarded
+            ranked = sorted(range(len(estimates)), key=lambda i: (estimates[i], i))
+            survivors = sorted(ranked[:keep_floor])
+        if len(survivors) == len(var.choices):
+            continue
+        pruned_total += len(var.choices) - len(survivors)
+        # preserve relative order: choice order decides round pairing and
+        # finalize tie-breaks, so survivors keep their original sequence
+        var.choices[:] = [var.choices[i] for i in survivors]
+        var.initialize()
+
+    if pruned_total:
+        metrics.counter("perf.prune.choices_pruned").inc(pruned_total)
+    tree.initialize()
+    return pruned_total

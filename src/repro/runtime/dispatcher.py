@@ -138,12 +138,32 @@ class Dispatcher:
             return order
         return topological_units(plan.units, deps)
 
+    def order_units(self, plan: ExecutionPlan, deps: dict[int, set[int]]) -> list[Unit]:
+        """Public issue-order computation (consumed by the compilation
+        cache, which memoizes it across structurally identical plans)."""
+        return self._order_units(plan, deps)
+
     # -- lowering -------------------------------------------------------------
 
-    def lower(self, plan: ExecutionPlan) -> LoweredSchedule:
+    def lower(
+        self,
+        plan: ExecutionPlan,
+        deps: dict[int, set[int]] | None = None,
+        order: list[Unit] | None = None,
+    ) -> LoweredSchedule:
+        """Lower a plan to dispatch items.
+
+        ``deps``/``order`` may be supplied by the compilation cache when
+        the dependency analysis was already done for a structurally
+        identical plan; they must be exactly what
+        :meth:`unit_dependencies` / :meth:`order_units` would compute
+        (the cache guarantees this by keying on the unit structure).
+        """
         plan.validate_covering()
-        deps = self.unit_dependencies(plan)
-        order = self._order_units(plan, deps)
+        if deps is None:
+            deps = self.unit_dependencies(plan)
+        if order is None:
+            order = self._order_units(plan, deps)
 
         namespace = EventNamespace()
         items: list[DispatchItem] = []

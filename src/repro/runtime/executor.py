@@ -25,6 +25,7 @@ from dataclasses import dataclass, field
 from ..gpu.device import GPUSpec
 from ..gpu.streams import ExecutionResult, StreamSimulator
 from ..obs.metrics import NULL_REGISTRY
+from ..perf.timers import NULL_CLOCK
 from .dispatcher import Dispatcher, LoweredSchedule
 from .plan import ExecutionPlan
 
@@ -83,6 +84,8 @@ class Executor:
         validate: bool = False,
         metrics=None,
         injector=None,
+        cache=None,
+        clock=None,
     ):
         self.graph = graph
         self.device = device
@@ -90,10 +93,18 @@ class Executor:
         self.validate = validate
         self.metrics = metrics if metrics is not None else NULL_REGISTRY
         self.injector = injector
+        #: optional :class:`repro.perf.cache.LoweringCache` memoizing
+        #: plan -> LoweredSchedule across structurally identical plans
+        self.cache = cache
+        self.clock = clock if clock is not None else NULL_CLOCK
         self._simulator = StreamSimulator(device, seed=seed, injector=injector)
 
     def run(self, plan: ExecutionPlan, validate: bool | None = None) -> MiniBatchResult:
-        lowered = self.dispatcher.lower(plan)
+        with self.clock.phase("lower"):
+            if self.cache is not None:
+                lowered = self.cache.lower(self.dispatcher, plan)
+            else:
+                lowered = self.dispatcher.lower(plan)
         return self.run_lowered(lowered, validate=validate)
 
     def validate_lowered(self, lowered: LoweredSchedule):
@@ -142,7 +153,8 @@ class Executor:
 
         do_validate = self.validate if validate is None else validate
         if do_validate:
-            self.validate_lowered(lowered)
+            with self.clock.phase("validate"):
+                self.validate_lowered(lowered)
         fault_log = None
         if self.injector is not None:
             try:
@@ -152,7 +164,8 @@ class Executor:
                 raise
         self._check_memory(lowered.plan)
         try:
-            result = self._simulator.run(lowered.items)
+            with self.clock.phase("simulate"):
+                result = self._simulator.run(lowered.items)
         except KernelLaunchError:
             self.metrics.counter("fault.launch_fail").inc()
             self.metrics.counter("fault.minibatches_lost").inc()

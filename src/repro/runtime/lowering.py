@@ -129,6 +129,26 @@ def elementwise_chains(graph: Graph, node_ids: set[int] | None = None) -> list[t
     return [tuple(chain) for chain in chains if chain]
 
 
+def cached_elementwise_chains(
+    graph: Graph, node_ids: set[int], cache: dict
+) -> list[tuple[int, ...]]:
+    """Memoized :func:`elementwise_chains` keyed by the uncovered-node set.
+
+    Chain detection walks the whole graph but depends only on which nodes
+    are left uncovered -- which is invariant across exploration
+    configurations (fusion choices only re-cover GEMM nodes) -- so the
+    enumerator pays for it once per distinct remainder instead of once
+    per plan build.  ``cache`` is caller-owned (one per enumerator);
+    entries are immutable tuples and safe to share.
+    """
+    key = frozenset(node_ids)
+    chains = cache.get(key)
+    if chains is None:
+        chains = elementwise_chains(graph, node_ids)
+        cache[key] = chains
+    return chains
+
+
 def build_units(
     graph: Graph,
     gemm_library: str = DEFAULT_LIBRARY,

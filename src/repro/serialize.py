@@ -252,6 +252,7 @@ def report_to_dict(report: AstraReport | SessionReport) -> dict:
         "degraded": report.degraded,
         "fault_summary": dict(report.fault_summary),
         "memory": dict(report.memory),
+        "fast_path": dict(report.fast_path),
     }
 
 

@@ -1,0 +1,63 @@
+"""Convergence equivalence: pruned exploration must pick the *same*
+winning configuration and the *same* final epoch time as exhaustive
+(``--no-prune``) exploration -- the acceptance invariant of the fast
+path, pinned on both bundled RNN models and both GPU generations."""
+
+import pytest
+
+from repro.core.session import AstraSession
+from repro.gpu import DEVICES
+from repro.models import ModelConfig, build_milstm, build_scrnn
+from repro.perf import FastPath
+
+CONFIG = ModelConfig(batch_size=4, seq_len=3, hidden_size=32, embed_size=32,
+                     vocab_size=50)
+BUILDERS = {"scrnn": build_scrnn, "milstm": build_milstm}
+
+
+def _optimize(model, device, fast, features):
+    return AstraSession(
+        model, device=device, features=features, seed=0, fast=fast
+    ).optimize(max_minibatches=400)
+
+
+@pytest.mark.parametrize("device_name", ["P100", "V100"])
+@pytest.mark.parametrize("model_name", ["scrnn", "milstm"])
+@pytest.mark.parametrize("features", ["FK", "all"])
+def test_pruned_equals_exhaustive(model_name, device_name, features):
+    model = BUILDERS[model_name](CONFIG)
+    device = DEVICES[device_name]
+    exhaustive = _optimize(
+        model, device, FastPath(cache=True, prune=False), features
+    )
+    pruned = _optimize(
+        model, device, FastPath(cache=True, prune=True), features
+    )
+
+    assert pruned.best_time_us == exhaustive.best_time_us, (
+        f"{model_name}/{device_name}/{features}: final epoch time diverged"
+    )
+    assert pruned.astra.assignment == exhaustive.astra.assignment, (
+        f"{model_name}/{device_name}/{features}: winning configuration diverged"
+    )
+    assert (
+        pruned.astra.best_strategy.strategy_id
+        == exhaustive.astra.best_strategy.strategy_id
+    )
+    # pruning must actually have engaged (otherwise this test is vacuous)
+    assert pruned.astra.fast_path["choices_pruned"] > 0
+    # and spent strictly fewer mini-batches discovering the same winner
+    assert pruned.configs_explored <= exhaustive.configs_explored
+
+
+def test_cache_alone_changes_nothing(tiny_scrnn):
+    """The cache-only fast path (the library default) is behaviourally
+    invisible: identical report, identical exploration trajectory."""
+    plain = _optimize(tiny_scrnn, DEVICES["P100"],
+                      FastPath(cache=False, prune=False), "all")
+    cached = _optimize(tiny_scrnn, DEVICES["P100"],
+                       FastPath(cache=True, prune=False), "all")
+    assert cached.best_time_us == plain.best_time_us
+    assert cached.astra.assignment == plain.astra.assignment
+    assert cached.configs_explored == plain.configs_explored
+    assert cached.astra.fast_path["cache"]["hit_rate"] > 0.0

@@ -1,0 +1,81 @@
+"""PhaseClock: exclusive nesting accounting and the null-object default."""
+
+import time
+
+from repro.perf import NULL_CLOCK, PhaseClock
+from repro.perf.timers import _NullClock
+
+
+class TestPhaseClock:
+    def test_single_phase_records_time_and_count(self):
+        clock = PhaseClock()
+        with clock.phase("work"):
+            time.sleep(0.01)
+        assert clock.seconds["work"] >= 0.009
+        assert clock.counts["work"] == 1
+
+    def test_nested_phase_is_exclusive(self):
+        """A nested phase pauses the enclosing one: the inner sleep must
+        be charged to the inner phase only."""
+        clock = PhaseClock()
+        with clock.phase("outer"):
+            time.sleep(0.005)
+            with clock.phase("inner"):
+                time.sleep(0.02)
+            time.sleep(0.005)
+        assert clock.seconds["inner"] >= 0.018
+        # outer gets only its own ~10ms, never the inner 20ms
+        assert clock.seconds["outer"] < 0.018
+        assert clock.counts == {"outer": 1, "inner": 1}
+
+    def test_phases_sum_to_timed_wall(self):
+        clock = PhaseClock()
+        start = time.perf_counter()
+        with clock.phase("a"):
+            time.sleep(0.004)
+            with clock.phase("b"):
+                time.sleep(0.004)
+            with clock.phase("c"):
+                time.sleep(0.004)
+        wall = time.perf_counter() - start
+        assert abs(clock.total_s - wall) < 0.005
+        assert set(clock.seconds) == {"a", "b", "c"}
+
+    def test_reentry_accumulates(self):
+        clock = PhaseClock()
+        for _ in range(3):
+            with clock.phase("hot"):
+                pass
+        assert clock.counts["hot"] == 3
+        assert clock.seconds["hot"] >= 0.0
+
+    def test_exception_still_closes_phase(self):
+        clock = PhaseClock()
+        try:
+            with clock.phase("outer"):
+                with clock.phase("boom"):
+                    raise RuntimeError("x")
+        except RuntimeError:
+            pass
+        assert clock.counts == {"outer": 1, "boom": 1}
+        assert not clock._stack
+
+    def test_snapshot_shape(self):
+        clock = PhaseClock()
+        with clock.phase("a"):
+            pass
+        snap = clock.snapshot()
+        assert snap["total_s"] == clock.total_s
+        assert snap["phases"]["a"]["count"] == 1
+
+
+class TestNullClock:
+    def test_phase_is_noop_context(self):
+        with NULL_CLOCK.phase("anything") as c:
+            assert c is NULL_CLOCK
+        assert NULL_CLOCK.seconds == {}
+        assert NULL_CLOCK.total_s == 0.0
+        assert NULL_CLOCK.snapshot() == {"total_s": 0.0, "phases": {}}
+
+    def test_shared_instance(self):
+        assert isinstance(NULL_CLOCK, _NullClock)
