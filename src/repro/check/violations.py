@@ -140,3 +140,9 @@ class ScheduleValidationError(RuntimeError):
         self.report = report
         label = f" for {report.label!r}" if report.label else ""
         super().__init__(f"schedule validation failed{label}: {report.summary()}")
+
+    def __reduce__(self):
+        # default exception pickling would re-call __init__ with the
+        # formatted message instead of the report; rebuild from the
+        # report so the error crosses process boundaries intact
+        return (ScheduleValidationError, (self.report,))

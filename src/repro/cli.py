@@ -100,6 +100,7 @@ def cmd_optimize(args) -> int:
         faults=faults,
         checkpoint_path=getattr(args, "checkpoint", None),
         fast=fast,
+        workers=getattr(args, "workers", None),
     )
     try:
         report = session.optimize(max_minibatches=args.budget)
@@ -110,6 +111,8 @@ def cmd_optimize(args) -> int:
                  if exc.checkpoint_path else " (no --checkpoint path set)"),
               file=sys.stderr)
         return 3
+    finally:
+        session.close()
     astra = report.astra
     _write_obs_outputs(args, metrics, reporter)
     if args.json:
@@ -142,6 +145,11 @@ def cmd_optimize(args) -> int:
             parts.append(f"{fast_path.get('choices_pruned', 0)} of "
                          f"{fast_path.get('choices_total', 0)} choices pruned")
         print(f"fast path: {'  '.join(parts)}")
+        par = fast_path.get("parallel")
+        if par:
+            print(f"parallel: {par['workers']} workers ({par['pool']} pool)  "
+                  f"{par['candidates']} candidates in {par['rounds']} rounds  "
+                  f"worker busy {par['worker_busy_s']:.2f}s")
     print(f"allocation strategy: {astra.best_strategy.label}")
     if astra.memory:
         print(f"memory:   arena {astra.memory['arena_bytes'] / 1024**2:.1f} MiB "
@@ -375,6 +383,7 @@ def cmd_bench(args) -> int:
         budget=args.budget,
         variants=variants,
         quick=args.quick,
+        workers=args.workers,
     )
     out = args.output or f"BENCH_{args.model}.json"
     with open(out, "w") as fh:
@@ -436,6 +445,10 @@ def make_parser() -> argparse.ArgumentParser:
     p.add_argument("--no-prune", action="store_true",
                    help="disable cost-model pruning (exhaustive search; "
                         "converges to the same winner, just slower)")
+    p.add_argument("--workers", type=int, default=None, metavar="N",
+                   help="measure exploration candidates on N parallel "
+                        "worker processes (same winner, same epoch time; "
+                        "see docs/performance.md)")
     p.add_argument("--verbose", action="store_true")
     p.set_defaults(fn=cmd_optimize)
 
@@ -498,6 +511,8 @@ def make_parser() -> argparse.ArgumentParser:
     p.add_argument("--quick", action="store_true",
                    help="primary variant only, no timing gate: the CI smoke "
                         "configuration")
+    p.add_argument("--workers", type=int, default=4, metavar="N",
+                   help="worker processes for the parallel leg (default 4)")
     p.add_argument("-o", "--output", default=None, metavar="PATH",
                    help="output path (default: BENCH_<model>.json)")
     p.add_argument("--json", action="store_true",

@@ -50,6 +50,51 @@ class ProfileIndex:
             entry.value = value
             entry.hits += 1
 
+    def merge(self, measurements) -> dict:
+        """Merge ``(key, value)`` pairs, in the order given, into the store.
+
+        This is the canonical write path for worker-produced measurements
+        (and for the wirer's own recording): iteration order is insertion
+        order, so merging in candidate order reproduces a serial run's
+        store byte for byte.  Semantics differ from :meth:`record` in two
+        deliberate ways:
+
+        * **dedupe** -- a key that is already present is skipped
+          (first-writer-wins), never re-recorded: two workers measuring
+          the same configuration must not bump its hit count twice;
+        * **quarantine is sticky** -- an entry holding the quarantine
+          sentinel (``QUARANTINED_US``) is never overwritten by a fresh
+          sample: the sentinel means *this configuration kept faulting
+          under the active policy*, and a worker that happened to get a
+          clean sample later must not resurrect it behind the wirer's
+          back.
+
+        Returns ``{"merged", "duplicates", "quarantine_protected"}``
+        counts for the engine's merge metrics.
+        """
+        from .measurement import QUARANTINED_US
+
+        merged = duplicates = protected = 0
+        items = (
+            measurements.items()
+            if hasattr(measurements, "items") else measurements
+        )
+        for key, value in items:
+            existing = self._store.get(key)
+            if existing is not None:
+                if existing.value == QUARANTINED_US and value != QUARANTINED_US:
+                    protected += 1
+                else:
+                    duplicates += 1
+                continue
+            self._store[key] = ProfileEntry(value)
+            merged += 1
+        return {
+            "merged": merged,
+            "duplicates": duplicates,
+            "quarantine_protected": protected,
+        }
+
     def get(self, key: Key) -> float | None:
         self.lookups += 1
         entry = self._store.get(key)

@@ -80,6 +80,8 @@ class AstraSession:
         checkpoint_path: str | None = None,
         fast=None,
         clock=None,
+        workers: int | None = None,
+        parallel=None,
     ):
         self.graph = model.graph if isinstance(model, TracedModel) else model
         self.model = model if isinstance(model, TracedModel) else None
@@ -93,7 +95,7 @@ class AstraSession:
             self.graph, device, features, seed=seed, context=context, index=index,
             metrics=metrics, reporter=reporter, tracer=tracer, validate=validate,
             policy=policy, faults=faults, checkpoint_path=checkpoint_path,
-            fast=fast, clock=clock,
+            fast=fast, clock=clock, workers=workers, parallel=parallel,
         )
         # resume-on-restart: an existing checkpoint for the same
         # (graph, device, features, seed) is adopted automatically, so
@@ -101,6 +103,16 @@ class AstraSession:
         # exploration instead of restarting it
         if checkpoint_path and os.path.exists(checkpoint_path):
             self.wirer.restore(ExplorationCheckpoint.load(checkpoint_path))
+
+    def close(self) -> None:
+        """Release held resources (the parallel engine's worker pool)."""
+        self.wirer.close()
+
+    def __enter__(self) -> "AstraSession":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
 
     def measure_native(self) -> float:
         """Mini-batch time of the unadapted framework execution.

@@ -156,6 +156,8 @@ class CustomWirer:
         checkpoint_path: str | None = None,
         fast: FastPath | None = None,
         clock=None,
+        workers: int | None = None,
+        parallel=None,
     ):
         self.graph = graph
         self.device = device
@@ -173,14 +175,6 @@ class CustomWirer:
         # pruning is opt-in at this layer, the CLI flips it on
         self.fast = fast if fast is not None else FastPath()
         self.clock = clock if clock is not None else NULL_CLOCK
-        with self.clock.phase("enumerate"):
-            self.enumerator = Enumerator(
-                graph, device, features,
-                metrics=self.metrics, cache_units=self.fast.cache,
-            )
-        self.cache = (
-            LoweringCache(metrics=self.metrics) if self.fast.cache else None
-        )
         # validated execution: every explored configuration is statically
         # checked (repro.check) before it runs; violations surface as
         # metrics counters and run-report records, then abort the run
@@ -194,6 +188,41 @@ class CustomWirer:
             faults.injector() if faults is not None and faults.specs else None
         )
         self.checkpoint_path = checkpoint_path
+        # parallel engine (docs/performance.md): stood up before the
+        # enumerator so worker-process startup overlaps the parent's own
+        # static analysis; workers=None keeps the serial path untouched
+        self.parallel_config = None
+        self.engine = None
+        if workers is not None or parallel is not None:
+            from ..parallel import ParallelConfig, ParallelEngine, make_pool
+            from ..parallel.wire import WorkerSpec
+
+            self.parallel_config = (
+                parallel if parallel is not None
+                else ParallelConfig(workers=max(1, workers))
+            )
+            spec = WorkerSpec(
+                graph=graph, device=device, features=features, seed=seed,
+                validate=validate, policy=self.policy, fast=self.fast,
+                fault_plan=faults,
+            )
+            pool = make_pool(
+                spec, self.parallel_config.workers,
+                self.parallel_config.start_method,
+            )
+            self.engine = ParallelEngine(
+                pool, metrics=self.metrics, tracer=self.tracer
+            )
+            self.engine.pool_spec = spec
+            self.engine.prewarm()
+        with self.clock.phase("enumerate"):
+            self.enumerator = Enumerator(
+                graph, device, features,
+                metrics=self.metrics, cache_units=self.fast.cache,
+            )
+        self.cache = (
+            LoweringCache(metrics=self.metrics) if self.fast.cache else None
+        )
         self.executor = Executor(
             graph, device, seed=seed, validate=validate, metrics=self.metrics,
             injector=self.injector, cache=self.cache, clock=self.clock,
@@ -229,6 +258,13 @@ class CustomWirer:
             # pruned run must not resume into an exhaustive one (or vice
             # versa) -- the tree indices would mean different choices
             "fast": repr(self.fast),
+            # with a fault injector, parallel runs draw per-candidate RNG
+            # substreams instead of the serial run-level stream, so a
+            # checkpoint must not cross the serial/parallel boundary.
+            # Worker *count* is deliberately absent: results are
+            # worker-count independent by construction, so any parallel
+            # run may resume any other parallel run's checkpoint.
+            "workers": "parallel" if self.engine is not None else "serial",
         }
 
     def checkpoint_state(
@@ -430,33 +466,44 @@ class CustomWirer:
     def _record_measurements(
         self,
         tree: UpdateNode,
-        built: BuiltPlan,
+        var_units: dict[str, list[int]],
         results: list[MiniBatchResult],
         context: tuple,
     ) -> None:
         """Feed this configuration's fine-grained profiles into the index
         under context-mangled keys (sections 4.6, 4.7).  With several
         samples per configuration, each variable's metric is the robust
-        minimum (MAD rejection first) across samples."""
+        minimum (MAD rejection first) across samples.
+
+        Goes through :meth:`ProfileIndex.merge`, which enforces the
+        merge invariants (already-measured keys keep their first value;
+        quarantine sentinels are never overwritten) for the serial and
+        parallel paths alike.
+        """
+        measurements: dict = {}
         for var in tree.variables():
             key = var.profile_key(context)
-            if key in self.index:
+            if key in self.index or key in measurements:
                 continue
             values = []
             for result in results:
-                metric = self._metric_for(var, built, result)
+                metric = self._metric_for(var, var_units, result)
                 if metric is not None:
                     values.append(metric)
             if values:
-                self.index.record(
-                    key, robust_min(values, self.policy.mad_threshold)
+                measurements[key] = robust_min(
+                    values, self.policy.mad_threshold
                 )
+        self.index.merge(measurements)
 
     def _metric_for(
-        self, var: AdaptiveVariable, built: BuiltPlan, result: MiniBatchResult
+        self,
+        var: AdaptiveVariable,
+        var_units: dict[str, list[int]],
+        result: MiniBatchResult,
     ) -> float | None:
         if var.metric_kind == "units":
-            unit_ids = built.var_units.get(var.name, [])
+            unit_ids = var_units.get(var.name, [])
             if not unit_ids:
                 return None
             tainted = {f.unit_id for f in result.faults}
@@ -526,7 +573,9 @@ class CustomWirer:
                     )
                     spent += charged
                     if results:
-                        self._record_measurements(tree, built, results, context)
+                        self._record_measurements(
+                            tree, built.var_units, results, context
+                        )
                         self._fault_strikes.pop(self._config_key(live_vars, context), None)
                         self.metrics.counter(f"astra.index_misses.{stats.name}").inc()
                     else:
@@ -553,6 +602,240 @@ class CustomWirer:
     @staticmethod
     def _config_key(live_vars: list[AdaptiveVariable], context: tuple) -> tuple:
         return tuple(var.profile_key(context) for var in live_vars)
+
+    # -- parallel exploration ---------------------------------------------
+
+    def _explore_tree_parallel(
+        self,
+        tree: UpdateNode,
+        context: tuple,
+        strategy: AllocationStrategy,
+        stats: PhaseStats,
+        budget: int,
+    ) -> int:
+        """Wave-at-a-time counterpart of :meth:`_explore_tree`.
+
+        Plans a wave of candidate configurations (``repro.parallel.engine``
+        proves the wave visits the serial loop's exact choice sequence),
+        ships them to the worker pool, and replays each outcome's event
+        log at its canonical position via :meth:`_merge_wave` -- so the
+        index, the counters, the timeline, the strikes and the budget all
+        evolve exactly as a serial run's would.
+        """
+        from ..parallel.engine import (
+            STATUS_BUDGET,
+            STATUS_EXHAUSTED,
+            plan_wave,
+        )
+        from ..parallel.wire import CandidateTask
+
+        spent = 0
+        advance_first = False
+        with self.tracer.span(f"explore/{stats.name}"):
+            while True:
+                with self.clock.phase("enumerate"):
+                    entries, status = plan_wave(
+                        tree, self.index, context,
+                        samples=self.policy.samples,
+                        spent=spent, budget=budget,
+                        limit=self.parallel_config.max_wave,
+                        advance_first=advance_first,
+                    )
+                advance_first = False
+                if not entries:
+                    break  # the owed advance found the tree exhausted
+                end_snapshot = tree.snapshot_state()
+                tasks = []
+                base = self._prior_spent + self._spent_this_run
+                already_preempted = (
+                    self.injector._preempted
+                    if self.injector is not None else False
+                )
+                for entry in entries:
+                    if entry.kind != "measure":
+                        continue
+                    tasks.append(CandidateTask(
+                        ordinal=len(tasks),
+                        strategy_id=strategy.strategy_id,
+                        assignment=tuple(sorted(entry.assignment.items())),
+                        live_names=entry.live_names,
+                        base_minibatch=base + len(tasks) * self.policy.samples,
+                        preempted=already_preempted,
+                    ))
+                with self.clock.phase("dispatch"):
+                    outcomes = self.engine.measure_wave(tasks)
+                merge_status, spent = self._merge_wave(
+                    tree, context, stats, entries, outcomes, spent, budget
+                )
+                if merge_status == "retry":
+                    # every sample of a configuration failed: tree sits at
+                    # that configuration (wave tail discarded), re-plan --
+                    # the serial loop's `continue`
+                    continue
+                if merge_status == "budget":
+                    # budget exhausted at the failed configuration
+                    tree.finalize(self.index, context)
+                    break
+                tree.restore_state(end_snapshot)
+                if status == STATUS_BUDGET:
+                    tree.finalize(self.index, context)
+                    break
+                if status == STATUS_EXHAUSTED:
+                    break
+                advance_first = True  # sealed or wave-capped: advance owed
+        return spent
+
+    def _merge_wave(
+        self,
+        tree: UpdateNode,
+        context: tuple,
+        stats: PhaseStats,
+        entries,
+        outcomes,
+        spent: int,
+        budget: int,
+    ) -> tuple[str, int]:
+        """Replay worker outcomes in canonical order.
+
+        Each measurement entry restores its tree snapshot (profile keys
+        and quarantine keys read variables' *current* values), replays
+        the worker's event log through the same bookkeeping the serial
+        loop runs inline, and merges profiles into the index.  Returns
+        ``("ok" | "retry" | "budget", spent)``; on ``retry``/``budget``
+        the tree is left at the failed entry's configuration and the
+        wave's unmerged tail is discarded -- its speculative keys were
+        never written anywhere.
+        """
+        import time as _time
+
+        merge_start = _time.perf_counter()
+        outcome_iter = iter(outcomes)
+        verdict = "ok"
+        try:
+            for position, entry in enumerate(entries):
+                if entry.kind == "hit":
+                    stats.index_hits += 1
+                    self.metrics.counter(
+                        f"astra.index_hits.{stats.name}").inc()
+                    continue
+                outcome = next(outcome_iter)
+                tree.restore_state(entry.snapshot)
+                live_vars = [
+                    v for v in tree.variables() if v.name in entry.live_names
+                ]
+                # worker-side executor counters (fault.*, check.*) land on
+                # the parent registry at the canonical position
+                for name, value in sorted(outcome.counters.items()):
+                    self.metrics.counter(name).inc(value)
+                if self.injector is not None and (
+                    outcome.injector_minibatch is not None
+                ):
+                    self.injector.absorb(
+                        outcome.injector_records,
+                        outcome.injector_minibatch,
+                        outcome.injector_preempted,
+                    )
+                results = []
+                for record in outcome.samples:
+                    gave_up = (
+                        record.result is None
+                        and len(record.aborts) >= self.policy.max_attempts
+                    )
+                    interrupted = record.result is None and not gave_up
+                    for attempt, (kind, message) in enumerate(
+                        record.aborts, 1
+                    ):
+                        self._log_fault(kind, message, context, stats.name)
+                        if gave_up and attempt == len(record.aborts):
+                            self.metrics.counter(
+                                "recovery.measurements_failed").inc()
+                        else:
+                            if not self.validate:
+                                self.metrics.counter(
+                                    "recovery.revalidated").inc()
+                            self.metrics.counter("recovery.retries").inc()
+                            self.metrics.counter(
+                                "recovery.backoff_minibatches"
+                            ).inc(self.policy.backoff_for(attempt))
+                    if interrupted:
+                        # sample cut short by the fatal event surfaced
+                        # below; the serial loop never charged it either
+                        continue
+                    spent += 1
+                    self._spent_this_run += 1
+                    if record.result is None:
+                        continue  # charged, lost (attempt budget out)
+                    if record.aborts:
+                        self.metrics.counter(
+                            "recovery.retries_succeeded").inc()
+                    for fault in record.result.faults:
+                        self._log_fault(
+                            fault.kind, fault.detail, context, stats.name
+                        )
+                    results.append(record.result)
+                    self._overhead_samples.append(
+                        record.result.profiling_overhead_fraction
+                    )
+                    self._log_minibatch(
+                        stats.name, record.result.total_time_us, context,
+                        entry.assignment,
+                    )
+                    stats.minibatches += 1
+                if outcome.preempted_at is not None:
+                    raise PreemptionError(outcome.preempted_at)
+                if outcome.error is not None or outcome.error_repr:
+                    for label, kind, text in outcome.violations:
+                        self.reporter.violation(
+                            label, kind, text, context=context
+                        )
+                    raise self._decode_worker_error(outcome)
+                if results:
+                    self._record_measurements(
+                        tree, outcome.var_units, results, context
+                    )
+                    self._fault_strikes.pop(
+                        self._config_key(live_vars, context), None
+                    )
+                    self.metrics.counter(
+                        f"astra.index_misses.{stats.name}").inc()
+                else:
+                    key = self._config_key(live_vars, context)
+                    strikes = self._fault_strikes.get(key, 0) + 1
+                    self._fault_strikes[key] = strikes
+                    if strikes >= self.policy.quarantine_after:
+                        self._quarantine(live_vars, context, stats.name)
+                    discarded = sum(
+                        1 for later in entries[position + 1:]
+                        if later.kind == "measure"
+                    )
+                    if discarded:
+                        self.engine.stats.discarded += discarded
+                        self.metrics.counter(
+                            "parallel.candidates_discarded").inc(discarded)
+                    verdict = "retry" if spent < budget else "budget"
+                    return verdict, spent
+        finally:
+            self.metrics.histogram("parallel.merge_us").observe(
+                (_time.perf_counter() - merge_start) * 1e6
+            )
+        return verdict, spent
+
+    def _decode_worker_error(self, outcome) -> BaseException:
+        import pickle as _pickle
+
+        if outcome.error is not None:
+            try:
+                return _pickle.loads(outcome.error)
+            except Exception:
+                pass
+        return RuntimeError(
+            f"worker-side error: {outcome.error_repr or 'unknown'}"
+        )
+
+    def close(self) -> None:
+        """Release the parallel engine's worker pool, if any."""
+        if self.engine is not None:
+            self.engine.close()
 
     def optimize(self, max_minibatches: int = 5000) -> AstraReport:
         """Run the full online exploration and return the custom-wired plan.
@@ -676,21 +959,51 @@ class CustomWirer:
         )
         if self.fast.prune:
             with self.clock.phase("prerank"):
+                estimates = None
+                if (
+                    self.engine is not None
+                    and self.parallel_config.prerank
+                ):
+                    # shard the cost-model evaluation across the pool;
+                    # workers compute against their own unpruned copy of
+                    # this tree, and the pure-float estimates are
+                    # bit-identical to the serial computation
+                    from ..perf.ranker import estimate_jobs
+
+                    jobs = estimate_jobs(
+                        self.enumerator, fk_tree, self.device,
+                        injector=self.injector,
+                    )
+                    if jobs:
+                        estimates = self.engine.gather_estimates(
+                            strategy.strategy_id, jobs
+                        )
                 pruned = prune_fk_tree(
                     self.enumerator, strategy, fk_tree, self.device,
                     self.fast, metrics=self.metrics, injector=self.injector,
+                    estimates=estimates,
                 )
             self._choices_pruned += pruned
         fk_stats = self._phase_stats(f"fk/{strategy.label}")
-        self._explore_tree(
-            fk_tree,
-            context,
-            lambda assignment, live: self.enumerator.build_plan(
-                strategy, assignment, profile_vars=live
-            ),
-            fk_stats,
-            budget_left(),
-        )
+        use_engine = False
+        if self.engine is not None:
+            from ..parallel.engine import engine_supported
+
+            use_engine = engine_supported(fk_tree)
+        if use_engine:
+            self._explore_tree_parallel(
+                fk_tree, context, strategy, fk_stats, budget_left()
+            )
+        else:
+            self._explore_tree(
+                fk_tree,
+                context,
+                lambda assignment, live: self.enumerator.build_plan(
+                    strategy, assignment, profile_vars=live
+                ),
+                fk_stats,
+                budget_left(),
+            )
         phases.append(fk_stats)
         fk_tree.finalize(self.index, context)
         fk_assignment = fk_tree.assignment()
@@ -869,6 +1182,9 @@ class CustomWirer:
             "cache": self.cache.stats() if self.cache is not None else None,
             "choices_total": self._choices_total,
             "choices_pruned": self._choices_pruned,
+            "parallel": (
+                self.engine.summary() if self.engine is not None else None
+            ),
         }
         self.metrics.gauge("perf.choices_total").set(self._choices_total)
         self.metrics.gauge("perf.choices_pruned").set(self._choices_pruned)

@@ -72,6 +72,13 @@ class FaultError(RuntimeError):
         super().__init__(message)
         self.minibatch = minibatch
 
+    # subclasses take domain arguments, not the base (message, minibatch)
+    # pair, so the default exception reduce protocol re-raises a TypeError
+    # on unpickle; each subclass pins its own constructor arguments.  The
+    # parallel engine ships worker-side faults back to the wirer this way.
+    def __reduce__(self):
+        return (type(self), (str(self), self.minibatch))
+
 
 class KernelLaunchError(FaultError):
     """A kernel launch failed; the mini-batch's work is lost.
@@ -85,6 +92,9 @@ class KernelLaunchError(FaultError):
     def __init__(self, label: str, minibatch: int = -1):
         super().__init__(f"kernel launch failed: {label}", minibatch)
         self.label = label
+
+    def __reduce__(self):
+        return (KernelLaunchError, (self.label, self.minibatch))
 
 
 class DeviceOOMError(FaultError):
@@ -104,6 +114,12 @@ class DeviceOOMError(FaultError):
         self.arena_bytes = arena_bytes
         self.capacity_bytes = capacity_bytes
 
+    def __reduce__(self):
+        return (
+            DeviceOOMError,
+            (self.arena_bytes, self.capacity_bytes, self.minibatch),
+        )
+
 
 class PreemptionError(FaultError):
     """The job was preempted; exploration state must be checkpointed.
@@ -118,6 +134,9 @@ class PreemptionError(FaultError):
     def __init__(self, minibatch: int):
         super().__init__(f"job preempted at mini-batch {minibatch}", minibatch)
         self.checkpoint_path: str | None = None
+
+    def __reduce__(self):
+        return (PreemptionError, (self.minibatch,))
 
 
 @dataclass(frozen=True)

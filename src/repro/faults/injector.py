@@ -32,6 +32,11 @@ from .events import (
 )
 from .plan import FaultPlan
 
+#: domain-separation tag for per-candidate injector substreams (parallel
+#: engine): keeps candidate streams disjoint from the run-level stream
+#: seeded with the bare plan seed
+_CANDIDATE_STREAM_TAG = 0xFA17
+
 
 class FaultInjector:
     """Stateful decision-maker for one :class:`~repro.faults.plan.FaultPlan`.
@@ -50,6 +55,49 @@ class FaultInjector:
         self.counts: dict[str, int] = {}
         self._preempted = False
         self._log = MinibatchFaultLog()
+
+    # -- splittable sub-states (parallel engine) ---------------------------
+
+    @classmethod
+    def for_candidate(
+        cls, plan: FaultPlan, base_minibatch: int, preempted: bool = False
+    ) -> "FaultInjector":
+        """A derived injector for one exploration candidate.
+
+        The sub-state is keyed by the candidate's *global mini-batch
+        ordinal* (the budget already spent when its first sample runs),
+        not by which worker executes it -- so a wave of candidates
+        injects the same faults whether it runs on one worker or eight,
+        and a resumed run re-derives identical sub-states from the
+        checkpointed spent count.  Windowed faults (throttle, OOM,
+        preemption) see the true global cursor; rate faults draw from the
+        candidate's own substream.
+        """
+        child = cls(plan)
+        child._rng = np.random.default_rng(
+            (plan.seed, _CANDIDATE_STREAM_TAG, base_minibatch)
+        )
+        child.minibatch = base_minibatch - 1  # begin_minibatch increments
+        child._preempted = preempted
+        return child
+
+    def absorb(
+        self, records, minibatch: int, preempted: bool = False
+    ) -> None:
+        """Merge a candidate sub-state's side effects back into this one.
+
+        Called by the wirer's canonical merge, in candidate order, so the
+        ledger and the mini-batch cursor end up identical for any worker
+        count.  The cursor only moves forward: sequential phases that
+        follow (stream, compare, production) must see every fault window
+        the exploration already passed through.
+        """
+        for record in records:
+            self.ledger.append(record)
+            self.counts[record.kind] = self.counts.get(record.kind, 0) + 1
+        self.minibatch = max(self.minibatch, minibatch)
+        if preempted:
+            self._preempted = True
 
     # -- bookkeeping ------------------------------------------------------
 

@@ -209,6 +209,18 @@ class StreamSimulator:
 
         self._rng.bit_generator.state = _decode_rng_state(state)
 
+    def reseed(self, seed_key) -> None:
+        """Rebind the jitter RNG to a derived substream.
+
+        The parallel engine reseeds a worker's simulator once per
+        exploration candidate, keyed by the candidate's global mini-batch
+        ordinal, so autoboost jitter is a function of *which* candidate
+        runs -- never of which worker runs it or what ran on that worker
+        before.  At base clock no draws happen at all and reseeding is a
+        no-op in effect.
+        """
+        self._rng = np.random.default_rng(seed_key)
+
     def _jitter(self) -> float:
         if self.device.clock_mode != CLOCK_AUTOBOOST:
             return 1.0

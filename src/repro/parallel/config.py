@@ -1,0 +1,32 @@
+"""Configuration of the parallel exploration engine."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class ParallelConfig:
+    """How the wirer partitions and dispatches exploration work.
+
+    None of these knobs may change *results* -- the merge is canonical
+    and per-candidate randomness is keyed by budget ordinal, so worker
+    count, wave size and start method only move wall-clock time.  The
+    equivalence tests pin that property.
+    """
+
+    #: worker processes; 1 selects the in-process fallback pool (same
+    #: code path, no fork), which is also the fallback wherever process
+    #: pools are unavailable
+    workers: int = 1
+    #: upper bound on candidates planned per wave.  A wave normally ends
+    #: when enumeration seals (every live variable finished its current
+    #: phase); the cap only bounds memory for degenerate spaces and is
+    #: deliberately worker-count independent so batching never shifts
+    #: with fleet size.
+    max_wave: int = 32
+    #: shard cost-model pre-ranking across the pool too
+    prerank: bool = True
+    #: multiprocessing start method override (None = fork where
+    #: available, else the platform default)
+    start_method: str | None = None

@@ -1,0 +1,128 @@
+"""Worker pools: process-backed with an in-process fallback.
+
+Both pools expose the same three calls (``run_shard``, ``run_estimates``,
+``prewarm``) returning futures-like handles, so the engine never branches
+on pool kind.  :func:`make_pool` picks the process pool when it can and
+falls back to :class:`InlinePool` when it can't (``workers <= 1``,
+platforms without working process pools, pickling failures at spawn) --
+degraded throughput, never degraded results.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import pickle
+from concurrent.futures import Future, ProcessPoolExecutor
+
+from . import worker as worker_mod
+from .wire import WorkerSpec
+
+
+class InlinePool:
+    """Single-process fallback executing shards in the caller.
+
+    Runs the exact worker code path (same state class, same measurement
+    loop) so ``--workers 1`` exercises everything but the fork.
+    """
+
+    kind = "inline"
+    workers = 1
+
+    def __init__(self, spec: WorkerSpec):
+        self._spec = spec
+        self._state = None
+
+    def _ensure(self):
+        if self._state is None:
+            self._state = worker_mod.WorkerState(self._spec)
+        return self._state
+
+    def prewarm(self) -> None:
+        # building the state here would serialize with the parent's own
+        # enumerator construction; defer to first use instead
+        return None
+
+    def run_shard(self, tasks) -> Future:
+        future: Future = Future()
+        try:
+            future.set_result(worker_mod.run_shard(self._ensure(), tasks))
+        except BaseException as exc:  # mirror executor future semantics
+            future.set_exception(exc)
+        return future
+
+    def run_estimates(self, strategy_id, names) -> Future:
+        future: Future = Future()
+        try:
+            future.set_result(
+                worker_mod.run_estimates(self._ensure(), strategy_id, list(names))
+            )
+        except BaseException as exc:
+            future.set_exception(exc)
+        return future
+
+    def close(self) -> None:
+        self._state = None
+
+
+class ProcessPool:
+    """``ProcessPoolExecutor`` wrapper with spec-initialized workers."""
+
+    kind = "process"
+
+    def __init__(self, spec: WorkerSpec, workers: int, start_method: str | None = None):
+        self.workers = workers
+        if start_method is None:
+            methods = multiprocessing.get_all_start_methods()
+            # fork skips re-importing the package per worker and ships the
+            # initializer payload through cheap COW memory
+            start_method = "fork" if "fork" in methods else methods[0]
+        context = multiprocessing.get_context(start_method)
+        payload = pickle.dumps(spec)
+        self._executor = ProcessPoolExecutor(
+            max_workers=workers,
+            mp_context=context,
+            initializer=worker_mod._pool_init,
+            initargs=(payload,),
+        )
+        self._warmup: list[Future] = []
+
+    def prewarm(self) -> None:
+        """Kick every worker's spawn + initializer without blocking.
+
+        Overlaps worker startup with the parent's own enumerator and
+        native-baseline work; the first real shard then lands on a warm
+        fleet.  Futures are retained so startup failures surface on the
+        first dispatch rather than vanishing."""
+        self._warmup = [
+            self._executor.submit(worker_mod._pool_warmup)
+            for _ in range(self.workers)
+        ]
+
+    def run_shard(self, tasks) -> Future:
+        return self._executor.submit(worker_mod._pool_run_shard, tasks)
+
+    def run_estimates(self, strategy_id, names) -> Future:
+        return self._executor.submit(
+            worker_mod._pool_run_estimates, strategy_id, list(names)
+        )
+
+    def close(self) -> None:
+        # wait for worker exit: shutdown(wait=False) leaves the executor's
+        # management thread racing interpreter teardown, which surfaces as
+        # spurious "Bad file descriptor" noise at exit
+        self._executor.shutdown(wait=True, cancel_futures=True)
+
+
+def make_pool(spec: WorkerSpec, workers: int, start_method: str | None = None):
+    """Build the best pool available for ``workers``.
+
+    Any failure to stand up a process pool (unsupported platform,
+    unpicklable spec member) degrades to the inline pool -- the engine
+    still runs, merely without parallel speedup.
+    """
+    if workers <= 1:
+        return InlinePool(spec)
+    try:
+        return ProcessPool(spec, workers, start_method)
+    except Exception:
+        return InlinePool(spec)

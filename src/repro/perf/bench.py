@@ -29,6 +29,7 @@ serialized document; see ``docs/performance.md`` for how to read it.
 
 from __future__ import annotations
 
+import os
 import time
 from dataclasses import dataclass, field
 
@@ -40,7 +41,7 @@ from ..obs.metrics import MetricsRegistry
 from .ranker import FastPath
 from .timers import PhaseClock
 
-BENCH_VERSION = 1
+BENCH_VERSION = 2
 
 #: the variant the acceptance gate applies to: the fusion+kernel phase is
 #: where both the cache and the pre-ranker bite (the stream phase's epoch
@@ -52,6 +53,17 @@ DEFAULT_VARIANTS = (PRIMARY_VARIANT, "all")
 #: minimum configs/sec ratio (fast vs baseline) a full-scale run of the
 #: primary variant must show; ``--quick`` runs skip this timing gate
 SPEEDUP_TARGET = 2.0
+
+#: minimum configs/sec ratio (parallel vs fast) a full-scale run must
+#: show -- enforced only when the host actually has at least ``workers``
+#: CPU cores: process workers time-slicing one core cannot speed anything
+#: up, and a bench gate must not assert physics the machine forbids.  The
+#: equivalence gates (identical winner, identical epoch time) apply on
+#: every host, always.
+PARALLEL_SPEEDUP_TARGET = 3.0
+
+#: worker count for the bench's parallel leg
+DEFAULT_WORKERS = 4
 
 BASELINE_FAST_PATH = FastPath(cache=False, prune=False)
 FAST_FAST_PATH = FastPath(cache=True, prune=True)
@@ -95,6 +107,7 @@ class BenchRun:
             "native_time_us": self.report.native_time_us,
             "speedup_over_native": self.report.speedup_over_native,
             "cache": fast_path.get("cache"),
+            "engine": fast_path.get("parallel"),
         }
 
 
@@ -106,12 +119,15 @@ def timed_session_run(
     seed: int = 1,
     budget: int = 3000,
     fast: FastPath | None = None,
+    workers: int | None = None,
 ) -> BenchRun:
     """Optimize ``model`` once under a phase clock, from a cold start.
 
     The clock's outer ``other`` phase covers session construction and any
     un-instrumented residue, so the exclusive phase times always sum to
     the timed wall clock (pinned by the harness-timing regression test).
+    The parallel leg's pool lifetime -- spawn through shutdown -- is
+    inside the timed wall: using workers costs their startup.
     """
     _clear_process_memos()
     device = device if device is not None else DEVICES["P100"]
@@ -121,9 +137,12 @@ def timed_session_run(
     with clock.phase("other"):
         session = AstraSession(
             model, device=device, features=features, seed=seed,
-            metrics=metrics, fast=fast, clock=clock,
+            metrics=metrics, fast=fast, clock=clock, workers=workers,
         )
-        report = session.optimize(max_minibatches=budget)
+        try:
+            report = session.optimize(max_minibatches=budget)
+        finally:
+            session.close()
     wall_s = time.perf_counter() - start
     return BenchRun(report=report, clock=clock, metrics=metrics, wall_s=wall_s)
 
@@ -171,12 +190,28 @@ def bench_model(
     budget: int = 3000,
     variants: tuple[str, ...] = DEFAULT_VARIANTS,
     quick: bool = False,
+    workers: int = DEFAULT_WORKERS,
 ) -> dict:
-    """Run the baseline-vs-fast comparison and assemble the document.
+    """Run the baseline / fast / parallel comparison and assemble the doc.
 
     ``quick`` restricts the sweep to the primary variant and waives the
-    configs/sec target (CI smoke must not gate on machine speed); the
+    configs/sec targets (CI smoke must not gate on machine speed); the
     exactness and cache-effectiveness guards always apply.
+
+    The **parallel** leg (primary variant only -- the engine parallelizes
+    the fusion+kernel trees) reruns the fast configuration with
+    ``workers`` measurement workers.  Its gates:
+
+    * equivalence, always, on every host: the parallel run's winning
+      assignment, final epoch time and explored-config count must equal
+      the serial fast run's *exactly* -- a parallel engine that changes
+      the answer is broken, not fast;
+    * throughput, full runs only: configs/sec at least
+      :data:`PARALLEL_SPEEDUP_TARGET` times the serial fast leg's, when
+      the host has at least ``workers`` cores.  On smaller hosts the
+      measured ratio is still recorded but the gate reports itself
+      skipped (``parallel_gate``); quick runs only require the ratio to
+      be non-zero (both legs completed and were timed).
     """
     if name not in MODEL_BUILDERS:
         raise ValueError(f"unknown model {name!r}; have {sorted(MODEL_BUILDERS)}")
@@ -184,6 +219,7 @@ def bench_model(
     if quick:
         variants = (PRIMARY_VARIANT,)
     model = _build_model(name, batch, seq_len)
+    host_cpus = os.cpu_count() or 1
 
     failures: list[str] = []
     variant_docs: dict[str, dict] = {}
@@ -227,6 +263,14 @@ def bench_model(
                 f"(baseline {base_rec['best_time_us']} us, "
                 f"fast {fast_rec['best_time_us']} us)"
             )
+        if variant == PRIMARY_VARIANT and workers:
+            par = timed_session_run(
+                model, features=variant, device=device, seed=seed,
+                budget=budget, fast=FAST_FAST_PATH, workers=workers,
+            )
+            variant_docs[variant].update(
+                _parallel_leg(fast, par, workers, host_cpus, quick, failures)
+            )
 
     primary = variant_docs.get(PRIMARY_VARIANT)
     if primary is not None:
@@ -248,11 +292,73 @@ def bench_model(
         "seed": seed,
         "budget": budget,
         "quick": quick,
+        "workers": workers,
+        "host_cpus": host_cpus,
         "primary_variant": PRIMARY_VARIANT,
         "speedup_target": SPEEDUP_TARGET,
+        "parallel_speedup_target": PARALLEL_SPEEDUP_TARGET,
         "variants": variant_docs,
         "failures": failures,
         "ok": not failures,
+    }
+
+
+def _parallel_leg(
+    fast: BenchRun,
+    par: BenchRun,
+    workers: int,
+    host_cpus: int,
+    quick: bool,
+    failures: list[str],
+) -> dict:
+    """Record and gate the parallel leg against the serial fast leg."""
+    match = _winner_match(fast, par)
+    fast_rec, par_rec = fast.record(), par.record()
+    ratio = (
+        par_rec["configs_per_sec"] / fast_rec["configs_per_sec"]
+        if fast_rec["configs_per_sec"] > 0 else 0.0
+    )
+    configs_match = (
+        par_rec["configs_explored"] == fast_rec["configs_explored"]
+    )
+    if not match["assignment_match"]:
+        failures.append(
+            f"parallel@{workers}: winner diverged from serial fast winner"
+        )
+    if not match["best_time_match"]:
+        failures.append(
+            f"parallel@{workers}: final epoch time diverged "
+            f"(serial {fast_rec['best_time_us']} us, "
+            f"parallel {par_rec['best_time_us']} us)"
+        )
+    if not configs_match:
+        failures.append(
+            f"parallel@{workers}: explored {par_rec['configs_explored']} "
+            f"configs, serial explored {fast_rec['configs_explored']}"
+        )
+    if quick:
+        gate = "non-zero"
+        if ratio <= 0.0:
+            failures.append(f"parallel@{workers}: configs/sec ratio is zero")
+    elif host_cpus >= workers:
+        gate = f">= {PARALLEL_SPEEDUP_TARGET:.1f}x"
+        if ratio < PARALLEL_SPEEDUP_TARGET:
+            failures.append(
+                f"parallel@{workers}: configs/sec ratio {ratio:.2f} below "
+                f"the {PARALLEL_SPEEDUP_TARGET:.1f}x target"
+            )
+    else:
+        gate = (
+            f"skipped: host has {host_cpus} core(s) < {workers} workers"
+        )
+    return {
+        "parallel": par_rec,
+        "parallel_ratio": ratio,
+        "parallel_winner_match": (
+            match["assignment_match"] and match["best_time_match"]
+            and configs_match
+        ),
+        "parallel_gate": gate,
     }
 
 
@@ -275,6 +381,18 @@ def render_bench(doc: dict) -> str:
             f"{vdoc['cache_hit_rate'] * 100:5.1f}  "
             f"{fast['choices_pruned']:6d}  "
             f"{'match' if vdoc['winner_match'] else 'DIVERGED'}"
+        )
+    for variant, vdoc in doc["variants"].items():
+        par = vdoc.get("parallel")
+        if par is None:
+            continue
+        engine = par.get("engine") or {}
+        lines.append(
+            f"{variant:>8}  parallel@{doc.get('workers', '?')} "
+            f"({engine.get('pool', '?')} pool): {par['wall_s']:.3f}s  "
+            f"{vdoc['parallel_ratio']:.2f}x vs fast  "
+            f"{'match' if vdoc['parallel_winner_match'] else 'DIVERGED'}  "
+            f"gate: {vdoc['parallel_gate']}"
         )
     for variant, vdoc in doc["variants"].items():
         phases = vdoc["fast"]["phases_s"]

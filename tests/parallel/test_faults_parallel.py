@@ -1,0 +1,126 @@
+"""The engine under fire: fault injection, preemption, checkpoint/resume.
+
+Under the engine every candidate draws faults from a per-candidate
+substream keyed by its base mini-batch ordinal, so fault decisions are a
+function of *which* candidate runs, not *where* it runs -- engine runs
+are bit-identical across worker counts even mid-chaos.  (A legacy serial
+run draws from one rolling stream, so serial-vs-engine fault equality is
+deliberately NOT claimed; the checkpoint signature keeps the two
+exploration shapes from resuming each other.)
+"""
+
+import pickle
+
+import pytest
+
+from repro.core import MeasurementPolicy
+from repro.core.session import AstraSession
+from repro.faults import (
+    FAULT_LAUNCH,
+    FAULT_PREEMPT,
+    FAULT_SLOWDOWN,
+    FaultPlan,
+    FaultSpec,
+    PreemptionError,
+)
+from repro.gpu import DEVICES
+from repro.perf.bench import _clear_process_memos
+from repro.perf.ranker import FastPath
+
+FAST = FastPath(cache=True, prune=True)
+CHAOS = FaultPlan(
+    specs=(
+        FaultSpec(kind=FAULT_LAUNCH, rate=0.05),
+        FaultSpec(kind=FAULT_SLOWDOWN, rate=0.2, factor=4.0),
+    ),
+    seed=7,
+)
+POLICY = MeasurementPolicy(samples=3, max_attempts=3)
+
+
+def run_chaos(model, workers, budget=400):
+    _clear_process_memos()
+    session = AstraSession(
+        model, device=DEVICES["P100"], features="FK", seed=1, fast=FAST,
+        workers=workers, faults=CHAOS, policy=POLICY,
+    )
+    try:
+        report = session.optimize(max_minibatches=budget)
+    finally:
+        session.close()
+    return pickle.dumps((
+        {k: repr(v) for k, v in report.astra.assignment.items()},
+        report.best_time_us,
+        report.configs_explored,
+        report.astra.timeline,
+        report.astra.fault_summary,
+        session.wirer.index.snapshot(),
+    ))
+
+
+class TestFaultEquivalence:
+    def test_chaos_bit_identical_across_worker_counts(self, tiny_scrnn):
+        assert run_chaos(tiny_scrnn, 1) == run_chaos(tiny_scrnn, 2)
+
+
+class TestCheckpointResume:
+    def _preempt_then_resume(self, model, path, first_workers, resume_workers):
+        _clear_process_memos()
+        faults = FaultPlan(
+            specs=CHAOS.specs + (FaultSpec(kind=FAULT_PREEMPT, at=5),),
+            seed=7,
+        )
+        session = AstraSession(
+            model, device=DEVICES["P100"], features="FK", seed=1, fast=FAST,
+            workers=first_workers, faults=faults, policy=POLICY,
+            checkpoint_path=path,
+        )
+        with pytest.raises(PreemptionError):
+            try:
+                session.optimize(max_minibatches=400)
+            finally:
+                session.close()
+        session = AstraSession(
+            model, device=DEVICES["P100"], features="FK", seed=1, fast=FAST,
+            workers=resume_workers, faults=CHAOS, policy=POLICY,
+            checkpoint_path=path,
+        )
+        try:
+            report = session.optimize(max_minibatches=400)
+        finally:
+            session.close()
+        return pickle.dumps((
+            {k: repr(v) for k, v in report.astra.assignment.items()},
+            report.best_time_us,
+            session.wirer.index.snapshot(),
+        ))
+
+    def test_resume_worker_count_free(self, tiny_scrnn, tmp_path):
+        """Preempt at workers=1, resume at workers=2: same final state as
+        preempting and resuming at workers=1 -- the checkpoint pins the
+        exploration, not the fleet size."""
+        a = self._preempt_then_resume(
+            tiny_scrnn, str(tmp_path / "a.json"), 1, 1
+        )
+        b = self._preempt_then_resume(
+            tiny_scrnn, str(tmp_path / "b.json"), 1, 2
+        )
+        assert a == b
+
+    def test_serial_checkpoint_refuses_parallel_resume(self, tiny_scrnn, tmp_path):
+        """A legacy serial exploration and an engine exploration walk the
+        tree differently; resuming one from the other's checkpoint would
+        silently re-shape the search, so the signature forbids it."""
+        path = str(tmp_path / "serial.json")
+        faults = FaultPlan(specs=(FaultSpec(kind=FAULT_PREEMPT, at=5),))
+        session = AstraSession(
+            tiny_scrnn, device=DEVICES["P100"], features="FK", seed=1,
+            fast=FAST, faults=faults, checkpoint_path=path,
+        )
+        with pytest.raises(PreemptionError):
+            session.optimize(max_minibatches=400)
+        with pytest.raises(ValueError, match="refusing to resume"):
+            AstraSession(
+                tiny_scrnn, device=DEVICES["P100"], features="FK", seed=1,
+                fast=FAST, workers=1, checkpoint_path=path,
+            )
