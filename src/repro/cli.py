@@ -25,7 +25,18 @@ Commands:
 * ``bench``     — time the exploration itself: baseline (no cache, no
   pruning) vs fast path, per phase, writing ``BENCH_<model>.json``;
   exits non-zero if the fast path's winner diverges from the exhaustive
-  winner or the cache never hits (see ``docs/performance.md``)
+  winner or the cache never hits (see ``docs/performance.md``);
+  ``--compare`` diffs the fresh document against a committed baseline
+  and exits non-zero on a winner change or a relative-throughput
+  regression
+* ``analyze``   — critical-path analysis of a ``.trace.json`` produced by
+  ``repro trace``: per-kernel critical-path contribution, per-stream
+  busy/stall attribution, dependency slack; ``--scale`` / ``--swap``
+  project what-if timelines without re-running (see
+  ``docs/observability.md``)
+* ``explain``   — run the exploration with provenance recording and print,
+  per adaptive variable, the winner, the runner-up, and the measurements
+  that decided it (see ``docs/observability.md``)
 """
 
 from __future__ import annotations
@@ -266,30 +277,130 @@ def cmd_inspect(args) -> int:
 
 
 def cmd_trace(args) -> int:
+    from .obs.trace import Tracer, chrome_trace, merge_host_trace
+
     model = _build(args)
     device = DEVICES[args.device]
     graph = model.graph
+    workers = getattr(args, "workers", None)
+    tracer = Tracer() if (workers and args.plan == "astra") else None
     if args.plan == "native":
         plan = native_plan(graph)
         label = f"{args.model}/native"
     else:
         session = AstraSession(
-            model, device=device, features=args.features, seed=args.seed
+            model, device=device, features=args.features, seed=args.seed,
+            tracer=tracer, workers=workers,
         )
-        plan = session.optimize(max_minibatches=args.budget).astra.best_plan
+        try:
+            plan = session.optimize(max_minibatches=args.budget).astra.best_plan
+        finally:
+            session.close()
         label = f"{args.model}/astra"
     executor = Executor(graph, device, seed=args.seed)
     lowered = executor.dispatcher.lower(plan)
     result = executor.run_lowered(lowered).raw
     out = args.output or f"{args.model}.trace.json"
-    doc = write_chrome_trace(out, result, lowered=lowered, device=device, label=label)
+    doc = chrome_trace(result, lowered=lowered, device=device, label=label)
+    if tracer is not None:
+        # fold the optimizer's own timeline (with per-worker tracks) in
+        # next to the simulated mini-batch
+        merge_host_trace(doc, tracer.chrome())
+    with open(out, "w") as fh:
+        json.dump(doc, fh)
     summary = validate_chrome_trace(doc)
     gpu_tracks = sum(1 for pid, _tid in summary["tracks"] if pid == PID_GPU)
     print(f"wrote {out}: {summary['events']} events, "
           f"{len(result.records)} kernels on {gpu_tracks} stream track(s) "
           f"+ CPU dispatch; mini-batch {result.total_time_us / 1000:.3f} ms "
           f"({plan.label})")
+    if tracer is not None:
+        print(f"includes the optimizer host timeline ({workers} workers)")
     print("open it in https://ui.perfetto.dev or chrome://tracing")
+    return 0
+
+
+def _parse_indexed(value: str, flag: str, cast):
+    try:
+        index_text, detail = value.split(":", 1)
+        return int(index_text), cast(detail)
+    except (ValueError, TypeError):
+        raise SystemExit(
+            f"bad {flag} {value!r}: expected INDEX:"
+            f"{'FACTOR' if cast is float else 'LIBRARY'}"
+        )
+
+
+def cmd_analyze(args) -> int:
+    from .obs.analysis import analyze_trace
+
+    with open(args.trace) as fh:
+        doc = json.load(fh)
+    report = analyze_trace(doc)
+    device = DEVICES[args.device]
+    projections = []
+    try:
+        for value in args.scale or ():
+            from .obs.whatif import scale_kernel
+
+            index, factor = _parse_indexed(value, "--scale", float)
+            projections.append(scale_kernel(report.graph, index, factor))
+        if args.swap:
+            from .obs.whatif import swap_libraries
+
+            swaps = dict(
+                _parse_indexed(value, "--swap", str) for value in args.swap
+            )
+            projections.append(swap_libraries(report.graph, swaps, device))
+    except (KeyError, IndexError, ValueError) as exc:
+        raise SystemExit(f"cannot project: {exc}")
+    if args.json:
+        out = report.to_dict()
+        out["projections"] = [p.to_dict() for p in projections]
+        print(json.dumps(out, indent=2))
+        return 0
+    print(report.render(top=args.top))
+    for projection in projections:
+        print()
+        print(projection.render())
+    return 0
+
+
+def cmd_explain(args) -> int:
+    from .obs.provenance import ProvenanceLog
+
+    model = _build(args)
+    device = DEVICES[args.device]
+    provenance = ProvenanceLog()
+    session = AstraSession(
+        model, device=device, features=args.features, seed=args.seed,
+        provenance=provenance, workers=getattr(args, "workers", None),
+    )
+    try:
+        report = session.optimize(max_minibatches=args.budget)
+    finally:
+        session.close()
+    astra = report.astra
+    if args.json:
+        print(json.dumps({
+            "version": 1,
+            "model": args.model,
+            "batch": args.batch,
+            "device": args.device,
+            "features": args.features,
+            "best_time_us": astra.best_time_us,
+            "speedup_over_native": report.speedup_over_native,
+            "assignment": {k: repr(v) for k, v in astra.assignment.items()},
+            "provenance": provenance.to_dict(),
+        }, indent=2))
+        return 0
+    print(f"model: {args.model}  batch={args.batch}  device={args.device}  "
+          f"features=Astra_{args.features}")
+    print(f"astra: {astra.best_time_us / 1000:.3f} ms/mini-batch  "
+          f"({report.speedup_over_native:.2f}x over native, "
+          f"{astra.configs_explored} mini-batches explored)")
+    print()
+    print(provenance.render(assignment=astra.assignment))
     return 0
 
 
@@ -393,7 +504,16 @@ def cmd_bench(args) -> int:
     else:
         print(render_bench(doc))
         print(f"wrote {out}")
-    return 0 if doc["ok"] else 1
+    compare_ok = True
+    if args.compare:
+        from .perf.bench import compare_bench, render_compare
+
+        with open(args.compare) as fh:
+            baseline = json.load(fh)
+        diff = compare_bench(doc, baseline)
+        print(render_compare(diff))
+        compare_ok = diff["ok"]
+    return 0 if doc["ok"] and compare_ok else 1
 
 
 def make_parser() -> argparse.ArgumentParser:
@@ -476,7 +596,45 @@ def make_parser() -> argparse.ArgumentParser:
     p.add_argument("--plan", choices=["astra", "native"], default="astra",
                    help="trace the custom-wired plan (runs the exploration "
                         "first) or the native single-stream baseline")
+    p.add_argument("--workers", type=int, default=None, metavar="N",
+                   help="explore on N worker processes and merge the "
+                        "optimizer's host timeline (per-worker tracks) "
+                        "into the trace")
     p.set_defaults(fn=cmd_trace)
+
+    p = sub.add_parser(
+        "analyze",
+        help="critical-path and what-if analysis of a .trace.json",
+    )
+    p.add_argument("trace", metavar="TRACE_JSON",
+                   help="a trace file produced by `repro trace`")
+    p.add_argument("--top", type=int, default=10,
+                   help="rows in the critical-kernel table (default 10)")
+    p.add_argument("--scale", action="append", metavar="INDEX:FACTOR",
+                   help="project the timeline with kernel INDEX scaled by "
+                        "FACTOR (repeatable)")
+    p.add_argument("--swap", action="append", metavar="INDEX:LIBRARY",
+                   help="project the timeline with kernel INDEX's GEMM "
+                        "moved to LIBRARY (repeatable; combined into one "
+                        "projection)")
+    p.add_argument("--device", choices=sorted(DEVICES), default="P100",
+                   help="device model used to re-cost swapped kernels")
+    p.add_argument("--json", action="store_true",
+                   help="print the machine-readable analysis document")
+    p.set_defaults(fn=cmd_analyze)
+
+    p = sub.add_parser(
+        "explain",
+        help="run the exploration with provenance and print why each "
+             "variable's winner won",
+    )
+    common(p, positional_model=True)
+    p.add_argument("--workers", type=int, default=None, metavar="N",
+                   help="explore on N worker processes (the provenance log "
+                        "is bit-identical to a serial run)")
+    p.add_argument("--json", action="store_true",
+                   help="print the provenance log as JSON")
+    p.set_defaults(fn=cmd_explain)
 
     p = sub.add_parser(
         "check",
@@ -517,6 +675,10 @@ def make_parser() -> argparse.ArgumentParser:
                    help="output path (default: BENCH_<model>.json)")
     p.add_argument("--json", action="store_true",
                    help="print the full bench document instead of the table")
+    p.add_argument("--compare", default=None, metavar="PATH",
+                   help="diff against a committed BENCH_*.json: exit "
+                        "non-zero on a winner change or a >20%% relative-"
+                        "throughput regression")
     p.set_defaults(fn=cmd_bench)
     return parser
 

@@ -82,6 +82,7 @@ class AstraSession:
         clock=None,
         workers: int | None = None,
         parallel=None,
+        provenance=None,
     ):
         self.graph = model.graph if isinstance(model, TracedModel) else model
         self.model = model if isinstance(model, TracedModel) else None
@@ -96,6 +97,7 @@ class AstraSession:
             metrics=metrics, reporter=reporter, tracer=tracer, validate=validate,
             policy=policy, faults=faults, checkpoint_path=checkpoint_path,
             fast=fast, clock=clock, workers=workers, parallel=parallel,
+            provenance=provenance,
         )
         # resume-on-restart: an existing checkpoint for the same
         # (graph, device, features, seed) is adopted automatically, so

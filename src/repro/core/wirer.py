@@ -38,6 +38,7 @@ from ..faults.events import (
 from ..gpu.device import GPUSpec
 from ..ir.graph import Graph
 from ..obs.metrics import NULL_REGISTRY, MetricsRegistry
+from ..obs.provenance import NULL_PROVENANCE
 from ..obs.report import KIND_COMPARE, KIND_EXPLORE, KIND_PRODUCTION, NULL_REPORTER, RunReporter
 from ..obs.trace import NULL_TRACER
 from ..perf.cache import LoweringCache
@@ -100,6 +101,9 @@ class AstraReport:
     #: fast-path accounting: compilation-cache stats, pruning counts
     #: (see docs/performance.md)
     fast_path: dict = field(default_factory=dict)
+    #: exploration decision history (candidates, decisive measurements,
+    #: prune verdicts, quarantines); NULL_PROVENANCE unless requested
+    provenance: object = NULL_PROVENANCE
 
     def amortization(self, native_time_us: float) -> "Amortization":
         """How quickly the exploration pays for itself.
@@ -158,6 +162,7 @@ class CustomWirer:
         clock=None,
         workers: int | None = None,
         parallel=None,
+        provenance=None,
     ):
         self.graph = graph
         self.device = device
@@ -170,6 +175,7 @@ class CustomWirer:
         self.metrics = metrics if metrics is not None else NULL_REGISTRY
         self.reporter = reporter if reporter is not None else NULL_REPORTER
         self.tracer = tracer if tracer is not None else NULL_TRACER
+        self.provenance = provenance if provenance is not None else NULL_PROVENANCE
         # fast path (docs/performance.md): compilation caching is on by
         # default (bit-identical lowering by construction); cost-model
         # pruning is opt-in at this layer, the CLI flips it on
@@ -204,7 +210,7 @@ class CustomWirer:
             spec = WorkerSpec(
                 graph=graph, device=device, features=features, seed=seed,
                 validate=validate, policy=self.policy, fast=self.fast,
-                fault_plan=faults,
+                fault_plan=faults, trace=self.tracer.enabled,
             )
             pool = make_pool(
                 spec, self.parallel_config.workers,
@@ -494,6 +500,12 @@ class CustomWirer:
                 measurements[key] = robust_min(
                     values, self.policy.mad_threshold
                 )
+                # the first-merged value is the decisive one: merge() is
+                # first-writer-wins and the `key in self.index` guard above
+                # filters re-measurements, so this hook sees exactly the
+                # numbers finalize() will read -- in canonical order for
+                # the serial loop and the parallel merge alike
+                self.provenance.measured(context, var.name, var.value, measurements[key])
         self.index.merge(measurements)
 
     def _metric_for(
@@ -540,6 +552,7 @@ class CustomWirer:
             key = var.profile_key(context)
             if key not in self.index:
                 self.index.record(key, QUARANTINED_US)
+                self.provenance.quarantined(context, var.name, var.value)
                 names.append(f"{var.name}={var.value!r}")
         self.metrics.counter("recovery.quarantined").inc()
         self._log_fault(
@@ -957,6 +970,10 @@ class CustomWirer:
         self._choices_total += sum(
             len(v.choices) for v in fk_tree.variables()
         )
+        pre_prune = (
+            {v.name: list(v.choices) for v in fk_tree.variables()}
+            if self.provenance.enabled else {}
+        )
         if self.fast.prune:
             with self.clock.phase("prerank"):
                 estimates = None
@@ -984,6 +1001,11 @@ class CustomWirer:
                     estimates=estimates,
                 )
             self._choices_pruned += pruned
+            if self.provenance.enabled and pruned:
+                self._record_prune_provenance(strategy, fk_tree, pre_prune, context)
+        if self.provenance.enabled:
+            for var in fk_tree.variables():
+                self.provenance.candidates(context, var.name, var.choices)
         fk_stats = self._phase_stats(f"fk/{strategy.label}")
         use_engine = False
         if self.engine is not None:
@@ -1020,6 +1042,9 @@ class CustomWirer:
             self._choices_total += sum(
                 len(v.choices) for v in stream_tree.variables()
             )
+            if self.provenance.enabled:
+                for var in stream_tree.variables():
+                    self.provenance.candidates(context, var.name, var.choices)
             stream_stats = self._phase_stats(f"streams/{strategy.label}")
             build_stream = lambda assignment, live: self._build_with_streams(
                 strategy, fk_assignment, assignment, partition, stream_tree,
@@ -1061,6 +1086,7 @@ class CustomWirer:
                 compare_stats.index_hits += 1
                 self.metrics.counter(
                     f"astra.index_hits.{compare_stats.name}").inc()
+                self.provenance.compared(context, candidate_label, cached, cached=True)
                 measured.append((cached, built.plan, assignment))
                 continue
             results, _charged = self._measure_config(
@@ -1073,6 +1099,7 @@ class CustomWirer:
                 [r.total_time_us for r in results], self.policy.mad_threshold
             )
             self.index.record(compare_key, time_us)
+            self.provenance.compared(context, candidate_label, time_us)
             measured.append((time_us, built.plan, assignment))
         if compare_stats.minibatches or compare_stats.index_hits:
             phases.append(compare_stats)
@@ -1084,6 +1111,33 @@ class CustomWirer:
         end_key = mangle(context, ("end_to_end", "best"))
         self.index.record(end_key, best_time)
         return best_time, best_plan_local, best_assignment_local
+
+    def _record_prune_provenance(
+        self,
+        strategy: AllocationStrategy,
+        fk_tree: UpdateNode,
+        pre_prune: dict[str, list],
+        context: tuple,
+    ) -> None:
+        """Record each FK-prune verdict with its cost-model estimate.
+
+        Pruning only runs when the estimate is provably exact (base
+        clock, no injector), so re-deriving the estimate here reproduces
+        the number that justified the cut."""
+        from ..perf.ranker import estimate_choice_us
+
+        survivors = {v.name: v.choices for v in fk_tree.variables()}
+        by_name = {v.name: v for v in fk_tree.variables()}
+        for name, before in pre_prune.items():
+            kept = survivors.get(name, [])
+            var = by_name.get(name)
+            for choice in before:
+                if choice in kept or var is None:
+                    continue
+                estimate = estimate_choice_us(
+                    self.enumerator, strategy, var, choice, self.device
+                )
+                self.provenance.pruned(context, name, choice, estimate)
 
     def _degraded_report(
         self, phases: list[PhaseStats], total_spent: int
@@ -1209,6 +1263,7 @@ class CustomWirer:
             fault_summary=fault_summary,
             memory=memory,
             fast_path=fast_path,
+            provenance=self.provenance,
         )
 
     def _build_with_streams(

@@ -16,6 +16,13 @@ already produces -- enabling observability never changes what gets
 dispatched to the (simulated) GPU.
 """
 
+from .analysis import (
+    AnalysisReport,
+    TimelineGraph,
+    analyze,
+    analyze_execution,
+    analyze_trace,
+)
 from .metrics import (
     NULL_REGISTRY,
     Counter,
@@ -24,6 +31,11 @@ from .metrics import (
     MetricsRegistry,
     NullRegistry,
     Series,
+)
+from .provenance import (
+    NULL_PROVENANCE,
+    ProvenanceLog,
+    VariableDecision,
 )
 from .report import (
     KIND_COMPARE,
@@ -41,16 +53,32 @@ from .trace import (
     Tracer,
     chrome_trace,
     kernel_args,
+    merge_host_trace,
     validate_chrome_trace,
     write_chrome_trace,
 )
+from .whatif import (
+    Projection,
+    WhatIfChange,
+    project,
+    remove_kernel,
+    scale_kernel,
+    swap_libraries,
+    swap_library,
+)
 
 __all__ = [
+    "AnalysisReport", "TimelineGraph",
+    "analyze", "analyze_execution", "analyze_trace",
     "Counter", "Gauge", "Histogram", "Series",
     "MetricsRegistry", "NullRegistry", "NULL_REGISTRY",
     "MiniBatchRecord", "RunReporter", "NullReporter", "NULL_REPORTER",
     "KIND_EXPLORE", "KIND_COMPARE", "KIND_PRODUCTION",
     "KIND_VIOLATION", "KIND_FAULT",
+    "ProvenanceLog", "VariableDecision", "NULL_PROVENANCE",
+    "Projection", "WhatIfChange",
+    "project", "remove_kernel", "scale_kernel", "swap_libraries", "swap_library",
     "Tracer", "NULL_TRACER",
-    "chrome_trace", "kernel_args", "validate_chrome_trace", "write_chrome_trace",
+    "chrome_trace", "kernel_args", "merge_host_trace",
+    "validate_chrome_trace", "write_chrome_trace",
 ]

@@ -81,6 +81,32 @@ class Histogram:
     def mean(self) -> float:
         return self.total / self.count if self.count else 0.0
 
+    def percentile(self, q: float) -> float | None:
+        """Estimate the ``q``-th percentile (``0 < q <= 100``) from the
+        power-of-two buckets: find the bucket holding the target rank and
+        interpolate linearly across its ``(bound/2, bound]`` range,
+        clamped to the observed min/max (exact at the distribution tails,
+        within a factor-of-two bucket elsewhere)."""
+        if not 0.0 < q <= 100.0:
+            raise ValueError(f"percentile q must be in (0, 100], got {q!r}")
+        if self.count == 0:
+            return None
+        target = q / 100.0 * self.count
+        cumulative = 0
+        for bound in sorted(self.buckets):
+            in_bucket = self.buckets[bound]
+            if cumulative + in_bucket >= target:
+                lo = bound / 2.0 if bound > 0 else 0.0
+                fraction = (target - cumulative) / in_bucket
+                value = lo + fraction * (bound - lo)
+                return min(max(value, self.min), self.max)
+            cumulative += in_bucket
+        return self.max
+
+    def summary(self) -> dict:
+        """The serving-latency view: p50/p90/p99."""
+        return {f"p{q}": self.percentile(q) for q in (50, 90, 99)}
+
     def snapshot(self) -> dict:
         return {
             "type": "histogram",
@@ -89,6 +115,7 @@ class Histogram:
             "min": self.min if self.count else None,
             "max": self.max if self.count else None,
             "mean": self.mean,
+            **self.summary(),
             "buckets": {str(k): v for k, v in sorted(self.buckets.items())},
         }
 
@@ -188,6 +215,12 @@ class _NullInstrument:
 
     def append(self, value: float, step: int | None = None) -> None:
         pass
+
+    def percentile(self, q: float) -> None:
+        return None
+
+    def summary(self) -> dict:
+        return {}
 
     def snapshot(self) -> dict:
         return {}

@@ -33,6 +33,9 @@ from ..gpu.streams import ExecutionResult, HostComputeItem, LaunchItem
 #: trace-event process ids: the dispatch thread and the simulated device
 PID_CPU = 0
 PID_GPU = 1
+#: host-side optimizer spans when merged into an execution trace (the
+#: execution document already owns PID_CPU for the dispatch thread)
+PID_HOST = 2
 
 _VALID_PHASES = {"X", "B", "E", "i", "I", "C", "M", "s", "f", "t"}
 
@@ -51,9 +54,39 @@ class Tracer:
         self._clock = clock
         self._t0 = clock()
         self._events: list[dict] = []
+        #: worker pid -> tid on this tracer's process (tid 0 = main thread)
+        self._worker_tids: dict[int, int] = {}
 
     def _now_us(self) -> float:
         return (self._clock() - self._t0) * 1e6
+
+    def now_us(self) -> float:
+        """Current position on this tracer's timeline, in microseconds."""
+        return self._now_us()
+
+    def worker_track(self, pid: int) -> int:
+        """The tid assigned to a parallel worker process (allocated on
+        first sight; rendered as a ``worker <pid>`` thread)."""
+        tid = self._worker_tids.get(pid)
+        if tid is None:
+            tid = len(self._worker_tids) + 1
+            self._worker_tids[pid] = tid
+        return tid
+
+    def absorb_worker_spans(self, spans, pid: int, base_us: float) -> None:
+        """Merge spans recorded in a worker process onto this timeline.
+
+        Worker spans carry timestamps relative to their own shard start;
+        ``base_us`` places them on the parent timeline.  Each worker pid
+        gets its own tid so concurrent shards render as parallel tracks.
+        """
+        tid = self.worker_track(pid)
+        for span in spans:
+            event = dict(span)
+            event["pid"] = PID_CPU
+            event["tid"] = tid
+            event["ts"] = base_us + float(event.get("ts", 0.0))
+            self._events.append(event)
 
     @contextmanager
     def span(self, name: str, cat: str = "astra", **args):
@@ -81,6 +114,8 @@ class Tracer:
 
     def chrome(self) -> dict:
         events = [_metadata(PID_CPU, 0, "optimizer (host)", "phases")]
+        for pid, tid in sorted(self._worker_tids.items(), key=lambda kv: kv[1]):
+            events.append(_metadata(PID_CPU, tid, "", f"worker {pid}"))
         events.extend(self._events)
         return {"traceEvents": events, "displayTimeUnit": "ms"}
 
@@ -97,6 +132,15 @@ class _NullTracer:
         pass
 
     def counter(self, name: str, value: float, cat: str = "astra") -> None:
+        pass
+
+    def now_us(self) -> float:
+        return 0.0
+
+    def worker_track(self, pid: int) -> int:
+        return 0
+
+    def absorb_worker_spans(self, spans, pid: int, base_us: float) -> None:
         pass
 
     def chrome(self) -> dict:
@@ -258,6 +302,24 @@ def _host_events(lowered) -> list[dict]:
                 "ts": 0.0, "args": {"duration_us": item.duration_us},
             })
     return events
+
+
+def merge_host_trace(doc: dict, host_doc: dict, label: str = "optimizer") -> dict:
+    """Merge a :class:`Tracer` document (optimizer phases + worker spans)
+    into an execution trace document.
+
+    The execution document owns PID_CPU (dispatch thread) and PID_GPU
+    (streams); host events are re-homed to :data:`PID_HOST` so both
+    timelines render side by side without colliding tracks.  Returns
+    ``doc`` mutated in place.
+    """
+    events = doc.setdefault("traceEvents", [])
+    events.append(_metadata(PID_HOST, None, f"{label} (host)", None))
+    for ev in host_doc.get("traceEvents", ()):
+        merged = dict(ev)
+        merged["pid"] = PID_HOST
+        events.append(merged)
+    return doc
 
 
 def write_chrome_trace(path, result: ExecutionResult, lowered=None,

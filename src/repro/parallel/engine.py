@@ -241,6 +241,7 @@ class ParallelEngine:
         """
         if not tasks:
             return []
+        wave_base_us = self.tracer.now_us()
         start = time.perf_counter()
         shards = _shard(tasks, self.pool.workers)
         futures = [self.pool.run_shard(shard) for shard in shards]
@@ -248,6 +249,7 @@ class ParallelEngine:
         for shard, future in zip(shards, futures):
             outcomes.extend(self._collect(shard, future))
         wall = time.perf_counter() - start
+        self._absorb_spans(outcomes, wave_base_us)
         busy = sum(o.busy_s for o in outcomes)
         self.stats.rounds += 1
         self.stats.candidates += len(tasks)
@@ -269,6 +271,28 @@ class ParallelEngine:
             wall_us=wall * 1e6, utilization=round(utilization, 3),
         )
         return outcomes
+
+    def _absorb_spans(self, outcomes, wave_base_us: float) -> None:
+        """Re-home worker-recorded spans onto the parent tracer's clock.
+
+        Workers stamp span ``ts`` relative to their own candidate start;
+        the parent lays each worker's candidates out back-to-back from the
+        wave's start on that worker's dedicated track.  The layout is an
+        approximation of true wall alignment (workers start within the
+        dispatch jitter of each other), but busy/idle proportions and
+        per-candidate durations are exact.
+        """
+        cursor: dict[int, float] = {}
+        for outcome in outcomes:
+            if not outcome.spans:
+                continue
+            base = wave_base_us + cursor.get(outcome.worker_pid, 0.0)
+            self.tracer.absorb_worker_spans(
+                outcome.spans, outcome.worker_pid, base
+            )
+            cursor[outcome.worker_pid] = (
+                cursor.get(outcome.worker_pid, 0.0) + outcome.busy_s * 1e6
+            )
 
     def gather_estimates(self, strategy_id: int, names: list) -> dict:
         """Sharded cost-model pre-ranking: name -> per-choice estimates."""

@@ -38,6 +38,9 @@ class WorkerSpec:
     #: the :class:`~repro.faults.plan.FaultPlan`, or None; workers derive
     #: per-candidate injector sub-states from it
     fault_plan: object = None
+    #: parent tracer is live: workers record per-candidate spans for the
+    #: merged Chrome trace (ts relative to each candidate's start)
+    trace: bool = False
 
 
 @dataclass(frozen=True)
@@ -103,6 +106,12 @@ class CandidateOutcome:
     preempted_at: int | None = None
     #: worker wall seconds spent on this candidate (utilization metric)
     busy_s: float = 0.0
+    #: host-side trace spans recorded while measuring this candidate
+    #: (Chrome-event dicts; ts relative to the candidate's own start;
+    #: empty unless the spec requested tracing)
+    spans: list = field(default_factory=list)
+    #: os pid of the worker that measured this candidate (trace track key)
+    worker_pid: int = 0
 
 
 def slim_result(result, keep_units=None):

@@ -18,6 +18,7 @@ in-process fallback pool calls the same code with an explicit state, so
 
 from __future__ import annotations
 
+import os
 import pickle
 import time
 
@@ -103,7 +104,7 @@ def measure_candidate(state: WorkerState, task: CandidateTask) -> CandidateOutco
     from ..faults.injector import FaultInjector
     from ..obs.metrics import Counter, MetricsRegistry
 
-    out = CandidateOutcome(ordinal=task.ordinal)
+    out = CandidateOutcome(ordinal=task.ordinal, worker_pid=os.getpid())
     start = time.perf_counter()
     spec = state.spec
     registry = MetricsRegistry()
@@ -131,10 +132,11 @@ def measure_candidate(state: WorkerState, task: CandidateTask) -> CandidateOutco
         keep_units = set()
         for ids in built.var_units.values():
             keep_units.update(ids)
-        for _ in range(spec.policy.samples):
+        for sample_no in range(spec.policy.samples):
             record = SampleRecord()
             out.samples.append(record)
             attempts = 0
+            sample_start = time.perf_counter()
             while True:
                 try:
                     # mirror of CustomWirer._measure: a retried plan is
@@ -151,6 +153,24 @@ def measure_candidate(state: WorkerState, task: CandidateTask) -> CandidateOutco
                     continue
                 record.result = slim_result(result, keep_units)
                 break
+            if spec.trace:
+                now = time.perf_counter()
+                out.spans.append({
+                    "ph": "X",
+                    "name": f"sample {plan_label}",
+                    "cat": "worker",
+                    "ts": (sample_start - start) * 1e6,
+                    "dur": (now - sample_start) * 1e6,
+                    "args": {
+                        "ordinal": task.ordinal,
+                        "sample": sample_no,
+                        "retries": attempts,
+                        "sim_us": (
+                            record.result.total_time_us
+                            if record.result is not None else None
+                        ),
+                    },
+                })
     except PreemptionError as exc:
         out.preempted_at = exc.minibatch
     except ScheduleValidationError as exc:

@@ -362,6 +362,108 @@ def _parallel_leg(
     }
 
 
+#: maximum tolerated drop in the machine-relative configs/sec ratio
+#: before ``repro bench --compare`` fails (see :func:`compare_bench`)
+REGRESSION_THRESHOLD = 0.20
+
+
+def compare_bench(current: dict, baseline: dict) -> dict:
+    """Diff a fresh bench document against a committed baseline.
+
+    The regression gate compares what is stable across machines:
+
+    * **winner identity** -- the winning assignment of every variant both
+      documents ran must be identical; an optimizer that starts picking a
+      different plan has changed behavior, not speed;
+    * **relative throughput** -- the fast-vs-baseline ``configs_per_sec``
+      *ratio*, which divides out the host's absolute speed.  A drop of
+      more than :data:`REGRESSION_THRESHOLD` (20%) in any shared variant
+      fails the comparison.
+
+    Absolute configs/sec and cache hit rates are reported as
+    informational deltas only -- they track the machine as much as the
+    code, so they never gate.
+    """
+    failures: list[str] = []
+    variants: dict[str, dict] = {}
+    shared = [
+        v for v in baseline.get("variants", {})
+        if v in current.get("variants", {})
+    ]
+    if not shared:
+        failures.append("no shared variants between current and baseline docs")
+    for variant in shared:
+        cur, base = current["variants"][variant], baseline["variants"][variant]
+        cur_ratio = cur.get("configs_per_sec_ratio", 0.0)
+        base_ratio = base.get("configs_per_sec_ratio", 0.0)
+        ratio_drop = (
+            1.0 - cur_ratio / base_ratio if base_ratio > 0 else 0.0
+        )
+        winner_match = (
+            cur.get("winning_assignment") == base.get("winning_assignment")
+        )
+        variants[variant] = {
+            "winner_match": winner_match,
+            "ratio_current": cur_ratio,
+            "ratio_baseline": base_ratio,
+            "ratio_drop": ratio_drop,
+            # informational: machine-dependent, never gated
+            "configs_per_sec_current": cur["fast"]["configs_per_sec"],
+            "configs_per_sec_baseline": base["fast"]["configs_per_sec"],
+            "cache_hit_rate_current": cur.get("cache_hit_rate", 0.0),
+            "cache_hit_rate_baseline": base.get("cache_hit_rate", 0.0),
+        }
+        if not winner_match:
+            failures.append(
+                f"{variant}: winning assignment changed vs committed baseline"
+            )
+        if ratio_drop > REGRESSION_THRESHOLD:
+            failures.append(
+                f"{variant}: configs/sec ratio regressed "
+                f"{ratio_drop * 100:.1f}% "
+                f"({base_ratio:.2f}x -> {cur_ratio:.2f}x; "
+                f"threshold {REGRESSION_THRESHOLD * 100:.0f}%)"
+            )
+    return {
+        "model": current.get("model"),
+        "baseline_model": baseline.get("model"),
+        "threshold": REGRESSION_THRESHOLD,
+        "variants": variants,
+        "failures": failures,
+        "ok": not failures,
+    }
+
+
+def render_compare(diff: dict) -> str:
+    """Human-readable summary of a :func:`compare_bench` diff."""
+    lines = [
+        f"bench compare: {diff.get('model')} vs committed "
+        f"{diff.get('baseline_model')} "
+        f"(gate: winner identity + ratio within "
+        f"{diff['threshold'] * 100:.0f}%)",
+        f"{'variant':>8}  {'ratio old':>9}  {'ratio new':>9}  {'drop%':>6}  "
+        f"{'cfg/s old':>10}  {'cfg/s new':>10}  {'hit% old':>8}  "
+        f"{'hit% new':>8}  winner",
+    ]
+    for variant, vdoc in diff["variants"].items():
+        lines.append(
+            f"{variant:>8}  {vdoc['ratio_baseline']:8.2f}x  "
+            f"{vdoc['ratio_current']:8.2f}x  "
+            f"{vdoc['ratio_drop'] * 100:6.1f}  "
+            f"{vdoc['configs_per_sec_baseline']:10.0f}  "
+            f"{vdoc['configs_per_sec_current']:10.0f}  "
+            f"{vdoc['cache_hit_rate_baseline'] * 100:8.1f}  "
+            f"{vdoc['cache_hit_rate_current'] * 100:8.1f}  "
+            f"{'match' if vdoc['winner_match'] else 'CHANGED'}"
+        )
+    if diff["failures"]:
+        lines.append("FAILURES:")
+        lines.extend(f"  - {msg}" for msg in diff["failures"])
+    else:
+        lines.append("ok: winners stable, relative throughput held")
+    return "\n".join(lines)
+
+
 def render_bench(doc: dict) -> str:
     """Human-readable summary of a bench document."""
     lines = [

@@ -233,6 +233,13 @@ def report_to_dict(report: AstraReport | SessionReport) -> dict:
             "speedup_over_native": report.speedup_over_native,
             "astra": report_to_dict(report.astra),
         }
+    provenance = getattr(report, "provenance", None)
+    provenance_doc = (
+        provenance.to_dict()
+        if provenance is not None and getattr(provenance, "enabled", False)
+        and getattr(provenance, "events", None)
+        else None
+    )
     return {
         "version": FORMAT_VERSION,
         "best_time_us": report.best_time_us,
@@ -253,6 +260,7 @@ def report_to_dict(report: AstraReport | SessionReport) -> dict:
         "fault_summary": dict(report.fault_summary),
         "memory": dict(report.memory),
         "fast_path": dict(report.fast_path),
+        "provenance": provenance_doc,
     }
 
 

@@ -1,0 +1,205 @@
+"""Tests for critical-path attribution over executed timelines."""
+
+import pytest
+
+from repro.gpu import P100
+from repro.gpu.kernels import ElementwiseLaunch, GemmLaunch
+from repro.obs import chrome_trace
+from repro.obs.analysis import (
+    SEG_KERNEL,
+    TimelineGraph,
+    analyze,
+    analyze_execution,
+    analyze_trace,
+)
+from repro.obs.metrics import MetricsRegistry
+from repro.runtime import ExecutionPlan, Executor, Unit
+
+
+@pytest.fixture()
+def diamond_execution():
+    """x -> (a, b) -> c with b on stream 1: two concurrent tracks plus a
+    cross-stream wait edge, the smallest schedule with real contention."""
+    from repro.ir import Tracer as IrTracer
+
+    tr = IrTracer("diamond")
+    x = tr.input((64, 64))
+    w1 = tr.param((64, 256))
+    w2 = tr.param((64, 256))
+    a = tr.matmul(x, w1)
+    b = tr.matmul(x, w2)
+    c = tr.add(a, b)
+    tr.output(c)
+    units = [
+        Unit(0, GemmLaunch(64, 64, 256, "cublas"), (a.node.node_id,)),
+        Unit(1, GemmLaunch(64, 64, 256, "oai_1"), (b.node.node_id,)),
+        Unit(2, ElementwiseLaunch(num_elements=64 * 256), (c.node.node_id,)),
+    ]
+    plan = ExecutionPlan(units=units, stream_of={0: 0, 1: 1, 2: 0})
+    executor = Executor(tr.graph, P100)
+    lowered = executor.dispatcher.lower(plan)
+    result = executor.run_lowered(lowered).raw
+    return result, lowered
+
+
+class TestTimelineGraph:
+    def test_one_node_per_record(self, diamond_execution):
+        result, lowered = diamond_execution
+        graph = TimelineGraph.from_execution(result, lowered, P100)
+        assert len(graph.nodes) == len(result.records)
+
+    def test_edges_point_index_forward(self, diamond_execution):
+        result, lowered = diamond_execution
+        graph = TimelineGraph.from_execution(result, lowered, P100)
+        for consumer, producers in graph.wait_producers.items():
+            for producer in producers:
+                assert producer < consumer
+
+    def test_cross_stream_edge_exists(self, diamond_execution):
+        result, lowered = diamond_execution
+        graph = TimelineGraph.from_execution(result, lowered, P100)
+        cross = [
+            (p, consumer)
+            for consumer, producers in graph.wait_producers.items()
+            for p in producers
+            if graph.nodes[p].stream != graph.nodes[consumer].stream
+        ]
+        assert cross, "diamond join must produce a cross-stream wait edge"
+
+
+class TestCriticalPath:
+    def test_segments_partition_total_exactly(self, diamond_execution):
+        result, lowered = diamond_execution
+        report = analyze_execution(result, lowered, P100)
+        covered = sum(s.duration for s in report.segments)
+        assert covered == pytest.approx(result.total_time_us, abs=1e-6)
+
+    def test_segments_contiguous_and_ordered(self, diamond_execution):
+        result, lowered = diamond_execution
+        report = analyze_execution(result, lowered, P100)
+        assert report.segments[0].start == pytest.approx(0.0)
+        assert report.segments[-1].end == pytest.approx(result.total_time_us)
+        for prev, cur in zip(report.segments, report.segments[1:]):
+            assert cur.start == pytest.approx(prev.end, abs=1e-6)
+
+    def test_kernel_contributions_bounded_by_durations(self, diamond_execution):
+        result, lowered = diamond_execution
+        report = analyze_execution(result, lowered, P100)
+        graph = report.graph
+        per_node: dict = {}
+        for seg in report.segments:
+            if seg.kind == SEG_KERNEL and seg.index is not None:
+                per_node[seg.index] = per_node.get(seg.index, 0.0) + seg.duration
+        for index, contribution in per_node.items():
+            assert contribution <= graph.nodes[index].duration + 1e-6
+
+    def test_kernel_table_ranked_descending(self, diamond_execution):
+        result, lowered = diamond_execution
+        report = analyze_execution(result, lowered, P100)
+        shares = [row["critical_us"] for row in report.kernels]
+        assert shares == sorted(shares, reverse=True)
+
+    def test_critical_records_in_time_order(self, diamond_execution):
+        result, lowered = diamond_execution
+        report = analyze_execution(result, lowered, P100)
+        starts = [report.graph.nodes[i].start for i in report.critical_records]
+        assert starts == sorted(starts)
+
+    def test_critical_nodes_have_zero_slack(self, diamond_execution):
+        result, lowered = diamond_execution
+        report = analyze_execution(result, lowered, P100)
+        # a node whose end time bounds the makespan cannot be slid at all
+        makespan_enders = [
+            n.index for n in report.graph.nodes
+            if n.end == pytest.approx(report.gpu_makespan_us)
+        ]
+        for index in makespan_enders:
+            assert report.slack_us[index] == pytest.approx(0.0, abs=1e-6)
+
+
+class TestStreamAttribution:
+    def test_per_stream_accounting_sums_to_total(self, diamond_execution):
+        result, lowered = diamond_execution
+        report = analyze_execution(result, lowered, P100)
+        assert report.streams, "two-stream plan must produce attributions"
+        for stream in report.streams:
+            covered = (
+                stream.busy_us + stream.stall_wait_us
+                + stream.stall_dispatch_us + stream.idle_us
+            )
+            assert covered == pytest.approx(result.total_time_us, abs=1e-6)
+
+    def test_busy_matches_recorded_durations(self, diamond_execution):
+        result, lowered = diamond_execution
+        report = analyze_execution(result, lowered, P100)
+        for stream in report.streams:
+            recorded = sum(
+                n.duration for n in report.graph.nodes
+                if n.stream == stream.stream
+            )
+            assert stream.busy_us == pytest.approx(recorded, abs=1e-6)
+
+
+class TestTraceRoundTrip:
+    def test_trace_analysis_matches_execution_analysis(self, diamond_execution):
+        result, lowered = diamond_execution
+        doc = chrome_trace(result, lowered=lowered, device=P100)
+        from_trace = analyze_trace(doc)
+        from_exec = analyze_execution(result, lowered, P100)
+        assert from_trace.total_time_us == pytest.approx(from_exec.total_time_us)
+        assert from_trace.critical_kernel_us == pytest.approx(
+            from_exec.critical_kernel_us, rel=1e-6
+        )
+        assert len(from_trace.graph.nodes) == len(from_exec.graph.nodes)
+
+    def test_flow_edges_recovered_from_trace(self, diamond_execution):
+        result, lowered = diamond_execution
+        doc = chrome_trace(result, lowered=lowered, device=P100)
+        graph = TimelineGraph.from_chrome_trace(doc)
+        assert any(graph.wait_producers.values())
+
+
+class TestReportOutputs:
+    def test_render_mentions_top_kernel(self, diamond_execution):
+        result, lowered = diamond_execution
+        report = analyze_execution(result, lowered, P100)
+        text = report.render(top=5)
+        assert "critical" in text
+        assert report.kernels[0]["name"] in text
+
+    def test_to_dict_is_json_clean(self, diamond_execution):
+        import json
+
+        result, lowered = diamond_execution
+        report = analyze_execution(result, lowered, P100)
+        json.dumps(report.to_dict())
+
+    def test_observe_into_publishes_gauges(self, diamond_execution):
+        result, lowered = diamond_execution
+        report = analyze_execution(result, lowered, P100)
+        metrics = MetricsRegistry()
+        report.observe_into(metrics)
+        assert metrics.gauge("analysis.total_time_us").value == pytest.approx(
+            result.total_time_us
+        )
+        assert "analysis.critical.kernel_us" in metrics
+
+    def test_empty_timeline_still_partitions(self):
+        graph = TimelineGraph([], total_time_us=5.0, cpu_time_us=5.0)
+        report = analyze(graph)
+        assert sum(s.duration for s in report.segments) == pytest.approx(5.0)
+
+
+class TestZooModels:
+    def test_native_plan_critical_path_consistent(self, tiny_scrnn):
+        from repro.baselines.native import native_plan
+
+        graph = tiny_scrnn.graph
+        executor = Executor(graph, P100)
+        lowered = executor.dispatcher.lower(native_plan(graph))
+        result = executor.run_lowered(lowered).raw
+        report = analyze_execution(result, lowered, P100)
+        covered = sum(s.duration for s in report.segments)
+        assert covered == pytest.approx(result.total_time_us, abs=1e-6)
+        # single stream: busy time is the whole makespan story
+        assert len(report.streams) == 1

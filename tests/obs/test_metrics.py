@@ -93,3 +93,60 @@ class TestNullRegistry:
         c = NULL_REGISTRY.counter("c")
         c.inc(100)
         assert c.value == 0
+
+
+class TestHistogramPercentiles:
+    def test_single_observation_is_every_percentile(self):
+        reg = MetricsRegistry()
+        h = reg.histogram("h")
+        h.observe(7.0)
+        assert h.percentile(50) == pytest.approx(7.0)
+        assert h.percentile(99) == pytest.approx(7.0)
+
+    def test_percentiles_monotone_and_clamped(self):
+        reg = MetricsRegistry()
+        h = reg.histogram("h")
+        for value in (1.0, 2.0, 4.0, 8.0, 100.0):
+            h.observe(value)
+        p50, p90, p99 = h.percentile(50), h.percentile(90), h.percentile(99)
+        assert p50 <= p90 <= p99
+        assert h.min <= p50 and p99 <= h.max
+        assert h.percentile(100) == pytest.approx(h.max)
+
+    def test_median_within_bucket_resolution(self):
+        reg = MetricsRegistry()
+        h = reg.histogram("h")
+        for value in range(1, 101):
+            h.observe(float(value))
+        # power-of-two buckets: the estimate is within a factor of two
+        assert 25.0 <= h.percentile(50) <= 100.0
+
+    def test_empty_histogram_has_no_percentiles(self):
+        reg = MetricsRegistry()
+        h = reg.histogram("h")
+        assert h.percentile(50) is None
+        assert h.summary() == {"p50": None, "p90": None, "p99": None}
+
+    def test_bad_quantile_raises(self):
+        reg = MetricsRegistry()
+        h = reg.histogram("h")
+        h.observe(1.0)
+        for q in (0.0, -1.0, 101.0):
+            with pytest.raises(ValueError):
+                h.percentile(q)
+
+    def test_summary_keys_and_snapshot_carry_percentiles(self):
+        reg = MetricsRegistry()
+        h = reg.histogram("h")
+        h.observe(3.0)
+        assert set(h.summary()) == {"p50", "p90", "p99"}
+        snap = h.snapshot()
+        for key in ("p50", "p90", "p99"):
+            assert snap[key] == pytest.approx(3.0)
+        json.dumps(reg.to_json() and json.loads(reg.to_json()))
+
+    def test_null_instrument_percentiles_inert(self):
+        h = NULL_REGISTRY.histogram("h")
+        h.observe(5.0)
+        assert h.percentile(50) is None
+        assert h.summary() == {}

@@ -1,0 +1,226 @@
+"""Tests for exploration provenance: the per-variable decision history.
+
+The load-bearing properties:
+
+* **log == index, bit-identically** -- every measurement in the log is
+  the exact float the exploration's profile index holds (the hooks sit
+  on the same ``_record_measurements`` call that feeds ``finalize``), in
+  serial runs and in ``--workers N`` runs alike;
+* **worker-count invariance** -- the engine's log is byte-identical for
+  any worker count (the merge replays outcomes in canonical order).
+
+Serial-loop and engine measurements agree to the repo's established
+equivalence contract (rel 1e-9, see ``tests/parallel/test_equivalence``),
+so serial-vs-engine logs are compared structurally with that tolerance.
+"""
+
+import pytest
+
+from repro import AstraSession
+from repro.core.profile_index import mangle
+from repro.obs.provenance import NULL_PROVENANCE, ProvenanceLog
+from repro.perf import FastPath
+
+
+def _explore(model, device, provenance, workers=None, fast=None,
+             features="FK", budget=400):
+    session = AstraSession(
+        model, device=device, features=features, seed=0,
+        provenance=provenance, workers=workers, fast=fast,
+    )
+    try:
+        report = session.optimize(max_minibatches=budget)
+    finally:
+        session.close()
+    return report, session.wirer.index.snapshot()
+
+
+class TestHooks:
+    def test_candidates_recorded_once(self):
+        log = ProvenanceLog()
+        log.candidates((), "var", [1, 2, 3])
+        log.candidates((), "var", [1, 2])  # later snapshot ignored
+        assert log.decision("var").candidates == [1, 2, 3]
+
+    def test_measured_first_write_wins(self):
+        log = ProvenanceLog()
+        log.candidates((), "var", [1, 2])
+        log.measured((), "var", 1, 10.0)
+        log.measured((), "var", 1, 99.0)  # replay of the same key
+        assert log.decision("var").measurements[1] == 10.0
+
+    def test_winner_is_first_strict_minimum(self):
+        log = ProvenanceLog()
+        log.candidates((), "var", ["a", "b", "c"])
+        log.measured((), "var", "a", 5.0)
+        log.measured((), "var", "b", 5.0)   # tie: first in order wins
+        log.measured((), "var", "c", 7.0)
+        decision = log.decision("var")
+        assert decision.winner == "a"
+        assert decision.runner_up == "b"
+        assert decision.margin_us == pytest.approx(0.0)
+
+    def test_quarantine_flagged(self):
+        log = ProvenanceLog()
+        log.candidates((), "var", [1, 2])
+        log.measured((), "var", 1, 10.0)
+        log.quarantined((), "var", 2)
+        decision = log.decision("var")
+        assert 2 in decision.quarantined
+        assert decision.winner == 1
+
+    def test_null_provenance_is_inert(self):
+        NULL_PROVENANCE.candidates((), "v", [1])
+        NULL_PROVENANCE.measured((), "v", 1, 1.0)
+        assert not NULL_PROVENANCE.enabled
+        assert NULL_PROVENANCE.decisions() == []
+        assert NULL_PROVENANCE.to_dict() == {"version": 1, "events": []}
+
+
+def _assert_log_matches_index(log, index_snapshot) -> None:
+    """Every measured value in the log must be the exact float the
+    profile index holds for the same (context, name, choice) key."""
+    checked = 0
+    for decision in log.decisions():
+        for choice, value in decision.measurements.items():
+            key = mangle(decision.context, (decision.name, choice))
+            if key in index_snapshot:
+                assert index_snapshot[key] == value, (
+                    f"{decision.name} {choice!r}: log holds {value!r}, "
+                    f"index holds {index_snapshot[key]!r}"
+                )
+                checked += 1
+    assert checked, "no log measurement mapped onto an index entry"
+
+
+class TestExplorationProvenance:
+    def test_every_fk_variable_has_a_decision(self, tiny_scrnn, device):
+        log = ProvenanceLog()
+        report, _index = _explore(tiny_scrnn, device, log)
+        decisions = {d.name: d for d in log.decisions()}
+        fusion_vars = [
+            name for name in report.astra.assignment if name in decisions
+        ]
+        assert fusion_vars, "exploration must record fk decisions"
+
+    def test_winner_matches_report_assignment(self, tiny_scrnn, device):
+        log = ProvenanceLog()
+        report, _index = _explore(tiny_scrnn, device, log)
+        for decision in log.decisions():
+            chosen = report.astra.assignment.get(decision.name)
+            if chosen is None or decision.winner is None:
+                continue
+            assert repr(decision.winner) == repr(chosen), (
+                f"{decision.name}: provenance winner {decision.winner!r} "
+                f"!= report assignment {chosen!r}"
+            )
+
+    def test_serial_log_reproduces_index_bit_identically(
+        self, tiny_scrnn, device
+    ):
+        log = ProvenanceLog()
+        _report, index = _explore(tiny_scrnn, device, log)
+        _assert_log_matches_index(log, index)
+
+    def test_parallel_log_reproduces_index_bit_identically(
+        self, tiny_scrnn, device
+    ):
+        log = ProvenanceLog()
+        _report, index = _explore(tiny_scrnn, device, log, workers=2)
+        _assert_log_matches_index(log, index)
+
+    def test_engine_log_invariant_across_worker_counts(
+        self, tiny_scrnn, device
+    ):
+        one = ProvenanceLog()
+        _explore(tiny_scrnn, device, one, workers=1)
+        two = ProvenanceLog()
+        _explore(tiny_scrnn, device, two, workers=2)
+        assert one.to_dict() == two.to_dict()
+
+    def test_serial_and_parallel_decide_identically(self, tiny_scrnn, device):
+        serial = ProvenanceLog()
+        _explore(tiny_scrnn, device, serial)
+        parallel = ProvenanceLog()
+        _explore(tiny_scrnn, device, parallel, workers=2)
+        serial_events = serial.to_dict()["events"]
+        parallel_events = parallel.to_dict()["events"]
+        assert len(serial_events) == len(parallel_events)
+        for ours, theirs in zip(serial_events, parallel_events):
+            for field in ("event", "context", "name"):
+                assert ours.get(field) == theirs.get(field)
+            assert ours.get("choice") == theirs.get("choice")
+            value, other = ours.get("value"), theirs.get("value")
+            if isinstance(value, float) and isinstance(other, float):
+                # serial loop vs engine: the repo-wide measurement
+                # equivalence contract (tests/parallel/test_equivalence)
+                assert other == pytest.approx(value, rel=1e-9)
+            else:
+                assert value == other
+        serial_winners = {d.name: d.winner for d in serial.decisions()}
+        parallel_winners = {d.name: d.winner for d in parallel.decisions()}
+        assert serial_winners == parallel_winners
+
+    def test_prune_verdicts_recorded_with_estimates(self, tiny_scrnn, device):
+        log = ProvenanceLog()
+        _explore(
+            tiny_scrnn, device, log,
+            fast=FastPath(cache=True, prune=True),
+        )
+        pruned = [
+            (d.name, choice, estimate)
+            for d in log.decisions()
+            for choice, estimate in d.pruned
+        ]
+        assert pruned, "pruning run must record FK-prune verdicts"
+        for _name, _choice, estimate in pruned:
+            assert estimate is None or estimate > 0.0
+
+    def test_pruned_run_log_matches_winner_of_report(self, tiny_scrnn, device):
+        log = ProvenanceLog()
+        report, _index = _explore(
+            tiny_scrnn, device, log, fast=FastPath(cache=True, prune=True),
+        )
+        for decision in log.decisions():
+            chosen = report.astra.assignment.get(decision.name)
+            if chosen is None or decision.winner is None:
+                continue
+            assert repr(decision.winner) == repr(chosen)
+
+    def test_compare_phase_recorded(self, tiny_scrnn, device):
+        log = ProvenanceLog()
+        _explore(tiny_scrnn, device, log, features="all", budget=400)
+        compares = log.compares()
+        assert compares, "the cross-strategy compare phase must be logged"
+        decisive = log.decisive()
+        assert decisive, "decisive() must summarize at least one variable"
+        assert any(entry["winner"] is not None for entry in decisive.values())
+
+
+class TestSerialization:
+    def test_round_trip(self, tiny_scrnn, device):
+        log = ProvenanceLog()
+        _explore(tiny_scrnn, device, log)
+        restored = ProvenanceLog.from_dict(log.to_dict())
+        assert restored.to_dict() == log.to_dict()
+        assert len(restored.decisions()) == len(log.decisions())
+
+    def test_report_serialization_carries_provenance(self, tiny_scrnn, device):
+        import json
+
+        from repro.serialize import report_to_dict
+
+        log = ProvenanceLog()
+        report, _index = _explore(tiny_scrnn, device, log)
+        doc = report_to_dict(report.astra)
+        assert doc["provenance"] is not None
+        json.dumps(doc)
+        restored = ProvenanceLog.from_dict(doc["provenance"])
+        assert restored.to_dict() == log.to_dict()
+
+    def test_render_names_winner_and_runner_up(self, tiny_scrnn, device):
+        log = ProvenanceLog()
+        report, _index = _explore(tiny_scrnn, device, log)
+        text = log.render(assignment=report.astra.assignment)
+        assert "winner" in text
+        assert "runner-up" in text

@@ -1,0 +1,108 @@
+"""Chrome-trace validation across the model zoo.
+
+Every zoo model's native-plan trace must pass schema validation and its
+flow arrows must resolve: each flow id pairs a start with a finish and
+both endpoints land inside a kernel slice on their track.  The parallel
+case additionally checks that a ``--workers 2`` optimizer trace carries
+per-worker thread metadata after :func:`merge_host_trace`.
+"""
+
+import pytest
+
+from repro import AstraSession
+from repro.baselines.native import native_plan
+from repro.gpu import P100
+from repro.obs.trace import (
+    PID_HOST,
+    Tracer,
+    chrome_trace,
+    merge_host_trace,
+    validate_chrome_trace,
+)
+from repro.runtime import Executor
+
+ZOO = ["tiny_scrnn", "tiny_sublstm", "tiny_milstm", "tiny_stacked_lstm",
+       "tiny_gnmt"]
+
+
+def _trace_native(model):
+    executor = Executor(model.graph, P100)
+    lowered = executor.dispatcher.lower(native_plan(model.graph))
+    result = executor.run_lowered(lowered).raw
+    return chrome_trace(result, lowered=lowered, device=P100)
+
+
+def _assert_flows_resolve(doc):
+    slices = {}
+    starts, finishes = {}, {}
+    for ev in doc["traceEvents"]:
+        if ev["ph"] == "X":
+            slices.setdefault((ev["pid"], ev["tid"]), []).append(
+                (ev["ts"], ev["ts"] + ev["dur"])
+            )
+        elif ev["ph"] == "s":
+            starts[ev["id"]] = ev
+        elif ev["ph"] == "f":
+            finishes[ev["id"]] = ev
+    assert set(starts) == set(finishes), "every flow id must pair s with f"
+    for flow_id, ev in list(starts.items()) + list(finishes.items()):
+        track = slices.get((ev["pid"], ev["tid"]), [])
+        assert any(
+            lo - 1e-6 <= ev["ts"] <= hi + 1e-6 for lo, hi in track
+        ), f"flow {flow_id} endpoint at ts={ev['ts']} misses every slice"
+    return len(starts)
+
+
+class TestZooTraces:
+    @pytest.mark.parametrize("fixture", ZOO)
+    def test_trace_validates(self, fixture, request):
+        model = request.getfixturevalue(fixture)
+        doc = _trace_native(model)
+        summary = validate_chrome_trace(doc)
+        assert summary["events"] > 0
+        assert summary["tracks"], f"{fixture}: no kernel tracks in trace"
+
+    @pytest.mark.parametrize("fixture", ZOO)
+    def test_flow_endpoints_resolve(self, fixture, request):
+        model = request.getfixturevalue(fixture)
+        doc = _trace_native(model)
+        _assert_flows_resolve(doc)
+
+
+class TestWorkerTrace:
+    def test_parallel_optimizer_trace_has_worker_tracks(self, tiny_scrnn):
+        tracer = Tracer()
+        session = AstraSession(
+            tiny_scrnn, device=P100, features="FK", seed=0,
+            tracer=tracer, workers=2,
+        )
+        try:
+            report = session.optimize(max_minibatches=200)
+        finally:
+            session.close()
+        executor = Executor(tiny_scrnn.graph, P100)
+        lowered = executor.dispatcher.lower(report.astra.best_plan)
+        result = executor.run_lowered(lowered).raw
+        doc = chrome_trace(result, lowered=lowered, device=P100)
+        merge_host_trace(doc, tracer.chrome())
+
+        validate_chrome_trace(doc)
+        _assert_flows_resolve(doc)
+
+        worker_meta = [
+            ev for ev in doc["traceEvents"]
+            if ev["ph"] == "M" and ev["name"] == "thread_name"
+            and ev["pid"] == PID_HOST
+            and str(ev["args"].get("name", "")).startswith("worker ")
+        ]
+        assert worker_meta, "merged trace must label worker threads"
+        worker_tids = {ev["tid"] for ev in worker_meta}
+        spans = [
+            ev for ev in doc["traceEvents"]
+            if ev["ph"] == "X" and ev["pid"] == PID_HOST
+            and ev["tid"] in worker_tids
+        ]
+        assert spans, "worker sample spans must survive the merge"
+        for span in spans:
+            assert span["cat"] == "worker"
+            assert "ordinal" in span["args"]

@@ -1,0 +1,93 @@
+"""Tests for the bench regression gate (``repro bench --compare``)."""
+
+import copy
+import json
+import pathlib
+
+import pytest
+
+from repro.perf.bench import REGRESSION_THRESHOLD, compare_bench, render_compare
+
+RESULTS = pathlib.Path(__file__).resolve().parents[2] / "benchmarks" / "results"
+
+
+def _doc(model="scrnn", ratio=2.0, winner="plan-a", cfg_s=1000.0, hit=0.5):
+    return {
+        "version": 2,
+        "model": model,
+        "variants": {
+            "FK": {
+                "configs_per_sec_ratio": ratio,
+                "winning_assignment": winner,
+                "cache_hit_rate": hit,
+                "fast": {"configs_per_sec": cfg_s},
+                "baseline": {"configs_per_sec": cfg_s / ratio},
+            },
+        },
+    }
+
+
+class TestCompareBench:
+    def test_identical_docs_pass(self):
+        doc = _doc()
+        diff = compare_bench(doc, copy.deepcopy(doc))
+        assert diff["ok"]
+        assert diff["failures"] == []
+        assert diff["variants"]["FK"]["winner_match"]
+        assert diff["variants"]["FK"]["ratio_drop"] == pytest.approx(0.0)
+
+    def test_winner_change_fails(self):
+        diff = compare_bench(_doc(winner="plan-b"), _doc(winner="plan-a"))
+        assert not diff["ok"]
+        assert any("winning assignment changed" in msg for msg in diff["failures"])
+
+    def test_ratio_regression_beyond_threshold_fails(self):
+        current = _doc(ratio=2.0 * (1 - REGRESSION_THRESHOLD) * 0.95)
+        diff = compare_bench(current, _doc(ratio=2.0))
+        assert not diff["ok"]
+        assert any("regressed" in msg for msg in diff["failures"])
+
+    def test_ratio_drop_within_threshold_passes(self):
+        current = _doc(ratio=2.0 * (1 - REGRESSION_THRESHOLD) * 1.05)
+        diff = compare_bench(current, _doc(ratio=2.0))
+        assert diff["ok"]
+
+    def test_ratio_improvement_passes(self):
+        diff = compare_bench(_doc(ratio=3.0), _doc(ratio=2.0))
+        assert diff["ok"]
+        assert diff["variants"]["FK"]["ratio_drop"] < 0.0
+
+    def test_absolute_throughput_is_informational_only(self):
+        # 10x slower machine, same relative speedup: must still pass
+        diff = compare_bench(_doc(cfg_s=100.0), _doc(cfg_s=1000.0))
+        assert diff["ok"]
+        assert diff["variants"]["FK"]["configs_per_sec_current"] == 100.0
+        assert diff["variants"]["FK"]["configs_per_sec_baseline"] == 1000.0
+
+    def test_no_shared_variants_fails(self):
+        baseline = _doc()
+        baseline["variants"] = {"all": baseline["variants"]["FK"]}
+        diff = compare_bench(_doc(), baseline)
+        assert not diff["ok"]
+        assert any("no shared variants" in msg for msg in diff["failures"])
+
+    def test_render_names_failures(self):
+        diff = compare_bench(_doc(winner="plan-b"), _doc(winner="plan-a"))
+        text = render_compare(diff)
+        assert "FAILURES" in text
+        assert "CHANGED" in text
+
+    def test_render_clean_diff(self):
+        doc = _doc()
+        text = render_compare(compare_bench(doc, copy.deepcopy(doc)))
+        assert "FAILURES" not in text
+        assert "match" in text
+
+
+class TestCommittedBaselines:
+    @pytest.mark.parametrize("name", ["BENCH_scrnn.json", "BENCH_milstm.json"])
+    def test_baseline_self_compare_is_clean(self, name):
+        doc = json.loads((RESULTS / name).read_text())
+        diff = compare_bench(copy.deepcopy(doc), doc)
+        assert diff["ok"], diff["failures"]
+        assert diff["variants"], "committed baseline must expose variants"

@@ -201,3 +201,100 @@ class TestChaosCommand:
     def test_chaos_requires_model(self):
         with pytest.raises(SystemExit):
             make_parser().parse_args(["chaos"])
+
+
+class TestAnalyzeCommand:
+    @pytest.fixture()
+    def trace_file(self, tmp_path, capsys):
+        out = tmp_path / "sublstm.trace.json"
+        assert main(["trace", "sublstm", "--batch", "4", "--seq-len", "2",
+                     "--plan", "native", "-o", str(out)]) == 0
+        capsys.readouterr()
+        return out
+
+    def test_analyze_defaults(self):
+        args = make_parser().parse_args(["analyze", "t.trace.json"])
+        assert args.top == 10 and args.device == "P100"
+        assert args.scale is None and args.swap is None
+
+    def test_analyze_table(self, trace_file, capsys):
+        assert main(["analyze", str(trace_file)]) == 0
+        out = capsys.readouterr().out
+        assert "critical" in out
+
+    def test_analyze_json_with_projection(self, trace_file, capsys):
+        import json
+
+        assert main(["analyze", str(trace_file), "--json",
+                     "--scale", "0:0.5"]) == 0
+        doc = json.loads(capsys.readouterr().out)
+        assert doc["total_time_us"] > 0
+        assert len(doc["projections"]) == 1
+        assert doc["projections"][0]["changes"][0]["kind"] == "scale"
+
+    def test_analyze_bad_swap_format_exits(self, trace_file):
+        with pytest.raises(SystemExit):
+            main(["analyze", str(trace_file), "--swap", "nonsense"])
+
+    def test_analyze_unprojectable_swap_exits(self, trace_file):
+        with pytest.raises(SystemExit, match="cannot project"):
+            main(["analyze", str(trace_file), "--swap", "0:no_such_library"])
+
+
+class TestExplainCommand:
+    ARGS = ["sublstm", "--batch", "4", "--seq-len", "2",
+            "--features", "FK", "--budget", "60"]
+
+    def test_explain_table(self, capsys):
+        assert main(["explain", *self.ARGS]) == 0
+        out = capsys.readouterr().out
+        assert "winner" in out
+        assert "ms/mini-batch" in out
+
+    def test_explain_json(self, capsys):
+        import json
+
+        assert main(["explain", "--json", *self.ARGS]) == 0
+        doc = json.loads(capsys.readouterr().out)
+        assert doc["model"] == "sublstm"
+        assert doc["provenance"]["events"]
+        assert doc["assignment"]
+
+    def test_explain_requires_model(self):
+        with pytest.raises(SystemExit):
+            make_parser().parse_args(["explain"])
+
+
+class TestBenchCompare:
+    ARGS = ["bench", "sublstm", "--batch", "4", "--seq-len", "2",
+            "--budget", "60", "--quick", "--workers", "2"]
+
+    def test_compare_pass_and_fail(self, capsys, tmp_path, monkeypatch):
+        import copy
+        import json
+
+        monkeypatch.chdir(tmp_path)
+        doc_path = tmp_path / "doc.json"
+        assert main([*self.ARGS, "-o", str(doc_path)]) == 0
+        capsys.readouterr()
+        doc = json.loads(doc_path.read_text())
+
+        # identical winner, tiny baseline ratio: improvement, must pass
+        good = copy.deepcopy(doc)
+        for variant in good["variants"].values():
+            variant["configs_per_sec_ratio"] = 1e-6
+        good_path = tmp_path / "good.json"
+        good_path.write_text(json.dumps(good))
+        assert main([*self.ARGS, "-o", str(doc_path),
+                     "--compare", str(good_path)]) == 0
+        assert "bench compare" in capsys.readouterr().out
+
+        # a changed winner must fail the gate
+        bad = copy.deepcopy(good)
+        for variant in bad["variants"].values():
+            variant["winning_assignment"] = "something-else"
+        bad_path = tmp_path / "bad.json"
+        bad_path.write_text(json.dumps(bad))
+        assert main([*self.ARGS, "-o", str(doc_path),
+                     "--compare", str(bad_path)]) == 1
+        assert "winning assignment changed" in capsys.readouterr().out
