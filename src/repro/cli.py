@@ -112,6 +112,8 @@ def cmd_optimize(args) -> int:
         checkpoint_path=getattr(args, "checkpoint", None),
         fast=fast,
         workers=getattr(args, "workers", None),
+        store=getattr(args, "store", None),
+        server=getattr(args, "server", None),
     )
     try:
         report = session.optimize(max_minibatches=args.budget)
@@ -161,6 +163,14 @@ def cmd_optimize(args) -> int:
             print(f"parallel: {par['workers']} workers ({par['pool']} pool)  "
                   f"{par['candidates']} candidates in {par['rounds']} rounds  "
                   f"worker busy {par['worker_busy_s']:.2f}s")
+    warm = astra.warm
+    if warm:
+        sources = ", ".join(
+            f"{s['source']}: {s['seeded_entries']}" for s in warm.get("sources", ())
+        )
+        digest = warm.get("digest") or ""
+        print(f"warm start: {warm.get('seeded_entries', 0)} entries seeded "
+              f"({sources})  job {digest[:12]}")
     print(f"allocation strategy: {astra.best_strategy.label}")
     if astra.memory:
         print(f"memory:   arena {astra.memory['arena_bytes'] / 1024**2:.1f} MiB "
@@ -516,6 +526,27 @@ def cmd_bench(args) -> int:
     return 0 if doc["ok"] and compare_ok else 1
 
 
+def cmd_serve(args) -> int:
+    from .serve import AstraServer
+
+    server = AstraServer(
+        args.store, host=args.host, port=args.port,
+        queue_size=args.queue_size, job_workers=args.job_workers,
+        quiet=not args.verbose,
+    )
+    stats = server.store.stats()
+    print(f"serving on {server.url}")
+    print(f"store: {stats['root']}  schema {stats['schema']}  "
+          f"{stats['jobs']} jobs, {stats['segments']} segments")
+    print(f"queue: capacity {args.queue_size}, {args.job_workers} worker(s)")
+    try:
+        server.serve_forever()
+    except KeyboardInterrupt:
+        print("\ndraining job queue ...")
+        server.queue.close(drain=True)
+    return 0
+
+
 def make_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro",
@@ -569,6 +600,14 @@ def make_parser() -> argparse.ArgumentParser:
                    help="measure exploration candidates on N parallel "
                         "worker processes (same winner, same epoch time; "
                         "see docs/performance.md)")
+    p.add_argument("--store", default=None, metavar="PATH",
+                   help="persistent profile-index store: warm-start this "
+                        "job from matching prior runs and publish its "
+                        "measurements back (see docs/serving.md)")
+    p.add_argument("--server", default=None, metavar="URL",
+                   help="a `repro serve` daemon to warm-start from and "
+                        "publish to; unreachable daemon degrades to a "
+                        "cold run")
     p.add_argument("--verbose", action="store_true")
     p.set_defaults(fn=cmd_optimize)
 
@@ -680,6 +719,27 @@ def make_parser() -> argparse.ArgumentParser:
                         "non-zero on a winner change or a >20%% relative-"
                         "throughput regression")
     p.set_defaults(fn=cmd_bench)
+
+    p = sub.add_parser(
+        "serve",
+        help="run the optimization-as-a-service daemon "
+             "(see docs/serving.md)",
+    )
+    p.add_argument("--host", default="127.0.0.1")
+    p.add_argument("--port", type=int, default=0,
+                   help="port to bind (default 0: pick an ephemeral port "
+                        "and print it)")
+    p.add_argument("--store", default=".astra-store", metavar="PATH",
+                   help="profile-store directory shared by all jobs "
+                        "(default: .astra-store)")
+    p.add_argument("--queue-size", type=int, default=16, metavar="N",
+                   help="bounded job-queue capacity; full queue => 503")
+    p.add_argument("--job-workers", type=int, default=1, metavar="N",
+                   help="concurrent job-executor threads (default 1: "
+                        "strictly serial, deterministic store growth)")
+    p.add_argument("--verbose", action="store_true",
+                   help="log every HTTP request")
+    p.set_defaults(fn=cmd_serve)
     return parser
 
 

@@ -59,6 +59,11 @@ class SessionReport:
     def degraded(self) -> bool:
         return self.astra.degraded
 
+    @property
+    def warm(self) -> dict:
+        """Warm-start accounting (empty for cold runs)."""
+        return self.astra.warm
+
 
 class AstraSession:
     """Optimizes one traced training job on one (simulated) device."""
@@ -83,6 +88,8 @@ class AstraSession:
         workers: int | None = None,
         parallel=None,
         provenance=None,
+        store=None,
+        server=None,
     ):
         self.graph = model.graph if isinstance(model, TracedModel) else model
         self.model = model if isinstance(model, TracedModel) else None
@@ -105,10 +112,113 @@ class AstraSession:
         # exploration instead of restarting it
         if checkpoint_path and os.path.exists(checkpoint_path):
             self.wirer.restore(ExplorationCheckpoint.load(checkpoint_path))
+        # cross-job warm start (docs/serving.md): a local ProfileStore
+        # path/instance and/or a serve-daemon URL/client whose indexes
+        # seed this job's exploration and receive its measurements back
+        self._store = store
+        self._server = server
+        self._job_digest: str | None = None
+        self._warm_done = False
+        self._published_keys: set = set()
 
     def close(self) -> None:
         """Release held resources (the parallel engine's worker pool)."""
         self.wirer.close()
+
+    # -- cross-job warm start (docs/serving.md) -----------------------------
+
+    def job_digest(self) -> str | None:
+        """This job's measurement-space identity, or None when neither a
+        store nor a server is configured (no sharing requested)."""
+        if self._store is None and self._server is None:
+            return None
+        if self._job_digest is None:
+            from ..serve.keys import job_digest
+
+            self._job_digest = job_digest(
+                self.graph, self.device, self.features,
+                context=self.wirer.base_context, policy=self.wirer.policy,
+            )
+        return self._job_digest
+
+    def _store_binding(self):
+        """Materialize a path argument into a live ProfileStore once."""
+        if isinstance(self._store, str):
+            from ..serve.store import ProfileStore
+
+            self._store = ProfileStore(self._store)
+        return self._store
+
+    def _server_binding(self):
+        """Materialize a URL argument into a live ServeClient once."""
+        if isinstance(self._server, str):
+            from ..serve.client import ServeClient
+
+            self._server = ServeClient(self._server)
+        return self._server
+
+    def _warm_start(self) -> None:
+        """Seed the wirer's index from every configured warm source.
+
+        Runs once, before the first exploration mini-batch.  Sources
+        merge first-writer-wins in a fixed order (store, then server),
+        so two sessions with the same sources seed identically.  A
+        source with nothing for this job is a recorded miss, not an
+        error -- the run simply starts cold and publishes afterwards.
+        """
+        if self._warm_done:
+            return
+        self._warm_done = True
+        digest = self.job_digest()
+        if digest is None:
+            return
+        store = self._store_binding()
+        if store is not None:
+            index = store.load(digest)
+            self.wirer.warm_start(
+                index.snapshot() if index is not None else (),
+                source="store", digest=digest,
+            )
+        client = self._server_binding()
+        if client is not None:
+            try:
+                entries = client.get_index(digest)
+            except OSError:
+                entries = None  # daemon unreachable: degrade to cold
+                self.wirer.metrics.counter("warm.server_unreachable").inc()
+            self.wirer.warm_start(
+                entries or (), source="server", digest=digest
+            )
+        # everything present after seeding (including checkpoint-restored
+        # entries) is someone else's work: publish only this run's delta
+        self._published_keys = set(self.wirer.index.snapshot())
+
+    def _publish(self) -> None:
+        """Push this run's fresh measurements back to the warm sources."""
+        digest = self.job_digest()
+        if digest is None:
+            return
+        delta = [
+            (key, value)
+            for key, value in self.wirer.index.snapshot().items()
+            if key not in self._published_keys
+        ]
+        if not delta:
+            return
+        store = self._store_binding()
+        if store is not None:
+            store.put(digest, delta)
+            self.wirer.metrics.counter("warm.published_entries").inc(len(delta))
+        client = self._server_binding()
+        if client is not None:
+            try:
+                client.put_index(digest, delta)
+                self.wirer.metrics.counter("warm.published_entries").inc(
+                    len(delta)
+                )
+            except OSError:
+                self.wirer.metrics.counter("warm.server_unreachable").inc()
+        self._published_keys.update(key for key, _value in delta)
 
     def __enter__(self) -> "AstraSession":
         return self
@@ -135,10 +245,12 @@ class AstraSession:
         return executor.run(plan).total_time_us
 
     def optimize(self, max_minibatches: int = 5000) -> SessionReport:
+        self._warm_start()
         native_time = self.measure_native()
         report = self.wirer.optimize(max_minibatches=max_minibatches)
         if self.wirer.injector is not None and not report.degraded:
             report = self._enforce_degradation(report, native_time)
+        self._publish()
         return SessionReport(
             astra=report,
             native_time_us=native_time,

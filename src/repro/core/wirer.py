@@ -101,6 +101,9 @@ class AstraReport:
     #: fast-path accounting: compilation-cache stats, pruning counts
     #: (see docs/performance.md)
     fast_path: dict = field(default_factory=dict)
+    #: warm-start accounting: entries seeded from a ProfileStore or a
+    #: serve daemon before exploration began (see docs/serving.md)
+    warm: dict = field(default_factory=dict)
     #: exploration decision history (candidates, decisive measurements,
     #: prune verdicts, quarantines); NULL_PROVENANCE unless requested
     provenance: object = NULL_PROVENANCE
@@ -247,6 +250,45 @@ class CustomWirer:
         self._preempted_at: int | None = None
         self._spent_this_run = 0
         self._all_phases: list[PhaseStats] = []
+        #: warm-start accounting (filled by :meth:`warm_start`)
+        self._warm: dict = {}
+
+    # -- warm start ---------------------------------------------------------
+
+    def warm_start(self, measurements, source: str, digest: str | None = None) -> int:
+        """Seed the profile index with another run's measurements.
+
+        Must be called before :meth:`optimize`.  Goes through
+        :meth:`ProfileIndex.merge`, so seeding is first-writer-wins and
+        idempotent: keys this wirer already holds (a restored
+        checkpoint, an earlier warm source) keep their values.  Every
+        phase consults the index before spending a mini-batch, so a
+        fully seeded exploration converges to the identical winner with
+        index hits instead of measurements -- the cross-job counterpart
+        of checkpoint resume (see docs/serving.md).
+
+        Returns the number of entries actually seeded and records the
+        event in the metrics registry and the provenance log.
+        """
+        counts = self.index.merge(measurements)
+        seeded = counts["merged"]
+        self._warm["digest"] = digest
+        self._warm.setdefault("sources", []).append({
+            "source": source,
+            "seeded_entries": seeded,
+            "duplicates": counts["duplicates"],
+        })
+        self._warm["seeded_entries"] = (
+            self._warm.get("seeded_entries", 0) + seeded
+        )
+        if seeded:
+            self.metrics.counter("warm.seeded_entries").inc(seeded)
+            self.metrics.counter(f"warm.hits.{source}").inc()
+            self.provenance.warm_seeded(source, seeded, digest)
+            self.tracer.instant("warm-start", entries=seeded, source=source)
+        else:
+            self.metrics.counter(f"warm.misses.{source}").inc()
+        return seeded
 
     # -- checkpointing ------------------------------------------------------
 
@@ -1242,6 +1284,10 @@ class CustomWirer:
         }
         self.metrics.gauge("perf.choices_total").set(self._choices_total)
         self.metrics.gauge("perf.choices_pruned").set(self._choices_pruned)
+        if self._warm:
+            self.metrics.gauge("warm.seeded_total").set(
+                self._warm.get("seeded_entries", 0)
+            )
         overhead = (
             sum(self._overhead_samples) / len(self._overhead_samples)
             if self._overhead_samples
@@ -1263,6 +1309,7 @@ class CustomWirer:
             fault_summary=fault_summary,
             memory=memory,
             fast_path=fast_path,
+            warm=dict(self._warm),
             provenance=self.provenance,
         )
 

@@ -146,6 +146,18 @@ class ProvenanceLog:
         self.events.append({"event": "compare", "context": context,
                             "label": label, "value": value, "cached": cached})
 
+    def warm_seeded(self, source: str, entries: int,
+                    digest: str | None = None) -> None:
+        """Profile-index entries seeded from a store / serve daemon
+        before exploration began (see docs/serving.md).  Recorded ahead
+        of every exploration event, so warm and cold runs of the same
+        job stay distinguishable in the log."""
+        self.events.append({"event": "warm", "source": source,
+                            "entries": entries, "digest": digest})
+
+    def warm_events(self) -> list[dict]:
+        return [e for e in self.events if e["event"] == "warm"]
+
     # -- queries ------------------------------------------------------------
 
     def decisions(self) -> list[VariableDecision]:
@@ -203,6 +215,9 @@ class ProvenanceLog:
             elif ev == "compare":
                 log.compared(ctx, raw["label"], raw["value"],
                              raw.get("cached", False))
+            elif ev == "warm":
+                log.warm_seeded(raw.get("source"), raw.get("entries", 0),
+                                raw.get("digest"))
         return log
 
     # -- rendering ----------------------------------------------------------
@@ -212,6 +227,11 @@ class ProvenanceLog:
         and the measurements that decided it."""
         quarantined_us = _quarantine_sentinel()
         lines = []
+        for ev in self.warm_events():
+            digest = ev.get("digest")
+            suffix = f" (job {digest[:12]})" if digest else ""
+            lines.append(f"warm-start: {ev['entries']} entries seeded from "
+                         f"{ev['source']}{suffix}")
         if not self._decisions:
             lines.append("(no exploration decisions recorded)")
         for decision in self.decisions():
@@ -273,6 +293,12 @@ class _NullProvenance:
 
     def compared(self, context, label, value, cached=False) -> None:
         pass
+
+    def warm_seeded(self, source, entries, digest=None) -> None:
+        pass
+
+    def warm_events(self) -> list:
+        return []
 
     def decisions(self) -> list:
         return []

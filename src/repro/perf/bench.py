@@ -8,6 +8,11 @@ same graph, device, seed and budget:
 * **fast** -- ``FastPath(cache=True, prune=True)``: the compilation
   cache plus cost-model pruning.
 
+Two more legs run for the primary variant: **parallel** (the fast
+configuration on N measurement workers) and **warm** (the fast
+configuration rerun against the profile store the fast leg populated --
+the optimization-as-a-service path of ``docs/serving.md``).
+
 Both runs are wrapped in a :class:`~repro.perf.timers.PhaseClock`, so
 the output breaks wall time into the exploration phases (``enumerate`` /
 ``prerank`` / ``lower`` / ``validate`` / ``simulate`` / ``explore``),
@@ -30,6 +35,7 @@ serialized document; see ``docs/performance.md`` for how to read it.
 from __future__ import annotations
 
 import os
+import tempfile
 import time
 from dataclasses import dataclass, field
 
@@ -41,7 +47,7 @@ from ..obs.metrics import MetricsRegistry
 from .ranker import FastPath
 from .timers import PhaseClock
 
-BENCH_VERSION = 2
+BENCH_VERSION = 3
 
 #: the variant the acceptance gate applies to: the fusion+kernel phase is
 #: where both the cache and the pre-ranker bite (the stream phase's epoch
@@ -64,6 +70,11 @@ PARALLEL_SPEEDUP_TARGET = 3.0
 
 #: worker count for the bench's parallel leg
 DEFAULT_WORKERS = 4
+
+#: maximum fraction of the cold run's measured configurations a
+#: warm-started rerun may measure (the ISSUE's acceptance gate);
+#: deterministic on the simulator, so it applies on every host
+WARM_CONFIGS_TARGET = 0.5
 
 BASELINE_FAST_PATH = FastPath(cache=False, prune=False)
 FAST_FAST_PATH = FastPath(cache=True, prune=True)
@@ -108,6 +119,7 @@ class BenchRun:
             "speedup_over_native": self.report.speedup_over_native,
             "cache": fast_path.get("cache"),
             "engine": fast_path.get("parallel"),
+            "warm": dict(self.report.warm),
         }
 
 
@@ -120,6 +132,7 @@ def timed_session_run(
     budget: int = 3000,
     fast: FastPath | None = None,
     workers: int | None = None,
+    store=None,
 ) -> BenchRun:
     """Optimize ``model`` once under a phase clock, from a cold start.
 
@@ -127,7 +140,10 @@ def timed_session_run(
     un-instrumented residue, so the exclusive phase times always sum to
     the timed wall clock (pinned by the harness-timing regression test).
     The parallel leg's pool lifetime -- spawn through shutdown -- is
-    inside the timed wall: using workers costs their startup.
+    inside the timed wall: using workers costs their startup.  A
+    ``store`` makes the run a warm-start participant (docs/serving.md):
+    seeding from the store and publishing back are both inside the timed
+    wall, so the warm leg pays for its own I/O.
     """
     _clear_process_memos()
     device = device if device is not None else DEVICES["P100"]
@@ -138,6 +154,7 @@ def timed_session_run(
         session = AstraSession(
             model, device=device, features=features, seed=seed,
             metrics=metrics, fast=fast, clock=clock, workers=workers,
+            store=store,
         )
         try:
             report = session.optimize(max_minibatches=budget)
@@ -212,6 +229,13 @@ def bench_model(
       measured ratio is still recorded but the gate reports itself
       skipped (``parallel_gate``); quick runs only require the ratio to
       be non-zero (both legs completed and were timed).
+
+    The **warm** leg (primary variant only) reruns the fast
+    configuration against a profile store populated by an untimed rerun
+    of the same job (docs/serving.md).  Its gates -- identical winner,
+    at most :data:`WARM_CONFIGS_TARGET` of the cold measurements,
+    non-zero seeding -- are deterministic and apply always; see
+    :func:`_warm_leg`.
     """
     if name not in MODEL_BUILDERS:
         raise ValueError(f"unknown model {name!r}; have {sorted(MODEL_BUILDERS)}")
@@ -223,6 +247,51 @@ def bench_model(
 
     failures: list[str] = []
     variant_docs: dict[str, dict] = {}
+    warm_dir = tempfile.TemporaryDirectory(prefix="astra-bench-store-")
+    try:
+        _bench_variants(
+            model, variants, device, seed, budget, quick, workers,
+            host_cpus, warm_dir.name, failures, variant_docs,
+        )
+    finally:
+        warm_dir.cleanup()
+
+    primary = variant_docs.get(PRIMARY_VARIANT)
+    if primary is not None:
+        if primary["cache_hit_rate"] <= 0.0:
+            failures.append(f"{PRIMARY_VARIANT}: cache hit rate is 0")
+        if not quick and primary["configs_per_sec_ratio"] < SPEEDUP_TARGET:
+            failures.append(
+                f"{PRIMARY_VARIANT}: configs/sec ratio "
+                f"{primary['configs_per_sec_ratio']:.2f} below the "
+                f"{SPEEDUP_TARGET:.1f}x target"
+            )
+
+    return {
+        "version": BENCH_VERSION,
+        "model": name,
+        "batch": batch,
+        "seq_len": seq_len,
+        "device": device_name,
+        "seed": seed,
+        "budget": budget,
+        "quick": quick,
+        "workers": workers,
+        "host_cpus": host_cpus,
+        "primary_variant": PRIMARY_VARIANT,
+        "speedup_target": SPEEDUP_TARGET,
+        "parallel_speedup_target": PARALLEL_SPEEDUP_TARGET,
+        "warm_configs_target": WARM_CONFIGS_TARGET,
+        "variants": variant_docs,
+        "failures": failures,
+        "ok": not failures,
+    }
+
+
+def _bench_variants(
+    model, variants, device, seed, budget, quick, workers,
+    host_cpus, warm_root, failures, variant_docs,
+) -> None:
     for variant in variants:
         base = timed_session_run(
             model, features=variant, device=device, seed=seed, budget=budget,
@@ -271,35 +340,83 @@ def bench_model(
             variant_docs[variant].update(
                 _parallel_leg(fast, par, workers, host_cpus, quick, failures)
             )
-
-    primary = variant_docs.get(PRIMARY_VARIANT)
-    if primary is not None:
-        if primary["cache_hit_rate"] <= 0.0:
-            failures.append(f"{PRIMARY_VARIANT}: cache hit rate is 0")
-        if not quick and primary["configs_per_sec_ratio"] < SPEEDUP_TARGET:
-            failures.append(
-                f"{PRIMARY_VARIANT}: configs/sec ratio "
-                f"{primary['configs_per_sec_ratio']:.2f} below the "
-                f"{SPEEDUP_TARGET:.1f}x target"
+        if variant == PRIMARY_VARIANT:
+            # populate run: identical job, untimed, against a fresh
+            # store -- the fast leg stays store-free so its wall time
+            # remains comparable to committed (pre-warm-leg) baselines,
+            # which the serve import cost would otherwise contaminate
+            store = os.path.join(warm_root, variant)
+            timed_session_run(
+                model, features=variant, device=device, seed=seed,
+                budget=budget, fast=FAST_FAST_PATH, store=store,
+            )
+            warm = timed_session_run(
+                model, features=variant, device=device, seed=seed,
+                budget=budget, fast=FAST_FAST_PATH, store=store,
+            )
+            variant_docs[variant].update(
+                _warm_leg(fast, warm, failures)
             )
 
+
+def _warm_leg(fast: BenchRun, warm: BenchRun, failures: list[str]) -> dict:
+    """Record and gate the warm-start leg against the serial fast leg.
+
+    An untimed populate run filled the store; the warm leg reruns the
+    identical job against it.  All three gates are deterministic (the
+    simulator is noise-free), so they apply on every host, quick runs
+    included:
+
+    * the warm run's winning assignment and final epoch time must equal
+      the fast run's exactly -- warm-starting claims bit-identical
+      convergence, not approximate reuse;
+    * the warm run must *measure* at most :data:`WARM_CONFIGS_TARGET`
+      (50%) of the configurations the cold run measured -- the point of
+      the store is retiring measurements, and a fully matching index
+      retires essentially all of them;
+    * the warm run must actually have seeded entries -- a warm leg that
+      silently ran cold (store misconfigured, digest mismatch) would
+      otherwise pass the identity gates vacuously.
+    """
+    match = _winner_match(fast, warm)
+    fast_rec, warm_rec = fast.record(), warm.record()
+    seeded = (warm_rec["warm"] or {}).get("seeded_entries", 0)
+    fraction = (
+        warm_rec["configs_explored"] / fast_rec["configs_explored"]
+        if fast_rec["configs_explored"] > 0 else 0.0
+    )
+    if not match["assignment_match"]:
+        failures.append("warm: winner diverged from cold fast winner")
+    if not match["best_time_match"]:
+        failures.append(
+            f"warm: final epoch time diverged "
+            f"(cold {fast_rec['best_time_us']} us, "
+            f"warm {warm_rec['best_time_us']} us)"
+        )
+    if fraction > WARM_CONFIGS_TARGET:
+        failures.append(
+            f"warm: measured {warm_rec['configs_explored']} of "
+            f"{fast_rec['configs_explored']} cold configurations "
+            f"({fraction * 100:.0f}%; target <= "
+            f"{WARM_CONFIGS_TARGET * 100:.0f}%)"
+        )
+    if seeded <= 0:
+        failures.append("warm: store seeded 0 entries (warm leg ran cold)")
     return {
-        "version": BENCH_VERSION,
-        "model": name,
-        "batch": batch,
-        "seq_len": seq_len,
-        "device": device_name,
-        "seed": seed,
-        "budget": budget,
-        "quick": quick,
-        "workers": workers,
-        "host_cpus": host_cpus,
-        "primary_variant": PRIMARY_VARIANT,
-        "speedup_target": SPEEDUP_TARGET,
-        "parallel_speedup_target": PARALLEL_SPEEDUP_TARGET,
-        "variants": variant_docs,
-        "failures": failures,
-        "ok": not failures,
+        "warm": warm_rec,
+        "warm_speedup": (
+            fast_rec["wall_s"] / warm_rec["wall_s"]
+            if warm_rec["wall_s"] > 0 else 0.0
+        ),
+        "warm_configs_fraction": fraction,
+        "warm_seeded_entries": seeded,
+        "warm_winner_match": (
+            match["assignment_match"] and match["best_time_match"]
+        ),
+        "warm_gate": (
+            f"<= {WARM_CONFIGS_TARGET * 100:.0f}% of cold configs, "
+            f"identical winner"
+        ),
     }
 
 
@@ -380,6 +497,14 @@ def compare_bench(current: dict, baseline: dict) -> dict:
       more than :data:`REGRESSION_THRESHOLD` (20%) in any shared variant
       fails the comparison.
 
+    * **warm-start speedup** -- when *both* documents carry a warm leg,
+      the ``warm_speedup`` ratio (cold fast wall over warm wall, which
+      divides out the host's absolute speed) must not drop by more than
+      the same threshold, and the warm leg's winner identity must hold.
+      A version-2 baseline has no warm leg; the warm gate then reports
+      itself skipped instead of failing -- committed v2 documents stay
+      loadable forever.
+
     Absolute configs/sec and cache hit rates are reported as
     informational deltas only -- they track the machine as much as the
     code, so they never gate.
@@ -424,6 +549,31 @@ def compare_bench(current: dict, baseline: dict) -> dict:
                 f"({base_ratio:.2f}x -> {cur_ratio:.2f}x; "
                 f"threshold {REGRESSION_THRESHOLD * 100:.0f}%)"
             )
+        cur_warm = cur.get("warm_speedup")
+        base_warm = base.get("warm_speedup")
+        if cur_warm is None or base_warm is None:
+            # a v2 (pre-warm-leg) document on either side: informational
+            variants[variant]["warm_gate"] = "skipped: no warm leg in both docs"
+            variants[variant]["warm_speedup_current"] = cur_warm
+            variants[variant]["warm_speedup_baseline"] = base_warm
+            continue
+        warm_drop = 1.0 - cur_warm / base_warm if base_warm > 0 else 0.0
+        variants[variant]["warm_gate"] = "compared"
+        variants[variant]["warm_speedup_current"] = cur_warm
+        variants[variant]["warm_speedup_baseline"] = base_warm
+        variants[variant]["warm_speedup_drop"] = warm_drop
+        variants[variant]["warm_winner_match"] = cur.get(
+            "warm_winner_match", False
+        )
+        if not cur.get("warm_winner_match", False):
+            failures.append(f"{variant}: warm leg's winner diverged")
+        if warm_drop > REGRESSION_THRESHOLD:
+            failures.append(
+                f"{variant}: warm-start speedup regressed "
+                f"{warm_drop * 100:.1f}% "
+                f"({base_warm:.2f}x -> {cur_warm:.2f}x; "
+                f"threshold {REGRESSION_THRESHOLD * 100:.0f}%)"
+            )
     return {
         "model": current.get("model"),
         "baseline_model": baseline.get("model"),
@@ -456,6 +606,20 @@ def render_compare(diff: dict) -> str:
             f"{vdoc['cache_hit_rate_current'] * 100:8.1f}  "
             f"{'match' if vdoc['winner_match'] else 'CHANGED'}"
         )
+    for variant, vdoc in diff["variants"].items():
+        gate = vdoc.get("warm_gate")
+        if gate is None:
+            continue
+        if gate.startswith("skipped"):
+            lines.append(f"{variant:>8}  warm: {gate}")
+        else:
+            lines.append(
+                f"{variant:>8}  warm: "
+                f"{vdoc['warm_speedup_baseline']:.2f}x -> "
+                f"{vdoc['warm_speedup_current']:.2f}x "
+                f"(drop {vdoc['warm_speedup_drop'] * 100:.1f}%)  "
+                f"{'match' if vdoc.get('warm_winner_match') else 'CHANGED'}"
+            )
     if diff["failures"]:
         lines.append("FAILURES:")
         lines.extend(f"  - {msg}" for msg in diff["failures"])
@@ -495,6 +659,20 @@ def render_bench(doc: dict) -> str:
             f"{vdoc['parallel_ratio']:.2f}x vs fast  "
             f"{'match' if vdoc['parallel_winner_match'] else 'DIVERGED'}  "
             f"gate: {vdoc['parallel_gate']}"
+        )
+    for variant, vdoc in doc["variants"].items():
+        warm = vdoc.get("warm")
+        if warm is None:
+            continue
+        lines.append(
+            f"{variant:>8}  warm (store): {warm['wall_s']:.3f}s  "
+            f"{vdoc['warm_speedup']:.2f}x vs cold  "
+            f"measured {warm['configs_explored']} of "
+            f"{vdoc['fast']['configs_explored']} configs "
+            f"({vdoc['warm_configs_fraction'] * 100:.0f}%)  "
+            f"seeded {vdoc['warm_seeded_entries']}  "
+            f"{'match' if vdoc['warm_winner_match'] else 'DIVERGED'}  "
+            f"gate: {vdoc['warm_gate']}"
         )
     for variant, vdoc in doc["variants"].items():
         phases = vdoc["fast"]["phases_s"]

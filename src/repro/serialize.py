@@ -260,6 +260,7 @@ def report_to_dict(report: AstraReport | SessionReport) -> dict:
         "fault_summary": dict(report.fault_summary),
         "memory": dict(report.memory),
         "fast_path": dict(report.fast_path),
+        "warm": dict(getattr(report, "warm", {}) or {}),
         "provenance": provenance_doc,
     }
 

@@ -1,0 +1,41 @@
+"""Optimization-as-a-service: profile store, serve daemon, warm start.
+
+See ``docs/serving.md``.  The pieces:
+
+- :mod:`repro.serve.keys` -- job digests and the store schema version,
+- :mod:`repro.serve.store` -- the persistent on-disk profile-index store,
+- :mod:`repro.serve.jobs` -- job specs and the bounded job queue,
+- :mod:`repro.serve.server` -- the stdlib HTTP daemon (``repro serve``),
+- :mod:`repro.serve.client` -- the matching client
+  (``optimize --server``).
+"""
+
+from .client import ServeClient, ServeError
+from .jobs import (
+    Job,
+    JobQueue,
+    JobSpec,
+    JobSpecError,
+    QueueClosedError,
+    QueueFullError,
+    run_job,
+)
+from .keys import job_digest, store_schema_version
+from .server import AstraServer
+from .store import ProfileStore
+
+__all__ = [
+    "AstraServer",
+    "Job",
+    "JobQueue",
+    "JobSpec",
+    "JobSpecError",
+    "ProfileStore",
+    "QueueClosedError",
+    "QueueFullError",
+    "ServeClient",
+    "ServeError",
+    "job_digest",
+    "run_job",
+    "store_schema_version",
+]

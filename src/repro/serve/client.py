@@ -1,0 +1,122 @@
+"""Thin stdlib client for the ``repro serve`` daemon.
+
+Used by :class:`~repro.core.session.AstraSession` when ``server=`` is a
+URL (``optimize --server``), by the CLI, and by tests.  Transport errors
+surface as ``OSError`` subclasses (``urllib.error.URLError`` is one), so
+warm-start callers can degrade to a cold run; protocol-level failures
+(4xx/5xx with a JSON error body) raise :class:`ServeError`.
+"""
+
+from __future__ import annotations
+
+import json
+import time
+import urllib.error
+import urllib.request
+
+
+class ServeError(RuntimeError):
+    """The daemon answered with an error status."""
+
+    def __init__(self, status: int, message: str):
+        super().__init__(f"HTTP {status}: {message}")
+        self.status = status
+        self.message = message
+
+
+class ServeClient:
+    """JSON-over-HTTP client bound to one daemon base URL."""
+
+    def __init__(self, base_url: str, timeout: float = 30.0):
+        self.base_url = base_url.rstrip("/")
+        self.timeout = timeout
+
+    # -- transport -----------------------------------------------------------
+
+    def _request(self, method: str, path: str, doc: dict | None = None):
+        body = json.dumps(doc).encode("utf-8") if doc is not None else None
+        request = urllib.request.Request(
+            f"{self.base_url}{path}", data=body, method=method,
+            headers={"Content-Type": "application/json"} if body else {},
+        )
+        try:
+            with urllib.request.urlopen(request, timeout=self.timeout) as resp:
+                return json.loads(resp.read().decode("utf-8"))
+        except urllib.error.HTTPError as exc:
+            # a status the daemon chose, not a transport failure
+            try:
+                payload = json.loads(exc.read().decode("utf-8"))
+                message = payload.get("error", exc.reason)
+            except Exception:
+                message = str(exc.reason)
+            raise ServeError(exc.code, message) from None
+
+    # -- jobs ----------------------------------------------------------------
+
+    def submit(self, spec: dict) -> dict:
+        """POST a job spec; returns the accepted job doc (id, status)."""
+        return self._request("POST", "/jobs", spec)
+
+    def status(self, job_id: str) -> dict:
+        return self._request("GET", f"/jobs/{job_id}")
+
+    def jobs(self) -> list[dict]:
+        return self._request("GET", "/jobs")["jobs"]
+
+    def wait(self, job_id: str, timeout: float = 300.0,
+             poll: float = 0.05) -> dict:
+        """Poll until the job is terminal; returns the final job doc."""
+        deadline = time.monotonic() + timeout
+        while True:
+            doc = self.status(job_id)
+            if doc["status"] in ("done", "failed"):
+                return doc
+            if time.monotonic() >= deadline:
+                raise TimeoutError(
+                    f"job {job_id} still {doc['status']} after {timeout}s"
+                )
+            time.sleep(poll)
+
+    def run(self, spec: dict, timeout: float = 300.0) -> dict:
+        """Submit and wait; raises :class:`ServeError` if the job failed."""
+        job = self.submit(spec)
+        doc = self.wait(job["id"], timeout=timeout)
+        if doc["status"] == "failed":
+            raise ServeError(500, doc.get("error") or "job failed")
+        return doc
+
+    # -- index ---------------------------------------------------------------
+
+    def get_index(self, digest: str) -> list | None:
+        """Stored (key, value) pairs for a job digest; None if never seen."""
+        from ..core.profile_index import untuple
+
+        try:
+            doc = self._request("GET", f"/index/{digest}")
+        except ServeError as exc:
+            if exc.status == 404:
+                return None
+            raise
+        return [
+            (tuple(untuple(entry["key"])), entry["value"])
+            for entry in doc["entries"]
+        ]
+
+    def put_index(self, digest: str, entries) -> dict:
+        """Publish measurement pairs for a job digest."""
+        if hasattr(entries, "items"):
+            entries = entries.items()
+        return self._request("PUT", f"/index/{digest}", {
+            "entries": [
+                {"key": list(key), "value": value} for key, value in entries
+            ],
+        })
+
+    # -- misc ----------------------------------------------------------------
+
+    def stats(self) -> dict:
+        return self._request("GET", "/stats")
+
+    def shutdown(self) -> dict:
+        """Ask the daemon to drain its queue and exit."""
+        return self._request("POST", "/shutdown")

@@ -1,0 +1,313 @@
+"""Job specs, the bounded job queue, and the job runner.
+
+The serve daemon accepts optimization jobs over HTTP and executes them
+on a small fleet of worker threads.  The queue is deliberately
+*bounded*: a daemon that buffers unbounded work lies to its clients
+about capacity -- a full queue answers 503 and the client retries, the
+same first-writer-wins backpressure philosophy the store applies to
+measurements.
+
+Each job runs a normal :class:`~repro.core.session.AstraSession` wired
+to the daemon's shared :class:`~repro.serve.store.ProfileStore`, so
+jobs warm-start from -- and publish back to -- the fleet-wide knowledge
+base automatically.  A job spec may request ``workers`` measurement
+processes; the session then stands up the same
+:mod:`repro.parallel.pool` engine the CLI's ``--workers`` uses.
+"""
+
+from __future__ import annotations
+
+import importlib
+import queue
+import threading
+from dataclasses import dataclass, field
+
+STATUS_QUEUED = "queued"
+STATUS_RUNNING = "running"
+STATUS_DONE = "done"
+STATUS_FAILED = "failed"
+
+_TERMINAL = (STATUS_DONE, STATUS_FAILED)
+
+_FEATURES = ("F", "FK", "FKS", "all")
+
+
+class JobSpecError(ValueError):
+    """A submitted job document is malformed (HTTP 400)."""
+
+
+class QueueFullError(RuntimeError):
+    """The bounded job queue is at capacity (HTTP 503)."""
+
+
+class QueueClosedError(RuntimeError):
+    """The queue is draining for shutdown and accepts no new jobs (503)."""
+
+
+def build_model(name: str, batch: int, seq_len: int):
+    """Build one zoo model at a requested shape (shared with the CLI)."""
+    module = importlib.import_module(f"repro.models.{name}")
+    config = module.DEFAULT_CONFIG.scaled(batch_size=batch, seq_len=seq_len)
+    from ..models import MODEL_BUILDERS
+
+    return MODEL_BUILDERS[name](config)
+
+
+@dataclass(frozen=True)
+class JobSpec:
+    """One optimization request, as submitted over ``POST /jobs``."""
+
+    model: str
+    batch: int = 16
+    seq_len: int = 5
+    device: str = "P100"
+    features: str = "all"
+    seed: int = 0
+    budget: int = 3000
+    workers: int | None = None
+
+    @classmethod
+    def from_dict(cls, doc) -> "JobSpec":
+        from ..gpu import DEVICES
+        from ..models import MODEL_BUILDERS
+
+        if not isinstance(doc, dict):
+            raise JobSpecError("job spec must be a JSON object")
+        unknown = set(doc) - {f for f in cls.__dataclass_fields__}
+        if unknown:
+            raise JobSpecError(f"unknown job fields: {sorted(unknown)}")
+        if "model" not in doc:
+            raise JobSpecError("job spec requires a 'model'")
+        spec = cls(**doc)
+        if spec.model not in MODEL_BUILDERS:
+            raise JobSpecError(
+                f"unknown model {spec.model!r}; have {sorted(MODEL_BUILDERS)}"
+            )
+        if spec.device not in DEVICES:
+            raise JobSpecError(
+                f"unknown device {spec.device!r}; have {sorted(DEVICES)}"
+            )
+        if spec.features not in _FEATURES:
+            raise JobSpecError(
+                f"unknown features {spec.features!r}; have {list(_FEATURES)}"
+            )
+        for name in ("batch", "seq_len", "budget"):
+            value = getattr(spec, name)
+            if not isinstance(value, int) or value < 1:
+                raise JobSpecError(f"{name} must be a positive integer")
+        if not isinstance(spec.seed, int) or spec.seed < 0:
+            raise JobSpecError("seed must be a non-negative integer")
+        if spec.workers is not None and (
+            not isinstance(spec.workers, int) or spec.workers < 1
+        ):
+            raise JobSpecError("workers must be a positive integer or null")
+        return spec
+
+    def to_dict(self) -> dict:
+        return {
+            "model": self.model, "batch": self.batch,
+            "seq_len": self.seq_len, "device": self.device,
+            "features": self.features, "seed": self.seed,
+            "budget": self.budget, "workers": self.workers,
+        }
+
+
+@dataclass
+class Job:
+    """Queue-side state of one submitted job."""
+
+    job_id: str
+    spec: JobSpec
+    status: str = STATUS_QUEUED
+    result: dict | None = None
+    error: str | None = None
+    worker: str | None = None
+    events: list = field(default_factory=list)
+
+    def to_dict(self) -> dict:
+        return {
+            "id": self.job_id,
+            "status": self.status,
+            "spec": self.spec.to_dict(),
+            "result": self.result,
+            "error": self.error,
+        }
+
+
+def run_job(spec: JobSpec, store=None) -> dict:
+    """Execute one job to completion; the daemon's worker-thread body.
+
+    Clean sessions only: the serve surface exposes no fault injection,
+    so every job is a deterministic base-clock run whose measurements
+    are safe to share through the store.
+    """
+    from ..core.session import AstraSession
+    from ..gpu import DEVICES
+
+    model = build_model(spec.model, spec.batch, spec.seq_len)
+    session = AstraSession(
+        model, device=DEVICES[spec.device], features=spec.features,
+        seed=spec.seed, store=store, workers=spec.workers,
+    )
+    try:
+        report = session.optimize(max_minibatches=spec.budget)
+        astra = report.astra
+        return {
+            "best_time_us": astra.best_time_us,
+            "native_time_us": report.native_time_us,
+            "speedup_over_native": report.speedup_over_native,
+            "configs_explored": report.configs_explored,
+            "profile_entries": astra.profile_entries,
+            "best_strategy": astra.best_strategy.label,
+            "assignment": {k: repr(v) for k, v in astra.assignment.items()},
+            "degraded": astra.degraded,
+            "warm": dict(astra.warm),
+            "job_digest": session.job_digest(),
+        }
+    finally:
+        session.close()
+
+
+class JobQueue:
+    """Bounded FIFO of jobs executed by daemon worker threads.
+
+    ``runner`` is a callable ``(spec) -> result dict``; worker threads
+    pull job ids in submission order, so with one worker the daemon is
+    strictly serial (deterministic store growth), and with N workers
+    concurrent jobs share warm measurements through the store's
+    first-writer-wins merge.
+    """
+
+    def __init__(self, runner, capacity: int = 16, workers: int = 1,
+                 metrics=None):
+        if capacity < 1:
+            raise ValueError(f"capacity must be >= 1, got {capacity}")
+        if workers < 1:
+            raise ValueError(f"workers must be >= 1, got {workers}")
+        self._runner = runner
+        self.capacity = capacity
+        self._queue: queue.Queue[str] = queue.Queue(maxsize=capacity)
+        self._jobs: dict[str, Job] = {}
+        self._lock = threading.Lock()
+        self._done = threading.Condition(self._lock)
+        self._seq = 0
+        self._closed = False
+        self._metrics = metrics
+        self._threads = [
+            threading.Thread(
+                target=self._worker_loop, name=f"serve-job-{i}", daemon=True
+            )
+            for i in range(workers)
+        ]
+        for thread in self._threads:
+            thread.start()
+
+    # -- submission ---------------------------------------------------------
+
+    def submit(self, spec: JobSpec) -> Job:
+        with self._lock:
+            if self._closed:
+                raise QueueClosedError("job queue is shutting down")
+            self._seq += 1
+            job = Job(job_id=f"job-{self._seq:06d}", spec=spec)
+            try:
+                self._queue.put_nowait(job.job_id)
+            except queue.Full:
+                raise QueueFullError(
+                    f"job queue full ({self.capacity} pending)"
+                ) from None
+            self._jobs[job.job_id] = job
+            self._count("serve.jobs.submitted")
+            self._gauge_depth()
+        return job
+
+    def get(self, job_id: str) -> Job | None:
+        with self._lock:
+            return self._jobs.get(job_id)
+
+    def jobs(self) -> list[Job]:
+        with self._lock:
+            return [self._jobs[k] for k in sorted(self._jobs)]
+
+    # -- worker side --------------------------------------------------------
+
+    def _worker_loop(self) -> None:
+        while True:
+            try:
+                job_id = self._queue.get(timeout=0.1)
+            except queue.Empty:
+                if self._closed:
+                    return
+                continue
+            job = self._jobs[job_id]
+            with self._lock:
+                job.status = STATUS_RUNNING
+                job.worker = threading.current_thread().name
+                self._gauge_depth()
+            try:
+                result = self._runner(job.spec)
+            except Exception as exc:  # job failure must not kill the worker
+                with self._done:
+                    job.status = STATUS_FAILED
+                    job.error = f"{type(exc).__name__}: {exc}"
+                    self._count("serve.jobs.failed")
+                    self._done.notify_all()
+            else:
+                with self._done:
+                    job.status = STATUS_DONE
+                    job.result = result
+                    self._count("serve.jobs.completed")
+                    self._done.notify_all()
+            finally:
+                self._queue.task_done()
+
+    # -- lifecycle ----------------------------------------------------------
+
+    def drain(self, timeout: float | None = None) -> bool:
+        """Block until every submitted job is terminal.
+
+        Returns False on timeout.  New submissions are still accepted
+        while draining unless :meth:`close` was called first."""
+        with self._done:
+            return self._done.wait_for(
+                lambda: all(
+                    j.status in _TERMINAL for j in self._jobs.values()
+                ),
+                timeout=timeout,
+            )
+
+    def close(self, drain: bool = True, timeout: float | None = None) -> None:
+        """Stop accepting jobs; optionally finish the ones already queued.
+
+        ``drain=True`` (the graceful path) waits for every accepted job
+        to reach a terminal state before the worker threads exit --
+        a client that got a 202 gets a result."""
+        with self._lock:
+            self._closed = True
+        if drain:
+            self.drain(timeout=timeout)
+        for thread in self._threads:
+            thread.join(timeout=5.0)
+
+    # -- observability -------------------------------------------------------
+
+    def _count(self, name: str) -> None:
+        if self._metrics is not None:
+            self._metrics.counter(name).inc()
+
+    def _gauge_depth(self) -> None:
+        if self._metrics is not None:
+            self._metrics.gauge("serve.queue.depth").set(self._queue.qsize())
+
+    def stats(self) -> dict:
+        with self._lock:
+            by_status: dict[str, int] = {}
+            for job in self._jobs.values():
+                by_status[job.status] = by_status.get(job.status, 0) + 1
+            return {
+                "capacity": self.capacity,
+                "depth": self._queue.qsize(),
+                "workers": len(self._threads),
+                "jobs": by_status,
+                "closed": self._closed,
+            }

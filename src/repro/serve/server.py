@@ -1,0 +1,291 @@
+"""The ``repro serve`` daemon: optimization-as-a-service over HTTP.
+
+Stdlib-only (``http.server.ThreadingHTTPServer``): the daemon owns one
+:class:`~repro.serve.store.ProfileStore` and one bounded
+:class:`~repro.serve.jobs.JobQueue`, and exposes a small JSON API:
+
+====================  =====================================================
+``POST /jobs``        submit a job spec; 202 + job doc, 400 malformed,
+                      503 queue full or shutting down
+``GET /jobs``         list all jobs (id, status)
+``GET /jobs/<id>``    one job's status/result; 404 unknown
+``GET /index/<sig>``  a stored profile index for a job digest; 404 never
+                      seen
+``PUT /index/<sig>``  publish measurement entries for a job digest
+``GET /stats``        store + queue + request counters
+``POST /shutdown``    graceful stop: drain the queue, then exit
+====================  =====================================================
+
+Every optimization a job performs lands in the store, so later jobs with
+the same :func:`~repro.serve.keys.job_digest` warm-start from it -- see
+``docs/serving.md``.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import threading
+from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+
+from .jobs import (
+    JobQueue,
+    JobSpec,
+    JobSpecError,
+    QueueClosedError,
+    QueueFullError,
+    run_job,
+)
+from .store import ProfileStore
+
+
+class AstraServer:
+    """One serve daemon: HTTP frontend + job queue + profile store."""
+
+    def __init__(
+        self,
+        store: ProfileStore | str,
+        host: str = "127.0.0.1",
+        port: int = 0,
+        queue_size: int = 16,
+        job_workers: int = 1,
+        metrics=None,
+        runner=None,
+        quiet: bool = True,
+    ):
+        if metrics is None:
+            from ..obs.metrics import MetricsRegistry
+
+            metrics = MetricsRegistry()
+        self.metrics = metrics
+        self.store = ProfileStore(store) if isinstance(store, str) else store
+        self._runner = runner if runner is not None else (
+            lambda spec: run_job(spec, store=self.store)
+        )
+        self.queue = JobQueue(
+            self._runner, capacity=queue_size, workers=job_workers,
+            metrics=metrics,
+        )
+        self._quiet = quiet
+        self._shutdown_thread: threading.Thread | None = None
+        self._serve_thread: threading.Thread | None = None
+        handler = _make_handler(self)
+        self.httpd = ThreadingHTTPServer((host, port), handler)
+        self.httpd.daemon_threads = True
+
+    # -- addressing ----------------------------------------------------------
+
+    @property
+    def host(self) -> str:
+        return self.httpd.server_address[0]
+
+    @property
+    def port(self) -> int:
+        """The bound port (useful with ``port=0`` ephemeral binding)."""
+        return self.httpd.server_address[1]
+
+    @property
+    def url(self) -> str:
+        return f"http://{self.host}:{self.port}"
+
+    # -- lifecycle -----------------------------------------------------------
+
+    def serve_forever(self) -> None:
+        """Block serving requests until :meth:`shutdown` (or ^C)."""
+        try:
+            self.httpd.serve_forever(poll_interval=0.1)
+        finally:
+            self.httpd.server_close()
+
+    def start(self) -> "AstraServer":
+        """Serve on a background thread (the in-process test harness)."""
+        self._serve_thread = threading.Thread(
+            target=self.serve_forever, name="serve-http", daemon=True
+        )
+        self._serve_thread.start()
+        return self
+
+    def shutdown(self, drain: bool = True) -> None:
+        """Stop accepting work, optionally finish queued jobs, stop HTTP."""
+        self.queue.close(drain=drain)
+        self.httpd.shutdown()
+        if self._serve_thread is not None:
+            self._serve_thread.join(timeout=5.0)
+
+    def _async_shutdown(self) -> threading.Thread | None:
+        """Shutdown triggered over HTTP: the response must go out before
+        the server stops, and ``httpd.shutdown()`` deadlocks if called
+        from a handler thread, so the actual stop runs on a fresh thread.
+        The thread is registered (visible on ``_shutdown_thread``) before
+        the caller responds and started only afterwards.  Returns None on
+        a repeated shutdown request."""
+        if self._shutdown_thread is not None:
+            return None
+        self._shutdown_thread = threading.Thread(
+            target=self.shutdown, name="serve-shutdown", daemon=True
+        )
+        return self._shutdown_thread
+
+    def __enter__(self) -> "AstraServer":
+        return self.start()
+
+    def __exit__(self, *exc_info) -> None:
+        self.shutdown(drain=False)
+
+    # -- stats ---------------------------------------------------------------
+
+    def stats(self) -> dict:
+        self.store.observe_into(self.metrics)
+        return {
+            "store": self.store.stats(),
+            "queue": self.queue.stats(),
+            "metrics": self.metrics.snapshot(),
+        }
+
+
+def _make_handler(server: AstraServer):
+    """Bind a request-handler class to one AstraServer instance."""
+
+    class Handler(BaseHTTPRequestHandler):
+        protocol_version = "HTTP/1.1"
+
+        # -- plumbing -------------------------------------------------------
+
+        def log_message(self, fmt, *args):  # noqa: D102 - http.server hook
+            if not server._quiet:
+                super().log_message(fmt, *args)
+
+        def _respond(self, status: int, doc: dict) -> None:
+            body = json.dumps(doc).encode("utf-8")
+            self.send_response(status)
+            self.send_header("Content-Type", "application/json")
+            self.send_header("Content-Length", str(len(body)))
+            self.end_headers()
+            self.wfile.write(body)
+            server.metrics.counter(f"serve.responses.{status}").inc()
+
+        def _error(self, status: int, message: str) -> None:
+            self._respond(status, {"error": message})
+
+        def _read_json(self):
+            length = int(self.headers.get("Content-Length") or 0)
+            if length <= 0:
+                raise ValueError("missing request body")
+            raw = self.rfile.read(length)
+            return json.loads(raw.decode("utf-8"))
+
+        # -- routes ---------------------------------------------------------
+
+        def do_POST(self):  # noqa: N802 - http.server naming
+            server.metrics.counter("serve.requests.post").inc()
+            if self.path == "/jobs":
+                return self._post_jobs()
+            if self.path == "/shutdown":
+                thread = server._async_shutdown()
+                self._respond(200, {"status": "draining"})
+                if thread is not None:
+                    thread.start()
+                return
+            self._error(404, f"no such route: POST {self.path}")
+
+        def do_GET(self):  # noqa: N802
+            server.metrics.counter("serve.requests.get").inc()
+            if self.path == "/jobs":
+                return self._respond(200, {
+                    "jobs": [
+                        {"id": j.job_id, "status": j.status}
+                        for j in server.queue.jobs()
+                    ],
+                })
+            if self.path.startswith("/jobs/"):
+                return self._get_job(self.path[len("/jobs/"):])
+            if self.path.startswith("/index/"):
+                return self._get_index(self.path[len("/index/"):])
+            if self.path == "/stats":
+                return self._respond(200, server.stats())
+            self._error(404, f"no such route: GET {self.path}")
+
+        def do_PUT(self):  # noqa: N802
+            server.metrics.counter("serve.requests.put").inc()
+            if self.path.startswith("/index/"):
+                return self._put_index(self.path[len("/index/"):])
+            self._error(404, f"no such route: PUT {self.path}")
+
+        # -- jobs -----------------------------------------------------------
+
+        def _post_jobs(self) -> None:
+            try:
+                doc = self._read_json()
+            except (ValueError, json.JSONDecodeError) as exc:
+                return self._error(400, f"bad request body: {exc}")
+            try:
+                spec = JobSpec.from_dict(doc)
+            except (JobSpecError, TypeError) as exc:
+                return self._error(400, str(exc))
+            try:
+                job = server.queue.submit(spec)
+            except (QueueFullError, QueueClosedError) as exc:
+                return self._error(503, str(exc))
+            self._respond(202, job.to_dict())
+
+        def _get_job(self, job_id: str) -> None:
+            job = server.queue.get(job_id)
+            if job is None:
+                return self._error(404, f"unknown job {job_id!r}")
+            self._respond(200, job.to_dict())
+
+        # -- index ----------------------------------------------------------
+
+        def _get_index(self, digest: str) -> None:
+            try:
+                index = server.store.load(digest)
+            except ValueError as exc:
+                return self._error(400, str(exc))
+            if index is None:
+                return self._error(404, f"no index for job {digest!r}")
+            self._respond(200, {
+                "digest": digest,
+                "schema": server.store.schema,
+                "entries": [
+                    {"key": list(key), "value": value}
+                    for key, value in sorted(
+                        index.snapshot().items(), key=lambda kv: repr(kv[0])
+                    )
+                ],
+            })
+
+        def _put_index(self, digest: str) -> None:
+            try:
+                doc = self._read_json()
+            except (ValueError, json.JSONDecodeError) as exc:
+                return self._error(400, f"bad request body: {exc}")
+            entries = doc.get("entries") if isinstance(doc, dict) else None
+            if not isinstance(entries, list):
+                return self._error(400, "body must be {'entries': [...]}")
+            try:
+                pairs = [
+                    (tuple(_untuple(e["key"])), e["value"]) for e in entries
+                ]
+            except (KeyError, TypeError) as exc:
+                return self._error(
+                    400, f"entries must be [{{'key','value'}}]: {exc}"
+                )
+            try:
+                info = server.store.put(digest, pairs)
+            except ValueError as exc:
+                return self._error(400, str(exc))
+            self._respond(200, {
+                "digest": digest,
+                "accepted": len(pairs),
+                "segment": (
+                    os.path.basename(info.path) if info is not None else None
+                ),
+            })
+
+    return Handler
+
+
+def _untuple(part):
+    from ..core.profile_index import untuple
+
+    return untuple(part)

@@ -1,0 +1,250 @@
+"""ProfileStore: the persistent, fleet-shared profile-index store.
+
+Today a job's profile index dies with its process (checkpoints aside).
+The store gives indexes a life beyond the run: a directory of
+append-only JSON segments, one sub-directory per :func:`job digest
+<repro.serve.keys.job_digest>`, versioned by the simulator/cost-model
+:func:`schema <repro.serve.keys.store_schema_version>`.
+
+Design rules, in priority order:
+
+* **crash safety** -- a segment becomes visible only through an atomic
+  ``os.replace``; a writer killed mid-write leaves a ``*.tmp`` file the
+  loader never reads.  There is no read-modify-write anywhere: writers
+  only ever *add* segments, so no fsync ordering between writers
+  matters.
+* **first-writer-wins determinism** -- loading a job merges its
+  segments in sorted filename order (names embed a nanosecond
+  timestamp, then pid, then a per-writer sequence number) through
+  :meth:`repro.core.profile_index.ProfileIndex.merge`, which dedupes
+  repeated keys and keeps quarantine sentinels sticky.  Concurrent
+  writers therefore race only on *who lands the earlier filename*;
+  every subsequent load of the same segment set produces the same
+  index, byte for byte.
+* **eviction on version change** -- every segment records the schema it
+  was measured under.  Opening a store whose ``META.json`` carries a
+  different schema rewrites META and drops the stale segments; a stale
+  segment that survives (e.g. written concurrently by an old-schema
+  process) is filtered at load time, so version skew can degrade reuse
+  but never correctness.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import time
+from dataclasses import dataclass
+
+from ..core.profile_index import ProfileIndex, untuple
+from .keys import store_schema_version
+
+#: layout version of the store directory itself (META + segments)
+STORE_VERSION = 1
+
+_META = "META.json"
+_INDEX_DIR = "index"
+
+
+@dataclass
+class SegmentInfo:
+    """Outcome of one :meth:`ProfileStore.put`."""
+
+    path: str
+    entries: int
+
+
+class ProfileStore:
+    """Append-only on-disk store of profile indexes, keyed by job digest."""
+
+    def __init__(self, root: str, schema: str | None = None):
+        self.root = os.path.abspath(root)
+        self.schema = schema if schema is not None else store_schema_version()
+        #: segments dropped because their schema no longer matches
+        self.evicted_segments = 0
+        #: segments skipped because they could not be parsed (a serving
+        #: daemon must not die on one torn file; atomic rename makes
+        #: these unreachable in practice)
+        self.corrupt_segments = 0
+        self._seq = 0
+        self._open()
+
+    # -- layout -------------------------------------------------------------
+
+    def _index_root(self) -> str:
+        return os.path.join(self.root, _INDEX_DIR)
+
+    def _job_dir(self, digest: str) -> str:
+        if not digest or not all(c in "0123456789abcdef" for c in digest):
+            raise ValueError(f"malformed job digest {digest!r}")
+        return os.path.join(self._index_root(), digest)
+
+    def _open(self) -> None:
+        os.makedirs(self._index_root(), exist_ok=True)
+        meta_path = os.path.join(self.root, _META)
+        meta = None
+        if os.path.exists(meta_path):
+            try:
+                with open(meta_path) as fh:
+                    meta = json.load(fh)
+            except (OSError, ValueError):
+                meta = None  # torn META: treat as a fresh store
+        if (
+            meta is not None
+            and meta.get("store_version") == STORE_VERSION
+            and meta.get("schema") == self.schema
+        ):
+            return
+        # version mismatch (or first open): stamp the new identity first
+        # -- readers filter segments by schema, so a concurrent old-schema
+        # writer cannot poison the store while we sweep -- then evict
+        self._write_meta(meta_path)
+        if meta is not None:
+            self.evicted_segments += self.evict_stale()
+
+    def _write_meta(self, meta_path: str) -> None:
+        doc = {"store_version": STORE_VERSION, "schema": self.schema}
+        tmp = f"{meta_path}.tmp.{os.getpid()}"
+        with open(tmp, "w") as fh:
+            json.dump(doc, fh)
+        os.replace(tmp, meta_path)
+
+    def evict_stale(self) -> int:
+        """Remove every segment whose schema differs from the store's.
+
+        Best-effort: a file another process removed first just counts as
+        already gone.  Returns the number of segments removed."""
+        removed = 0
+        for digest in self.jobs():
+            job_dir = self._job_dir(digest)
+            for name in self._segment_names(job_dir):
+                path = os.path.join(job_dir, name)
+                doc = self._read_segment(path)
+                if doc is not None and doc.get("schema") == self.schema:
+                    continue
+                try:
+                    os.unlink(path)
+                    removed += 1
+                except OSError:
+                    pass
+        return removed
+
+    # -- writing ------------------------------------------------------------
+
+    def put(self, digest: str, measurements) -> SegmentInfo | None:
+        """Append one segment of ``(key, value)`` measurements for a job.
+
+        ``measurements`` may be a :class:`ProfileIndex`, a mapping, or an
+        iterable of pairs.  Returns None (and writes nothing) when there
+        is nothing to persist.  The segment is written to a ``.tmp`` path
+        and published with one atomic rename."""
+        if isinstance(measurements, ProfileIndex):
+            items = list(measurements.snapshot().items())
+        elif hasattr(measurements, "items"):
+            items = list(measurements.items())
+        else:
+            items = list(measurements)
+        if not items:
+            return None
+        job_dir = self._job_dir(digest)
+        os.makedirs(job_dir, exist_ok=True)
+        self._seq += 1
+        name = (
+            f"seg-{time.time_ns():020d}-{os.getpid():08d}-{self._seq:06d}.json"
+        )
+        doc = {
+            "version": STORE_VERSION,
+            "schema": self.schema,
+            "entries": [
+                {"key": list(key), "value": value} for key, value in items
+            ],
+        }
+        path = os.path.join(job_dir, name)
+        tmp = f"{path}.tmp"
+        with open(tmp, "w") as fh:
+            json.dump(doc, fh)
+        os.replace(tmp, path)
+        return SegmentInfo(path=path, entries=len(items))
+
+    # -- reading ------------------------------------------------------------
+
+    @staticmethod
+    def _segment_names(job_dir: str) -> list[str]:
+        try:
+            names = os.listdir(job_dir)
+        except OSError:
+            return []
+        return sorted(
+            n for n in names if n.startswith("seg-") and n.endswith(".json")
+        )
+
+    def _read_segment(self, path: str) -> dict | None:
+        try:
+            with open(path) as fh:
+                doc = json.load(fh)
+        except (OSError, ValueError):
+            return None
+        if not isinstance(doc, dict) or "entries" not in doc:
+            return None
+        return doc
+
+    def entries(self, digest: str) -> list[tuple[tuple, float]]:
+        """The job's merged measurements, first-writer-wins, as pairs.
+
+        Deterministic for a given segment set: segments merge in sorted
+        filename order, and within a segment in recorded order."""
+        index = self.load(digest)
+        return [] if index is None else list(index.snapshot().items())
+
+    def load(self, digest: str) -> ProfileIndex | None:
+        """Merge every live segment of one job into a fresh index.
+
+        Returns None when the job has no (readable, schema-matching)
+        segments at all -- "never seen" and "empty" are different
+        answers to a warm-start probe."""
+        job_dir = self._job_dir(digest)
+        names = self._segment_names(job_dir)
+        index = ProfileIndex()
+        seen_any = False
+        for name in names:
+            doc = self._read_segment(os.path.join(job_dir, name))
+            if doc is None:
+                self.corrupt_segments += 1
+                continue
+            if doc.get("schema") != self.schema:
+                continue  # stale survivor of an eviction sweep
+            seen_any = True
+            index.merge(
+                (untuple(entry["key"]), entry["value"])
+                for entry in doc["entries"]
+            )
+        return index if seen_any else None
+
+    def jobs(self) -> list[str]:
+        """Digests with at least one segment directory, sorted."""
+        try:
+            names = os.listdir(self._index_root())
+        except OSError:
+            return []
+        return sorted(n for n in names if not n.startswith("."))
+
+    # -- observability -------------------------------------------------------
+
+    def stats(self) -> dict:
+        jobs = self.jobs()
+        segments = sum(
+            len(self._segment_names(self._job_dir(d))) for d in jobs
+        )
+        return {
+            "root": self.root,
+            "schema": self.schema,
+            "jobs": len(jobs),
+            "segments": segments,
+            "evicted_segments": self.evicted_segments,
+            "corrupt_segments": self.corrupt_segments,
+        }
+
+    def observe_into(self, registry) -> None:
+        stats = self.stats()
+        for name in ("jobs", "segments", "evicted_segments", "corrupt_segments"):
+            registry.gauge(f"store.{name}").set(stats[name])

@@ -59,11 +59,32 @@ class TestBenchModel:
         # same search space on both legs: the ratio numerator is shared
         assert vdoc["baseline"]["choices_total"] == vdoc["fast"]["choices_total"]
 
+    def test_warm_leg_fields_and_gates(self, quick_doc):
+        """The warm leg (docs/serving.md) runs even in quick mode, and
+        its deterministic gates held: identical winner, at most half the
+        cold measurements, non-zero seeding."""
+        vdoc = quick_doc["variants"][PRIMARY_VARIANT]
+        warm = vdoc["warm"]
+        assert warm["wall_s"] > 0
+        assert warm["warm"]["seeded_entries"] > 0
+        assert vdoc["warm_seeded_entries"] == warm["warm"]["seeded_entries"]
+        assert vdoc["warm_winner_match"] is True
+        assert vdoc["warm_speedup"] > 0
+        assert vdoc["warm_configs_fraction"] <= quick_doc["warm_configs_target"]
+        assert warm["configs_explored"] <= (
+            quick_doc["warm_configs_target"] * vdoc["fast"]["configs_explored"]
+        )
+        assert warm["best_time_us"] == vdoc["fast"]["best_time_us"]
+        # cold legs carry an empty warm block, not a missing one
+        assert vdoc["fast"]["warm"] == {}
+        assert vdoc["baseline"]["warm"] == {}
+
     def test_render_is_human_readable(self, quick_doc):
         text = render_bench(quick_doc)
         assert "bench scrnn" in text
         assert PRIMARY_VARIANT in text
         assert "match" in text
+        assert "warm (store):" in text
         assert "FAILURES" not in text
 
     def test_unknown_model_rejected(self):

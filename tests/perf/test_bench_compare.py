@@ -11,8 +11,10 @@ from repro.perf.bench import REGRESSION_THRESHOLD, compare_bench, render_compare
 RESULTS = pathlib.Path(__file__).resolve().parents[2] / "benchmarks" / "results"
 
 
-def _doc(model="scrnn", ratio=2.0, winner="plan-a", cfg_s=1000.0, hit=0.5):
-    return {
+def _doc(model="scrnn", ratio=2.0, winner="plan-a", cfg_s=1000.0, hit=0.5,
+         warm=None, warm_match=True):
+    """A version-2 document; pass ``warm`` (a warm_speedup) for version 3."""
+    doc = {
         "version": 2,
         "model": model,
         "variants": {
@@ -25,6 +27,12 @@ def _doc(model="scrnn", ratio=2.0, winner="plan-a", cfg_s=1000.0, hit=0.5):
             },
         },
     }
+    if warm is not None:
+        doc["version"] = 3
+        doc["variants"]["FK"]["warm_speedup"] = warm
+        doc["variants"]["FK"]["warm_winner_match"] = warm_match
+        doc["variants"]["FK"]["warm_configs_fraction"] = 0.0
+    return doc
 
 
 class TestCompareBench:
@@ -84,6 +92,52 @@ class TestCompareBench:
         assert "match" in text
 
 
+class TestWarmLegCompare:
+    """The v3 warm-leg gate, and v2 cross-version tolerance."""
+
+    def test_both_warm_docs_compared(self):
+        diff = compare_bench(_doc(warm=5.0), _doc(warm=5.0))
+        assert diff["ok"]
+        assert diff["variants"]["FK"]["warm_gate"] == "compared"
+        assert diff["variants"]["FK"]["warm_speedup_drop"] == pytest.approx(0.0)
+
+    def test_warm_speedup_regression_fails(self):
+        current = _doc(warm=5.0 * (1 - REGRESSION_THRESHOLD) * 0.95)
+        diff = compare_bench(current, _doc(warm=5.0))
+        assert not diff["ok"]
+        assert any("warm-start speedup regressed" in m for m in diff["failures"])
+
+    def test_warm_speedup_drop_within_threshold_passes(self):
+        current = _doc(warm=5.0 * (1 - REGRESSION_THRESHOLD) * 1.05)
+        assert compare_bench(current, _doc(warm=5.0))["ok"]
+
+    def test_warm_winner_divergence_fails(self):
+        diff = compare_bench(_doc(warm=5.0, warm_match=False), _doc(warm=5.0))
+        assert not diff["ok"]
+        assert any("warm leg's winner diverged" in m for m in diff["failures"])
+
+    def test_v2_baseline_skips_warm_gate(self):
+        """A committed pre-warm-leg (v2) baseline must keep loading: the
+        warm gate reports itself skipped instead of failing."""
+        diff = compare_bench(_doc(warm=5.0), _doc())
+        assert diff["ok"], diff["failures"]
+        assert diff["variants"]["FK"]["warm_gate"].startswith("skipped")
+        assert diff["variants"]["FK"]["warm_speedup_baseline"] is None
+
+    def test_v2_current_against_v3_baseline_skips(self):
+        diff = compare_bench(_doc(), _doc(warm=5.0))
+        assert diff["ok"], diff["failures"]
+        assert diff["variants"]["FK"]["warm_gate"].startswith("skipped")
+
+    def test_render_skipped_and_compared(self):
+        skipped = render_compare(compare_bench(_doc(warm=5.0), _doc()))
+        assert "warm: skipped" in skipped
+        compared = render_compare(
+            compare_bench(_doc(warm=4.0), _doc(warm=5.0))
+        )
+        assert "4.00x" in compared and "5.00x" in compared
+
+
 class TestCommittedBaselines:
     @pytest.mark.parametrize("name", ["BENCH_scrnn.json", "BENCH_milstm.json"])
     def test_baseline_self_compare_is_clean(self, name):
@@ -91,3 +145,22 @@ class TestCommittedBaselines:
         diff = compare_bench(copy.deepcopy(doc), doc)
         assert diff["ok"], diff["failures"]
         assert diff["variants"], "committed baseline must expose variants"
+
+    @pytest.mark.parametrize("name", ["BENCH_scrnn.json", "BENCH_milstm.json"])
+    def test_committed_v2_baseline_loads_against_v3(self, name):
+        """The committed documents predate the warm leg (version 2); a
+        fresh v3 document must compare against them without failing on
+        the missing leg."""
+        baseline = json.loads((RESULTS / name).read_text())
+        assert baseline["version"] == 2
+        current = copy.deepcopy(baseline)
+        current["version"] = 3
+        for vdoc in current["variants"].values():
+            vdoc["warm_speedup"] = 5.0
+            vdoc["warm_winner_match"] = True
+            vdoc["warm_configs_fraction"] = 0.0
+        diff = compare_bench(current, baseline)
+        assert diff["ok"], diff["failures"]
+        for vdoc in diff["variants"].values():
+            assert vdoc["warm_gate"].startswith("skipped")
+        assert "warm: skipped" in render_compare(diff)
