@@ -533,18 +533,43 @@ def cmd_serve(args) -> int:
         args.store, host=args.host, port=args.port,
         queue_size=args.queue_size, job_workers=args.job_workers,
         quiet=not args.verbose,
+        max_attempts=args.max_attempts, deadline_s=args.deadline,
     )
     stats = server.store.stats()
-    print(f"serving on {server.url}")
+    queue_stats = server.queue.stats()
+    # flush=True: supervising harnesses (repro chaos-serve) parse the URL
+    # from a pipe, so it must leave the process before any job runs
+    print(f"serving on {server.url}", flush=True)
     print(f"store: {stats['root']}  schema {stats['schema']}  "
-          f"{stats['jobs']} jobs, {stats['segments']} segments")
-    print(f"queue: capacity {args.queue_size}, {args.job_workers} worker(s)")
+          f"{stats['jobs']} jobs, {stats['segments']} segments", flush=True)
+    print(f"queue: capacity {args.queue_size}, {args.job_workers} worker(s), "
+          f"{queue_stats['recovered_jobs']} recovered job(s)", flush=True)
     try:
         server.serve_forever()
     except KeyboardInterrupt:
         print("\ndraining job queue ...")
         server.queue.close(drain=True)
     return 0
+
+
+def cmd_chaos_serve(args) -> int:
+    from .serve.chaos import run_serve_chaos
+
+    report = run_serve_chaos(
+        model=args.model,
+        batch=args.batch,
+        seq_len=args.seq_len,
+        device=args.device,
+        features=args.features,
+        seed=args.seed,
+        budget=args.budget,
+        quick=args.quick,
+    )
+    if args.json:
+        print(json.dumps(report.to_dict(), indent=2))
+    else:
+        print(report.render())
+    return 0 if report.ok else 1
 
 
 def make_parser() -> argparse.ArgumentParser:
@@ -739,7 +764,37 @@ def make_parser() -> argparse.ArgumentParser:
                         "strictly serial, deterministic store growth)")
     p.add_argument("--verbose", action="store_true",
                    help="log every HTTP request")
+    p.add_argument("--max-attempts", type=int, default=3, metavar="N",
+                   help="attempts before a transiently-failing job is "
+                        "dead-lettered (default 3)")
+    p.add_argument("--deadline", type=float, default=None, metavar="SEC",
+                   help="per-attempt deadline; a wedged attempt is "
+                        "abandoned and retried (default: none)")
     p.set_defaults(fn=cmd_serve)
+
+    p = sub.add_parser(
+        "chaos-serve",
+        help="daemon-level chaos: SIGKILL/restart the real daemon, tear "
+             "and flip store segments, gate on zero lost work "
+             "(see docs/serving.md)",
+    )
+    p.add_argument("--model", choices=sorted(MODEL_BUILDERS),
+                   default="scrnn")
+    p.add_argument("--batch", type=int, default=4)
+    p.add_argument("--seq-len", type=int, default=3, dest="seq_len")
+    p.add_argument("--device", choices=sorted(DEVICES), default="P100")
+    p.add_argument("--features", choices=["F", "FK", "FKS", "all"],
+                   default="all")
+    p.add_argument("--seed", type=int, default=0)
+    p.add_argument("--budget", type=int, default=400,
+                   help="exploration budget per job (default 400: small "
+                        "enough for CI, large enough to publish segments)")
+    p.add_argument("--quick", action="store_true",
+                   help="kill/recover + bit-flip cells only: the CI smoke "
+                        "configuration")
+    p.add_argument("--json", action="store_true",
+                   help="print a machine-readable chaos report")
+    p.set_defaults(fn=cmd_chaos_serve)
     return parser
 
 

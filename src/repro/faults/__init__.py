@@ -22,18 +22,24 @@ See ``docs/robustness.md`` for the taxonomy and the recovery policies.
 """
 
 from .events import (
+    FAULT_BIT_FLIP,
+    FAULT_DAEMON_CRASH,
     FAULT_EVENT_CORRUPT,
     FAULT_EVENT_DROP,
+    FAULT_JOB_TIMEOUT,
     FAULT_KINDS,
     FAULT_LAUNCH,
     FAULT_OOM,
     FAULT_PREEMPT,
     FAULT_SLOWDOWN,
     FAULT_THROTTLE,
+    FAULT_TORN_WRITE,
+    SERVE_FAULT_KINDS,
     DeviceOOMError,
     FaultError,
     FaultEvent,
     FaultRecord,
+    JobTimeoutError,
     KernelLaunchError,
     MinibatchFaultLog,
     PreemptionError,
@@ -44,11 +50,14 @@ from .checkpoint import ExplorationCheckpoint
 from .chaos import ChaosCell, ChaosReport, default_matrix, run_chaos
 
 __all__ = [
-    "FAULT_KINDS",
+    "FAULT_KINDS", "SERVE_FAULT_KINDS",
     "FAULT_SLOWDOWN", "FAULT_THROTTLE", "FAULT_LAUNCH",
     "FAULT_EVENT_DROP", "FAULT_EVENT_CORRUPT", "FAULT_OOM", "FAULT_PREEMPT",
+    "FAULT_JOB_TIMEOUT", "FAULT_DAEMON_CRASH", "FAULT_TORN_WRITE",
+    "FAULT_BIT_FLIP",
     "FaultError", "FaultEvent", "FaultRecord", "MinibatchFaultLog",
     "KernelLaunchError", "DeviceOOMError", "PreemptionError",
+    "JobTimeoutError",
     "FaultPlan", "FaultSpec", "FaultWindow",
     "FaultInjector",
     "ExplorationCheckpoint",

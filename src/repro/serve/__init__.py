@@ -3,15 +3,28 @@
 See ``docs/serving.md``.  The pieces:
 
 - :mod:`repro.serve.keys` -- job digests and the store schema version,
-- :mod:`repro.serve.store` -- the persistent on-disk profile-index store,
-- :mod:`repro.serve.jobs` -- job specs and the bounded job queue,
+- :mod:`repro.serve.store` -- the persistent on-disk profile-index store
+  (checksummed segments, corrupt ones quarantined),
+- :mod:`repro.serve.journal` -- the durable write-ahead job journal,
+- :mod:`repro.serve.jobs` -- job specs and the supervised bounded job
+  queue (retries, deadlines, dead-lettering, crash recovery),
 - :mod:`repro.serve.server` -- the stdlib HTTP daemon (``repro serve``),
-- :mod:`repro.serve.client` -- the matching client
-  (``optimize --server``).
+- :mod:`repro.serve.client` -- the matching resilient client
+  (``optimize --server``),
+- :mod:`repro.serve.chaos` -- the daemon-level chaos harness
+  (``repro chaos-serve``).
 """
 
-from .client import ServeClient, ServeError
+from .client import (
+    CircuitOpenError,
+    ServeClient,
+    ServeConnectionError,
+    ServeError,
+    ServeResponseError,
+    ServeTransportError,
+)
 from .jobs import (
+    IdempotencyConflictError,
     Job,
     JobQueue,
     JobSpec,
@@ -20,21 +33,29 @@ from .jobs import (
     QueueFullError,
     run_job,
 )
+from .journal import JobJournal, JournalState
 from .keys import job_digest, store_schema_version
 from .server import AstraServer
 from .store import ProfileStore
 
 __all__ = [
     "AstraServer",
+    "CircuitOpenError",
+    "IdempotencyConflictError",
     "Job",
+    "JobJournal",
     "JobQueue",
     "JobSpec",
     "JobSpecError",
+    "JournalState",
     "ProfileStore",
     "QueueClosedError",
     "QueueFullError",
     "ServeClient",
+    "ServeConnectionError",
     "ServeError",
+    "ServeResponseError",
+    "ServeTransportError",
     "job_digest",
     "run_job",
     "store_schema_version",

@@ -1,0 +1,401 @@
+"""Daemon-level chaos: prove the serving stack loses nothing to crashes.
+
+Behind ``repro chaos-serve``: where :mod:`repro.faults.chaos` attacks the
+*exploration* (a hostile device under one process), this harness attacks
+the *service* -- the real daemon as a subprocess, the real store on real
+disk -- with the failure modes operators actually see:
+
+* **kill_recover** -- SIGKILL the daemon mid-job, restart it on the same
+  store root, and require that the accepted job completes with the
+  **bit-identical** winner an uninterrupted run produces, that a client
+  resubmitting its idempotency key gets the original job back, and that
+  the resubmission publishes **no duplicate segments**;
+* **torn_write** -- a segment torn mid-write (partial JSON on disk) is
+  quarantined, counted, and never merged; ``load()`` succeeds on the
+  survivors;
+* **bit_flip** -- one flipped byte in a committed segment is detected by
+  its checksum, quarantined, and the next warm run degrades gracefully
+  (runs colder) yet still converges to the reference winner.
+
+Every scenario gates on explicit invariants and the harness exits
+non-zero if any is violated: a lost accepted job, a diverging recovered
+winner, a duplicate segment, or corruption that went unquarantined.
+``--quick`` runs the kill/recover and bit-flip cells only (the CI smoke
+configuration).
+"""
+
+from __future__ import annotations
+
+import glob
+import json
+import os
+import shutil
+import subprocess
+import sys
+import tempfile
+import time
+from dataclasses import dataclass, field
+
+from .client import ServeClient, ServeError, ServeTransportError
+from .jobs import JobSpec, run_job
+from .store import ProfileStore
+
+#: how long one daemon subprocess may take to print its URL
+_SPAWN_TIMEOUT_S = 30.0
+#: how long a recovered job may take to reach a terminal state
+_JOB_TIMEOUT_S = 300.0
+
+
+@dataclass
+class ServeCellResult:
+    """What happened when one chaos scenario ran."""
+
+    name: str
+    ok: bool
+    #: problems found by the invariant checks (empty when ok)
+    problems: list = field(default_factory=list)
+    #: scenario-specific evidence (counts, winners, ids)
+    details: dict = field(default_factory=dict)
+
+    def to_dict(self) -> dict:
+        return {
+            "name": self.name,
+            "ok": self.ok,
+            "problems": list(self.problems),
+            "details": dict(self.details),
+        }
+
+
+@dataclass
+class ServeChaosReport:
+    """Resilience report for one serve-chaos sweep."""
+
+    model: str
+    quick: bool
+    cells: list = field(default_factory=list)
+
+    @property
+    def ok(self) -> bool:
+        return bool(self.cells) and all(cell.ok for cell in self.cells)
+
+    def to_dict(self) -> dict:
+        return {
+            "version": 1,
+            "model": self.model,
+            "quick": self.quick,
+            "ok": self.ok,
+            "cells": [cell.to_dict() for cell in self.cells],
+        }
+
+    def render(self) -> str:
+        lines = [
+            f"serve chaos sweep: {self.model}"
+            + (" (quick)" if self.quick else ""),
+            f"{'scenario':<14} {'verdict':<8} notes",
+        ]
+        for cell in self.cells:
+            notes = list(cell.problems)
+            if not notes:
+                notes = [
+                    f"{k}={v}" for k, v in sorted(cell.details.items())
+                    if isinstance(v, (int, float, str, bool))
+                ]
+            lines.append(
+                f"{cell.name:<14} {'ok' if cell.ok else 'FAIL':<8} "
+                f"{'; '.join(str(n) for n in notes)}"
+            )
+        lines.append(
+            f"chaos-serve {self.model}: {'OK' if self.ok else 'FAILED'}"
+        )
+        return "\n".join(lines)
+
+
+# -- daemon subprocess management --------------------------------------------
+
+
+class ServeDaemon:
+    """One real ``repro serve`` daemon subprocess on a store root."""
+
+    def __init__(self, store_root: str, extra_args: tuple = ()):
+        env = dict(os.environ)
+        pkg_root = os.path.dirname(
+            os.path.dirname(os.path.abspath(__file__))
+        )
+        env["PYTHONPATH"] = os.pathsep.join(
+            p for p in (pkg_root, env.get("PYTHONPATH")) if p
+        )
+        self.proc = subprocess.Popen(
+            [sys.executable, "-u", "-m", "repro", "serve",
+             "--store", store_root, "--port", "0", *extra_args],
+            stdout=subprocess.PIPE, stderr=subprocess.STDOUT,
+            text=True, env=env,
+        )
+        self.url = self._await_url()
+
+    def _await_url(self) -> str:
+        """Parse ``serving on <url>`` from the daemon's stdout."""
+        deadline = time.monotonic() + _SPAWN_TIMEOUT_S
+        seen = []
+        while time.monotonic() < deadline:
+            line = self.proc.stdout.readline()
+            if not line:
+                break  # daemon exited before announcing
+            seen.append(line.rstrip())
+            if line.startswith("serving on "):
+                return line.split()[-1].strip()
+        self.kill()
+        raise RuntimeError(
+            "daemon never announced its URL; output was: "
+            + " | ".join(seen)
+        )
+
+    def kill(self) -> None:
+        """SIGKILL: the crash under test, no goodbye allowed."""
+        if self.proc.poll() is None:
+            self.proc.kill()
+        self.proc.wait(timeout=30)
+        self.proc.stdout.close()
+
+    def shutdown(self, client: ServeClient) -> None:
+        """Graceful exit via ``POST /shutdown``; falls back to kill."""
+        try:
+            client.shutdown()
+            self.proc.wait(timeout=60)
+            self.proc.stdout.close()
+        except (ServeError, ServeTransportError, OSError,
+                subprocess.TimeoutExpired):
+            self.kill()
+
+
+def _segment_files(store_root: str) -> list[str]:
+    """Every live segment file under a store root, sorted."""
+    return sorted(glob.glob(
+        os.path.join(store_root, "index", "*", "seg-*.json")
+    ))
+
+
+def _winner(result: dict) -> dict:
+    """The bit-identity gate: everything that defines 'the same answer'."""
+    return {
+        "best_time_us": result.get("best_time_us"),
+        "best_strategy": result.get("best_strategy"),
+        "assignment": result.get("assignment"),
+    }
+
+
+# -- scenarios ----------------------------------------------------------------
+
+
+def _cell_kill_recover(spec: JobSpec, workdir: str) -> ServeCellResult:
+    """SIGKILL the daemon mid-job; restart; nothing accepted may be lost."""
+    cell = ServeCellResult(name="kill_recover", ok=True)
+    problems = cell.problems
+
+    # reference: the winner an uninterrupted run produces on a cold store
+    ref_store = ProfileStore(os.path.join(workdir, "reference-store"))
+    reference = run_job(spec, store=ref_store)
+    cell.details["reference_best_time_us"] = reference["best_time_us"]
+
+    serve_root = os.path.join(workdir, "serve-store")
+    key = "chaos-kill-recover"
+    daemon = ServeDaemon(serve_root)
+    try:
+        client = ServeClient(daemon.url, timeout=10.0)
+        job = client.submit(spec.to_dict(), key=key)
+        job_id = job["id"]
+        cell.details["job_id"] = job_id
+        # give the job a moment to start; the kill is valid either way
+        # (the WAL makes the 202 durable), but mid-run is the hard case
+        deadline = time.monotonic() + 5.0
+        while time.monotonic() < deadline:
+            if client.status(job_id)["status"] != "queued":
+                break
+            time.sleep(0.01)
+        cell.details["status_at_kill"] = client.status(job_id)["status"]
+    finally:
+        daemon.kill()
+
+    # restart on the same root: recovery must finish the accepted job
+    daemon = ServeDaemon(serve_root)
+    try:
+        client = ServeClient(daemon.url, timeout=10.0)
+        doc = client.wait(job_id, timeout=_JOB_TIMEOUT_S)
+        cell.details["status_after_recovery"] = doc["status"]
+        if doc["status"] != "done":
+            problems.append(
+                f"accepted job lost: {doc['status']} ({doc.get('error')})"
+            )
+        elif _winner(doc["result"]) != _winner(reference):
+            problems.append(
+                "recovered winner diverged from the uninterrupted run: "
+                f"{_winner(doc['result'])} != {_winner(reference)}"
+            )
+        if not doc.get("recovered"):
+            problems.append("job not marked recovered after restart")
+
+        segments_before = _segment_files(serve_root)
+        resubmit = client.submit(spec.to_dict(), key=key)
+        if resubmit["id"] != job_id:
+            problems.append(
+                f"idempotent resubmit ran a new job: {resubmit['id']} "
+                f"!= {job_id}"
+            )
+        segments_after = _segment_files(serve_root)
+        cell.details["segments"] = len(segments_after)
+        if segments_after != segments_before:
+            problems.append(
+                "idempotent resubmit grew the store: "
+                f"{len(segments_before)} -> {len(segments_after)} segments"
+            )
+
+        health = client.healthz()
+        if health.get("status") != "ok":
+            problems.append(f"healthz not ok after recovery: {health}")
+        ready = client.readyz()
+        if not ready.get("ready"):
+            problems.append(f"readyz not ready after recovery: {ready}")
+        daemon.shutdown(client)
+    except (ServeError, ServeTransportError, TimeoutError,
+            RuntimeError) as exc:
+        problems.append(f"{type(exc).__name__}: {exc}")
+        daemon.kill()
+    cell.ok = not problems
+    return cell
+
+
+def _cell_torn_write(spec: JobSpec, workdir: str) -> ServeCellResult:
+    """A half-written segment must be quarantined, never merged or fatal."""
+    cell = ServeCellResult(name="torn_write", ok=True)
+    problems = cell.problems
+    root = os.path.join(workdir, "torn-store")
+    store = ProfileStore(root)
+    digest = "ab12cd34"
+    good = [(("op", "torn", i), float(10 * (i + 1))) for i in range(3)]
+    info = store.put(digest, good)
+    # tear a second segment: valid prefix, no closing brace -- exactly
+    # what a crash mid-``write`` leaves if the tmp+rename dance is broken
+    torn = os.path.join(
+        os.path.dirname(info.path), "seg-99999999999999999999-torn.json"
+    )
+    with open(torn, "w") as fh:
+        fh.write('{"version": 2, "schema": "x", "entr')
+
+    fresh = ProfileStore(root)
+    index = fresh.load(digest)
+    if index is None:
+        problems.append("load() lost the surviving segment")
+    elif len(index.snapshot()) != len(good):
+        problems.append(
+            f"survivor entries wrong: {len(index.snapshot())} != {len(good)}"
+        )
+    if fresh.corrupt_segments != 1:
+        problems.append(
+            f"torn segment not counted corrupt ({fresh.corrupt_segments})"
+        )
+    if len(fresh.quarantined()) != 1:
+        problems.append(
+            f"quarantine holds {len(fresh.quarantined())} files, wanted 1"
+        )
+    if os.path.exists(torn):
+        problems.append("torn segment still live after load()")
+    cell.details.update(
+        corrupt=fresh.corrupt_segments, quarantined=len(fresh.quarantined())
+    )
+    cell.ok = not problems
+    return cell
+
+
+def _cell_bit_flip(spec: JobSpec, workdir: str) -> ServeCellResult:
+    """One flipped byte: quarantine + count, and warm start degrades
+    gracefully to the same winner."""
+    cell = ServeCellResult(name="bit_flip", ok=True)
+    problems = cell.problems
+    root = os.path.join(workdir, "flip-store")
+    store = ProfileStore(root)
+    reference = run_job(spec, store=store)
+    segments = _segment_files(root)
+    if not segments:
+        problems.append("reference run published no segments to attack")
+        cell.ok = False
+        return cell
+    victim = segments[0]
+    with open(victim, "rb") as fh:
+        raw = bytearray(fh.read())
+    flip_at = len(raw) // 2
+    raw[flip_at] ^= 0xFF
+    with open(victim, "wb") as fh:
+        fh.write(raw)
+
+    fresh = ProfileStore(root)
+    rerun = run_job(spec, store=fresh)
+    if fresh.corrupt_segments < 1:
+        problems.append("flipped segment not detected as corrupt")
+    if fresh.quarantined_segments < 1 or not fresh.quarantined():
+        problems.append("flipped segment not quarantined")
+    if os.path.exists(victim):
+        problems.append("flipped segment still live after warm run")
+    if _winner(rerun) != _winner(reference):
+        problems.append(
+            "warm run over a corrupted store diverged: "
+            f"{_winner(rerun)} != {_winner(reference)}"
+        )
+    cell.details.update(
+        corrupt=fresh.corrupt_segments,
+        quarantined=fresh.quarantined_segments,
+        flipped_byte=flip_at,
+    )
+    cell.ok = not problems
+    return cell
+
+
+# -- driver -------------------------------------------------------------------
+
+
+def run_serve_chaos(
+    model: str = "scrnn",
+    batch: int = 4,
+    seq_len: int = 3,
+    device: str = "P100",
+    features: str = "all",
+    seed: int = 0,
+    budget: int = 400,
+    quick: bool = False,
+    workdir: str | None = None,
+) -> ServeChaosReport:
+    """Run the serve-chaos scenarios; see the module docstring.
+
+    ``quick`` (the CI smoke configuration) runs kill_recover and
+    bit_flip only.  ``workdir`` defaults to a temporary directory that
+    is removed afterwards."""
+    spec = JobSpec.from_dict({
+        "model": model, "batch": batch, "seq_len": seq_len,
+        "device": device, "features": features, "seed": seed,
+        "budget": budget,
+    })
+    report = ServeChaosReport(model=model, quick=quick)
+    cells = [_cell_kill_recover, _cell_bit_flip]
+    if not quick:
+        cells.insert(1, _cell_torn_write)
+    own_workdir = workdir is None
+    workdir = workdir or tempfile.mkdtemp(prefix="chaos-serve-")
+    try:
+        for cell_fn in cells:
+            try:
+                report.cells.append(cell_fn(spec, workdir))
+            except Exception as exc:  # noqa: BLE001 - one cell, one verdict
+                report.cells.append(ServeCellResult(
+                    name=cell_fn.__name__.replace("_cell_", ""),
+                    ok=False,
+                    problems=[f"harness error {type(exc).__name__}: {exc}"],
+                ))
+    finally:
+        if own_workdir:
+            shutil.rmtree(workdir, ignore_errors=True)
+    return report
+
+
+def main(argv: list[str] | None = None) -> int:  # pragma: no cover
+    """Tiny standalone entry point (the CLI wraps this with flags)."""
+    report = run_serve_chaos(quick="--quick" in (argv or []))
+    print(json.dumps(report.to_dict(), indent=2))
+    return 0 if report.ok else 1

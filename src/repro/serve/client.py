@@ -1,15 +1,39 @@
-"""Thin stdlib client for the ``repro serve`` daemon.
+"""Resilient stdlib client for the ``repro serve`` daemon.
 
 Used by :class:`~repro.core.session.AstraSession` when ``server=`` is a
-URL (``optimize --server``), by the CLI, and by tests.  Transport errors
-surface as ``OSError`` subclasses (``urllib.error.URLError`` is one), so
-warm-start callers can degrade to a cold run; protocol-level failures
-(4xx/5xx with a JSON error body) raise :class:`ServeError`.
+URL (``optimize --server``), by the CLI, and by tests.  The error
+surface is layered so callers can react to *why* a request failed:
+
+* :class:`ServeError` -- the daemon answered with an error status
+  (protocol-level; carries status, daemon message, method and URL);
+* :class:`ServeTransportError` -- an ``OSError`` subclass (so existing
+  degrade-to-cold ``except OSError`` paths keep working) carrying the
+  failed method + URL, split into
+  :class:`ServeConnectionError` (the daemon was never reached:
+  connection refused, DNS failure, connect timeout) and
+  :class:`ServeResponseError` (the connection died *mid-response*:
+  reset, truncated body, read timeout) -- the distinction matters
+  because a refused connection is safe to retry blindly, while a
+  mid-response failure on a non-idempotent request may have side
+  effects (the daemon dedupes via idempotency keys for exactly this
+  case);
+* :class:`CircuitOpenError` -- the client's circuit breaker is open and
+  the request was not attempted at all.
+
+Every request gets a bounded retry budget with exponential backoff on
+transport failures.  After ``breaker_threshold`` *consecutive* transport
+failures the breaker trips: requests fail fast (no network) for
+``breaker_reset_s`` seconds, then a single half-open probe is allowed.
+A tripped breaker produces exactly the documented degradation: warm
+start sees an ``OSError``, counts ``warm.server_unreachable``, and runs
+cold.
 """
 
 from __future__ import annotations
 
+import http.client
 import json
+import socket
 import time
 import urllib.error
 import urllib.request
@@ -18,30 +42,145 @@ import urllib.request
 class ServeError(RuntimeError):
     """The daemon answered with an error status."""
 
-    def __init__(self, status: int, message: str):
-        super().__init__(f"HTTP {status}: {message}")
+    def __init__(self, status: int, message: str,
+                 method: str = "", url: str = ""):
+        context = f" ({method} {url})" if method or url else ""
+        super().__init__(f"HTTP {status}{context}: {message}")
         self.status = status
         self.message = message
+        self.method = method
+        self.url = url
+
+
+class ServeTransportError(OSError):
+    """A request never produced a complete daemon response.
+
+    Subclasses ``OSError`` so warm-start callers degrade to a cold run
+    through the pre-existing ``except OSError`` path."""
+
+    #: which phase failed: "connect" or "response"
+    phase = "transport"
+
+    def __init__(self, method: str, url: str, detail: str):
+        super().__init__(f"{method} {url}: {detail}")
+        self.method = method
+        self.url = url
+        self.detail = detail
+
+
+class ServeConnectionError(ServeTransportError):
+    """The daemon could not be reached at all (nothing was sent)."""
+
+    phase = "connect"
+
+
+class ServeResponseError(ServeTransportError):
+    """The connection was established but died mid-request/response."""
+
+    phase = "response"
+
+
+class CircuitOpenError(ServeConnectionError):
+    """The circuit breaker is open; the request was not attempted."""
+
+
+#: connection-phase failures: the request never left this process
+_CONNECT_ERRORS = (
+    ConnectionRefusedError,
+    socket.gaierror,
+    socket.timeout,
+    TimeoutError,
+)
 
 
 class ServeClient:
-    """JSON-over-HTTP client bound to one daemon base URL."""
+    """JSON-over-HTTP client bound to one daemon base URL.
 
-    def __init__(self, base_url: str, timeout: float = 30.0):
+    ``retries`` counts *additional* attempts after the first;
+    ``backoff_s`` doubles per retry.  ``breaker_threshold`` consecutive
+    transport failures open the circuit for ``breaker_reset_s`` seconds
+    (0 or None disables the breaker).  ``sleep``/``clock`` are
+    injectable for tests."""
+
+    def __init__(self, base_url: str, timeout: float = 30.0,
+                 retries: int = 2, backoff_s: float = 0.05,
+                 breaker_threshold: int = 5, breaker_reset_s: float = 5.0,
+                 sleep=time.sleep, clock=time.monotonic):
         self.base_url = base_url.rstrip("/")
         self.timeout = timeout
+        self.retries = max(0, retries)
+        self.backoff_s = backoff_s
+        self.breaker_threshold = breaker_threshold or 0
+        self.breaker_reset_s = breaker_reset_s
+        self._sleep = sleep
+        self._clock = clock
+        self._consecutive_failures = 0
+        self._opened_at: float | None = None
+
+    # -- circuit breaker -----------------------------------------------------
+
+    @property
+    def breaker_open(self) -> bool:
+        """True while requests would fail fast (ignoring half-open)."""
+        return self._opened_at is not None
+
+    def _breaker_gate(self, method: str, url: str) -> None:
+        if self._opened_at is None:
+            return
+        elapsed = self._clock() - self._opened_at
+        if elapsed >= self.breaker_reset_s:
+            # half-open: let exactly this request probe the daemon; a
+            # failure re-trips immediately (failure count is preserved)
+            self._opened_at = None
+            return
+        raise CircuitOpenError(
+            method, url,
+            f"circuit breaker open after {self._consecutive_failures} "
+            f"consecutive transport failures "
+            f"(retry in {self.breaker_reset_s - elapsed:.1f}s)",
+        )
+
+    def _breaker_record(self, ok: bool) -> None:
+        if ok:
+            self._consecutive_failures = 0
+            self._opened_at = None
+            return
+        self._consecutive_failures += 1
+        if (
+            self.breaker_threshold
+            and self._consecutive_failures >= self.breaker_threshold
+        ):
+            self._opened_at = self._clock()
 
     # -- transport -----------------------------------------------------------
 
     def _request(self, method: str, path: str, doc: dict | None = None):
+        """One logical request: breaker gate, bounded retries, backoff."""
+        url = f"{self.base_url}{path}"
+        last: ServeTransportError | None = None
+        for attempt in range(self.retries + 1):
+            if attempt:
+                self._sleep(self.backoff_s * (2 ** (attempt - 1)))
+            self._breaker_gate(method, url)  # fail fast, not retried here
+            try:
+                result = self._once(method, url, doc)
+            except ServeTransportError as exc:
+                self._breaker_record(False)
+                last = exc
+                continue
+            self._breaker_record(True)
+            return result
+        assert last is not None
+        raise last
+
+    def _once(self, method: str, url: str, doc: dict | None):
         body = json.dumps(doc).encode("utf-8") if doc is not None else None
         request = urllib.request.Request(
-            f"{self.base_url}{path}", data=body, method=method,
+            url, data=body, method=method,
             headers={"Content-Type": "application/json"} if body else {},
         )
         try:
-            with urllib.request.urlopen(request, timeout=self.timeout) as resp:
-                return json.loads(resp.read().decode("utf-8"))
+            response = urllib.request.urlopen(request, timeout=self.timeout)
         except urllib.error.HTTPError as exc:
             # a status the daemon chose, not a transport failure
             try:
@@ -49,13 +188,34 @@ class ServeClient:
                 message = payload.get("error", exc.reason)
             except Exception:
                 message = str(exc.reason)
-            raise ServeError(exc.code, message) from None
+            raise ServeError(exc.code, message, method=method, url=url) \
+                from None
+        except urllib.error.URLError as exc:
+            raise _classify(method, url, exc.reason) from None
+        except (OSError, http.client.HTTPException) as exc:
+            raise _classify(method, url, exc) from None
+        try:
+            with response:
+                raw = response.read()
+            return json.loads(raw.decode("utf-8"))
+        except (OSError, http.client.HTTPException, ValueError) as exc:
+            # headers arrived but the body did not survive: mid-response
+            raise ServeResponseError(
+                method, url, f"{type(exc).__name__}: {exc}"
+            ) from None
 
     # -- jobs ----------------------------------------------------------------
 
-    def submit(self, spec: dict) -> dict:
-        """POST a job spec; returns the accepted job doc (id, status)."""
-        return self._request("POST", "/jobs", spec)
+    def submit(self, spec: dict, key: str | None = None) -> dict:
+        """POST a job spec; returns the accepted job doc (id, status).
+
+        ``key`` is an idempotency key: resubmitting the same (key, spec)
+        -- e.g. after a mid-response failure or a daemon restart --
+        returns the original job instead of running a duplicate."""
+        doc = dict(spec)
+        if key is not None:
+            doc["key"] = key
+        return self._request("POST", "/jobs", doc)
 
     def status(self, job_id: str) -> dict:
         return self._request("GET", f"/jobs/{job_id}")
@@ -69,7 +229,7 @@ class ServeClient:
         deadline = time.monotonic() + timeout
         while True:
             doc = self.status(job_id)
-            if doc["status"] in ("done", "failed"):
+            if doc["status"] in ("done", "failed", "dead"):
                 return doc
             if time.monotonic() >= deadline:
                 raise TimeoutError(
@@ -77,12 +237,16 @@ class ServeClient:
                 )
             time.sleep(poll)
 
-    def run(self, spec: dict, timeout: float = 300.0) -> dict:
+    def run(self, spec: dict, timeout: float = 300.0,
+            key: str | None = None) -> dict:
         """Submit and wait; raises :class:`ServeError` if the job failed."""
-        job = self.submit(spec)
+        job = self.submit(spec, key=key)
         doc = self.wait(job["id"], timeout=timeout)
-        if doc["status"] == "failed":
-            raise ServeError(500, doc.get("error") or "job failed")
+        if doc["status"] in ("failed", "dead"):
+            raise ServeError(
+                500, doc.get("error") or "job failed",
+                method="POST", url=f"{self.base_url}/jobs",
+            )
         return doc
 
     # -- index ---------------------------------------------------------------
@@ -114,9 +278,42 @@ class ServeClient:
 
     # -- misc ----------------------------------------------------------------
 
+    def healthz(self) -> dict:
+        """Liveness: the daemon's HTTP loop is answering."""
+        return self._request("GET", "/healthz")
+
+    def readyz(self) -> dict:
+        """Readiness: raises :class:`ServeError` (503) when not ready."""
+        return self._request("GET", "/readyz")
+
     def stats(self) -> dict:
         return self._request("GET", "/stats")
 
     def shutdown(self) -> dict:
         """Ask the daemon to drain its queue and exit."""
         return self._request("POST", "/shutdown")
+
+
+def _classify(method: str, url: str, reason) -> ServeTransportError:
+    """Sort a transport failure into connect-phase vs mid-response.
+
+    ``urllib`` wraps connect *and* some established-connection failures
+    in ``URLError``; the wrapped reason tells them apart.  Anything that
+    implies bytes were exchanged (reset, truncated read, protocol
+    violation) is mid-response; refused/unresolvable/timed-out-connect
+    is connection-phase; unknown ``OSError`` s default to connection
+    (the safe-to-retry classification)."""
+    detail = f"{type(reason).__name__}: {reason}"
+    if isinstance(reason, (
+        http.client.RemoteDisconnected,
+        http.client.IncompleteRead,
+        http.client.BadStatusLine,
+        ConnectionResetError,
+        BrokenPipeError,
+    )):
+        return ServeResponseError(method, url, detail)
+    if isinstance(reason, _CONNECT_ERRORS):
+        return ServeConnectionError(method, url, detail)
+    if isinstance(reason, http.client.HTTPException):
+        return ServeResponseError(method, url, detail)
+    return ServeConnectionError(method, url, detail)

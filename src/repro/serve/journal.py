@@ -1,0 +1,268 @@
+"""Durable write-ahead job journal for the serve daemon.
+
+The :class:`~repro.serve.store.ProfileStore` already makes *measurements*
+survive a daemon crash; the journal does the same for *jobs*.  Every
+state transition a job takes -- accepted, started (per attempt), done,
+failed, dead-lettered -- is appended to ``journal/journal.jsonl`` under
+the store root **before** the transition is acted on, so a SIGKILLed
+daemon restarted on the same root can reconstruct exactly which jobs it
+owed its clients:
+
+* a job with a terminal record is **restored** -- its result (or error)
+  is served from the journal without re-running anything;
+* a job without one is **re-enqueued** -- it re-runs against the same
+  store, warm-starting from whatever measurements earlier runs
+  published, and (on the deterministic simulator) converges to the
+  bit-identical winner an uninterrupted run would have produced.
+
+Durability rules, in priority order:
+
+* **append-only, one JSON document per line** -- there is no
+  read-modify-write in the hot path, so a crash can only ever tear the
+  *final* line.  Recovery tolerates a torn tail (and, defensively, any
+  unparseable interior line) by skipping it and counting it in
+  ``torn_records``; a torn ``submit`` simply means the client never got
+  its 202 and will resubmit.
+* **fsync before acknowledge** -- ``append`` flushes and fsyncs by
+  default, so a record the client saw acknowledged survives power loss,
+  not just process death.
+* **idempotency keys** -- a ``submit`` record carries the
+  client-supplied key (when given); recovery rebuilds the key->job map,
+  so a client that resubmits after a crash gets the original job back
+  instead of double-running it (and double-publishing its segments).
+
+Recovery also **compacts**: the reconstructed state is rewritten as a
+fresh journal (atomic tmp + ``os.replace``), one ``submit`` plus at most
+one terminal record per job, bounding growth across restarts.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import threading
+import time
+from dataclasses import dataclass, field
+
+#: journal line-format version
+JOURNAL_VERSION = 1
+
+#: record types, in lifecycle order
+RECORD_SUBMIT = "submit"
+RECORD_START = "start"
+RECORD_DONE = "done"
+RECORD_FAIL = "fail"
+RECORD_DEAD = "dead"
+
+#: records that end a job's life
+TERMINAL_RECORDS = (RECORD_DONE, RECORD_FAIL, RECORD_DEAD)
+
+_RECORD_TYPES = (RECORD_SUBMIT, RECORD_START) + TERMINAL_RECORDS
+
+
+@dataclass
+class JournalEntry:
+    """Reconstructed state of one journaled job."""
+
+    job_id: str
+    spec: dict
+    key: str | None = None
+    #: last record type seen (``submit``/``start``/terminal)
+    record: str = RECORD_SUBMIT
+    result: dict | None = None
+    error: str | None = None
+    #: number of ``start`` records (attempts begun before the crash)
+    attempts: int = 0
+
+    @property
+    def terminal(self) -> bool:
+        return self.record in TERMINAL_RECORDS
+
+
+@dataclass
+class JournalState:
+    """Everything ``recover()`` learned from one journal file."""
+
+    #: job_id -> entry, in first-submit order (dicts preserve insertion)
+    jobs: dict = field(default_factory=dict)
+    #: highest numeric suffix of any ``job-NNNNNN`` id seen
+    max_seq: int = 0
+    #: unparseable lines skipped (a torn tail is the expected case)
+    torn_records: int = 0
+    #: well-formed records that made no sense (unknown id, bad type)
+    orphan_records: int = 0
+
+    def incomplete(self) -> list:
+        """Jobs the daemon still owes a result, in submit order."""
+        return [e for e in self.jobs.values() if not e.terminal]
+
+    def completed(self) -> list:
+        """Jobs whose terminal state can be served from the journal."""
+        return [e for e in self.jobs.values() if e.terminal]
+
+
+class JobJournal:
+    """Append-only JSONL journal of job state transitions."""
+
+    def __init__(self, root: str, fsync: bool = True):
+        self.root = os.path.abspath(root)
+        self.fsync = fsync
+        self._dir = os.path.join(self.root, "journal")
+        self.path = os.path.join(self._dir, "journal.jsonl")
+        self._lock = threading.Lock()
+        os.makedirs(self._dir, exist_ok=True)
+        #: filled in by the last ``recover()`` on this instance
+        self.torn_records = 0
+        self.orphan_records = 0
+
+    # -- writing -------------------------------------------------------------
+
+    def append(self, record: dict) -> None:
+        """Durably append one record (one JSON line)."""
+        line = json.dumps(record, sort_keys=True)
+        with self._lock:
+            with open(self.path, "a") as fh:
+                fh.write(line + "\n")
+                fh.flush()
+                if self.fsync:
+                    os.fsync(fh.fileno())
+
+    def _record(self, record_type: str, job_id: str, **extra) -> None:
+        doc = {"v": JOURNAL_VERSION, "t": record_type, "id": job_id,
+               "ts": time.time()}
+        doc.update(extra)
+        self.append(doc)
+
+    def submitted(self, job_id: str, spec: dict, key: str | None = None) -> None:
+        """Journal acceptance -- must land before the client's 202."""
+        self._record(RECORD_SUBMIT, job_id, spec=spec, key=key)
+
+    def started(self, job_id: str, attempt: int) -> None:
+        self._record(RECORD_START, job_id, attempt=attempt)
+
+    def completed(self, job_id: str, result: dict) -> None:
+        self._record(RECORD_DONE, job_id, result=result)
+
+    def failed(self, job_id: str, error: str) -> None:
+        self._record(RECORD_FAIL, job_id, error=error)
+
+    def dead(self, job_id: str, error: str) -> None:
+        self._record(RECORD_DEAD, job_id, error=error)
+
+    # -- recovery ------------------------------------------------------------
+
+    def recover(self) -> JournalState:
+        """Replay the journal into a consistent :class:`JournalState`.
+
+        Never raises on malformed input: torn/unparseable lines and
+        records that reference unknown jobs are counted and skipped.
+        Replay order is file order, so the *last* state transition wins
+        -- a job that was started, failed, resubmitted-by-retry, and
+        completed ends up ``done``."""
+        state = JournalState()
+        try:
+            with open(self.path) as fh:
+                lines = fh.readlines()
+        except OSError:
+            lines = []
+        for line in lines:
+            if not line.strip():
+                continue
+            try:
+                doc = json.loads(line)
+            except ValueError:
+                state.torn_records += 1
+                continue
+            if not isinstance(doc, dict) or doc.get("t") not in _RECORD_TYPES:
+                state.torn_records += 1
+                continue
+            job_id = doc.get("id")
+            if not isinstance(job_id, str) or not job_id:
+                state.torn_records += 1
+                continue
+            state.max_seq = max(state.max_seq, _seq_of(job_id))
+            record_type = doc["t"]
+            if record_type == RECORD_SUBMIT:
+                spec = doc.get("spec")
+                if not isinstance(spec, dict):
+                    state.torn_records += 1
+                    continue
+                key = doc.get("key")
+                if job_id not in state.jobs:
+                    state.jobs[job_id] = JournalEntry(
+                        job_id=job_id, spec=spec,
+                        key=key if isinstance(key, str) else None,
+                    )
+                continue
+            entry = state.jobs.get(job_id)
+            if entry is None:
+                # a transition for a job whose submit record we never
+                # saw (compacted away wrongly, or torn): nothing we can
+                # re-run without a spec, so count it and move on
+                state.orphan_records += 1
+                continue
+            entry.record = record_type
+            if record_type == RECORD_START:
+                entry.attempts += 1
+            elif record_type == RECORD_DONE:
+                result = doc.get("result")
+                entry.result = result if isinstance(result, dict) else {}
+                entry.error = None
+            else:  # fail / dead
+                entry.error = str(doc.get("error") or "unknown error")
+                entry.result = None
+        self.torn_records = state.torn_records
+        self.orphan_records = state.orphan_records
+        return state
+
+    def compact(self, state: JournalState) -> None:
+        """Atomically rewrite the journal from a recovered state.
+
+        Incomplete jobs keep only their ``submit`` record (their
+        attempts restart from zero after recovery); terminal jobs keep
+        ``submit`` plus their terminal record."""
+        tmp = f"{self.path}.tmp.{os.getpid()}"
+        with self._lock:
+            with open(tmp, "w") as fh:
+                for entry in state.jobs.values():
+                    fh.write(json.dumps({
+                        "v": JOURNAL_VERSION, "t": RECORD_SUBMIT,
+                        "id": entry.job_id, "spec": entry.spec,
+                        "key": entry.key, "ts": time.time(),
+                    }, sort_keys=True) + "\n")
+                    if not entry.terminal:
+                        continue
+                    terminal = {"v": JOURNAL_VERSION, "t": entry.record,
+                                "id": entry.job_id, "ts": time.time()}
+                    if entry.record == RECORD_DONE:
+                        terminal["result"] = entry.result or {}
+                    else:
+                        terminal["error"] = entry.error or "unknown error"
+                    fh.write(json.dumps(terminal, sort_keys=True) + "\n")
+                fh.flush()
+                if self.fsync:
+                    os.fsync(fh.fileno())
+            os.replace(tmp, self.path)
+
+    # -- observability -------------------------------------------------------
+
+    def stats(self) -> dict:
+        try:
+            size = os.path.getsize(self.path)
+        except OSError:
+            size = 0
+        return {
+            "path": self.path,
+            "bytes": size,
+            "torn_records": self.torn_records,
+            "orphan_records": self.orphan_records,
+        }
+
+
+def _seq_of(job_id: str) -> int:
+    """Numeric suffix of a ``job-NNNNNN`` id (0 for foreign ids)."""
+    _, _, tail = job_id.rpartition("-")
+    try:
+        return int(tail)
+    except ValueError:
+        return 0

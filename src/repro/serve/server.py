@@ -1,24 +1,36 @@
 """The ``repro serve`` daemon: optimization-as-a-service over HTTP.
 
 Stdlib-only (``http.server.ThreadingHTTPServer``): the daemon owns one
-:class:`~repro.serve.store.ProfileStore` and one bounded
-:class:`~repro.serve.jobs.JobQueue`, and exposes a small JSON API:
+:class:`~repro.serve.store.ProfileStore`, one durable
+:class:`~repro.serve.journal.JobJournal` under the store root, and one
+bounded, supervised :class:`~repro.serve.jobs.JobQueue`, and exposes a
+small JSON API:
 
 ====================  =====================================================
-``POST /jobs``        submit a job spec; 202 + job doc, 400 malformed,
-                      503 queue full or shutting down
+``POST /jobs``        submit a job spec (optional ``key`` idempotency
+                      field); 202 + job doc, 400 malformed, 409 key
+                      conflict, 503 queue full or shutting down
 ``GET /jobs``         list all jobs (id, status)
 ``GET /jobs/<id>``    one job's status/result; 404 unknown
 ``GET /index/<sig>``  a stored profile index for a job digest; 404 never
                       seen
 ``PUT /index/<sig>``  publish measurement entries for a job digest
-``GET /stats``        store + queue + request counters
+``GET /healthz``      liveness: 200 while the HTTP loop answers
+``GET /readyz``       readiness: 200 accepting jobs, 503 draining or
+                      store unavailable (body says why)
+``GET /stats``        store + queue + journal + request counters
 ``POST /shutdown``    graceful stop: drain the queue, then exit
 ====================  =====================================================
 
+On startup the daemon **recovers**: the journal is replayed, jobs that
+finished before a crash are restored (their results served from the
+journal), and jobs that did not are re-enqueued ahead of new traffic --
+a SIGKILL loses no accepted work (see ``docs/serving.md``, "Failure
+modes and recovery", and the ``repro chaos-serve`` harness that proves
+it).
+
 Every optimization a job performs lands in the store, so later jobs with
-the same :func:`~repro.serve.keys.job_digest` warm-start from it -- see
-``docs/serving.md``.
+the same :func:`~repro.serve.keys.job_digest` warm-start from it.
 """
 
 from __future__ import annotations
@@ -26,9 +38,11 @@ from __future__ import annotations
 import json
 import os
 import threading
+import time
 from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
 
 from .jobs import (
+    IdempotencyConflictError,
     JobQueue,
     JobSpec,
     JobSpecError,
@@ -36,11 +50,12 @@ from .jobs import (
     QueueFullError,
     run_job,
 )
+from .journal import JobJournal
 from .store import ProfileStore
 
 
 class AstraServer:
-    """One serve daemon: HTTP frontend + job queue + profile store."""
+    """One serve daemon: HTTP frontend + job queue + journal + store."""
 
     def __init__(
         self,
@@ -52,21 +67,34 @@ class AstraServer:
         metrics=None,
         runner=None,
         quiet: bool = True,
+        journal: bool = True,
+        max_attempts: int = 3,
+        deadline_s: float | None = None,
     ):
         if metrics is None:
             from ..obs.metrics import MetricsRegistry
 
             metrics = MetricsRegistry()
         self.metrics = metrics
-        self.store = ProfileStore(store) if isinstance(store, str) else store
+        self.store = (
+            ProfileStore(store, metrics=metrics) if isinstance(store, str)
+            else store
+        )
         self._runner = runner if runner is not None else (
             lambda spec: run_job(spec, store=self.store)
         )
+        self.journal = (
+            JobJournal(self.store.root) if journal else None
+        )
+        # JobQueue construction replays the journal: terminal jobs are
+        # restored, incomplete jobs re-enqueued before any HTTP traffic
         self.queue = JobQueue(
             self._runner, capacity=queue_size, workers=job_workers,
-            metrics=metrics,
+            metrics=metrics, journal=self.journal,
+            max_attempts=max_attempts, deadline_s=deadline_s,
         )
         self._quiet = quiet
+        self._started_at = time.monotonic()
         self._shutdown_thread: threading.Thread | None = None
         self._serve_thread: threading.Thread | None = None
         handler = _make_handler(self)
@@ -132,15 +160,52 @@ class AstraServer:
     def __exit__(self, *exc_info) -> None:
         self.shutdown(drain=False)
 
+    # -- health --------------------------------------------------------------
+
+    def health(self) -> dict:
+        """Liveness document: answering implies alive."""
+        return {
+            "status": "ok",
+            "uptime_s": round(time.monotonic() - self._started_at, 3),
+        }
+
+    def readiness(self) -> tuple[bool, dict]:
+        """Readiness verdict + document (the ``/readyz`` body).
+
+        Not ready while draining for shutdown (accepted jobs may still
+        be finishing -- ``queue.depth``/``jobs`` show the drain) or when
+        the store cannot take a segment."""
+        queue_stats = self.queue.stats()
+        store_ok = self.store.available()
+        reasons = []
+        if queue_stats["closed"]:
+            reasons.append("queue closed (draining for shutdown)")
+        if not store_ok:
+            reasons.append("store unavailable (not writable)")
+        return not reasons, {
+            "ready": not reasons,
+            "reasons": reasons,
+            "queue": {
+                "closed": queue_stats["closed"],
+                "depth": queue_stats["depth"],
+                "jobs": queue_stats["jobs"],
+            },
+            "store": {"available": store_ok},
+        }
+
     # -- stats ---------------------------------------------------------------
 
     def stats(self) -> dict:
         self.store.observe_into(self.metrics)
-        return {
+        doc = {
             "store": self.store.stats(),
             "queue": self.queue.stats(),
             "metrics": self.metrics.snapshot(),
+            "uptime_s": round(time.monotonic() - self._started_at, 3),
         }
+        if self.journal is not None:
+            doc["journal"] = self.journal.stats()
+        return doc
 
 
 def _make_handler(server: AstraServer):
@@ -201,6 +266,11 @@ def _make_handler(server: AstraServer):
                 return self._get_job(self.path[len("/jobs/"):])
             if self.path.startswith("/index/"):
                 return self._get_index(self.path[len("/index/"):])
+            if self.path == "/healthz":
+                return self._respond(200, server.health())
+            if self.path == "/readyz":
+                ready, doc = server.readiness()
+                return self._respond(200 if ready else 503, doc)
             if self.path == "/stats":
                 return self._respond(200, server.stats())
             self._error(404, f"no such route: GET {self.path}")
@@ -218,12 +288,23 @@ def _make_handler(server: AstraServer):
                 doc = self._read_json()
             except (ValueError, json.JSONDecodeError) as exc:
                 return self._error(400, f"bad request body: {exc}")
+            key = None
+            if isinstance(doc, dict):
+                key = doc.pop("key", None)
+                if key is not None and (
+                    not isinstance(key, str) or not key
+                ):
+                    return self._error(
+                        400, "idempotency 'key' must be a non-empty string"
+                    )
             try:
                 spec = JobSpec.from_dict(doc)
             except (JobSpecError, TypeError) as exc:
                 return self._error(400, str(exc))
             try:
-                job = server.queue.submit(spec)
+                job = server.queue.submit(spec, key=key)
+            except IdempotencyConflictError as exc:
+                return self._error(409, str(exc))
             except (QueueFullError, QueueClosedError) as exc:
                 return self._error(503, str(exc))
             self._respond(202, job.to_dict())

@@ -1,0 +1,194 @@
+"""ServeClient resilience: error taxonomy, retries, circuit breaker.
+
+A client that cannot say *why* a request failed forces every caller to
+treat all failures as retry-blindly; these tests pin the taxonomy
+(connect-phase vs mid-response, with the failed method + URL in every
+message), the bounded-retry schedule, and the breaker's trip/half-open/
+reset cycle -- including that breaker errors still degrade warm start
+to a cold run through the ``except OSError`` path.
+"""
+
+import http.client
+import socket
+
+import pytest
+
+from repro.serve.client import (
+    CircuitOpenError,
+    ServeClient,
+    ServeConnectionError,
+    ServeError,
+    ServeResponseError,
+    ServeTransportError,
+    _classify,
+)
+
+
+def make_client(**kwargs) -> ServeClient:
+    kwargs.setdefault("sleep", lambda s: None)
+    return ServeClient("http://127.0.0.1:1", **kwargs)
+
+
+class FlakyTransport:
+    """Scripted ``_once`` replacement: a list of exceptions, then success."""
+
+    def __init__(self, failures, result=None):
+        self.failures = list(failures)
+        self.result = result if result is not None else {"ok": True}
+        self.calls = 0
+
+    def __call__(self, method, url, doc=None):
+        self.calls += 1
+        if self.failures:
+            raise self.failures.pop(0)
+        return self.result
+
+
+class TestClassification:
+    @pytest.mark.parametrize("reason", [
+        ConnectionRefusedError(111, "refused"),
+        socket.gaierror(-2, "name or service not known"),
+        socket.timeout("timed out"),
+        OSError("no route to host"),  # unknown OSError: safe-to-retry bin
+    ])
+    def test_connect_phase(self, reason):
+        exc = _classify("GET", "http://h:1/jobs", reason)
+        assert isinstance(exc, ServeConnectionError)
+        assert exc.phase == "connect"
+
+    @pytest.mark.parametrize("reason", [
+        http.client.RemoteDisconnected("closed"),
+        http.client.IncompleteRead(b"par"),
+        http.client.BadStatusLine("garbage"),
+        ConnectionResetError(104, "reset"),
+        BrokenPipeError(32, "pipe"),
+        http.client.HTTPException("protocol violation"),
+    ])
+    def test_mid_response(self, reason):
+        exc = _classify("POST", "http://h:1/jobs", reason)
+        assert isinstance(exc, ServeResponseError)
+        assert exc.phase == "response"
+
+    def test_message_carries_method_and_url(self):
+        exc = _classify("PUT", "http://h:1/index/ab", OSError("down"))
+        assert "PUT" in str(exc)
+        assert "http://h:1/index/ab" in str(exc)
+        assert exc.method == "PUT"
+        assert exc.url == "http://h:1/index/ab"
+
+    def test_transport_errors_degrade_like_oserror(self):
+        # warm start catches OSError to fall back to a cold run; every
+        # client failure mode must stay inside that contract
+        for cls in (ServeTransportError, ServeConnectionError,
+                    ServeResponseError, CircuitOpenError):
+            assert issubclass(cls, OSError)
+
+    def test_serve_error_context_and_pure_message(self):
+        exc = ServeError(503, "queue full", method="POST",
+                         url="http://h:1/jobs")
+        assert "POST" in str(exc) and "http://h:1/jobs" in str(exc)
+        assert exc.message == "queue full"  # daemon text, uncontaminated
+
+
+class TestConnectionRefusedForReal:
+    def test_refused_is_connection_error_with_url(self):
+        # bind-then-close guarantees an unused port
+        probe = socket.socket()
+        probe.bind(("127.0.0.1", 0))
+        port = probe.getsockname()[1]
+        probe.close()
+        client = ServeClient(f"http://127.0.0.1:{port}", timeout=2,
+                             retries=0, breaker_threshold=0)
+        with pytest.raises(ServeConnectionError) as err:
+            client.stats()
+        assert "GET" in str(err.value)
+        assert f"http://127.0.0.1:{port}/stats" in str(err.value)
+
+
+class TestRetries:
+    def test_transient_failure_retried_to_success(self):
+        client = make_client(retries=2)
+        slept = []
+        client._sleep = slept.append
+        transport = FlakyTransport([
+            ServeConnectionError("GET", "u", "refused"),
+            ServeResponseError("GET", "u", "reset"),
+        ])
+        client._once = transport
+        assert client._request("GET", "/stats") == {"ok": True}
+        assert transport.calls == 3
+        # exponential: backoff_s, then 2 * backoff_s
+        assert slept == [client.backoff_s, client.backoff_s * 2]
+
+    def test_retry_budget_exhausted_raises_last_error(self):
+        client = make_client(retries=1, breaker_threshold=0)
+        client._once = FlakyTransport([
+            ServeConnectionError("GET", "u", "refused 1"),
+            ServeResponseError("GET", "u", "reset 2"),
+            ServeConnectionError("GET", "u", "refused 3"),
+        ])
+        with pytest.raises(ServeResponseError, match="reset 2"):
+            client._request("GET", "/stats")
+
+    def test_daemon_errors_are_not_retried(self):
+        client = make_client(retries=3)
+        transport = FlakyTransport([ServeError(400, "bad spec")])
+        client._once = transport
+        with pytest.raises(ServeError):
+            client._request("POST", "/jobs", {})
+        assert transport.calls == 1
+
+
+class TestCircuitBreaker:
+    def make(self, threshold=2, reset_s=10.0, retries=0):
+        clock = {"now": 0.0}
+        client = make_client(retries=retries, breaker_threshold=threshold,
+                             breaker_reset_s=reset_s,
+                             clock=lambda: clock["now"])
+        return client, clock
+
+    def trip(self, client, n):
+        for _ in range(n):
+            client._once = FlakyTransport(
+                [ServeConnectionError("GET", "u", "refused")]
+            )
+            with pytest.raises(ServeTransportError):
+                client._request("GET", "/stats")
+
+    def test_breaker_trips_and_fails_fast(self):
+        client, _clock = self.make(threshold=2)
+        self.trip(client, 2)
+        assert client.breaker_open
+        transport = FlakyTransport([])
+        client._once = transport
+        with pytest.raises(CircuitOpenError) as err:
+            client._request("GET", "/stats")
+        assert transport.calls == 0  # no network while open
+        assert "circuit breaker open" in str(err.value)
+
+    def test_half_open_probe_after_cooldown_resets_on_success(self):
+        client, clock = self.make(threshold=2, reset_s=10.0)
+        self.trip(client, 2)
+        clock["now"] += 10.0
+        transport = FlakyTransport([])
+        client._once = transport
+        assert client._request("GET", "/stats") == {"ok": True}
+        assert transport.calls == 1
+        assert not client.breaker_open
+        assert client._consecutive_failures == 0
+
+    def test_failed_probe_retrips_immediately(self):
+        client, clock = self.make(threshold=2, reset_s=10.0)
+        self.trip(client, 2)
+        clock["now"] += 10.0
+        client._once = FlakyTransport(
+            [ServeConnectionError("GET", "u", "still down")]
+        )
+        with pytest.raises(ServeConnectionError):
+            client._request("GET", "/stats")
+        assert client.breaker_open  # one failure re-trips: count preserved
+
+    def test_threshold_zero_disables_breaker(self):
+        client, _clock = self.make(threshold=0)
+        self.trip(client, 10)
+        assert not client.breaker_open

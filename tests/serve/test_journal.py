@@ -1,0 +1,301 @@
+"""JobJournal conformance: WAL durability, torn tails, compaction.
+
+The journal is what lets a SIGKILLed daemon keep its promises; these
+tests pin its contracts directly (the daemon-level behavior is pinned in
+``test_recovery.py`` and ``repro chaos-serve``):
+
+* recovery replays records in order, last transition wins;
+* a torn final line -- the only tear an append-only log can suffer --
+  is skipped and counted, never fatal;
+* records for unknown jobs are orphans, not crashes;
+* compaction preserves exactly the recovered state;
+* the whole of the above holds under *arbitrary* interleavings of
+  submit/start/terminal records (Hypothesis).
+"""
+
+import json
+import os
+
+from hypothesis import given, settings, strategies as st
+
+from repro.serve.journal import (
+    RECORD_DEAD,
+    RECORD_DONE,
+    RECORD_FAIL,
+    RECORD_START,
+    RECORD_SUBMIT,
+    TERMINAL_RECORDS,
+    JobJournal,
+)
+
+SPEC = {"model": "scrnn", "batch": 4, "seq_len": 3, "budget": 400}
+
+
+def make_journal(tmp_path) -> JobJournal:
+    # fsync off: these tests exercise logic, not the disk
+    return JobJournal(str(tmp_path), fsync=False)
+
+
+class TestBasics:
+    def test_empty_journal_recovers_empty(self, tmp_path):
+        state = make_journal(tmp_path).recover()
+        assert state.jobs == {}
+        assert state.torn_records == 0
+        assert state.orphan_records == 0
+
+    def test_submit_then_done_round_trips(self, tmp_path):
+        journal = make_journal(tmp_path)
+        journal.submitted("job-000001", SPEC, key="k1")
+        journal.started("job-000001", 1)
+        journal.completed("job-000001", {"best_time_us": 42.0})
+
+        state = make_journal(tmp_path).recover()
+        entry = state.jobs["job-000001"]
+        assert entry.spec == SPEC
+        assert entry.key == "k1"
+        assert entry.record == RECORD_DONE
+        assert entry.result == {"best_time_us": 42.0}
+        assert entry.attempts == 1
+        assert state.completed() == [entry]
+        assert state.incomplete() == []
+
+    def test_incomplete_job_is_owed(self, tmp_path):
+        journal = make_journal(tmp_path)
+        journal.submitted("job-000001", SPEC)
+        journal.started("job-000001", 1)
+        journal.started("job-000001", 2)
+
+        state = journal.recover()
+        (entry,) = state.incomplete()
+        assert entry.record == RECORD_START
+        assert entry.attempts == 2
+        assert not entry.terminal
+
+    def test_last_transition_wins(self, tmp_path):
+        journal = make_journal(tmp_path)
+        journal.submitted("job-000001", SPEC)
+        journal.failed("job-000001", "flaky")
+        journal.completed("job-000001", {"best_time_us": 1.0})
+
+        entry = journal.recover().jobs["job-000001"]
+        assert entry.record == RECORD_DONE
+        assert entry.error is None
+
+    def test_dead_letter_record(self, tmp_path):
+        journal = make_journal(tmp_path)
+        journal.submitted("job-000001", SPEC)
+        journal.dead("job-000001", "dead-lettered after 3 attempts")
+
+        entry = journal.recover().jobs["job-000001"]
+        assert entry.record == RECORD_DEAD
+        assert "dead-lettered" in entry.error
+
+    def test_max_seq_tracks_job_ids(self, tmp_path):
+        journal = make_journal(tmp_path)
+        journal.submitted("job-000007", SPEC)
+        journal.submitted("job-000003", SPEC)
+        assert journal.recover().max_seq == 7
+
+
+class TestMalformedInput:
+    def test_torn_final_line_is_skipped_and_counted(self, tmp_path):
+        journal = make_journal(tmp_path)
+        journal.submitted("job-000001", SPEC)
+        journal.completed("job-000001", {"x": 1})
+        journal.submitted("job-000002", SPEC)
+        with open(journal.path, "rb+") as fh:
+            fh.seek(-9, os.SEEK_END)
+            fh.truncate()
+
+        state = journal.recover()
+        assert state.torn_records == 1
+        assert list(state.jobs) == ["job-000001"]  # job-000002's 202 never
+        assert state.jobs["job-000001"].terminal  # landed; job-1 intact
+
+    def test_garbage_interior_line_is_skipped(self, tmp_path):
+        journal = make_journal(tmp_path)
+        journal.submitted("job-000001", SPEC)
+        journal.append({"not": "a journal record"})
+        journal.submitted("job-000002", SPEC)
+
+        state = journal.recover()
+        assert state.torn_records == 1
+        assert set(state.jobs) == {"job-000001", "job-000002"}
+
+    def test_orphan_transition_counted_not_fatal(self, tmp_path):
+        journal = make_journal(tmp_path)
+        journal.completed("job-000009", {"x": 1})  # submit never journaled
+
+        state = journal.recover()
+        assert state.jobs == {}
+        assert state.orphan_records == 1
+
+    def test_submit_without_spec_is_torn(self, tmp_path):
+        journal = make_journal(tmp_path)
+        journal.append({"v": 1, "t": RECORD_SUBMIT, "id": "job-000001"})
+        state = journal.recover()
+        assert state.jobs == {}
+        assert state.torn_records == 1
+
+
+class TestCompaction:
+    def test_compact_preserves_state_and_drops_noise(self, tmp_path):
+        journal = make_journal(tmp_path)
+        journal.submitted("job-000001", SPEC, key="k1")
+        for attempt in (1, 2, 3):
+            journal.started("job-000001", attempt)
+        journal.dead("job-000001", "gave up")
+        journal.submitted("job-000002", SPEC)
+        journal.started("job-000002", 1)
+
+        before = journal.recover()
+        size_before = os.path.getsize(journal.path)
+        journal.compact(before)
+        assert os.path.getsize(journal.path) < size_before
+
+        after = journal.recover()
+        assert list(after.jobs) == list(before.jobs)
+        dead = after.jobs["job-000001"]
+        assert dead.record == RECORD_DEAD and dead.key == "k1"
+        # an incomplete job keeps only its submit: a fresh retry budget
+        requeued = after.jobs["job-000002"]
+        assert requeued.record == RECORD_SUBMIT
+        assert requeued.attempts == 0
+
+    def test_compact_is_atomic(self, tmp_path):
+        journal = make_journal(tmp_path)
+        journal.submitted("job-000001", SPEC)
+        journal.compact(journal.recover())
+        leftovers = [
+            n for n in os.listdir(os.path.dirname(journal.path))
+            if ".tmp" in n
+        ]
+        assert leftovers == []
+
+
+# -- the property: arbitrary interleavings round-trip consistently -----------
+
+_OPS = ("submit", "start", "done", "fail", "dead")
+
+ops_strategy = st.lists(
+    st.tuples(st.sampled_from(_OPS), st.integers(0, 4)),
+    max_size=30,
+)
+
+
+def _apply(journal: JobJournal, op: str, idx: int) -> tuple:
+    """Write one record; return its model tuple."""
+    job_id = f"job-{idx + 1:06d}"
+    key = f"key-{idx}" if idx % 2 == 0 else None
+    if op == "submit":
+        journal.submitted(job_id, dict(SPEC, seed=idx), key=key)
+    elif op == "start":
+        journal.started(job_id, 1)
+    elif op == "done":
+        journal.completed(job_id, {"best_time_us": float(idx)})
+    elif op == "fail":
+        journal.failed(job_id, f"boom-{idx}")
+    else:
+        journal.dead(job_id, f"dead-{idx}")
+    return (op, job_id, key, idx)
+
+
+def _replay(model_ops):
+    """The journal's documented semantics, in ~20 lines of pure python."""
+    jobs: dict = {}
+    orphans = 0
+    for op, job_id, key, idx in model_ops:
+        if op == "submit":
+            jobs.setdefault(job_id, {
+                "key": key, "record": RECORD_SUBMIT, "attempts": 0,
+                "result": None, "error": None,
+            })
+            continue
+        entry = jobs.get(job_id)
+        if entry is None:
+            orphans += 1
+            continue
+        entry["record"] = {
+            "start": RECORD_START, "done": RECORD_DONE,
+            "fail": RECORD_FAIL, "dead": RECORD_DEAD,
+        }[op]
+        if op == "start":
+            entry["attempts"] += 1
+        elif op == "done":
+            entry["result"] = {"best_time_us": float(idx)}
+            entry["error"] = None
+        else:
+            entry["error"] = f"{'boom' if op == 'fail' else 'dead'}-{idx}"
+            entry["result"] = None
+    return jobs, orphans
+
+
+@settings(max_examples=60, deadline=None)
+@given(ops=ops_strategy, tear=st.integers(0, 40))
+def test_recovery_matches_model_under_any_interleaving(
+    tmp_path_factory, ops, tear
+):
+    tmp = tmp_path_factory.mktemp("journal")
+    journal = JobJournal(str(tmp), fsync=False)
+    model_ops = [_apply(journal, op, idx) for op, idx in ops]
+
+    expected_torn = 0
+    if tear >= 2 and model_ops:
+        # tear the *final* record mid-line, the only tear appends allow:
+        # any strict prefix of a JSON object line is unparseable
+        with open(journal.path, "rb") as fh:
+            lines = fh.readlines()
+        chop = min(tear, len(lines[-1]) - 1)
+        if chop >= 2:
+            with open(journal.path, "rb+") as fh:
+                fh.seek(-chop, os.SEEK_END)
+                fh.truncate()
+            model_ops = model_ops[:-1]
+            expected_torn = 1
+
+    state = JobJournal(str(tmp), fsync=False).recover()
+    jobs, orphans = _replay(model_ops)
+
+    assert list(state.jobs) == list(jobs)  # same jobs, same submit order
+    for job_id, expect in jobs.items():
+        entry = state.jobs[job_id]
+        assert entry.key == expect["key"]
+        assert entry.record == expect["record"]
+        assert entry.attempts == expect["attempts"]
+        assert entry.result == expect["result"]
+        assert entry.error == expect["error"]
+    assert state.orphan_records == orphans
+    assert state.torn_records == expected_torn
+
+    # recovery is idempotent ...
+    again = JobJournal(str(tmp), fsync=False).recover()
+    assert {k: vars(v) for k, v in again.jobs.items()} \
+        == {k: vars(v) for k, v in state.jobs.items()}
+
+    # ... and compaction preserves exactly the meaningful state
+    journal.compact(state)
+    compacted = journal.recover()
+    assert list(compacted.jobs) == list(state.jobs)
+    assert compacted.torn_records == 0
+    for job_id, entry in state.jobs.items():
+        after = compacted.jobs[job_id]
+        assert after.key == entry.key
+        if entry.record in TERMINAL_RECORDS:
+            assert after.record == entry.record
+            assert after.result == entry.result
+            assert after.error == entry.error
+        else:
+            assert after.record == RECORD_SUBMIT
+            assert after.attempts == 0
+
+
+def test_journal_lines_are_json_objects(tmp_path):
+    journal = make_journal(tmp_path)
+    journal.submitted("job-000001", SPEC, key="k")
+    journal.started("job-000001", 1)
+    journal.completed("job-000001", {"x": 1})
+    with open(journal.path) as fh:
+        for line in fh:
+            doc = json.loads(line)
+            assert doc["v"] == 1
+            assert doc["t"] in (RECORD_SUBMIT, RECORD_START, RECORD_DONE)

@@ -1,0 +1,145 @@
+"""Daemon-level fault tolerance: kill/recover, health, HTTP idempotency.
+
+The acceptance invariant of the serving stack: a SIGKILLed daemon,
+restarted on the same store root, completes every job it accepted with
+the bit-identical winner an uninterrupted run produces -- and an
+idempotent resubmission neither re-runs the job nor grows the store.
+The in-process tests pin the HTTP surface (healthz/readyz, 409, journal
+stats); the subprocess test delivers a real SIGKILL.
+"""
+
+import time
+
+import pytest
+
+from repro.serve import AstraServer, ProfileStore, ServeClient, ServeError
+from repro.serve.chaos import ServeDaemon, _segment_files, _winner
+from repro.serve.jobs import JobSpec, run_job
+
+TINY_JOB = {"model": "scrnn", "batch": 4, "seq_len": 3, "budget": 400}
+
+
+class TestHealthEndpoints:
+    def test_healthz_reports_ok_and_uptime(self, tmp_path):
+        with AstraServer(str(tmp_path)) as srv:
+            doc = ServeClient(srv.url, timeout=5).healthz()
+            assert doc["status"] == "ok"
+            assert doc["uptime_s"] >= 0
+
+    def test_readyz_ready_then_503_while_draining(self, tmp_path):
+        with AstraServer(str(tmp_path)) as srv:
+            client = ServeClient(srv.url, timeout=5)
+            doc = client.readyz()
+            assert doc["ready"] is True
+            assert doc["store"]["available"] is True
+
+            srv.queue.close(drain=True)  # draining: alive but not ready
+            assert client.healthz()["status"] == "ok"
+            with pytest.raises(ServeError) as err:
+                client.readyz()
+            assert err.value.status == 503
+
+    def test_readyz_carries_drain_reasons(self, tmp_path):
+        srv = AstraServer(str(tmp_path)).start()
+        try:
+            srv.queue.close(drain=True)
+            ready, doc = srv.readiness()
+            assert not ready
+            assert any("closed" in reason for reason in doc["reasons"])
+        finally:
+            srv.shutdown(drain=False)
+
+
+class TestHttpIdempotency:
+    def test_same_key_dedupes_over_http(self, tmp_path):
+        with AstraServer(str(tmp_path)) as srv:
+            client = ServeClient(srv.url, timeout=5)
+            first = client.submit(TINY_JOB, key="k1")
+            again = client.submit(TINY_JOB, key="k1")
+            assert again["id"] == first["id"]
+            assert len(client.jobs()) == 1
+
+    def test_key_conflict_is_409(self, tmp_path):
+        with AstraServer(str(tmp_path)) as srv:
+            client = ServeClient(srv.url, timeout=5)
+            client.submit(TINY_JOB, key="k1")
+            with pytest.raises(ServeError) as err:
+                client.submit(dict(TINY_JOB, batch=8), key="k1")
+            assert err.value.status == 409
+
+    def test_malformed_key_is_400(self, tmp_path):
+        with AstraServer(str(tmp_path)) as srv:
+            client = ServeClient(srv.url, timeout=5)
+            with pytest.raises(ServeError) as err:
+                client.submit(dict(TINY_JOB, key=42))
+            assert err.value.status == 400
+
+    def test_stats_exposes_journal_and_recovery(self, tmp_path):
+        with AstraServer(str(tmp_path)) as srv:
+            stats = ServeClient(srv.url, timeout=5).stats()
+            assert stats["journal"]["torn_records"] == 0
+            assert stats["queue"]["recovered_jobs"] == 0
+            assert stats["store"]["available"] is True
+
+
+class TestInProcessRestart:
+    def test_completed_jobs_survive_a_restart(self, tmp_path):
+        root = str(tmp_path)
+        spec = JobSpec.from_dict(TINY_JOB)
+        with AstraServer(root) as srv:
+            client = ServeClient(srv.url, timeout=5)
+            done = client.run(TINY_JOB, timeout=120, key="k1")
+            srv.queue.drain(timeout=60)
+
+        with AstraServer(root) as srv2:
+            client = ServeClient(srv2.url, timeout=5)
+            doc = client.status(done["id"])
+            assert doc["status"] == "done"
+            assert doc["recovered"] is True
+            assert _winner(doc["result"]) == _winner(done["result"])
+            # the restored key map still dedupes, so nothing re-runs
+            # and the store grows no duplicate segments
+            before = _segment_files(root)
+            assert client.submit(TINY_JOB, key="k1")["id"] == done["id"]
+            assert _segment_files(root) == before
+            assert spec.to_dict() == doc["spec"]
+
+
+class TestRealSigkill:
+    def test_sigkilled_daemon_recovers_bit_identical_winner(self, tmp_path):
+        """The kill-recover invariant, with a real subprocess and a real
+        SIGKILL (``repro chaos-serve`` sweeps the same scenario plus the
+        store attacks)."""
+        spec = JobSpec.from_dict(TINY_JOB)
+        reference = run_job(
+            spec, store=ProfileStore(str(tmp_path / "reference"))
+        )
+
+        serve_root = str(tmp_path / "serve")
+        daemon = ServeDaemon(serve_root)
+        try:
+            client = ServeClient(daemon.url, timeout=10)
+            job_id = client.submit(TINY_JOB, key="kill-me")["id"]
+            deadline = time.monotonic() + 5.0
+            while (time.monotonic() < deadline
+                   and client.status(job_id)["status"] == "queued"):
+                time.sleep(0.01)
+        finally:
+            daemon.kill()  # SIGKILL: no drain, no journal goodbye
+
+        daemon = ServeDaemon(serve_root)
+        try:
+            client = ServeClient(daemon.url, timeout=10)
+            doc = client.wait(job_id, timeout=120)
+            assert doc["status"] == "done", doc.get("error")
+            assert doc["recovered"] is True
+            assert _winner(doc["result"]) == _winner(reference)
+            # idempotent resubmit: same job back, store unchanged
+            before = _segment_files(serve_root)
+            assert client.submit(TINY_JOB, key="kill-me")["id"] == job_id
+            assert _segment_files(serve_root) == before
+            assert client.readyz()["ready"] is True
+            daemon.shutdown(client)
+        except BaseException:
+            daemon.kill()
+            raise

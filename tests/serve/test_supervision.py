@@ -1,0 +1,292 @@
+"""JobQueue supervision: retries, dead-lettering, deadlines, recovery.
+
+The queue must drive every accepted job to a terminal state -- done,
+failed, or dead -- no matter how the runner misbehaves, and a restarted
+queue must keep every promise its predecessor journaled.  Runners here
+are scripted fakes; the real-daemon equivalents live in
+``test_recovery.py`` and ``repro chaos-serve``.
+"""
+
+import threading
+import time
+
+import pytest
+
+from repro.faults import DeviceOOMError, JobTimeoutError, KernelLaunchError
+from repro.obs.metrics import MetricsRegistry
+from repro.serve.jobs import (
+    STATUS_DEAD,
+    STATUS_DONE,
+    STATUS_FAILED,
+    IdempotencyConflictError,
+    JobQueue,
+    JobSpec,
+)
+from repro.serve.journal import JobJournal
+
+SPEC = JobSpec(model="scrnn", batch=4, seq_len=3, budget=400)
+
+
+class ScriptedRunner:
+    """Raise the scripted exceptions in order, then succeed."""
+
+    def __init__(self, failures=()):
+        self.failures = list(failures)
+        self.calls = 0
+        self.lock = threading.Lock()
+
+    def __call__(self, spec):
+        with self.lock:
+            self.calls += 1
+            if self.failures:
+                raise self.failures.pop(0)
+        return {"best_time_us": 1.0, "spec_model": spec.model}
+
+
+def make_queue(runner, tmp_path=None, **kwargs):
+    journal = JobJournal(str(tmp_path), fsync=False) if tmp_path else None
+    kwargs.setdefault("backoff_s", 0.001)
+    return JobQueue(runner, journal=journal, **kwargs)
+
+
+class TestRetries:
+    def test_transient_fault_retried_to_success(self):
+        runner = ScriptedRunner([KernelLaunchError("k0"),
+                                 KernelLaunchError("k0")])
+        metrics = MetricsRegistry()
+        q = make_queue(runner, max_attempts=3, metrics=metrics)
+        try:
+            job = q.submit(SPEC)
+            assert q.drain(timeout=10)
+            assert job.status == STATUS_DONE
+            assert job.attempts == 3
+            assert runner.calls == 3
+            snap = metrics.snapshot()
+            assert snap["serve.retry.attempts"]["value"] == 2
+        finally:
+            q.close(drain=False)
+
+    def test_dead_letter_after_max_attempts(self):
+        runner = ScriptedRunner([KernelLaunchError("k0")] * 10)
+        metrics = MetricsRegistry()
+        q = make_queue(runner, max_attempts=3, metrics=metrics)
+        try:
+            job = q.submit(SPEC)
+            assert q.drain(timeout=10)
+            assert job.status == STATUS_DEAD
+            assert runner.calls == 3  # budget respected, then given up
+            assert "dead-lettered after 3 attempts" in job.error
+            assert metrics.snapshot()["serve.jobs.dead"]["value"] == 1
+        finally:
+            q.close(drain=False)
+
+    def test_non_transient_fault_fails_immediately(self):
+        runner = ScriptedRunner([DeviceOOMError(100, 50)])
+        q = make_queue(runner, max_attempts=5)
+        try:
+            job = q.submit(SPEC)
+            assert q.drain(timeout=10)
+            assert job.status == STATUS_FAILED
+            assert runner.calls == 1  # deterministic failure: no retry
+        finally:
+            q.close(drain=False)
+
+    def test_generic_exception_fails_without_killing_worker(self):
+        runner = ScriptedRunner([RuntimeError("boom")])
+        q = make_queue(runner, max_attempts=3)
+        try:
+            first = q.submit(SPEC)
+            second = q.submit(SPEC)
+            assert q.drain(timeout=10)
+            assert first.status == STATUS_FAILED
+            assert second.status == STATUS_DONE  # worker survived
+        finally:
+            q.close(drain=False)
+
+    def test_backoff_is_deterministic_and_exponential(self):
+        q = make_queue(ScriptedRunner(), backoff_s=0.1)
+        try:
+            first = q._backoff("job-000001", 1)
+            assert first == q._backoff("job-000001", 1)  # reproducible
+            assert first != q._backoff("job-000002", 1)  # decorrelated
+            assert 0.1 <= first <= 0.15
+            assert 0.2 <= q._backoff("job-000001", 2) <= 0.3
+        finally:
+            q.close(drain=False)
+
+
+class TestDeadlines:
+    def test_wedged_attempt_times_out_and_dead_letters(self):
+        release = threading.Event()
+
+        def wedged(spec):
+            release.wait(30)
+            return {}
+
+        q = make_queue(wedged, max_attempts=2, deadline_s=0.05)
+        try:
+            job = q.submit(SPEC)
+            assert q.drain(timeout=10)
+            assert job.status == STATUS_DEAD
+            assert JobTimeoutError.kind in ("job_timeout",)
+            assert "deadline" in job.error
+        finally:
+            release.set()
+            q.close(drain=False)
+
+    def test_fast_job_unaffected_by_deadline(self):
+        q = make_queue(ScriptedRunner(), deadline_s=5.0)
+        try:
+            job = q.submit(SPEC)
+            assert q.drain(timeout=10)
+            assert job.status == STATUS_DONE
+        finally:
+            q.close(drain=False)
+
+
+class TestDrainPromptness:
+    def test_drain_returns_promptly_after_last_job(self):
+        """Drain is condition-driven, not a polling sleep loop: it must
+        return within milliseconds of the final completion, far under
+        the old 100ms poll interval."""
+        gate = threading.Event()
+
+        def runner(spec):
+            gate.wait(10)
+            return {}
+
+        q = make_queue(runner)
+        try:
+            q.submit(SPEC)
+            waited = {}
+
+            def drainer():
+                start = time.monotonic()
+                assert q.drain(timeout=10)
+                waited["s"] = time.monotonic() - start
+
+            thread = threading.Thread(target=drainer)
+            thread.start()
+            time.sleep(0.05)  # let drain() block first
+            released = time.monotonic()
+            gate.set()
+            thread.join(timeout=10)
+            assert "s" in waited
+            latency = time.monotonic() - released
+            assert latency < 0.09, f"drain woke {latency:.3f}s after finish"
+        finally:
+            gate.set()
+            q.close(drain=False)
+
+
+class TestIdempotency:
+    def test_same_key_same_spec_dedupes(self):
+        metrics = MetricsRegistry()
+        q = make_queue(ScriptedRunner(), metrics=metrics)
+        try:
+            first = q.submit(SPEC, key="k1")
+            again = q.submit(SPEC, key="k1")
+            assert again is first
+            assert metrics.snapshot()["serve.jobs.deduped"]["value"] == 1
+        finally:
+            q.close(drain=False)
+
+    def test_same_key_different_spec_conflicts(self):
+        q = make_queue(ScriptedRunner())
+        try:
+            q.submit(SPEC, key="k1")
+            with pytest.raises(IdempotencyConflictError):
+                q.submit(JobSpec(model="scrnn", batch=8), key="k1")
+        finally:
+            q.close(drain=False)
+
+
+class TestJournaledRecovery:
+    def test_unfinished_jobs_requeued_and_completed(self, tmp_path):
+        # first life: accept two jobs, finish neither (runner wedges)
+        wedge = threading.Event()
+
+        def stuck(spec):
+            wedge.wait(30)
+            return {}
+
+        first_life = make_queue(stuck, tmp_path=tmp_path)
+        a = first_life.submit(SPEC, key="ka")
+        b = first_life.submit(SPEC)
+        # SIGKILL stand-in: abandon the queue without close/drain
+        wedge.set()
+        first_life.drain(timeout=10)
+
+        del first_life
+        # second life, same journal: results must be restored, not re-run
+        runner = ScriptedRunner()
+        metrics = MetricsRegistry()
+        second_life = make_queue(runner, tmp_path=tmp_path, metrics=metrics)
+        try:
+            ra = second_life.get(a.job_id)
+            rb = second_life.get(b.job_id)
+            assert ra.status == STATUS_DONE and rb.status == STATUS_DONE
+            assert ra.recovered and rb.recovered
+            assert runner.calls == 0  # served from the journal
+            snap = metrics.snapshot()
+            assert snap["serve.recovery.restored"]["value"] == 2
+            # the idempotency key still maps across the restart
+            assert second_life.submit(SPEC, key="ka") is ra
+        finally:
+            second_life.close(drain=False)
+
+    def test_crash_before_completion_reruns_the_job(self, tmp_path):
+        journal = JobJournal(str(tmp_path), fsync=False)
+        journal.submitted("job-000001", SPEC.to_dict(), key="k1")
+        journal.started("job-000001", 1)  # crashed mid-attempt
+
+        runner = ScriptedRunner()
+        metrics = MetricsRegistry()
+        q = make_queue(runner, tmp_path=tmp_path, metrics=metrics)
+        try:
+            assert q.drain(timeout=10)
+            job = q.get("job-000001")
+            assert job.status == STATUS_DONE
+            assert job.recovered
+            assert runner.calls == 1  # the owed work was actually re-run
+            snap = metrics.snapshot()
+            assert snap["serve.recovery.requeued"]["value"] == 1
+        finally:
+            q.close(drain=False)
+
+    def test_recovered_backlog_may_exceed_capacity(self, tmp_path):
+        journal = JobJournal(str(tmp_path), fsync=False)
+        for i in range(4):
+            journal.submitted(f"job-{i + 1:06d}", SPEC.to_dict())
+
+        gate = threading.Event()
+
+        def slow(spec):
+            gate.wait(10)
+            return {}
+
+        q = make_queue(slow, tmp_path=tmp_path, capacity=2)
+        try:
+            # recovery re-enqueued 4 > capacity 2: owed work is never
+            # dropped, and new submissions see backpressure instead
+            from repro.serve.jobs import QueueFullError
+
+            with pytest.raises(QueueFullError):
+                q.submit(SPEC)
+            gate.set()
+            assert q.drain(timeout=10)
+            assert all(j.status == STATUS_DONE for j in q.jobs())
+        finally:
+            gate.set()
+            q.close(drain=False)
+
+    def test_new_ids_continue_after_recovered_sequence(self, tmp_path):
+        journal = JobJournal(str(tmp_path), fsync=False)
+        journal.submitted("job-000005", SPEC.to_dict())
+        journal.completed("job-000005", {})
+        q = make_queue(ScriptedRunner(), tmp_path=tmp_path)
+        try:
+            job = q.submit(SPEC)
+            assert job.job_id == "job-000006"  # no id reuse after restart
+        finally:
+            q.close(drain=False)
