@@ -28,7 +28,11 @@ Commands:
   winner or the cache never hits (see ``docs/performance.md``);
   ``--compare`` diffs the fresh document against a committed baseline
   and exits non-zero on a winner change or a relative-throughput
-  regression
+  regression; ``--learned`` adds the learned-top-k leg
+  (see ``docs/learning.md``)
+* ``train``     — harvest exhaustive-exploration corpora and fit the
+  learned cost model, writing a versioned artifact that ``optimize
+  --learned`` / ``bench --learned`` consume (see ``docs/learning.md``)
 * ``analyze``   — critical-path analysis of a ``.trace.json`` produced by
   ``repro trace``: per-kernel critical-path contribution, per-stream
   busy/stall attribution, dependency slack; ``--scale`` / ``--swap``
@@ -114,6 +118,7 @@ def cmd_optimize(args) -> int:
         workers=getattr(args, "workers", None),
         store=getattr(args, "store", None),
         server=getattr(args, "server", None),
+        learned=getattr(args, "learned", None),
     )
     try:
         report = session.optimize(max_minibatches=args.budget)
@@ -163,6 +168,20 @@ def cmd_optimize(args) -> int:
             print(f"parallel: {par['workers']} workers ({par['pool']} pool)  "
                   f"{par['candidates']} candidates in {par['rounds']} rounds  "
                   f"worker busy {par['worker_busy_s']:.2f}s")
+        learned = fast_path.get("learned")
+        if learned:
+            if learned.get("rejected"):
+                print(f"learned: artifact rejected ({learned['rejected']}); "
+                      f"fell back to full measurement")
+            else:
+                whatif = learned.get("whatif", {})
+                print(f"learned: model {learned.get('fingerprint', '?')[:12]} "
+                      f"({learned.get('records', 0)} records)  "
+                      f"cut {learned.get('choices_pruned', 0)} choices over "
+                      f"{learned.get('vars_ranked', 0)} variables  "
+                      f"what-if {whatif.get('checked', 0)} checks "
+                      f"(max {whatif.get('max_rel_error', 0.0) * 100:.1f}%"
+                      f"{', ok' if whatif.get('ok') else ', REJECTED'})")
     warm = astra.warm
     if warm:
         sources = ", ".join(
@@ -505,6 +524,7 @@ def cmd_bench(args) -> int:
         variants=variants,
         quick=args.quick,
         workers=args.workers,
+        learned=args.learned,
     )
     out = args.output or f"BENCH_{args.model}.json"
     with open(out, "w") as fh:
@@ -524,6 +544,74 @@ def cmd_bench(args) -> int:
         print(render_compare(diff))
         compare_ok = diff["ok"]
     return 0 if doc["ok"] and compare_ok else 1
+
+
+def cmd_train(args) -> int:
+    from .learn import LearnedCostModel, harvest_run
+
+    model_names = [m.strip() for m in args.models.split(",") if m.strip()]
+    device_names = [d.strip() for d in args.devices.split(",") if d.strip()]
+    for name in model_names:
+        if name not in MODEL_BUILDERS:
+            raise SystemExit(
+                f"unknown model {name!r}; have {sorted(MODEL_BUILDERS)}"
+            )
+    for name in device_names:
+        if name not in DEVICES:
+            raise SystemExit(f"unknown device {name!r}; have {sorted(DEVICES)}")
+    records = []
+    jobs = []
+    for name in model_names:
+        module = __import__(_CONFIG_MODULES[name],
+                            fromlist=["DEFAULT_CONFIG"])
+        config = module.DEFAULT_CONFIG.scaled(
+            batch_size=args.batch, seq_len=args.seq_len,
+        )
+        for device_name in device_names:
+            job_records = harvest_run(
+                MODEL_BUILDERS[name](config), DEVICES[device_name],
+                args.features, seed=args.seed, budget=args.budget,
+            )
+            jobs.append({"model": name, "device": device_name,
+                         "records": len(job_records)})
+            records.extend(job_records)
+    if not records:
+        raise SystemExit("harvest produced 0 training records")
+    model = LearnedCostModel.fit(records, seed=args.seed)
+    text = model.dumps()
+    with open(args.output, "w") as fh:
+        fh.write(text)
+    if args.store:
+        from .serve.store import ProfileStore
+
+        ProfileStore(args.store).put_model(text)
+    doc = {
+        "version": 1,
+        "artifact": args.output,
+        "fingerprint": model.fingerprint,
+        "records": model.records,
+        "confident": model.confident(),
+        "quantiles": model.quantiles,
+        "calibration": model.calibration,
+        "schema": model.schema,
+        "devices": sorted(model.devices),
+        "jobs": jobs,
+        "store": args.store,
+    }
+    if args.json:
+        print(json.dumps(doc, indent=2))
+        return 0
+    print(f"trained {model.fingerprint} on {model.records} records "
+          f"({model.calibration} calibration)")
+    for job in jobs:
+        print(f"  {job['model']:>12} @ {job['device']}: "
+              f"{job['records']} records")
+    print(f"uncertainty: q95 {model.quantiles.get('q95', 0.0) * 100:.2f}%  "
+          f"q99 {model.quantiles.get('q99', 0.0) * 100:.2f}%  "
+          f"confident={model.confident()}")
+    print(f"wrote {args.output}"
+          + (f" (also published to {args.store})" if args.store else ""))
+    return 0
 
 
 def cmd_serve(args) -> int:
@@ -633,6 +721,12 @@ def make_parser() -> argparse.ArgumentParser:
                    help="a `repro serve` daemon to warm-start from and "
                         "publish to; unreachable daemon degrades to a "
                         "cold run")
+    p.add_argument("--learned", default=None, metavar="PATH",
+                   help="learned cost-model artifact from `repro train` "
+                        "('store' loads the one published in --store): "
+                        "rank choices and measure only the top-k band; "
+                        "stale/unconfident artifacts fall back to full "
+                        "measurement (see docs/learning.md)")
     p.add_argument("--verbose", action="store_true")
     p.set_defaults(fn=cmd_optimize)
 
@@ -743,7 +837,41 @@ def make_parser() -> argparse.ArgumentParser:
                    help="diff against a committed BENCH_*.json: exit "
                         "non-zero on a winner change or a >20%% relative-"
                         "throughput regression")
+    p.add_argument("--learned", default=None, metavar="PATH",
+                   help="cost-model artifact from `repro train`: add the "
+                        "learned-top-k leg and gate it on winner identity, "
+                        "<=50%% of exhaustive measurements, a non-zero "
+                        "model hit rate and the what-if cross-check")
     p.set_defaults(fn=cmd_bench)
+
+    p = sub.add_parser(
+        "train",
+        help="fit the learned cost model from exhaustive exploration "
+             "corpora (see docs/learning.md)",
+    )
+    p.add_argument("--models", default="scrnn,milstm", metavar="M1,M2",
+                   help="models whose exhaustive runs feed the corpus "
+                        "(default: scrnn,milstm)")
+    p.add_argument("--devices", default="P100,V100", metavar="D1,D2",
+                   help="devices to harvest on (default: P100,V100)")
+    p.add_argument("--batch", type=int, default=4)
+    p.add_argument("--seq-len", type=int, default=3, dest="seq_len")
+    p.add_argument("--features", choices=["F", "FK", "FKS", "all"],
+                   default="FK")
+    p.add_argument("--seed", type=int, default=0,
+                   help="harvest and fit seed (training is deterministic "
+                        "in it)")
+    p.add_argument("--budget", type=int, default=400,
+                   help="exploration budget per harvest job (default 400)")
+    p.add_argument("-o", "--output", default="astra-model.json",
+                   metavar="PATH",
+                   help="artifact path (default: astra-model.json)")
+    p.add_argument("--store", default=None, metavar="PATH",
+                   help="also publish the artifact into this profile store "
+                        "(verified against the store schema first)")
+    p.add_argument("--json", action="store_true",
+                   help="print a machine-readable training summary")
+    p.set_defaults(fn=cmd_train)
 
     p = sub.add_parser(
         "serve",

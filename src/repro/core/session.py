@@ -90,6 +90,7 @@ class AstraSession:
         provenance=None,
         store=None,
         server=None,
+        learned=None,
     ):
         self.graph = model.graph if isinstance(model, TracedModel) else model
         self.model = model if isinstance(model, TracedModel) else None
@@ -99,12 +100,24 @@ class AstraSession:
             features = AstraFeatures.preset(features)
         self.features = features
         self.checkpoint_path = checkpoint_path
+        # cross-job warm start (docs/serving.md): a local ProfileStore
+        # path/instance and/or a serve-daemon URL/client whose indexes
+        # seed this job's exploration and receive its measurements back.
+        # Bound before the wirer so ``learned="store"`` can resolve the
+        # store's published cost-model artifact (docs/learning.md)
+        self._store = store
+        self._server = server
+        if learned == "store":
+            binding = self._store_binding()
+            learned = binding.load_model() if binding is not None else None
+            if learned is None and metrics is not None:
+                metrics.counter("learn.artifact_missing").inc()
         self.wirer = CustomWirer(
             self.graph, device, features, seed=seed, context=context, index=index,
             metrics=metrics, reporter=reporter, tracer=tracer, validate=validate,
             policy=policy, faults=faults, checkpoint_path=checkpoint_path,
             fast=fast, clock=clock, workers=workers, parallel=parallel,
-            provenance=provenance,
+            provenance=provenance, learned=learned,
         )
         # resume-on-restart: an existing checkpoint for the same
         # (graph, device, features, seed) is adopted automatically, so
@@ -112,11 +125,6 @@ class AstraSession:
         # exploration instead of restarting it
         if checkpoint_path and os.path.exists(checkpoint_path):
             self.wirer.restore(ExplorationCheckpoint.load(checkpoint_path))
-        # cross-job warm start (docs/serving.md): a local ProfileStore
-        # path/instance and/or a serve-daemon URL/client whose indexes
-        # seed this job's exploration and receive its measurements back
-        self._store = store
-        self._server = server
         self._job_digest: str | None = None
         self._warm_done = False
         self._published_keys: set = set()

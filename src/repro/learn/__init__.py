@@ -1,0 +1,38 @@
+"""Learned cost model over the profile-index corpus (docs/learning.md).
+
+The FK pre-ranker (``repro.perf.ranker``) prunes choices it can price
+*exactly*; this package goes further in the AutoTVM direction: a
+dependency-free regression model trained on the measurements the fleet
+has already paid for (``ProfileIndex`` / ``ProfileStore`` corpora),
+with calibrated per-prediction uncertainty so exploration measures only
+the model's top-k plus an uncertainty band -- and falls back to
+exhaustive exploration whenever the model is stale, unconfident, or
+contradicted by a Daydream-style what-if replay of the collected trace.
+"""
+
+from .features import FEATURE_NAMES, choice_features, feature_digest
+from .harvest import TrainingRecord, harvest_index, harvest_run
+from .model import (
+    ARTIFACT_VERSION,
+    LearnedCostModel,
+    ModelArtifactError,
+    StaleModelError,
+    artifact_fingerprint,
+)
+from .ranker import LearnedGate, LearnedRanker
+
+__all__ = [
+    "ARTIFACT_VERSION",
+    "FEATURE_NAMES",
+    "LearnedCostModel",
+    "LearnedGate",
+    "LearnedRanker",
+    "ModelArtifactError",
+    "StaleModelError",
+    "TrainingRecord",
+    "artifact_fingerprint",
+    "choice_features",
+    "feature_digest",
+    "harvest_index",
+    "harvest_run",
+]

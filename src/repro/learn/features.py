@@ -1,0 +1,149 @@
+"""Hand-built feature extraction for the learned cost model.
+
+A feature vector describes *one choice of one adaptive variable*: the
+units the choice would emit (the same per-variable emission the FK
+pre-ranker prices), summarized into the physical quantities the
+simulated device model keys on -- operand shapes (as flops/bytes), GEMM
+tile and wave occupancy from ``gpu/cost_model.py`` / ``gpu/libraries.py``,
+fusion-group size and chunking, library identity, stream layout, and
+the device's own roofline parameters so one model can serve a
+heterogeneous fleet.
+
+The column order is the serialization contract: artifacts embed
+:func:`feature_digest` and loading refuses a vector layout it was not
+trained on, so silent feature/column misalignment cannot survive a
+round-trip (the mutation-oracle tests attack exactly this).
+"""
+
+from __future__ import annotations
+
+import hashlib
+import math
+
+from ..gpu.cost_model import units_cost_us
+from ..gpu.kernels import CopyLaunch, ElementwiseLaunch, GemmLaunch, HostTransfer
+from ..gpu.libraries import GEMM_LIBRARIES
+
+#: library one-hot columns, in a stable (sorted) order
+_LIBRARY_NAMES = tuple(sorted(GEMM_LIBRARIES))
+
+#: the feature-vector layout, one name per column, in extraction order
+FEATURE_NAMES: tuple[str, ...] = (
+    "est_us",        # analytic units cost -- the pre-ranker's exact estimate
+    "log_flops",     # log1p of total flops across the choice's launches
+    "log_bytes",     # log1p of total bytes moved (operands, copies, PCIe)
+    "waves",         # summed GEMM wave count at this device's SM slots
+    "occupancy",     # mean last-wave SM occupancy over the GEMM launches
+    "launches",      # kernel launches emitted (pre-copies included)
+    "copies",        # gather/scatter pre-copy launches alone
+    "group_size",    # DFG nodes covered -- the fusion-group size signal
+    "chunk",         # fusion chunk width (1 for unfused / non-fusion vars)
+    "fused",         # 1.0 when the choice fuses (chunk > 1 or ladder fuse)
+    "split_k",       # summed split-k factor of the chosen GEMM plans
+    *(f"lib_{name}" for name in _LIBRARY_NAMES),  # library mix fractions
+    "streams_on",    # stream layout explored for this job (feature set)
+    "log_peak_flops",  # device roofline: log peak flops/us
+    "log_mem_bw",      # device roofline: log memory bytes/us
+    "sm_slots",        # device concurrency: schedulable block slots
+)
+
+
+def feature_digest() -> str:
+    """Fingerprint of the feature-vector layout.
+
+    Stored in every model artifact; a mismatch at load time means the
+    extractor changed since training and the artifact is stale.
+    """
+    text = "astra-learn-features-v1|" + ",".join(FEATURE_NAMES)
+    return hashlib.sha256(text.encode()).hexdigest()[:16]
+
+
+def _choice_shape(var_name: str, choice) -> tuple[float, float]:
+    """(chunk, fused) for the variable kind that owns this choice."""
+    if var_name.startswith("fusion:"):
+        chunk, _lib = choice
+        return float(chunk), 1.0 if chunk > 1 else 0.0
+    if var_name.startswith("ladder:"):
+        fuse, _lib = choice
+        return 1.0, 1.0 if fuse else 0.0
+    return 1.0, 0.0  # kernel variables: a bare library name
+
+
+def _kernel_bytes(kernel) -> float:
+    if isinstance(kernel, GemmLaunch):
+        # fp32 operand traffic: A (m*k), B (k*n), C (m*n)
+        return 4.0 * (kernel.m * kernel.k + kernel.k * kernel.n
+                      + kernel.m * kernel.n)
+    if isinstance(kernel, ElementwiseLaunch):
+        return float(kernel.num_elements * kernel.bytes_per_element)
+    if isinstance(kernel, (CopyLaunch, HostTransfer)):
+        return float(kernel.bytes_moved)
+    return 0.0
+
+
+def choice_features(enumerator, strategy, var, choice, device) -> list[float]:
+    """Extract the :data:`FEATURE_NAMES` vector for one variable choice.
+
+    Drives :meth:`Enumerator.units_for_choice`, so the summarized units
+    are exactly the units the choice's ``"units"`` measurement would
+    cover -- features and targets describe the same work.
+    """
+    units = enumerator.units_for_choice(strategy, var, choice)
+    est_us = units_cost_us(units, device)
+
+    flops = 0.0
+    moved = 0.0
+    launches = 0
+    copies = 0
+    nodes = 0
+    waves = 0.0
+    split_k = 0.0
+    occupancies: list[float] = []
+    lib_counts = dict.fromkeys(_LIBRARY_NAMES, 0)
+    gemms = 0
+    for unit in units:
+        nodes += len(unit.node_ids)
+        kernels = list(unit.pre_copies)
+        copies += len(unit.pre_copies)
+        if unit.kernel is not None:
+            kernels.append(unit.kernel)
+        launches += len(kernels)
+        for kernel in kernels:
+            flops += float(kernel.flops())
+            moved += _kernel_bytes(kernel)
+            if isinstance(kernel, GemmLaunch):
+                gemms += 1
+                lib_counts[kernel.library] += 1
+                plan = kernel.impl.plan(kernel.m, kernel.k, kernel.n, device)
+                kernel_waves = math.ceil(plan.tiles / device.sm_slots)
+                waves += kernel_waves
+                split_k += plan.split_k
+                occupancies.append(
+                    plan.tiles / (kernel_waves * device.sm_slots)
+                )
+
+    chunk, fused = _choice_shape(var.name, choice)
+    occupancy = (
+        sum(occupancies) / len(occupancies) if occupancies else 1.0
+    )
+    lib_mix = [
+        lib_counts[name] / gemms if gemms else 0.0 for name in _LIBRARY_NAMES
+    ]
+    return [
+        est_us,
+        math.log1p(flops),
+        math.log1p(moved),
+        waves,
+        occupancy,
+        float(launches),
+        float(copies),
+        float(nodes),
+        chunk,
+        fused,
+        split_k,
+        *lib_mix,
+        1.0 if enumerator.features.streams else 0.0,
+        math.log(device.peak_flops_per_us),
+        math.log(device.mem_bw_bytes_per_us),
+        float(device.sm_slots),
+    ]

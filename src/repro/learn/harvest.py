@@ -1,0 +1,103 @@
+"""Harvesting training corpora from profile indexes.
+
+A training record pairs one variable choice's feature vector with the
+``"units"`` measurement the exploration recorded for it -- read back
+from a :class:`~repro.core.profile_index.ProfileIndex` (a live run, a
+checkpoint, or a :class:`~repro.serve.store.ProfileStore` segment set).
+
+Records are only harvested where features and target describe the same
+work: quarantined sentinels are dropped, and ladder variables coupled to
+live kernel variables are skipped entirely (their measured value depends
+on a concurrent choice, so the extracted features would lie about it --
+the same guard the FK pre-ranker applies before pruning).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..core.measurement import QUARANTINED_US
+from .features import choice_features
+
+
+@dataclass(frozen=True)
+class TrainingRecord:
+    """One (features, measured-us) supervision pair."""
+
+    features: tuple[float, ...]
+    target_us: float
+    device: str
+    feature_set: str
+    var: str
+    choice: str
+
+
+def harvest_index(enumerator, index, device, *, context=()) -> list[TrainingRecord]:
+    """All usable (features, target) pairs ``index`` holds for this job.
+
+    Walks every strategy's fk tree the way the wirer does, looks up each
+    choice's profile key, and keeps the measured ones.
+    """
+    records: list[TrainingRecord] = []
+    feature_set = repr(enumerator.features)
+    for strategy in enumerator.strategies:
+        strategy_context = tuple(context) + strategy.context_key()
+        tree = enumerator.build_fk_tree(strategy)
+        tree_var_names = {v.name for v in tree.variables()}
+        for var in tree.variables():
+            if var.metric_kind != "units":
+                continue
+            if var.name.startswith("ladder:") and (
+                enumerator.member_unfused_kernel_vars(var.payload)
+                & tree_var_names
+            ):
+                continue  # coupled measurement: features would not match
+            for choice in var.choices:
+                value = index.get(var.profile_key(strategy_context, choice))
+                if value is None or value >= QUARANTINED_US:
+                    continue
+                records.append(TrainingRecord(
+                    features=tuple(choice_features(
+                        enumerator, strategy, var, choice, device
+                    )),
+                    target_us=float(value),
+                    device=device.name,
+                    feature_set=feature_set,
+                    var=var.name,
+                    choice=repr(choice),
+                ))
+    return records
+
+
+def harvest_run(
+    model,
+    device,
+    features="FK",
+    *,
+    seed: int = 0,
+    budget: int = 3000,
+    store=None,
+) -> list[TrainingRecord]:
+    """Run one exhaustive exploration and harvest its profile index.
+
+    Pruning is forced off so every choice gets measured (or seeded from
+    ``store`` -- a warm start retires the measurements but still fills
+    the index, so repeat harvests of a stored job are nearly free and
+    bit-identical).  Passing ``store`` also publishes the measurements
+    back, growing the shared corpus.
+    """
+    from ..core.session import AstraSession
+    from ..perf.ranker import FastPath
+
+    session = AstraSession(
+        model, device=device, features=features, seed=seed,
+        fast=FastPath(cache=True, prune=False), store=store,
+    )
+    try:
+        session.optimize(max_minibatches=budget)
+        return harvest_index(
+            session.wirer.enumerator, session.wirer.index, device,
+            context=session.wirer.base_context,
+        )
+    finally:
+        session.close()

@@ -1,0 +1,376 @@
+"""The learned cost model: staged ridge regression with calibration.
+
+Dependency-free (pure-Python linear algebra) and deterministic: the
+same records and seed produce the bit-identical artifact on any host.
+The fit is staged, GBM-style:
+
+* **stage 0** anchors the prediction on the analytic ``est_us`` feature
+  with a closed-form least-squares line -- on clean base-clock corpora
+  (where the ``"units"`` metric *is* the analytic cost) this stage alone
+  is already exact, and because it is linear in the raw estimate it
+  extrapolates safely to shapes far outside the training corpus (the
+  AutoTVM transfer property);
+* **stage 1** fits a ridge regressor over the standardized remaining
+  features to the stage-0 residual, soaking up whatever structure the
+  anchor missed (contention, fused-launch overheads, noisy corpora).
+
+Calibration: seeded k-fold cross-validation yields out-of-fold relative
+residuals whose quantiles (q50/q90/q95/q99) ship inside the artifact --
+every prediction comes with a band, and the ranker treats the band (not
+the point estimate) as the truth.
+
+Artifacts are JSON documents fingerprinted like store segments
+(``serve/store.py``): a sha256 over the canonical body, the
+``store_schema_version`` of the simulator that produced the training
+targets, and the :func:`~repro.learn.features.feature_digest` of the
+extractor layout.  :meth:`LearnedCostModel.loads` refuses anything
+corrupt (:class:`ModelArtifactError`) or trained against a different
+simulator/extractor (:class:`StaleModelError`); callers fall back to
+exhaustive exploration.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import random
+from dataclasses import dataclass, field
+
+from ..serve.keys import store_schema_version
+from .features import FEATURE_NAMES, feature_digest
+
+ARTIFACT_VERSION = 1
+ARTIFACT_KIND = "astra-learned-cost-model"
+
+#: quantile levels calibrated into every artifact
+QUANTILE_LEVELS = (0.50, 0.90, 0.95, 0.99)
+
+_EPS = 1e-12
+
+
+class ModelArtifactError(ValueError):
+    """The artifact is unusable: corrupt, truncated, or malformed."""
+
+
+class StaleModelError(ModelArtifactError):
+    """The artifact is intact but trained against a different simulator
+    schema or feature layout -- refusing it is the contract."""
+
+
+def artifact_fingerprint(body: dict) -> str:
+    """Checksum over the canonical artifact body (sans the checksum)."""
+    scrubbed = {k: v for k, v in body.items() if k != "sha256"}
+    text = json.dumps(scrubbed, sort_keys=True, separators=(",", ":"))
+    return hashlib.sha256(text.encode()).hexdigest()
+
+
+def _solve(matrix: list[list[float]], rhs: list[float]) -> list[float]:
+    """Gaussian elimination with partial pivoting; deterministic."""
+    n = len(rhs)
+    a = [row[:] + [rhs[i]] for i, row in enumerate(matrix)]
+    for col in range(n):
+        pivot = max(range(col, n), key=lambda r: abs(a[r][col]))
+        if abs(a[pivot][col]) < _EPS:
+            raise ModelArtifactError("singular normal equations")
+        if pivot != col:
+            a[col], a[pivot] = a[pivot], a[col]
+        inv = 1.0 / a[col][col]
+        for r in range(n):
+            if r == col:
+                continue
+            factor = a[r][col] * inv
+            if factor == 0.0:
+                continue
+            for c in range(col, n + 1):
+                a[r][c] -= factor * a[col][c]
+    return [a[i][n] / a[i][i] for i in range(n)]
+
+
+def _ridge(rows: list[list[float]], targets: list[float], l2: float) -> list[float]:
+    """Ridge weights (including intercept, unregularized) for ``rows``."""
+    n = len(rows[0]) + 1  # + intercept column
+    xtx = [[0.0] * n for _ in range(n)]
+    xty = [0.0] * n
+    for row, y in zip(rows, targets):
+        ext = row + [1.0]
+        for i in range(n):
+            xi = ext[i]
+            if xi == 0.0:
+                continue
+            xty[i] += xi * y
+            for j in range(n):
+                xtx[i][j] += xi * ext[j]
+    for i in range(n - 1):  # leave the intercept unpenalized
+        xtx[i][i] += l2
+    return _solve(xtx, xty)
+
+
+def _quantile(sorted_values: list[float], level: float) -> float:
+    if not sorted_values:
+        return 0.0
+    index = min(len(sorted_values) - 1,
+                max(0, int(level * len(sorted_values) + 0.999999) - 1))
+    return sorted_values[index]
+
+
+@dataclass
+class LearnedCostModel:
+    """A trained, serializable cost model (see module docstring)."""
+
+    feature_names: tuple[str, ...]
+    #: stage 0: prediction anchor ``anchor_slope * est_us + anchor_bias``
+    anchor_slope: float
+    anchor_bias: float
+    #: stage 1: standardization + ridge weights over the residual
+    mean: tuple[float, ...]
+    scale: tuple[float, ...]
+    weights: tuple[float, ...]  # one per feature + trailing intercept
+    #: calibrated relative-residual quantiles, e.g. {"q99": 0.012}
+    quantiles: dict[str, float]
+    records: int
+    seed: int
+    l2: float
+    calibration: str  # "kfold" or "insample"
+    schema: str = field(default_factory=store_schema_version)
+    features_digest: str = field(default_factory=feature_digest)
+    devices: tuple[str, ...] = ()
+    feature_sets: tuple[str, ...] = ()
+
+    # -- training -----------------------------------------------------------
+
+    @classmethod
+    def fit(
+        cls,
+        records,
+        *,
+        seed: int = 0,
+        l2: float = 1e-6,
+        folds: int = 5,
+    ) -> "LearnedCostModel":
+        """Train on :class:`~repro.learn.harvest.TrainingRecord` rows.
+
+        Deterministic in (records, seed, l2, folds): the k-fold split is
+        drawn from ``random.Random(seed)`` and every float reduction runs
+        in a fixed order.
+        """
+        records = list(records)
+        if not records:
+            raise ModelArtifactError("cannot train on an empty corpus")
+        n_features = len(records[0].features)
+        if n_features != len(FEATURE_NAMES):
+            raise ModelArtifactError(
+                f"expected {len(FEATURE_NAMES)} features, got {n_features}"
+            )
+        rows = [list(r.features) for r in records]
+        targets = [float(r.target_us) for r in records]
+
+        fitted = cls._fit_raw(rows, targets, l2)
+
+        # out-of-fold calibration: each record is predicted by a model
+        # that never saw it; relative residual quantiles become the band
+        residuals: list[float] = []
+        calibration = "insample"
+        if len(records) >= 2 * folds:
+            calibration = "kfold"
+            order = list(range(len(records)))
+            random.Random(seed).shuffle(order)
+            chunk = (len(order) + folds - 1) // folds
+            for start in range(0, len(order), chunk):
+                holdout = set(order[start:start + chunk])
+                train_rows = [rows[i] for i in order if i not in holdout]
+                train_targets = [targets[i] for i in order if i not in holdout]
+                fold_fit = cls._fit_raw(train_rows, train_targets, l2)
+                for i in sorted(holdout):
+                    pred = cls._predict_raw(fold_fit, rows[i])
+                    residuals.append(
+                        abs(pred - targets[i]) / max(abs(targets[i]), _EPS)
+                    )
+        else:
+            for row, y in zip(rows, targets):
+                pred = cls._predict_raw(fitted, row)
+                residuals.append(abs(pred - y) / max(abs(y), _EPS))
+        residuals.sort()
+        quantiles = {
+            f"q{int(level * 100)}": _quantile(residuals, level)
+            for level in QUANTILE_LEVELS
+        }
+
+        slope, bias, mean, scale, weights = fitted
+        return cls(
+            feature_names=tuple(FEATURE_NAMES),
+            anchor_slope=slope,
+            anchor_bias=bias,
+            mean=tuple(mean),
+            scale=tuple(scale),
+            weights=tuple(weights),
+            quantiles=quantiles,
+            records=len(records),
+            seed=seed,
+            l2=l2,
+            calibration=calibration,
+            devices=tuple(sorted({r.device for r in records})),
+            feature_sets=tuple(sorted({r.feature_set for r in records})),
+        )
+
+    @staticmethod
+    def _fit_raw(rows, targets, l2):
+        """(slope, bias, mean, scale, weights) for the two fit stages."""
+        count = len(rows)
+        est = [row[0] for row in rows]
+        est_mean = sum(est) / count
+        y_mean = sum(targets) / count
+        var = sum((e - est_mean) ** 2 for e in est)
+        if var < _EPS:
+            slope, bias = 0.0, y_mean
+        else:
+            cov = sum(
+                (e - est_mean) * (y - y_mean) for e, y in zip(est, targets)
+            )
+            slope = cov / var
+            bias = y_mean - slope * est_mean
+        residual = [y - (slope * e + bias) for e, y in zip(est, targets)]
+
+        n = len(rows[0])
+        mean = [sum(row[i] for row in rows) / count for i in range(n)]
+        scale = []
+        for i in range(n):
+            spread = (
+                sum((row[i] - mean[i]) ** 2 for row in rows) / count
+            ) ** 0.5
+            scale.append(spread if spread > _EPS else 1.0)
+        standardized = [
+            [(row[i] - mean[i]) / scale[i] for i in range(n)] for row in rows
+        ]
+        weights = _ridge(standardized, residual, l2)
+        return slope, bias, mean, scale, weights
+
+    @staticmethod
+    def _predict_raw(fitted, row) -> float:
+        slope, bias, mean, scale, weights = fitted
+        pred = slope * row[0] + bias
+        acc = weights[len(row)]  # intercept
+        for i, value in enumerate(row):
+            acc += weights[i] * ((value - mean[i]) / scale[i])
+        return pred + acc
+
+    # -- inference ----------------------------------------------------------
+
+    def predict(self, features) -> float:
+        """Point estimate (us) for one feature vector."""
+        fitted = (
+            self.anchor_slope, self.anchor_bias,
+            self.mean, self.scale, self.weights,
+        )
+        return self._predict_raw(fitted, list(features))
+
+    def band(self, features, quantile: str = "q99") -> tuple[float, float, float]:
+        """(lo, prediction, hi) at the requested calibrated quantile."""
+        pred = self.predict(features)
+        rel = self.quantiles.get(quantile, 0.0)
+        spread = abs(pred) * rel
+        return (pred - spread, pred, pred + spread)
+
+    def supports(self, device_name: str, feature_set: str) -> bool:
+        """Was the model trained on this device and feature set?"""
+        return device_name in self.devices and feature_set in self.feature_sets
+
+    def confident(self, *, min_records: int = 32, max_rel: float = 0.25) -> bool:
+        """Is the calibrated uncertainty tight enough to prune with?"""
+        return (
+            self.calibration == "kfold"
+            and self.records >= min_records
+            and self.quantiles.get("q95", float("inf")) <= max_rel
+        )
+
+    # -- serialization ------------------------------------------------------
+
+    def to_dict(self) -> dict:
+        body = {
+            "artifact": ARTIFACT_KIND,
+            "version": ARTIFACT_VERSION,
+            "schema": self.schema,
+            "features_digest": self.features_digest,
+            "feature_names": list(self.feature_names),
+            "anchor_slope": self.anchor_slope,
+            "anchor_bias": self.anchor_bias,
+            "mean": list(self.mean),
+            "scale": list(self.scale),
+            "weights": list(self.weights),
+            "quantiles": dict(self.quantiles),
+            "records": self.records,
+            "seed": self.seed,
+            "l2": self.l2,
+            "calibration": self.calibration,
+            "devices": list(self.devices),
+            "feature_sets": list(self.feature_sets),
+        }
+        body["sha256"] = artifact_fingerprint(body)
+        return body
+
+    def dumps(self) -> str:
+        return json.dumps(self.to_dict(), sort_keys=True, indent=1)
+
+    @property
+    def fingerprint(self) -> str:
+        return self.to_dict()["sha256"][:16]
+
+    @classmethod
+    def loads(cls, text: str, *, schema: str | None = None) -> "LearnedCostModel":
+        """Parse and verify an artifact.
+
+        Order matters and mirrors the store's segment classifier:
+        integrity first (a corrupt artifact raises
+        :class:`ModelArtifactError` before its schema field is believed),
+        then staleness (:class:`StaleModelError` on a schema or feature
+        layout the running simulator does not match).
+        """
+        try:
+            body = json.loads(text)
+        except (json.JSONDecodeError, TypeError) as exc:
+            raise ModelArtifactError(f"unparseable model artifact: {exc}") from exc
+        if not isinstance(body, dict) or body.get("artifact") != ARTIFACT_KIND:
+            raise ModelArtifactError("not a learned-cost-model artifact")
+        declared = body.get("sha256")
+        if declared != artifact_fingerprint(body):
+            raise ModelArtifactError("model artifact checksum mismatch")
+        if body.get("version") != ARTIFACT_VERSION:
+            raise StaleModelError(
+                f"artifact version {body.get('version')!r} != {ARTIFACT_VERSION}"
+            )
+        expected_schema = schema if schema is not None else store_schema_version()
+        if body.get("schema") != expected_schema:
+            raise StaleModelError(
+                f"artifact schema {body.get('schema')!r} does not match the "
+                f"running simulator ({expected_schema!r})"
+            )
+        if body.get("features_digest") != feature_digest():
+            raise StaleModelError("artifact feature layout mismatch")
+        try:
+            return cls(
+                feature_names=tuple(body["feature_names"]),
+                anchor_slope=float(body["anchor_slope"]),
+                anchor_bias=float(body["anchor_bias"]),
+                mean=tuple(body["mean"]),
+                scale=tuple(body["scale"]),
+                weights=tuple(body["weights"]),
+                quantiles={k: float(v) for k, v in body["quantiles"].items()},
+                records=int(body["records"]),
+                seed=int(body["seed"]),
+                l2=float(body["l2"]),
+                calibration=str(body["calibration"]),
+                schema=str(body["schema"]),
+                features_digest=str(body["features_digest"]),
+                devices=tuple(body["devices"]),
+                feature_sets=tuple(body["feature_sets"]),
+            )
+        except (KeyError, TypeError, ValueError) as exc:
+            raise ModelArtifactError(f"malformed model artifact: {exc}") from exc
+
+    @classmethod
+    def load_path(cls, path: str, *, schema: str | None = None) -> "LearnedCostModel":
+        try:
+            with open(path, encoding="utf-8") as handle:
+                text = handle.read()
+        except OSError as exc:
+            raise ModelArtifactError(f"unreadable model artifact: {exc}") from exc
+        return cls.loads(text, schema=schema)

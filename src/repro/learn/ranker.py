@@ -1,0 +1,291 @@
+"""Learned top-k pruning of the fk search space, with a verified gate.
+
+Sits beside the FK pre-ranker (``repro.perf.ranker``) in the wirer's
+prerank phase, but cuts deeper: instead of keeping everything within an
+exactness margin, it keeps only the model's **top-k choices plus the
+uncertainty band** -- every choice whose calibrated lower bound still
+overlaps the best choice's upper bound.  A choice is pruned only when
+its band lies strictly above the band of the predicted best, so a
+calibrated model provably cannot discard the measured winner.
+
+The ranker is paranoid by design; it declines (falls back to measuring
+everything the FK pre-ranker left) whenever:
+
+* a fault injector is armed or the device clock is off base -- the
+  corpus the model learned from does not describe perturbed durations
+  (the FK pre-ranker's own guard);
+* the model was not trained on this device or feature set, or its
+  calibration is too loose (``learn.skipped_*`` counters name the
+  reason);
+* the Daydream-style **what-if cross-check** fails: before trusting the
+  model on a strategy, the default configuration is executed once on a
+  clean executor, its trace analyzed, and the model's predictions for
+  the variables owning the top critical-path GEMMs are compared against
+  ``obs/whatif.py`` replay projections.  Disagreement beyond the gate
+  (5% by default) rejects the model for that strategy.
+
+Coupled ladder variables are never pruned, for the same reason the FK
+pre-ranker skips them: their measurement depends on a concurrently
+explored kernel choice.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..gpu.device import CLOCK_BASE
+from ..obs.metrics import NULL_REGISTRY
+from .features import choice_features
+from .model import LearnedCostModel, ModelArtifactError, StaleModelError
+
+
+@dataclass(frozen=True)
+class LearnedGate:
+    """Trust thresholds for the learned fast path."""
+
+    #: always keep at least this many top-ranked choices per variable
+    topk: int = 1
+    #: calibrated quantile that defines the uncertainty band
+    quantile: str = "q99"
+    #: minimum training-corpus size before the model may prune
+    min_records: int = 32
+    #: maximum calibrated q95 relative residual before the model may prune
+    max_uncertainty: float = 0.25
+    #: maximum |model - what-if| relative disagreement on critical kernels
+    whatif_rel_gate: float = 0.05
+    #: how many top critical-path GEMM records the cross-check inspects
+    whatif_top: int = 3
+
+
+class LearnedRanker:
+    """A bound model + gate, with per-run accounting for the report."""
+
+    def __init__(self, model: LearnedCostModel, gate: LearnedGate | None = None,
+                 metrics=None):
+        self.model = model
+        self.gate = gate if gate is not None else LearnedGate()
+        self.metrics = metrics if metrics is not None else NULL_REGISTRY
+        self._choices_pruned = 0
+        self._vars_ranked = 0
+        self._skips: dict[str, int] = {}
+        self._whatif: dict = {"checked": 0, "max_rel_error": 0.0,
+                              "strategies": {}, "ok": True}
+        #: per-strategy cross-check verdicts (strategy_id -> bool)
+        self._verified: dict[int, bool] = {}
+
+    @classmethod
+    def bind(cls, source, *, metrics=None, gate=None) -> "LearnedRanker":
+        """Materialize a ranker from whatever the caller configured.
+
+        ``source`` may be a ranker, a trained model, an artifact JSON
+        string, or a path to one.  Raises :class:`ModelArtifactError` /
+        :class:`StaleModelError` for the caller to turn into a counted
+        fallback.
+        """
+        if isinstance(source, cls):
+            if metrics is not None:
+                source.metrics = metrics
+            return source
+        if isinstance(source, LearnedCostModel):
+            return cls(source, gate=gate, metrics=metrics)
+        if isinstance(source, str):
+            text = source.lstrip()
+            if text.startswith("{"):
+                return cls(LearnedCostModel.loads(source), gate=gate,
+                           metrics=metrics)
+            return cls(LearnedCostModel.load_path(source), gate=gate,
+                       metrics=metrics)
+        raise ModelArtifactError(
+            f"cannot bind a learned ranker from {type(source).__name__}"
+        )
+
+    # -- accounting ---------------------------------------------------------
+
+    def _skip(self, reason: str) -> int:
+        self._skips[reason] = self._skips.get(reason, 0) + 1
+        self.metrics.counter(f"learn.skipped_{reason}").inc()
+        return 0
+
+    def summary(self) -> dict:
+        """The ``fast_path["learned"]`` block of the run report."""
+        return {
+            "fingerprint": self.model.fingerprint,
+            "records": self.model.records,
+            "quantile": self.gate.quantile,
+            "band_rel": self.model.quantiles.get(self.gate.quantile, 0.0),
+            "choices_pruned": self._choices_pruned,
+            "vars_ranked": self._vars_ranked,
+            "skips": dict(sorted(self._skips.items())),
+            "whatif": dict(self._whatif),
+        }
+
+    # -- the gated fast path ------------------------------------------------
+
+    def apply(
+        self, enumerator, strategy, tree, device, *,
+        graph, seed, context=(), injector=None, provenance=None,
+    ) -> int:
+        """Prune ``tree`` in place; returns the number of choices removed.
+
+        Mirrors :func:`repro.perf.ranker.prune_fk_tree`'s contract:
+        deterministic in (graph, device, strategy, artifact), preserves
+        choice order, re-initializes mutated variables and the tree.
+        """
+        if injector is not None or device.clock_mode != CLOCK_BASE:
+            return self._skip("inexact")
+        if not self.model.supports(device.name, repr(enumerator.features)):
+            return self._skip("unsupported")
+        if not self.model.confident(min_records=self.gate.min_records,
+                                    max_rel=self.gate.max_uncertainty):
+            return self._skip("unconfident")
+        if not self._verify_strategy(enumerator, strategy, tree, device,
+                                     graph, seed):
+            return self._skip("whatif_rejected")
+
+        pruned_total = 0
+        tree_var_names = {v.name for v in tree.variables()}
+        for var in tree.variables():
+            if var.metric_kind != "units" or len(var.choices) <= 1:
+                continue
+            if var.name.startswith("ladder:") and (
+                enumerator.member_unfused_kernel_vars(var.payload)
+                & tree_var_names
+            ):
+                continue
+            bands = [
+                self.model.band(
+                    choice_features(enumerator, strategy, var, choice, device),
+                    quantile=self.gate.quantile,
+                )
+                for choice in var.choices
+            ]
+            self._vars_ranked += 1
+            ranked = sorted(range(len(bands)), key=lambda i: (bands[i][1], i))
+            keep = set(ranked[:self.gate.topk])
+            best_hi = min(hi for _lo, _pred, hi in bands)
+            keep.update(
+                i for i, (lo, _pred, _hi) in enumerate(bands) if lo <= best_hi
+            )
+            if len(keep) == len(var.choices):
+                continue
+            pruned_total += len(var.choices) - len(keep)
+            if provenance is not None:
+                for i, choice in enumerate(var.choices):
+                    if i not in keep:
+                        provenance.model_pruned(
+                            context, var.name, choice, bands[i][1]
+                        )
+            # survivors keep their original order: choice order decides
+            # round pairing and finalize tie-breaks
+            var.choices[:] = [
+                choice for i, choice in enumerate(var.choices) if i in keep
+            ]
+            var.initialize()
+        if pruned_total:
+            self._choices_pruned += pruned_total
+            self.metrics.counter("learn.choices_pruned").inc(pruned_total)
+            tree.initialize()
+        return pruned_total
+
+    # -- the what-if cross-check --------------------------------------------
+
+    def _verify_strategy(self, enumerator, strategy, tree, device,
+                         graph, seed) -> bool:
+        """Execute the strategy's default configuration once and compare
+        the model against trace replay on the critical path."""
+        if strategy.strategy_id in self._verified:
+            return self._verified[strategy.strategy_id]
+
+        from ..obs.analysis import TimelineGraph, analyze
+        from ..obs.whatif import swap_libraries
+        from ..runtime.executor import Executor
+
+        built = enumerator.build_plan(strategy, tree.assignment())
+        executor = Executor(graph, device, seed=seed)
+        lowered = executor.dispatcher.lower(built.plan)
+        raw = executor.run_lowered(lowered).raw
+        timeline = TimelineGraph.from_execution(raw, lowered, device)
+        report = analyze(timeline)
+
+        owner = {
+            unit_id: name
+            for name, unit_ids in built.var_units.items()
+            for unit_id in unit_ids
+        }
+        vars_by_name = {v.name: v for v in tree.variables()}
+        indices = report.top_critical_records(self.gate.whatif_top,
+                                              kind="gemm")
+        if not indices:
+            # tiny graphs can put no GEMM on the critical path at all
+            # (elementwise chains dominate); the gate still wants evidence,
+            # so verify against the heaviest GEMMs in the trace instead
+            gemms = sorted(
+                (n for n in timeline.nodes if n.kind == "gemm"),
+                key=lambda n: (-n.duration, n.index),
+            )
+            indices = [n.index for n in gemms[:self.gate.whatif_top]]
+        errors: list[float] = []
+        checked_vars: set[str] = set()
+        for index in indices:
+            node = timeline.nodes[index]
+            name = owner.get(node.unit)
+            var = vars_by_name.get(name) if name is not None else None
+            if var is None or name in checked_vars:
+                continue
+            checked_vars.add(name)
+            owned = set(built.var_units[name])
+            owned_nodes = [n for n in timeline.nodes if n.unit in owned]
+            if name.startswith("kernel:"):
+                # replay every library alternative for the owned GEMMs and
+                # demand the model agree with the projection for each.  The
+                # model prices the variable's whole unit set; the library
+                # swap only re-prices its GEMMs, so the choice-invariant
+                # owned work (layout packs) is read back from the trace.
+                gemm_indices = [n.index for n in owned_nodes
+                                if n.kind == "gemm"]
+                invariant = sum(n.duration for n in owned_nodes
+                                if n.kind != "gemm")
+                for choice in var.choices:
+                    prediction = self.model.predict(choice_features(
+                        enumerator, strategy, var, choice, device
+                    ))
+                    projection = swap_libraries(
+                        timeline, dict.fromkeys(gemm_indices, choice), device
+                    )
+                    projected = invariant + sum(
+                        change.new_duration_us for change in projection.changes
+                    )
+                    errors.append(_rel_error(prediction, projected))
+            else:
+                # fusion/ladder: the trace already measured this choice;
+                # the model must reproduce the recorded owned durations
+                prediction = self.model.predict(choice_features(
+                    enumerator, strategy, var, var.value, device
+                ))
+                recorded = sum(n.duration for n in owned_nodes)
+                errors.append(_rel_error(prediction, recorded))
+
+        max_error = max(errors, default=0.0)
+        ok = bool(errors) and max_error <= self.gate.whatif_rel_gate
+        self._whatif["checked"] += len(errors)
+        self._whatif["max_rel_error"] = max(
+            self._whatif["max_rel_error"], max_error
+        )
+        self._whatif["strategies"][str(strategy.strategy_id)] = {
+            "label": strategy.label,
+            "checks": len(errors),
+            "max_rel_error": max_error,
+            "ok": ok,
+        }
+        if not ok:
+            self._whatif["ok"] = False
+            self.metrics.counter("learn.whatif_rejected").inc()
+        self.metrics.gauge("learn.whatif_max_rel_error").set(
+            self._whatif["max_rel_error"]
+        )
+        self._verified[strategy.strategy_id] = ok
+        return ok
+
+
+def _rel_error(prediction: float, reference: float) -> float:
+    return abs(prediction - reference) / max(abs(reference), 1e-9)

@@ -47,7 +47,7 @@ from ..obs.metrics import MetricsRegistry
 from .ranker import FastPath
 from .timers import PhaseClock
 
-BENCH_VERSION = 3
+BENCH_VERSION = 4
 
 #: the variant the acceptance gate applies to: the fusion+kernel phase is
 #: where both the cache and the pre-ranker bite (the stream phase's epoch
@@ -75,6 +75,15 @@ DEFAULT_WORKERS = 4
 #: warm-started rerun may measure (the ISSUE's acceptance gate);
 #: deterministic on the simulator, so it applies on every host
 WARM_CONFIGS_TARGET = 0.5
+
+#: maximum fraction of the exhaustive baseline's measured configurations
+#: the learned-top-k leg may measure (docs/learning.md); deterministic,
+#: applies on every host
+LEARNED_CONFIGS_TARGET = 0.5
+
+#: maximum |model - what-if| relative disagreement the learned leg's
+#: cross-check may report (mirrors ``LearnedGate.whatif_rel_gate``)
+LEARNED_WHATIF_GATE = 0.05
 
 BASELINE_FAST_PATH = FastPath(cache=False, prune=False)
 FAST_FAST_PATH = FastPath(cache=True, prune=True)
@@ -120,6 +129,7 @@ class BenchRun:
             "cache": fast_path.get("cache"),
             "engine": fast_path.get("parallel"),
             "warm": dict(self.report.warm),
+            "learned": fast_path.get("learned"),
         }
 
 
@@ -133,6 +143,7 @@ def timed_session_run(
     fast: FastPath | None = None,
     workers: int | None = None,
     store=None,
+    learned=None,
 ) -> BenchRun:
     """Optimize ``model`` once under a phase clock, from a cold start.
 
@@ -154,7 +165,7 @@ def timed_session_run(
         session = AstraSession(
             model, device=device, features=features, seed=seed,
             metrics=metrics, fast=fast, clock=clock, workers=workers,
-            store=store,
+            store=store, learned=learned,
         )
         try:
             report = session.optimize(max_minibatches=budget)
@@ -208,6 +219,7 @@ def bench_model(
     variants: tuple[str, ...] = DEFAULT_VARIANTS,
     quick: bool = False,
     workers: int = DEFAULT_WORKERS,
+    learned=None,
 ) -> dict:
     """Run the baseline / fast / parallel comparison and assemble the doc.
 
@@ -236,6 +248,14 @@ def bench_model(
     at most :data:`WARM_CONFIGS_TARGET` of the cold measurements,
     non-zero seeding -- are deterministic and apply always; see
     :func:`_warm_leg`.
+
+    The **learned** leg (primary variant only, when ``learned`` names a
+    cost-model artifact) reruns the fast configuration with the learned
+    top-k ranker armed (docs/learning.md).  Its gates -- winner and
+    epoch time identical to the exhaustive baseline, at most
+    :data:`LEARNED_CONFIGS_TARGET` of the baseline's measurements, a
+    non-zero model hit rate, and a passing what-if cross-check -- are
+    deterministic and apply always; see :func:`_learned_leg`.
     """
     if name not in MODEL_BUILDERS:
         raise ValueError(f"unknown model {name!r}; have {sorted(MODEL_BUILDERS)}")
@@ -252,6 +272,7 @@ def bench_model(
         _bench_variants(
             model, variants, device, seed, budget, quick, workers,
             host_cpus, warm_dir.name, failures, variant_docs,
+            learned=learned,
         )
     finally:
         warm_dir.cleanup()
@@ -290,7 +311,7 @@ def bench_model(
 
 def _bench_variants(
     model, variants, device, seed, budget, quick, workers,
-    host_cpus, warm_root, failures, variant_docs,
+    host_cpus, warm_root, failures, variant_docs, learned=None,
 ) -> None:
     for variant in variants:
         base = timed_session_run(
@@ -357,6 +378,14 @@ def _bench_variants(
             variant_docs[variant].update(
                 _warm_leg(fast, warm, failures)
             )
+        if variant == PRIMARY_VARIANT and learned is not None:
+            lrn = timed_session_run(
+                model, features=variant, device=device, seed=seed,
+                budget=budget, fast=FAST_FAST_PATH, learned=learned,
+            )
+            variant_docs[variant].update(
+                _learned_leg(base, lrn, failures)
+            )
 
 
 def _warm_leg(fast: BenchRun, warm: BenchRun, failures: list[str]) -> dict:
@@ -416,6 +445,91 @@ def _warm_leg(fast: BenchRun, warm: BenchRun, failures: list[str]) -> dict:
         "warm_gate": (
             f"<= {WARM_CONFIGS_TARGET * 100:.0f}% of cold configs, "
             f"identical winner"
+        ),
+    }
+
+
+def _learned_leg(base: BenchRun, lrn: BenchRun, failures: list[str]) -> dict:
+    """Record and gate the learned-top-k leg against the exhaustive baseline.
+
+    The learned ranker claims it can retire most of the search space
+    without moving the answer (docs/learning.md).  All gates are
+    deterministic (the simulator is noise-free) and apply on every host,
+    quick runs included:
+
+    * the learned run's winning assignment and final epoch time must
+      equal the **exhaustive baseline's** exactly -- not merely the fast
+      leg's: the model rides on top of the FK pre-ranker, and the claim
+      is against ground truth;
+    * the learned run must measure at most
+      :data:`LEARNED_CONFIGS_TARGET` (50%) of the configurations the
+      exhaustive baseline measured;
+    * the model must actually have pruned choices -- a leg whose model
+      was rejected or declined everywhere would otherwise pass the
+      identity gates vacuously (the "non-zero hit rate" guard);
+    * the what-if cross-check must have run (non-zero checks) and agree
+      within :data:`LEARNED_WHATIF_GATE` on the critical kernels.
+    """
+    match = _winner_match(base, lrn)
+    base_rec, lrn_rec = base.record(), lrn.record()
+    summary = lrn_rec.get("learned") or {}
+    whatif = summary.get("whatif") or {}
+    fraction = (
+        lrn_rec["configs_explored"] / base_rec["configs_explored"]
+        if base_rec["configs_explored"] > 0 else 0.0
+    )
+    if summary.get("rejected"):
+        failures.append(
+            f"learned: model artifact rejected ({summary['rejected']})"
+        )
+    if not match["assignment_match"]:
+        failures.append("learned: winner diverged from exhaustive winner")
+    if not match["best_time_match"]:
+        failures.append(
+            f"learned: final epoch time diverged "
+            f"(exhaustive {base_rec['best_time_us']} us, "
+            f"learned {lrn_rec['best_time_us']} us)"
+        )
+    if fraction > LEARNED_CONFIGS_TARGET:
+        failures.append(
+            f"learned: measured {lrn_rec['configs_explored']} of "
+            f"{base_rec['configs_explored']} exhaustive configurations "
+            f"({fraction * 100:.0f}%; target <= "
+            f"{LEARNED_CONFIGS_TARGET * 100:.0f}%)"
+        )
+    if summary.get("choices_pruned", 0) <= 0:
+        failures.append(
+            "learned: model pruned 0 choices (hit rate is zero; skips: "
+            f"{summary.get('skips', {})})"
+        )
+    if whatif.get("checked", 0) <= 0:
+        failures.append("learned: what-if cross-check ran 0 checks")
+    elif not whatif.get("ok", False) or (
+        whatif.get("max_rel_error", 0.0) > LEARNED_WHATIF_GATE
+    ):
+        failures.append(
+            f"learned: what-if disagreement "
+            f"{whatif.get('max_rel_error', 0.0) * 100:.1f}% above the "
+            f"{LEARNED_WHATIF_GATE * 100:.0f}% gate"
+        )
+    return {
+        "learned": lrn_rec,
+        "learned_speedup": (
+            base_rec["wall_s"] / lrn_rec["wall_s"]
+            if lrn_rec["wall_s"] > 0 else 0.0
+        ),
+        "learned_configs_fraction": fraction,
+        "learned_winner_match": (
+            match["assignment_match"] and match["best_time_match"]
+        ),
+        "learned_choices_pruned": summary.get("choices_pruned", 0),
+        "learned_whatif_checked": whatif.get("checked", 0),
+        "learned_whatif_max_rel_error": whatif.get("max_rel_error", 0.0),
+        "learned_model_fingerprint": summary.get("fingerprint"),
+        "learned_gate": (
+            f"<= {LEARNED_CONFIGS_TARGET * 100:.0f}% of exhaustive "
+            f"configs, identical winner, what-if within "
+            f"{LEARNED_WHATIF_GATE * 100:.0f}%"
         ),
     }
 
@@ -483,6 +597,18 @@ def _parallel_leg(
 #: before ``repro bench --compare`` fails (see :func:`compare_bench`)
 REGRESSION_THRESHOLD = 0.20
 
+#: the document version that introduced each optional leg.  The compare
+#: gate uses these to distinguish "this document *predates* the leg"
+#: (gate skipped: committed old baselines stay loadable forever) from
+#: "this document *should* carry the leg but does not" (gate reports the
+#: missing leg explicitly) -- and to refuse documents that carry a leg
+#: their declared version cannot: without the explicit check, a learned
+#: leg diffed against a v2/v3 baseline would silently pass vacuously.
+LEG_VERSIONS = {"warm": 3, "learned": 4}
+
+#: human label per leg for failure messages
+_LEG_LABELS = {"warm": "warm-start", "learned": "learned-top-k"}
+
 
 def compare_bench(current: dict, baseline: dict) -> dict:
     """Diff a fresh bench document against a committed baseline.
@@ -497,13 +623,17 @@ def compare_bench(current: dict, baseline: dict) -> dict:
       more than :data:`REGRESSION_THRESHOLD` (20%) in any shared variant
       fails the comparison.
 
-    * **warm-start speedup** -- when *both* documents carry a warm leg,
-      the ``warm_speedup`` ratio (cold fast wall over warm wall, which
+    * **optional legs** (warm-start, learned-top-k) -- when *both*
+      documents carry the leg, its ``<leg>_speedup`` ratio (which
       divides out the host's absolute speed) must not drop by more than
-      the same threshold, and the warm leg's winner identity must hold.
-      A version-2 baseline has no warm leg; the warm gate then reports
-      itself skipped instead of failing -- committed v2 documents stay
-      loadable forever.
+      the same threshold, and the leg's winner identity must hold.
+      Each leg has an explicit schema version (:data:`LEG_VERSIONS`): a
+      baseline whose declared version predates the leg skips the gate
+      (committed v2/v3 documents stay loadable forever), a document
+      that carries a leg its declared version cannot **fails** the
+      comparison, and a document new enough to carry the leg but
+      missing it reports a distinct skip reason -- the learned gate can
+      never silently pass against a pre-learned baseline.
 
     Absolute configs/sec and cache hit rates are reported as
     informational deltas only -- they track the machine as much as the
@@ -511,6 +641,8 @@ def compare_bench(current: dict, baseline: dict) -> dict:
     """
     failures: list[str] = []
     variants: dict[str, dict] = {}
+    cur_version = current.get("version", 0)
+    base_version = baseline.get("version", 0)
     shared = [
         v for v in baseline.get("variants", {})
         if v in current.get("variants", {})
@@ -549,30 +681,10 @@ def compare_bench(current: dict, baseline: dict) -> dict:
                 f"({base_ratio:.2f}x -> {cur_ratio:.2f}x; "
                 f"threshold {REGRESSION_THRESHOLD * 100:.0f}%)"
             )
-        cur_warm = cur.get("warm_speedup")
-        base_warm = base.get("warm_speedup")
-        if cur_warm is None or base_warm is None:
-            # a v2 (pre-warm-leg) document on either side: informational
-            variants[variant]["warm_gate"] = "skipped: no warm leg in both docs"
-            variants[variant]["warm_speedup_current"] = cur_warm
-            variants[variant]["warm_speedup_baseline"] = base_warm
-            continue
-        warm_drop = 1.0 - cur_warm / base_warm if base_warm > 0 else 0.0
-        variants[variant]["warm_gate"] = "compared"
-        variants[variant]["warm_speedup_current"] = cur_warm
-        variants[variant]["warm_speedup_baseline"] = base_warm
-        variants[variant]["warm_speedup_drop"] = warm_drop
-        variants[variant]["warm_winner_match"] = cur.get(
-            "warm_winner_match", False
-        )
-        if not cur.get("warm_winner_match", False):
-            failures.append(f"{variant}: warm leg's winner diverged")
-        if warm_drop > REGRESSION_THRESHOLD:
-            failures.append(
-                f"{variant}: warm-start speedup regressed "
-                f"{warm_drop * 100:.1f}% "
-                f"({base_warm:.2f}x -> {cur_warm:.2f}x; "
-                f"threshold {REGRESSION_THRESHOLD * 100:.0f}%)"
+        for leg in LEG_VERSIONS:
+            _compare_leg(
+                variant, leg, cur, base, cur_version, base_version,
+                variants[variant], failures,
             )
     return {
         "model": current.get("model"),
@@ -582,6 +694,62 @@ def compare_bench(current: dict, baseline: dict) -> dict:
         "failures": failures,
         "ok": not failures,
     }
+
+
+def _compare_leg(
+    variant: str, leg: str, cur: dict, base: dict,
+    cur_version: int, base_version: int, vdoc: dict, failures: list[str],
+) -> None:
+    """Gate one optional leg of one variant (see :func:`compare_bench`)."""
+    min_version = LEG_VERSIONS[leg]
+    cur_speed = cur.get(f"{leg}_speedup")
+    base_speed = base.get(f"{leg}_speedup")
+    vdoc[f"{leg}_speedup_current"] = cur_speed
+    vdoc[f"{leg}_speedup_baseline"] = base_speed
+    # a document that carries the leg while declaring a version that
+    # predates it is mislabelled -- refuse it instead of comparing
+    mislabelled = False
+    for side, version, speed in (("current", cur_version, cur_speed),
+                                 ("baseline", base_version, base_speed)):
+        if speed is not None and version < min_version:
+            failures.append(
+                f"{variant}: {side} document declares version {version} "
+                f"but carries a {leg} leg (introduced in version "
+                f"{min_version})"
+            )
+            mislabelled = True
+    if mislabelled:
+        vdoc[f"{leg}_gate"] = "failed: version/leg mismatch"
+        return
+    if cur_speed is None or base_speed is None:
+        if base_version < min_version or cur_version < min_version:
+            side, version = (
+                ("baseline", base_version) if base_version < min_version
+                else ("current", cur_version)
+            )
+            vdoc[f"{leg}_gate"] = (
+                f"skipped: {side} document version {version} predates "
+                f"the {leg} leg (introduced in version {min_version})"
+            )
+        else:
+            side = "current" if cur_speed is None else "baseline"
+            vdoc[f"{leg}_gate"] = (
+                f"skipped: {side} document did not run the {leg} leg"
+            )
+        return
+    drop = 1.0 - cur_speed / base_speed if base_speed > 0 else 0.0
+    vdoc[f"{leg}_gate"] = "compared"
+    vdoc[f"{leg}_speedup_drop"] = drop
+    vdoc[f"{leg}_winner_match"] = cur.get(f"{leg}_winner_match", False)
+    if not cur.get(f"{leg}_winner_match", False):
+        failures.append(f"{variant}: {leg} leg's winner diverged")
+    if drop > REGRESSION_THRESHOLD:
+        failures.append(
+            f"{variant}: {_LEG_LABELS[leg]} speedup regressed "
+            f"{drop * 100:.1f}% "
+            f"({base_speed:.2f}x -> {cur_speed:.2f}x; "
+            f"threshold {REGRESSION_THRESHOLD * 100:.0f}%)"
+        )
 
 
 def render_compare(diff: dict) -> str:
@@ -606,20 +774,21 @@ def render_compare(diff: dict) -> str:
             f"{vdoc['cache_hit_rate_current'] * 100:8.1f}  "
             f"{'match' if vdoc['winner_match'] else 'CHANGED'}"
         )
-    for variant, vdoc in diff["variants"].items():
-        gate = vdoc.get("warm_gate")
-        if gate is None:
-            continue
-        if gate.startswith("skipped"):
-            lines.append(f"{variant:>8}  warm: {gate}")
-        else:
-            lines.append(
-                f"{variant:>8}  warm: "
-                f"{vdoc['warm_speedup_baseline']:.2f}x -> "
-                f"{vdoc['warm_speedup_current']:.2f}x "
-                f"(drop {vdoc['warm_speedup_drop'] * 100:.1f}%)  "
-                f"{'match' if vdoc.get('warm_winner_match') else 'CHANGED'}"
-            )
+    for leg in LEG_VERSIONS:
+        for variant, vdoc in diff["variants"].items():
+            gate = vdoc.get(f"{leg}_gate")
+            if gate is None:
+                continue
+            if gate != "compared":
+                lines.append(f"{variant:>8}  {leg}: {gate}")
+            else:
+                lines.append(
+                    f"{variant:>8}  {leg}: "
+                    f"{vdoc[f'{leg}_speedup_baseline']:.2f}x -> "
+                    f"{vdoc[f'{leg}_speedup_current']:.2f}x "
+                    f"(drop {vdoc[f'{leg}_speedup_drop'] * 100:.1f}%)  "
+                    f"{'match' if vdoc.get(f'{leg}_winner_match') else 'CHANGED'}"
+                )
     if diff["failures"]:
         lines.append("FAILURES:")
         lines.extend(f"  - {msg}" for msg in diff["failures"])
@@ -673,6 +842,24 @@ def render_bench(doc: dict) -> str:
             f"seeded {vdoc['warm_seeded_entries']}  "
             f"{'match' if vdoc['warm_winner_match'] else 'DIVERGED'}  "
             f"gate: {vdoc['warm_gate']}"
+        )
+    for variant, vdoc in doc["variants"].items():
+        lrn = vdoc.get("learned")
+        if lrn is None:
+            continue
+        fingerprint = vdoc.get("learned_model_fingerprint") or "?"
+        lines.append(
+            f"{variant:>8}  learned (model {fingerprint[:12]}): "
+            f"{lrn['wall_s']:.3f}s  "
+            f"{vdoc['learned_speedup']:.2f}x vs exhaustive  "
+            f"measured {lrn['configs_explored']} of "
+            f"{vdoc['baseline']['configs_explored']} configs "
+            f"({vdoc['learned_configs_fraction'] * 100:.0f}%)  "
+            f"cut {vdoc['learned_choices_pruned']}  "
+            f"what-if {vdoc['learned_whatif_checked']} checks "
+            f"(max {vdoc['learned_whatif_max_rel_error'] * 100:.1f}%)  "
+            f"{'match' if vdoc['learned_winner_match'] else 'DIVERGED'}  "
+            f"gate: {vdoc['learned_gate']}"
         )
     for variant, vdoc in doc["variants"].items():
         phases = vdoc["fast"]["phases_s"]

@@ -1,0 +1,37 @@
+"""Shared corpus and trained-model fixtures for the learn tests.
+
+Harvesting runs four exhaustive explorations (scrnn/milstm x P100/V100)
+once per session; training is deterministic in (corpus, seed), so every
+test sees the identical model.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.gpu import DEVICES
+from repro.learn import LearnedCostModel, harvest_run
+from repro.models import ModelConfig, build_milstm, build_scrnn
+
+TINY = ModelConfig(batch_size=4, seq_len=3, hidden_size=32, embed_size=32,
+                   vocab_size=50)
+BUILDERS = {"scrnn": build_scrnn, "milstm": build_milstm}
+CORPUS_DEVICES = ("P100", "V100")
+FIT_SEED = 7
+
+
+@pytest.fixture(scope="session")
+def corpus():
+    records = []
+    for name in sorted(BUILDERS):
+        for device_name in CORPUS_DEVICES:
+            records.extend(harvest_run(
+                BUILDERS[name](TINY), DEVICES[device_name], "FK",
+                seed=0, budget=400,
+            ))
+    return records
+
+
+@pytest.fixture(scope="session")
+def trained(corpus):
+    return LearnedCostModel.fit(corpus, seed=FIT_SEED)

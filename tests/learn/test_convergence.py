@@ -1,0 +1,157 @@
+"""Acceptance: learned top-k exploration is indistinguishable from
+exhaustive exploration in its answer -- identical winning assignment and
+final epoch time on both bundled RNN models and both GPU generations --
+while measuring at most half the configurations, with the what-if
+cross-check holding on every critical kernel, under serial, parallel
+and fault-injected execution (see docs/learning.md)."""
+
+import pytest
+
+from repro.core.session import AstraSession
+from repro.faults import FAULT_SLOWDOWN, FaultPlan, FaultSpec
+from repro.gpu import DEVICES
+from repro.obs.metrics import MetricsRegistry
+from repro.perf import FastPath
+from repro.perf.bench import (
+    LEARNED_CONFIGS_TARGET,
+    LEARNED_WHATIF_GATE,
+    bench_model,
+    render_bench,
+)
+
+from .conftest import BUILDERS, TINY
+
+EXHAUSTIVE = FastPath(cache=True, prune=False)
+
+
+def _optimize(model, device, *, fast=None, learned=None, workers=None,
+              faults=None, metrics=None):
+    session = AstraSession(
+        model, device=device, features="FK", seed=0, fast=fast,
+        learned=learned, workers=workers, faults=faults, metrics=metrics,
+    )
+    try:
+        return session.optimize(max_minibatches=400)
+    finally:
+        session.close()
+
+
+@pytest.mark.parametrize("device_name", ["P100", "V100"])
+@pytest.mark.parametrize("model_name", sorted(BUILDERS))
+def test_learned_topk_equals_exhaustive(trained, model_name, device_name):
+    model = BUILDERS[model_name](TINY)
+    device = DEVICES[device_name]
+    exhaustive = _optimize(model, device, fast=EXHAUSTIVE)
+    learned = _optimize(model, device, learned=trained)
+
+    assert learned.best_time_us == exhaustive.best_time_us, (
+        f"{model_name}/{device_name}: final epoch time diverged"
+    )
+    assert learned.astra.assignment == exhaustive.astra.assignment, (
+        f"{model_name}/{device_name}: winning configuration diverged"
+    )
+    summary = learned.astra.fast_path["learned"]
+    assert summary["skips"] == {}
+    # the model actually pruned (non-vacuous), and deeply enough
+    assert summary["choices_pruned"] > 0
+    assert learned.configs_explored <= (
+        LEARNED_CONFIGS_TARGET * exhaustive.configs_explored
+    )
+    # the Daydream-style cross-check ran and held on the critical kernels
+    whatif = summary["whatif"]
+    assert whatif["ok"]
+    assert whatif["checked"] > 0
+    assert whatif["max_rel_error"] <= LEARNED_WHATIF_GATE
+    for verdict in whatif["strategies"].values():
+        assert verdict["ok"] and verdict["checks"] > 0
+
+
+def test_learned_report_carries_model_identity(trained):
+    report = _optimize(BUILDERS["scrnn"](TINY), DEVICES["P100"],
+                       learned=trained)
+    summary = report.astra.fast_path["learned"]
+    assert summary["fingerprint"] == trained.fingerprint
+    assert summary["records"] == trained.records
+    assert summary["vars_ranked"] > 0
+
+
+def test_learned_prunes_on_top_of_fk(trained):
+    """The learned ranker composes with (cuts deeper than) the FK
+    pre-ranker: strictly fewer measured configurations than the fast
+    path alone."""
+    model = BUILDERS["milstm"](TINY)
+    device = DEVICES["V100"]
+    fast = _optimize(model, device, fast=FastPath(cache=True, prune=True))
+    learned = _optimize(model, device, learned=trained)
+    assert learned.configs_explored <= fast.configs_explored
+    assert learned.best_time_us == fast.best_time_us
+
+
+def test_learned_with_workers_matches_serial(trained):
+    model = BUILDERS["scrnn"](TINY)
+    device = DEVICES["P100"]
+    serial = _optimize(model, device, learned=trained)
+    parallel = _optimize(model, device, learned=trained, workers=2)
+    assert parallel.best_time_us == serial.best_time_us
+    assert parallel.astra.assignment == serial.astra.assignment
+    assert parallel.configs_explored == serial.configs_explored
+    assert (
+        parallel.astra.fast_path["learned"]["choices_pruned"]
+        == serial.astra.fast_path["learned"]["choices_pruned"]
+    )
+
+
+def test_fault_injection_disarms_the_model(trained):
+    """Under an armed injector the corpus no longer describes the device,
+    so the ranker must decline -- and the run must land exactly where a
+    faulted run without any model lands."""
+    faults = FaultPlan(
+        specs=(FaultSpec(FAULT_SLOWDOWN, rate=0.3, factor=2.0),), seed=3
+    )
+    model = BUILDERS["scrnn"](TINY)
+    device = DEVICES["P100"]
+    metrics = MetricsRegistry()
+    plain = _optimize(model, device, faults=faults)
+    learned = _optimize(model, device, faults=faults, learned=trained,
+                        metrics=metrics)
+    summary = learned.astra.fast_path["learned"]
+    assert summary["choices_pruned"] == 0
+    assert summary["skips"].get("inexact", 0) > 0
+    assert metrics.snapshot()["learn.skipped_inexact"]["value"] > 0
+    assert learned.best_time_us == plain.best_time_us
+    assert learned.astra.assignment == plain.astra.assignment
+
+
+class TestLearnedBenchLeg:
+    """The ``repro bench --learned`` acceptance gates, pinned."""
+
+    @pytest.mark.parametrize("model_name", sorted(BUILDERS))
+    def test_bench_gates_pass(self, trained, tmp_path, model_name):
+        artifact = tmp_path / "model.json"
+        artifact.write_text(trained.dumps())
+        doc = bench_model(
+            model_name, batch=4, seq_len=3, seed=0, budget=400,
+            quick=True, workers=0, learned=str(artifact),
+        )
+        assert doc["ok"], doc["failures"]
+        assert doc["version"] == 4
+        variant = doc["variants"][doc["primary_variant"]]
+        assert variant["learned_winner_match"]
+        assert variant["learned_configs_fraction"] <= LEARNED_CONFIGS_TARGET
+        assert variant["learned_choices_pruned"] > 0
+        assert variant["learned_whatif_checked"] > 0
+        assert variant["learned_whatif_max_rel_error"] <= LEARNED_WHATIF_GATE
+        assert variant["learned_model_fingerprint"] == trained.fingerprint
+        rendered = render_bench(doc)
+        assert "learned" in rendered and "gate:" in rendered
+
+    def test_rejected_artifact_fails_the_leg(self, trained, tmp_path):
+        artifact = tmp_path / "model.json"
+        artifact.write_text(trained.dumps()[:-40])  # truncated: corrupt
+        doc = bench_model(
+            "scrnn", batch=4, seq_len=3, seed=0, budget=400,
+            quick=True, workers=0, learned=str(artifact),
+        )
+        assert not doc["ok"]
+        assert any("artifact rejected" in msg for msg in doc["failures"])
+        assert any("hit rate is zero" in msg for msg in doc["failures"])

@@ -1,0 +1,135 @@
+"""Mutation-style oracle for the feature extractor.
+
+The feature vector is a serialization contract: training and serving
+must extract the identical column layout, and the physical columns must
+point the right way (more waves is never evidence of a faster kernel).
+These tests attack both failure modes directly: directional sanity on
+*real* choice pairs from the harvested corpus, and a mutant-killing
+check proving that a misaligned serve-side extractor (swapped, zeroed,
+shifted or sign-flipped columns) produces errors the calibrated band
+cannot miss."""
+
+import itertools
+from collections import defaultdict
+
+from repro.core.enumerator import AstraFeatures, Enumerator
+from repro.gpu import DEVICES
+from repro.gpu.cost_model import units_cost_us
+from repro.learn import FEATURE_NAMES, choice_features, feature_digest
+
+from .conftest import BUILDERS, TINY
+
+EST = FEATURE_NAMES.index("est_us")
+WAVES = FEATURE_NAMES.index("waves")
+
+
+def _real_pairs(corpus):
+    """Choice pairs of the same variable on the same device."""
+    by_var = defaultdict(list)
+    for record in corpus:
+        by_var[(record.device, record.var)].append(record)
+    for group in by_var.values():
+        yield from itertools.combinations(group, 2)
+
+
+class TestExtractor:
+    def test_layout_matches_contract(self, corpus):
+        assert len(set(FEATURE_NAMES)) == len(FEATURE_NAMES)
+        for record in corpus:
+            assert len(record.features) == len(FEATURE_NAMES)
+
+    def test_digest_pins_the_layout(self):
+        assert feature_digest() == feature_digest()
+        assert len(feature_digest()) == 16
+
+    def test_est_column_is_the_analytic_cost(self):
+        """Column 0 is the FK pre-ranker's exact estimate -- extracted
+        from the same per-variable unit emission it prices."""
+        model = BUILDERS["scrnn"](TINY)
+        device = DEVICES["P100"]
+        enum = Enumerator(model.graph, device, AstraFeatures.preset("FK"))
+        strategy = enum.strategies[0]
+        tree = enum.build_fk_tree(strategy)
+        checked = 0
+        for var in tree.variables():
+            if var.metric_kind != "units":
+                continue
+            for choice in var.choices:
+                features = choice_features(enum, strategy, var, choice, device)
+                units = enum.units_for_choice(strategy, var, choice)
+                assert features[EST] == units_cost_us(units, device)
+                checked += 1
+        assert checked > 10
+
+
+class TestDirectionalOracle:
+    def test_more_waves_is_not_faster(self, trained, corpus):
+        """Among real alternatives of one variable, whenever the slower
+        measured choice also occupies more GEMM waves, the model must
+        not invert the pair -- the sign-error canary."""
+        checked = 0
+        for a, b in _real_pairs(corpus):
+            if a.features[WAVES] > b.features[WAVES] \
+                    and a.target_us > b.target_us:
+                assert trained.predict(a.features) > \
+                    trained.predict(b.features), (a.var, a.choice, b.choice)
+                checked += 1
+        assert checked >= 10, "oracle found too few wave-ordered pairs"
+
+    def test_pairwise_ranking_matches_measurement(self, trained, corpus):
+        """Every measured ordering between two choices of one variable is
+        reproduced by the model -- rank inversions are what would make
+        top-k pruning discard a winner."""
+        checked = 0
+        for a, b in _real_pairs(corpus):
+            gap = abs(a.target_us - b.target_us)
+            if a.features == b.features or \
+                    gap <= 1e-9 * max(abs(a.target_us), abs(b.target_us)):
+                continue  # same point (or float noise): no ordering to test
+            predicted = trained.predict(a.features) - trained.predict(b.features)
+            assert (predicted > 0) == (a.target_us > b.target_us)
+            checked += 1
+        assert checked >= 100
+
+
+def _swap(row, i, j):
+    row = list(row)
+    row[i], row[j] = row[j], row[i]
+    return row
+
+
+MUTANTS = {
+    "swap est_us<->waves": lambda row: _swap(row, EST, WAVES),
+    "swap est_us<->log_flops": lambda row: _swap(row, EST, 1),
+    "zero est_us": lambda row: [0.0] + list(row[1:]),
+    "negate est_us": lambda row: [-row[EST]] + list(row[1:]),
+    "shift columns by one": lambda row: list(row[1:]) + [row[0]],
+}
+
+
+class TestMutationKilling:
+    def test_clean_extractor_stays_inside_the_band(self, trained, corpus):
+        band = max(trained.quantiles["q99"], 1e-9)
+        for record in corpus:
+            error = abs(trained.predict(record.features) - record.target_us)
+            assert error <= max(abs(record.target_us), 1.0) * band * 10 + 1e-6
+
+    def test_misaligned_extractors_are_killed(self, trained, corpus):
+        """Each mutant simulates a serve-side extractor whose column
+        layout drifted from the training layout.  Every one must blow
+        far past the calibrated q99 band on the training corpus itself
+        -- so the what-if gate (or the band check) catches it instead of
+        silently mis-ranking."""
+        band = max(trained.quantiles["q99"], 1e-9)
+        for name, mutate in MUTANTS.items():
+            worst = 0.0
+            for record in corpus:
+                prediction = trained.predict(mutate(list(record.features)))
+                worst = max(
+                    worst,
+                    abs(prediction - record.target_us)
+                    / max(abs(record.target_us), 1e-9),
+                )
+            assert worst > 100 * band and worst > 0.05, (
+                f"mutant {name!r} survived: worst relative error {worst}"
+            )

@@ -1,0 +1,268 @@
+"""Artifact contract tests: training determinism, bit-identical
+serialization round-trips (hypothesis), checksum/staleness verification
+order, the session-level fallback, and profile-store artifact handling
+(see docs/learning.md)."""
+
+import copy
+import json
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core.session import AstraSession
+from repro.gpu import DEVICES
+from repro.learn import (
+    ARTIFACT_VERSION,
+    LearnedCostModel,
+    ModelArtifactError,
+    StaleModelError,
+    artifact_fingerprint,
+)
+from repro.obs.metrics import MetricsRegistry
+from repro.serve.store import ProfileStore
+
+from .conftest import BUILDERS, FIT_SEED, TINY
+
+
+def _forge(model: LearnedCostModel, **overrides) -> str:
+    """An artifact with fields overridden and the checksum recomputed --
+    intact by the integrity check, different by the staleness checks."""
+    body = model.to_dict()
+    body.update(overrides)
+    body["sha256"] = artifact_fingerprint(body)
+    return json.dumps(body)
+
+
+class TestTraining:
+    def test_fit_is_deterministic(self, corpus):
+        first = LearnedCostModel.fit(corpus, seed=FIT_SEED)
+        second = LearnedCostModel.fit(list(corpus), seed=FIT_SEED)
+        assert first.dumps() == second.dumps()
+        assert first.fingerprint == second.fingerprint
+
+    def test_empty_corpus_refused(self):
+        with pytest.raises(ModelArtifactError):
+            LearnedCostModel.fit([])
+
+    def test_calibration_is_kfold_and_tight(self, trained, corpus):
+        """Base-clock targets equal the analytic estimate, so the staged
+        fit is exact and the out-of-fold residual quantiles collapse."""
+        assert trained.calibration == "kfold"
+        assert trained.records == len(corpus)
+        assert trained.quantiles["q99"] < 1e-6
+        assert trained.confident()
+
+    def test_tiny_corpus_falls_back_to_insample(self, corpus):
+        model = LearnedCostModel.fit(corpus[:4], seed=FIT_SEED)
+        assert model.calibration == "insample"
+        assert not model.confident()
+
+    def test_supports_trained_devices_only(self, trained):
+        feature_set = trained.feature_sets[0]
+        assert trained.supports("P100", feature_set)
+        assert trained.supports("V100", feature_set)
+        assert not trained.supports("A100-like", feature_set)
+        assert not trained.supports("P100", "somewhere-else")
+
+    def test_band_brackets_prediction(self, trained, corpus):
+        lo, pred, hi = trained.band(corpus[0].features)
+        assert lo <= pred <= hi
+
+
+class TestRoundTrip:
+    """Satellite: train -> dumps -> loads -> predict is bit-identical."""
+
+    @settings(max_examples=10, deadline=None)
+    @given(seed=st.integers(0, 1000), stride=st.integers(1, 4))
+    def test_roundtrip_bit_identical(self, corpus, seed, stride):
+        subset = corpus[::stride]
+        model = LearnedCostModel.fit(subset, seed=seed)
+        text = model.dumps()
+        loaded = LearnedCostModel.loads(text)
+        assert loaded.dumps() == text
+        assert loaded.fingerprint == model.fingerprint
+        for record in corpus:
+            assert loaded.predict(record.features) == \
+                model.predict(record.features)
+            assert loaded.band(record.features) == model.band(record.features)
+
+    @settings(max_examples=20, deadline=None)
+    @given(field=st.sampled_from([
+        "anchor_slope", "anchor_bias", "records", "weights", "quantiles",
+    ]))
+    def test_any_tamper_without_rechecksum_is_corrupt(self, trained, field):
+        """Flipping any body field invalidates the checksum, so a
+        tampered artifact is *corrupt*, never silently reinterpreted."""
+        body = trained.to_dict()
+        original = body[field]
+        body[field] = 0 if not isinstance(original, (list, dict)) else []
+        with pytest.raises(ModelArtifactError) as excinfo:
+            LearnedCostModel.loads(json.dumps(body))
+        assert not isinstance(excinfo.value, StaleModelError)
+
+
+class TestVerificationOrder:
+    """Mirrors the store's segment classifier: integrity before schema."""
+
+    def test_unparseable_is_corrupt(self):
+        with pytest.raises(ModelArtifactError):
+            LearnedCostModel.loads("not json {")
+
+    def test_wrong_kind_is_corrupt(self):
+        with pytest.raises(ModelArtifactError):
+            LearnedCostModel.loads(json.dumps({"artifact": "something-else"}))
+
+    def test_stale_schema_refused(self, trained):
+        with pytest.raises(StaleModelError):
+            LearnedCostModel.loads(_forge(trained, schema="simulator-v999"))
+
+    def test_stale_version_refused(self, trained):
+        with pytest.raises(StaleModelError):
+            LearnedCostModel.loads(
+                _forge(trained, version=ARTIFACT_VERSION + 1)
+            )
+
+    def test_stale_feature_layout_refused(self, trained):
+        with pytest.raises(StaleModelError):
+            LearnedCostModel.loads(
+                _forge(trained, features_digest="0000000000000000")
+            )
+
+    def test_checksum_outranks_schema(self, trained):
+        """A corrupt artifact whose schema field *also* mismatches must
+        classify as corrupt: its fields cannot be believed."""
+        body = trained.to_dict()
+        body["schema"] = "simulator-v999"  # checksum left stale on purpose
+        with pytest.raises(ModelArtifactError) as excinfo:
+            LearnedCostModel.loads(json.dumps(body))
+        assert not isinstance(excinfo.value, StaleModelError)
+
+    def test_missing_field_is_corrupt(self, trained):
+        body = trained.to_dict()
+        del body["weights"]
+        body["sha256"] = artifact_fingerprint(body)
+        with pytest.raises(ModelArtifactError) as excinfo:
+            LearnedCostModel.loads(json.dumps(body))
+        assert not isinstance(excinfo.value, StaleModelError)
+
+    def test_explicit_schema_override(self, trained):
+        forged = _forge(trained, schema="other-simulator")
+        loaded = LearnedCostModel.loads(forged, schema="other-simulator")
+        assert loaded.schema == "other-simulator"
+
+
+class TestSessionFallback:
+    """Satellite: a corrupt/stale artifact falls back to exhaustive
+    exploration with a counter, never crashes the run."""
+
+    def _run(self, learned, metrics=None):
+        session = AstraSession(
+            BUILDERS["scrnn"](TINY), DEVICES["P100"], features="FK",
+            seed=0, learned=learned, metrics=metrics,
+        )
+        try:
+            return session.optimize(max_minibatches=400)
+        finally:
+            session.close()
+
+    def test_corrupt_artifact_counted_fallback(self, trained):
+        metrics = MetricsRegistry()
+        plain = self._run(None)
+        report = self._run(trained.dumps()[:-40], metrics=metrics)
+        snapshot = metrics.snapshot()
+        assert snapshot["learn.artifact_rejected"]["value"] == 1
+        assert "learn.artifact_stale" not in snapshot
+        learned = report.astra.fast_path["learned"]
+        assert learned["rejected"]
+        assert report.best_time_us == plain.best_time_us
+        assert report.astra.assignment == plain.astra.assignment
+
+    def test_stale_artifact_counted_separately(self, trained):
+        metrics = MetricsRegistry()
+        report = self._run(_forge(trained, schema="simulator-v999"),
+                           metrics=metrics)
+        snapshot = metrics.snapshot()
+        assert snapshot["learn.artifact_stale"]["value"] == 1
+        assert snapshot["learn.artifact_rejected"]["value"] == 1
+        assert "does not match" in report.astra.fast_path["learned"]["rejected"]
+
+
+class TestStoreArtifacts:
+    """Satellite: model artifacts live beside store segments with the
+    same lifecycle -- verified on put, evicted when stale, quarantined
+    when corrupt (see serve/store.py)."""
+
+    def test_put_and_load_roundtrip(self, trained, tmp_path):
+        store = ProfileStore(str(tmp_path))
+        store.put_model(trained)
+        text = store.load_model()
+        assert text is not None
+        assert LearnedCostModel.loads(text).fingerprint == trained.fingerprint
+        assert store.models() == ["cost-model"]
+        assert store.stats()["models"] == 1
+
+    def test_put_verifies_before_accepting(self, trained, tmp_path):
+        store = ProfileStore(str(tmp_path))
+        with pytest.raises(StaleModelError):
+            store.put_model(_forge(trained, schema="simulator-v999"))
+        with pytest.raises(ModelArtifactError):
+            store.put_model(trained.dumps()[:-40])
+        assert store.models() == []
+
+    def test_stale_on_disk_is_evicted(self, trained, tmp_path):
+        store = ProfileStore(str(tmp_path))
+        path = store.put_model(trained)
+        with open(path, "w") as fh:
+            fh.write(_forge(trained, schema="simulator-v999"))
+        assert store.load_model() is None
+        assert store.evicted_models == 1
+        assert store.models() == []
+        assert store.quarantined() == []
+
+    def test_corrupt_on_disk_is_quarantined(self, trained, tmp_path):
+        store = ProfileStore(str(tmp_path))
+        path = store.put_model(trained)
+        with open(path, "w") as fh:
+            fh.write(trained.dumps()[:-40])
+        assert store.load_model() is None
+        assert store.models() == []
+        assert any("cost-model" in name for name in store.quarantined())
+
+    def test_evict_stale_sweeps_models(self, trained, tmp_path):
+        store = ProfileStore(str(tmp_path))
+        path = store.put_model(trained)
+        with open(path, "w") as fh:
+            fh.write(_forge(trained, schema="simulator-v999"))
+        store.evict_stale()
+        assert store.models() == []
+        assert store.stats()["evicted_models"] == 1
+
+    def test_malformed_names_refused(self, tmp_path):
+        store = ProfileStore(str(tmp_path))
+        for name in ("", "../escape", ".hidden", "a/b"):
+            with pytest.raises(ValueError):
+                store.model_path(name)
+
+    def test_session_learned_store_binding(self, trained, tmp_path):
+        """``learned="store"`` resolves the store's published artifact;
+        an empty store counts a miss and runs exhaustively."""
+        metrics = MetricsRegistry()
+        session = AstraSession(
+            BUILDERS["scrnn"](TINY), DEVICES["P100"], features="FK",
+            seed=0, store=str(tmp_path), learned="store", metrics=metrics,
+        )
+        session.close()
+        assert metrics.snapshot()["learn.artifact_missing"]["value"] == 1
+
+        ProfileStore(str(tmp_path)).put_model(trained)
+        session = AstraSession(
+            BUILDERS["scrnn"](TINY), DEVICES["P100"], features="FK",
+            seed=0, store=str(tmp_path), learned="store",
+        )
+        try:
+            report = session.optimize(max_minibatches=400)
+        finally:
+            session.close()
+        summary = report.astra.fast_path["learned"]
+        assert summary["fingerprint"] == trained.fingerprint
+        assert summary["choices_pruned"] > 0

@@ -279,10 +279,16 @@ class TestBenchCompare:
         capsys.readouterr()
         doc = json.loads(doc_path.read_text())
 
-        # identical winner, tiny baseline ratio: improvement, must pass
+        # identical winner, tiny baseline ratios: improvement, must pass
+        # (the wall-clock leg speedups get the same treatment as the
+        # throughput ratio -- two timed runs of a 60-budget job on a
+        # loaded host can differ by far more than the 20% gate)
         good = copy.deepcopy(doc)
         for variant in good["variants"].values():
             variant["configs_per_sec_ratio"] = 1e-6
+            for leg in ("warm_speedup", "learned_speedup"):
+                if variant.get(leg) is not None:
+                    variant[leg] = 1e-6
         good_path = tmp_path / "good.json"
         good_path.write_text(json.dumps(good))
         assert main([*self.ARGS, "-o", str(doc_path),
