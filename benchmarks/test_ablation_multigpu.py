@@ -10,7 +10,8 @@ static choice is wrong.
 
 from harness import DEFAULT_CONFIGS, emit
 from repro.distributed import NVLINK, PCIE, choose_parallelism, choose_partitioning
-from repro.models import build_stacked_lstm, build_sublstm
+from repro.fleet import get_fleet, run_fleet_search
+from repro.models import build_scrnn, build_stacked_lstm, build_sublstm
 
 
 def build_table():
@@ -39,6 +40,58 @@ def build_table():
     payload["partitioning"] = [
         {"kind": d.kind, "per_sample_us": d.per_sample_us} for d in decisions
     ]
+
+    # heterogeneous fleet: the exhaustive sweep over a mixed 2xP100+2xV100
+    # NVLink fleet finds a weighted-split winner that no homogeneous subset
+    # matches at full batch
+    fleet = get_fleet("hetero")
+    scrnn = DEFAULT_CONFIGS["scrnn"].scaled(batch_size=256, seq_len=5)
+    report = run_fleet_search(
+        build_scrnn, scrnn, fleet, model_name="scrnn", exhaustive=True
+    )
+    payload["fleet"] = {
+        "model": "scrnn",
+        "batch": scrnn.batch_size,
+        "fleet": report.fleet,
+        "winner": report.winner.label,
+        "winner_hetero": report.hetero_winner,
+        "winner_per_sample_us": report.winner_per_sample_us,
+        "best_homogeneous": report.best_homogeneous_label,
+        "best_homogeneous_us": report.best_homogeneous_us,
+        "strategies": [
+            {
+                "label": row["label"],
+                "kind": row["kind"],
+                "heterogeneous": row["heterogeneous"],
+                "per_sample_us": row["per_sample_us"],
+            }
+            for row in report.table
+        ],
+    }
+
+    # the same fleet on a deep stack enumerates pipeline cuts alongside
+    # data-parallel strategies -- both kinds land in one adaptive variable
+    deep_report = run_fleet_search(
+        build_stacked_lstm,
+        deep,
+        fleet,
+        model_name="stacked_lstm",
+        exhaustive=True,
+        microbatches=4,
+    )
+    payload["fleet_partitioning"] = {
+        "model": "stacked_lstm",
+        "winner": deep_report.winner.label,
+        "winner_kind": deep_report.winner.kind,
+        "strategies": [
+            {
+                "label": row["label"],
+                "kind": row["kind"],
+                "per_sample_us": row["per_sample_us"],
+            }
+            for row in deep_report.table
+        ],
+    }
     return payload
 
 
@@ -62,12 +115,37 @@ def test_ablation_multigpu(table_benchmark):
         ["(partitioning)", d["kind"], f"{d['per_sample_us']:.1f}", "-", "-"]
         for d in payload["partitioning"]
     ]
+    for s in payload["fleet_partitioning"]["strategies"]:
+        us = s["per_sample_us"]
+        rows2.append([
+            "(hetero fleet)", s["kind"],
+            f"{us:.1f}" if us is not None else "-", s["label"], "-",
+        ])
     emit(
         "Ablation (section 6.7): data vs pipeline partitioning at world=2",
         ["fabric", "kind", "us/sample", "-", "-"],
         rows2,
         "ablation_partitioning",
-        payload["partitioning"],
+        {
+            "world2": payload["partitioning"],
+            "hetero_fleet": payload["fleet_partitioning"],
+        },
+    )
+    fleet = payload["fleet"]
+    rows3 = [
+        [
+            s["kind"], "hetero" if s["heterogeneous"] else "homo",
+            f"{s['per_sample_us']:.3f}" if s["per_sample_us"] is not None else "-",
+            s["label"],
+        ]
+        for s in fleet["strategies"]
+    ]
+    emit(
+        f"Ablation (hetero fleet): scrnn@{fleet['batch']} on {fleet['fleet']}",
+        ["kind", "mix", "us/sample", "strategy"],
+        rows3,
+        "ablation_fleet",
+        fleet,
     )
     # communication-bound on PCIe caps scaling earlier than NVLink
     assert payload["nvlink_best"] >= payload["pcie_best"]
@@ -77,3 +155,10 @@ def test_ablation_multigpu(table_benchmark):
     # both partitioning kinds measured; ordering by measured time
     kinds = [d["kind"] for d in payload["partitioning"]]
     assert set(kinds) == {"data", "pipeline"}
+    # the mixed fleet's winner uses both device classes and beats every
+    # homogeneous placement at full batch
+    assert fleet["winner_hetero"], fleet["winner"]
+    assert fleet["winner_per_sample_us"] < fleet["best_homogeneous_us"]
+    # the deep stack enumerates both partitioning kinds in one variable
+    fleet_kinds = {s["kind"] for s in payload["fleet_partitioning"]["strategies"]}
+    assert fleet_kinds == {"data", "pipeline"}

@@ -41,6 +41,11 @@ Commands:
 * ``explain``   — run the exploration with provenance recording and print,
   per adaptive variable, the winner, the runner-up, and the measurements
   that decided it (see ``docs/observability.md``)
+* ``fleet``     — heterogeneous fleet strategy search: data-parallel
+  degree, pipeline stage cuts and per-stage device placement explored as
+  adaptive variables over a mixed P100/V100 fleet, with admissible-bound
+  pruning verified against the exhaustive sweep; ``--bench`` writes
+  ``BENCH_fleet_<model>.json`` (see ``docs/distributed.md``)
 """
 
 from __future__ import annotations
@@ -614,6 +619,188 @@ def cmd_train(args) -> int:
     return 0
 
 
+def _render_fleet_report(report, fleet, verify: dict | None) -> str:
+    lines = [
+        f"fleet search: {report.model}  batch={report.batch_size}  "
+        f"fleet={report.fleet} ({fleet.describe()})",
+        "calibration: " + "  ".join(
+            f"{cls} {us:.1f} us" for cls, us in report.calibration.items()
+        ),
+    ]
+    for row in report.table:
+        if row["per_sample_us"] is not None:
+            status = f"{row['per_sample_us']:10.3f}"
+        elif row["pruned"]:
+            status = "    pruned"
+        else:
+            status = "       cut"
+        lines.append(
+            f"  {row['label']:<48} bound {row['bound_us']:10.3f}  {status}"
+        )
+    lines.append(
+        f"winner: {report.winner.label}  "
+        f"{report.winner_per_sample_us:.3f} us/sample  "
+        f"(step {report.winner_step_us:.1f} us"
+        + (", heterogeneous placement" if report.hetero_winner else "")
+        + ")"
+    )
+    lines.append(
+        f"search: measured {report.strategies_measured} of "
+        f"{report.strategies_total} strategies "
+        f"({report.measured_fraction * 100:.0f}%), "
+        f"{report.strategies_pruned} pruned by bound, "
+        f"{report.strategies_cut_learned} cut by model"
+        + (f"  [pruning stood down: {report.standdown}]"
+           if report.standdown else "")
+        + (f"  [learned stood down: {report.learned_standdown}]"
+           if report.learned_standdown else "")
+    )
+    if report.best_homogeneous_us is not None:
+        kind = "measured" if report.best_homogeneous_measured else "bound"
+        lines.append(
+            f"best homogeneous: {report.best_homogeneous_label}  "
+            f"{report.best_homogeneous_us:.3f} us/sample ({kind})"
+            + ("  -- beaten by the heterogeneous winner"
+               if report.hetero_winner
+               and report.winner_per_sample_us < report.best_homogeneous_us
+               else "")
+        )
+    if report.engine:
+        lines.append(
+            f"engine: {report.engine.get('workers', 1)} workers "
+            f"({report.engine.get('pool', '?')} pool), "
+            f"{report.engine.get('candidates', 0)} strategies dispatched in "
+            f"{report.engine.get('rounds', 0)} rounds"
+        )
+    if verify is not None:
+        lines.append(
+            f"verify: pruned vs exhaustive winner "
+            f"{'IDENTICAL' if verify['winner_match'] else 'DIVERGED'} "
+            f"(exhaustive measured {verify['exhaustive_measured']} "
+            f"strategies; pruned measured {report.strategies_measured})"
+        )
+    return "\n".join(lines)
+
+
+def cmd_fleet(args) -> int:
+    from .faults import FaultPlan
+    from .fleet import get_fleet, run_fleet_search
+    from .obs.trace import fleet_trace
+
+    batch = args.batch if args.batch is not None else (64 if args.quick else 256)
+
+    if args.bench:
+        from .fleet import bench_fleet, render_fleet_bench
+
+        doc = bench_fleet(
+            args.model, batch=batch, seq_len=args.seq_len,
+            fleet_name=args.fleet, seed=args.seed, workers=args.workers,
+            microbatches=args.microbatches, quick=args.quick,
+        )
+        out = args.output or f"BENCH_fleet_{args.model}.json"
+        with open(out, "w") as fh:
+            json.dump(doc, fh, indent=2)
+        if args.json:
+            print(json.dumps(doc, indent=2))
+        else:
+            print(render_fleet_bench(doc))
+            print(f"wrote {out}")
+        compare_ok = True
+        if args.compare:
+            from .fleet import compare_fleet_bench, render_fleet_compare
+
+            with open(args.compare) as fh:
+                baseline = json.load(fh)
+            diff = compare_fleet_bench(doc, baseline)
+            print(render_fleet_compare(diff))
+            compare_ok = diff["ok"]
+        return 0 if doc["ok"] and compare_ok else 1
+
+    module = __import__(_CONFIG_MODULES[args.model],
+                        fromlist=["DEFAULT_CONFIG"])
+    config = module.DEFAULT_CONFIG.scaled(
+        batch_size=batch, seq_len=args.seq_len,
+        use_embedding=not args.no_embedding,
+    )
+    builder = MODEL_BUILDERS[args.model]
+    fleet = get_fleet(args.fleet)
+    faults = None
+    if args.faults:
+        with open(args.faults) as fh:
+            faults = FaultPlan.loads(fh.read())
+    learned = None
+    learned_rejected = None
+    if args.learned:
+        from .learn import FleetStrategyModel, ModelArtifactError, StaleModelError
+
+        # same contract as optimize --learned: a missing, corrupt or stale
+        # artifact never fails the run -- it falls back to the measured path
+        try:
+            learned = FleetStrategyModel.load_path(args.learned)
+        except (ModelArtifactError, StaleModelError) as exc:
+            learned_rejected = str(exc)
+            print(f"learned: artifact rejected ({exc}); "
+                  "continuing without the model cut")
+    metrics = MetricsRegistry() if (args.json or args.metrics_out) else None
+
+    report = run_fleet_search(
+        builder, config, fleet, model_name=args.model,
+        workers=args.workers, exhaustive=args.exhaustive,
+        use_astra=args.astra, learned=learned, faults=faults,
+        seed=args.seed, microbatches=args.microbatches, metrics=metrics,
+    )
+
+    failures: list[str] = []
+    verify = None
+    if not args.exhaustive and not args.no_verify:
+        exhaustive = run_fleet_search(
+            builder, config, fleet, model_name=args.model,
+            workers=args.workers, exhaustive=True,
+            use_astra=args.astra, faults=faults,
+            seed=args.seed, microbatches=args.microbatches,
+        )
+        winner_match = (
+            report.winner.key() == exhaustive.winner.key()
+            and report.winner_per_sample_us == exhaustive.winner_per_sample_us
+        )
+        verify = {
+            "winner_match": winner_match,
+            "exhaustive_winner": exhaustive.winner.label,
+            "exhaustive_per_sample_us": exhaustive.winner_per_sample_us,
+            "exhaustive_measured": exhaustive.strategies_measured,
+        }
+        if not winner_match:
+            failures.append(
+                f"pruned winner {report.winner.label} diverged from "
+                f"exhaustive winner {exhaustive.winner.label}"
+            )
+        if report.standdown is None and report.strategies_pruned <= 0:
+            failures.append("bound pruning retired 0 strategies on a clean run")
+
+    if args.metrics_out and metrics is not None:
+        with open(args.metrics_out, "w") as fh:
+            fh.write(metrics.to_json(indent=2))
+    if args.trace_out:
+        doc = fleet_trace(report)
+        validate_chrome_trace(doc)
+        with open(args.trace_out, "w") as fh:
+            json.dump(doc, fh)
+
+    if args.json:
+        doc = report.to_dict()
+        doc["verify"] = verify
+        doc["failures"] = failures
+        doc["ok"] = not failures
+        if learned_rejected:
+            doc["learned_rejected"] = learned_rejected
+        print(json.dumps(doc, indent=2))
+    else:
+        print(_render_fleet_report(report, fleet, verify))
+        for failure in failures:
+            print(f"FAILURE: {failure}")
+    return 0 if not failures else 1
+
+
 def cmd_serve(args) -> int:
     from .serve import AstraServer
 
@@ -872,6 +1059,69 @@ def make_parser() -> argparse.ArgumentParser:
     p.add_argument("--json", action="store_true",
                    help="print a machine-readable training summary")
     p.set_defaults(fn=cmd_train)
+
+    from .fleet.spec import FLEETS
+
+    p = sub.add_parser(
+        "fleet",
+        help="heterogeneous fleet strategy search: data/pipeline "
+             "partitioning and device placement as adaptive variables "
+             "(see docs/distributed.md)",
+    )
+    p.add_argument("model", choices=sorted(MODEL_BUILDERS))
+    p.add_argument("--fleet", choices=sorted(FLEETS), default="hetero",
+                   help="fleet description to search over (default: hetero, "
+                        "2xP100+2xV100 over NVLink)")
+    p.add_argument("--batch", type=int, default=None,
+                   help="global batch size (default 256, where parallelism "
+                        "pays; 64 with --quick)")
+    p.add_argument("--seq-len", type=int, default=5, dest="seq_len")
+    p.add_argument("--seed", type=int, default=0)
+    p.add_argument("--workers", type=int, default=1, metavar="N",
+                   help="measure surviving strategies on N parallel worker "
+                        "processes (same winner, any N)")
+    p.add_argument("--microbatches", type=int, default=4, metavar="M",
+                   help="micro-batches streamed through pipeline "
+                        "strategies (default 4)")
+    p.add_argument("--exhaustive", action="store_true",
+                   help="measure every enumerated strategy: no bound "
+                        "pruning, no learned cut")
+    p.add_argument("--no-verify", action="store_true",
+                   help="skip the pruned-vs-exhaustive winner-identity "
+                        "verification sweep (verification is the default)")
+    p.add_argument("--astra", action="store_true",
+                   help="price compute primitives with a per-device inner "
+                        "Astra optimization instead of the native plan "
+                        "(bound pruning stands down: stream overlap breaks "
+                        "its admissibility)")
+    p.add_argument("--learned", default=None, metavar="PATH",
+                   help="FleetStrategyModel artifact: cut bound survivors "
+                        "to the predicted top-k band (stale/unconfident "
+                        "artifacts stand down; see docs/learning.md)")
+    p.add_argument("--faults", default=None, metavar="PATH",
+                   help="JSON FaultPlan to inject into every primitive "
+                        "measurement (bound pruning stands down; see "
+                        "docs/robustness.md)")
+    p.add_argument("--quick", action="store_true",
+                   help="batch 64 instead of 256: the CI smoke "
+                        "configuration (all gates still apply)")
+    p.add_argument("--no-embedding", action="store_true")
+    obs_flags(p)
+    p.add_argument("--trace-out", default=None, metavar="PATH",
+                   help="write the winner's per-device fleet timeline as a "
+                        "Chrome trace-event document")
+    p.add_argument("--bench", action="store_true",
+                   help="time exhaustive vs pruned search and write "
+                        "BENCH_fleet_<model>.json (see docs/distributed.md)")
+    p.add_argument("-o", "--output", default=None, metavar="PATH",
+                   help="bench output path (default: "
+                        "BENCH_fleet_<model>.json)")
+    p.add_argument("--compare", default=None, metavar="PATH",
+                   help="diff the fresh bench document against a committed "
+                        "BENCH_fleet_*.json: exit non-zero on a winner "
+                        "change or a >20%% strategies/sec-multiple "
+                        "regression")
+    p.set_defaults(fn=cmd_fleet)
 
     p = sub.add_parser(
         "serve",

@@ -23,9 +23,10 @@ from .pipeline import (
     StageMeasurement,
     choose_partitioning,
     measure_pipeline,
+    stage_unit_times,
 )
 
 __all__ += [
     "PartitioningDecision", "PipelineMeasurement", "StageMeasurement",
-    "choose_partitioning", "measure_pipeline",
+    "choose_partitioning", "measure_pipeline", "stage_unit_times",
 ]

@@ -127,7 +127,16 @@ def choose_parallelism(
         for world in degrees
         if not strong_scaling or config.batch_size // world >= 1
     ]
-    base = next((m for m in measurements if m.world == 1), measurements[0])
+    # scaling efficiency is defined relative to world=1; when the caller's
+    # degree list skips it, measure the baseline explicitly rather than
+    # normalizing against whichever degree happened to come first
+    base = next((m for m in measurements if m.world == 1), None)
+    if base is None:
+        base = measure_degree(
+            builder, config, 1,
+            device=device, interconnect=interconnect,
+            use_astra=use_astra, strong_scaling=strong_scaling, seed=seed,
+        )
     for m in measurements:
         m.scaling_efficiency = base.per_sample_us / m.per_sample_us
     measurements.sort(key=lambda m: m.per_sample_us)

@@ -44,6 +44,22 @@ class Interconnect:
             return 0.0
         return self.latency_us * (world - 1) + nbytes / self.link_bw_bytes_per_us
 
+    def contended_us(self, nbytes: int, concurrent: int = 1) -> float:
+        """One point-to-point transfer while ``concurrent`` transfers share
+        the fabric.
+
+        The links are a shared medium: when several boundary transfers
+        overlap (every adjacent stage pair of a busy pipeline hands off at
+        the same beat), each sees ``1/concurrent`` of the link bandwidth.
+        Latency is per-message and does not stretch under contention.
+        Monotone in both arguments, and ``contended_us(b, 1)`` is the
+        uncontended transfer -- the lower bound the fleet pre-ranker uses.
+        """
+        if nbytes <= 0:
+            return 0.0
+        share = self.link_bw_bytes_per_us / max(1, concurrent)
+        return self.latency_us + nbytes / share
+
 
 #: PCIe 3.0 x16-ish fabric: what the paper's Azure VMs had
 PCIE = Interconnect(name="pcie", link_bw_bytes_per_us=12e3, latency_us=12.0)

@@ -67,35 +67,53 @@ def _layer_scopes(graph: Graph) -> list[str]:
     return [s for s, _ in sorted(seen.items(), key=lambda kv: kv[1])]
 
 
-def _stage_compute_us(graph: Graph, scopes: set[str], device: GPUSpec) -> float:
-    """Measured time of the subset of the mini-batch in ``scopes``."""
-    executor = Executor(graph, device)
-    plan = native_plan(graph, fuse_elementwise=True)
-    result = executor.run(plan)
-    layer_scopes = set(_layer_scopes(graph))
-
-    def owner(node_scope: str) -> str:
-        top = node_scope.split("/")[0] if node_scope else ""
-        if top in layer_scopes:
-            return top
-        if top == "embed":
-            return "__first__"
-        return "__last__"  # head, attention glue, accumulation, unscoped
-
+def attribute_to_scopes(
+    graph: Graph, plan, unit_us: dict, launch_overhead_us: float
+) -> dict[str, float]:
+    """Charge every schedule unit (its time plus one launch overhead) to
+    the layer scope that owns it: the embedding rides with the first
+    layer, the head/glue/accumulation with the last -- the way
+    practitioners place them.  ``unit_us`` may hold measured unit times
+    or analytic kernel costs; the attribution is identical, which is what
+    makes the fleet pre-ranker's analytic stage bound comparable to the
+    measured stage time.
+    """
     ordered = _layer_scopes(graph)
+    layer_scopes = set(ordered)
     first_owner = ordered[0] if ordered else "__first__"
     last_owner = ordered[-1] if ordered else "__last__"
-    total = 0.0
+    times: dict[str, float] = {scope: 0.0 for scope in ordered}
     for unit in plan.units:
-        top = owner(graph.node(unit.node_ids[0]).scope)
-        if top == "__first__":
-            top = first_owner
-        elif top == "__last__":
-            top = last_owner
-        if top in scopes:
-            total += result.unit_times.get(unit.unit_id, 0.0)
-            total += device.launch_overhead_us
-    return total
+        node_scope = graph.node(unit.node_ids[0]).scope
+        top = node_scope.split("/")[0] if node_scope else ""
+        if top not in layer_scopes:
+            top = first_owner if top == "embed" else last_owner
+        cost = unit_us.get(unit.unit_id, 0.0) + launch_overhead_us
+        times[top] = times.get(top, 0.0) + cost
+    return times
+
+
+def stage_unit_times(graph: Graph, device: GPUSpec, executor=None) -> dict[str, float]:
+    """Per-layer-scope time attribution from ONE executed mini-batch.
+
+    Runs the native plan once and attributes the measured unit times, so
+    summing any group of scopes from this dict equals measuring that
+    group's stage -- a pipeline split of S stages costs one simulation
+    instead of S.
+    """
+    if executor is None:
+        executor = Executor(graph, device)
+    plan = native_plan(graph, fuse_elementwise=True)
+    result = executor.run(plan)
+    return attribute_to_scopes(
+        graph, plan, result.unit_times, device.launch_overhead_us
+    )
+
+
+def _stage_compute_us(graph: Graph, scopes: set[str], device: GPUSpec) -> float:
+    """Measured time of the subset of the mini-batch in ``scopes``."""
+    times = stage_unit_times(graph, device)
+    return sum(us for scope, us in times.items() if scope in scopes)
 
 
 def measure_pipeline(
@@ -109,13 +127,19 @@ def measure_pipeline(
     """Measure a GPipe-style pipeline split of the layer stack.
 
     The layer scopes are partitioned into ``num_stages`` contiguous
-    groups; each micro-batch of size B/num_microbatches flows through
-    them.  Step time follows the classic pipeline formula measured from
-    per-stage numbers: ``(num_microbatches + num_stages - 1) * beat``,
+    groups; each micro-batch of size max(1, B // num_microbatches) flows
+    through them.  Step time follows the classic pipeline formula measured
+    from per-stage numbers: ``(num_microbatches + num_stages - 1) * beat``,
     where the beat is the slowest stage's per-microbatch time plus the
-    boundary transfer.
+    boundary transfer.  Boundary traffic and the per-sample division both
+    use the samples the pipeline *actually* processes
+    (``micro * num_microbatches``), which differs from ``batch_size`` when
+    the batch does not divide evenly -- pricing by the nominal batch would
+    undercount traffic (to zero, for batches smaller than the micro-batch
+    count) and overstate throughput.
     """
     micro = max(1, config.batch_size // num_microbatches)
+    samples = micro * num_microbatches
     model = builder(config.scaled(batch_size=micro))
     graph = model.graph
     scopes = _layer_scopes(graph)
@@ -130,11 +154,12 @@ def measure_pipeline(
         for i in range(num_stages)
     ]
 
-    boundary_bytes = config.batch_size // num_microbatches * config.hidden_size * 4
+    boundary_bytes = micro * config.hidden_size * 4
 
+    unit_times = stage_unit_times(graph, device)
     stages = []
     for i, group in enumerate(groups):
-        compute = _stage_compute_us(graph, set(group), device)
+        compute = sum(unit_times.get(scope, 0.0) for scope in group)
         stages.append(
             StageMeasurement(
                 stage=i,
@@ -154,7 +179,7 @@ def measure_pipeline(
         beat_us=beat,
         transfer_us=transfer if num_stages > 1 else 0.0,
         step_us=step,
-        per_sample_us=step / config.batch_size,
+        per_sample_us=step / samples,
     )
 
 

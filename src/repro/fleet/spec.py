@@ -1,0 +1,163 @@
+"""Heterogeneous fleet descriptions: named devices over a shared fabric.
+
+A fleet is a small, fixed set of simulated accelerators
+(:class:`~repro.gpu.device.GPUSpec` instances -- mixed P100s and V100s
+with their own clocks and memory) connected by one shared
+:class:`~repro.distributed.interconnect.Interconnect`.  Placement
+strategies name device *classes* (``"P100"``, ``"V100"``); the fleet
+supplies how many of each class exist and what the fabric between them
+costs, including contention when several boundary transfers overlap
+(``Interconnect.contended_us``).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..distributed.interconnect import INTERCONNECTS, Interconnect, NVLINK, PCIE
+from ..gpu.device import DEVICES, GPUSpec, P100, V100
+
+
+@dataclass(frozen=True)
+class FleetDevice:
+    """One accelerator in the fleet: a stable name plus its spec."""
+
+    name: str  # e.g. "gpu0"
+    spec: GPUSpec
+
+    @property
+    def device_class(self) -> str:
+        return self.spec.name
+
+
+@dataclass(frozen=True)
+class FleetSpec:
+    """A named fleet: devices plus the fabric that connects them."""
+
+    name: str
+    devices: tuple[FleetDevice, ...]
+    interconnect: Interconnect
+
+    def __post_init__(self) -> None:
+        if not self.devices:
+            raise ValueError(f"fleet {self.name!r} has no devices")
+        seen = set()
+        for dev in self.devices:
+            if dev.name in seen:
+                raise ValueError(f"duplicate device name {dev.name!r}")
+            seen.add(dev.name)
+
+    @property
+    def world(self) -> int:
+        return len(self.devices)
+
+    def class_counts(self) -> dict[str, int]:
+        """Device-class availability, e.g. ``{"P100": 2, "V100": 2}``."""
+        counts: dict[str, int] = {}
+        for dev in self.devices:
+            counts[dev.device_class] = counts.get(dev.device_class, 0) + 1
+        return counts
+
+    def class_specs(self) -> dict[str, GPUSpec]:
+        """One representative :class:`GPUSpec` per device class."""
+        specs: dict[str, GPUSpec] = {}
+        for dev in self.devices:
+            specs.setdefault(dev.device_class, dev.spec)
+        return specs
+
+    @property
+    def heterogeneous(self) -> bool:
+        return len(self.class_counts()) > 1
+
+    def clock_modes(self) -> set[str]:
+        return {dev.spec.clock_mode for dev in self.devices}
+
+    def assign_devices(self, placement: tuple[str, ...]) -> tuple[str, ...]:
+        """Concrete device names for a class placement, first-free order.
+
+        Deterministic: replicas/stages claim devices of their class in
+        fleet order, so the same placement always lands on the same
+        hardware (trace tracks and keys stay stable across runs).
+        """
+        free: dict[str, list[str]] = {}
+        for dev in self.devices:
+            free.setdefault(dev.device_class, []).append(dev.name)
+        names = []
+        for cls in placement:
+            pool = free.get(cls)
+            if not pool:
+                raise ValueError(
+                    f"placement {placement!r} exceeds fleet {self.name!r} "
+                    f"availability {self.class_counts()!r}"
+                )
+            names.append(pool.pop(0))
+        return tuple(names)
+
+    def describe(self) -> str:
+        counts = self.class_counts()
+        mix = "+".join(f"{n}x{cls}" for cls, n in sorted(counts.items()))
+        return f"{self.name} ({mix}, {self.interconnect.name})"
+
+
+def _mixed(name: str, interconnect: Interconnect) -> FleetSpec:
+    return FleetSpec(
+        name=name,
+        devices=(
+            FleetDevice("gpu0", P100),
+            FleetDevice("gpu1", P100),
+            FleetDevice("gpu2", V100),
+            FleetDevice("gpu3", V100),
+        ),
+        interconnect=interconnect,
+    )
+
+
+def _uniform(name: str, spec: GPUSpec, count: int,
+             interconnect: Interconnect) -> FleetSpec:
+    return FleetSpec(
+        name=name,
+        devices=tuple(
+            FleetDevice(f"gpu{i}", spec) for i in range(count)
+        ),
+        interconnect=interconnect,
+    )
+
+
+#: the default search fleet: the paper's P100s plus a newer pair of V100s
+#: on an NVLink-class fabric, where scaling past the fast homogeneous
+#: pair actually pays and the weighted hetero placement can win
+DEFAULT_FLEET = _mixed("hetero", NVLINK)
+
+FLEETS: dict[str, FleetSpec] = {
+    "hetero": DEFAULT_FLEET,
+    "hetero_pcie": _mixed("hetero_pcie", PCIE),
+    "p100x4": _uniform("p100x4", P100, 4, PCIE),
+    "v100x4": _uniform("v100x4", V100, 4, NVLINK),
+}
+
+
+def get_fleet(name: str) -> FleetSpec:
+    try:
+        return FLEETS[name]
+    except KeyError:
+        raise ValueError(
+            f"unknown fleet {name!r}; have {sorted(FLEETS)}"
+        ) from None
+
+
+def with_clock(fleet: FleetSpec, mode: str) -> FleetSpec:
+    """The same fleet with every device's clock switched to ``mode``."""
+    return FleetSpec(
+        name=fleet.name,
+        devices=tuple(
+            FleetDevice(d.name, d.spec.with_clock(mode)) for d in fleet.devices
+        ),
+        interconnect=fleet.interconnect,
+    )
+
+
+__all__ = [
+    "FleetDevice", "FleetSpec", "DEFAULT_FLEET", "FLEETS",
+    "get_fleet", "with_clock",
+    "DEVICES", "INTERCONNECTS",
+]

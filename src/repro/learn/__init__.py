@@ -8,22 +8,40 @@ with calibrated per-prediction uncertainty so exploration measures only
 the model's top-k plus an uncertainty band -- and falls back to
 exhaustive exploration whenever the model is stale, unconfident, or
 contradicted by a Daydream-style what-if replay of the collected trace.
+
+Two model families share the machinery: the per-choice fk model
+(:class:`LearnedCostModel`) and the per-strategy fleet model
+(:class:`FleetStrategyModel`, cut applied by
+:class:`FleetStrategyRanker` -- see ``docs/distributed.md``).
 """
 
-from .features import FEATURE_NAMES, choice_features, feature_digest
-from .harvest import TrainingRecord, harvest_index, harvest_run
+from .features import (
+    FEATURE_NAMES,
+    FLEET_FEATURE_NAMES,
+    choice_features,
+    feature_digest,
+    fleet_feature_digest,
+    fleet_strategy_features,
+)
+from .harvest import TrainingRecord, harvest_fleet, harvest_index, harvest_run
 from .model import (
     ARTIFACT_VERSION,
+    FLEET_ARTIFACT_KIND,
+    FleetStrategyModel,
     LearnedCostModel,
     ModelArtifactError,
     StaleModelError,
     artifact_fingerprint,
 )
-from .ranker import LearnedGate, LearnedRanker
+from .ranker import FleetStrategyRanker, LearnedGate, LearnedRanker
 
 __all__ = [
     "ARTIFACT_VERSION",
     "FEATURE_NAMES",
+    "FLEET_ARTIFACT_KIND",
+    "FLEET_FEATURE_NAMES",
+    "FleetStrategyModel",
+    "FleetStrategyRanker",
     "LearnedCostModel",
     "LearnedGate",
     "LearnedRanker",
@@ -33,6 +51,9 @@ __all__ = [
     "artifact_fingerprint",
     "choice_features",
     "feature_digest",
+    "fleet_feature_digest",
+    "fleet_strategy_features",
+    "harvest_fleet",
     "harvest_index",
     "harvest_run",
 ]

@@ -58,6 +58,78 @@ def feature_digest() -> str:
     return hashlib.sha256(text.encode()).hexdigest()[:16]
 
 
+#: feature layout for the *fleet strategy* model family
+#: (:class:`~repro.learn.model.FleetStrategyModel`) -- one row per
+#: candidate partitioning, anchored on the admissible analytic bound
+FLEET_FEATURE_NAMES: tuple[str, ...] = (
+    "bound_us",        # admissible per-sample bound -- the anchor column
+    "world",           # replicas (data) or stages (pipeline)
+    "is_pipeline",     # 1.0 for pipeline strategies
+    "is_weighted",     # 1.0 for throughput-weighted data splits
+    "hetero",          # 1.0 when the placement mixes device classes
+    "max_stage_share", # slowest replica/stage's share of total compute
+    "log_comm_bytes",  # log1p of bytes crossing the fabric per step
+    "exposed_lo_us",   # analytic lower bound on exposed communication
+    "log_boundary",    # log1p of per-handoff boundary bytes (pipeline)
+    "microbatches",    # streamed micro-batches (1 for data strategies)
+    "envelope",        # fleet compute envelope: fast-class peak / slow-class
+    "fast_fraction",   # fraction of the placement on the fastest class
+)
+
+
+def fleet_feature_digest() -> str:
+    """Fingerprint of the fleet-strategy feature layout."""
+    text = "astra-fleet-features-v1|" + ",".join(FLEET_FEATURE_NAMES)
+    return hashlib.sha256(text.encode()).hexdigest()[:16]
+
+
+def fleet_strategy_features(
+    strategy,
+    *,
+    bound_us: float,
+    exposed_lo_us: float,
+    comm_bytes: float,
+    boundary_bytes: float,
+    stage_shares: list[float],
+    class_specs: dict,
+) -> list[float]:
+    """Extract the :data:`FLEET_FEATURE_NAMES` vector for one strategy.
+
+    Everything comes from the analytic price sheet and the strategy's own
+    shape -- no measurement is spent on a feature, so ranking the whole
+    space is free.
+    """
+    peaks = sorted(
+        (spec.peak_flops_per_us for spec in class_specs.values()),
+        reverse=True,
+    )
+    envelope = peaks[0] / peaks[-1] if peaks else 1.0
+    fastest = max(
+        class_specs, key=lambda cls: class_specs[cls].peak_flops_per_us
+    )
+    fast_fraction = (
+        strategy.placement.count(fastest) / len(strategy.placement)
+    )
+    total_share = sum(stage_shares)
+    max_share = (
+        max(stage_shares) / total_share if total_share > 0 else 1.0
+    )
+    return [
+        bound_us,
+        float(strategy.world),
+        1.0 if strategy.kind == "pipeline" else 0.0,
+        1.0 if strategy.split == "weighted" else 0.0,
+        1.0 if strategy.heterogeneous else 0.0,
+        max_share,
+        math.log1p(comm_bytes),
+        exposed_lo_us,
+        math.log1p(boundary_bytes),
+        float(strategy.microbatches),
+        envelope,
+        fast_fraction,
+    ]
+
+
 def _choice_shape(var_name: str, choice) -> tuple[float, float]:
     """(chunk, fused) for the variable kind that owns this choice."""
     if var_name.startswith("fusion:"):

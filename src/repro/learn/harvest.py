@@ -69,6 +69,33 @@ def harvest_index(enumerator, index, device, *, context=()) -> list[TrainingReco
     return records
 
 
+def harvest_fleet(report) -> list[TrainingRecord]:
+    """Training rows from one :class:`~repro.fleet.search.FleetSearchReport`.
+
+    One record per *measured* strategy: the analytic feature vector the
+    search already extracted, paired with the measured per-sample step
+    time.  Pruned strategies contribute nothing (their target was never
+    measured), and a faulted search's report carries no rows at all --
+    the standard guard that features and targets must describe the same
+    clean work.
+    """
+    records: list[TrainingRecord] = []
+    if report.standdown is not None:
+        return records
+    for row in report.table:
+        if row.get("per_sample_us") is None or row.get("features") is None:
+            continue
+        records.append(TrainingRecord(
+            features=tuple(row["features"]),
+            target_us=float(row["per_sample_us"]),
+            device=report.fleet,
+            feature_set="fleet",
+            var="fleet.strategy",
+            choice=row["label"],
+        ))
+    return records
+
+
 def harvest_run(
     model,
     device,

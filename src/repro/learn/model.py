@@ -35,9 +35,15 @@ import hashlib
 import json
 import random
 from dataclasses import dataclass, field
+from typing import ClassVar
 
 from ..serve.keys import store_schema_version
-from .features import FEATURE_NAMES, feature_digest
+from .features import (
+    FEATURE_NAMES,
+    FLEET_FEATURE_NAMES,
+    feature_digest,
+    fleet_feature_digest,
+)
 
 ARTIFACT_VERSION = 1
 ARTIFACT_KIND = "astra-learned-cost-model"
@@ -115,7 +121,18 @@ def _quantile(sorted_values: list[float], level: float) -> float:
 
 @dataclass
 class LearnedCostModel:
-    """A trained, serializable cost model (see module docstring)."""
+    """A trained, serializable cost model (see module docstring).
+
+    Subclasses retarget the same staged fit + calibration machinery at a
+    different feature layout by overriding :attr:`artifact_kind`,
+    :meth:`expected_features` and :meth:`expected_digest` -- the
+    serialization checks (kind, digest) then keep the artifact families
+    mutually unloadable (a fleet model can never masquerade as an fk
+    model, and vice versa).
+    """
+
+    #: artifact-kind tag embedded in (and demanded of) every artifact
+    artifact_kind: ClassVar[str] = ARTIFACT_KIND
 
     feature_names: tuple[str, ...]
     #: stage 0: prediction anchor ``anchor_slope * est_us + anchor_bias``
@@ -135,6 +152,18 @@ class LearnedCostModel:
     features_digest: str = field(default_factory=feature_digest)
     devices: tuple[str, ...] = ()
     feature_sets: tuple[str, ...] = ()
+
+    # -- the feature contract (overridden by subclasses) --------------------
+
+    @classmethod
+    def expected_features(cls) -> tuple[str, ...]:
+        """The column layout this model family trains on."""
+        return FEATURE_NAMES
+
+    @classmethod
+    def expected_digest(cls) -> str:
+        """Fingerprint of :meth:`expected_features`' extractor layout."""
+        return feature_digest()
 
     # -- training -----------------------------------------------------------
 
@@ -156,10 +185,11 @@ class LearnedCostModel:
         records = list(records)
         if not records:
             raise ModelArtifactError("cannot train on an empty corpus")
+        expected = cls.expected_features()
         n_features = len(records[0].features)
-        if n_features != len(FEATURE_NAMES):
+        if n_features != len(expected):
             raise ModelArtifactError(
-                f"expected {len(FEATURE_NAMES)} features, got {n_features}"
+                f"expected {len(expected)} features, got {n_features}"
             )
         rows = [list(r.features) for r in records]
         targets = [float(r.target_us) for r in records]
@@ -197,7 +227,7 @@ class LearnedCostModel:
 
         slope, bias, mean, scale, weights = fitted
         return cls(
-            feature_names=tuple(FEATURE_NAMES),
+            feature_names=tuple(expected),
             anchor_slope=slope,
             anchor_bias=bias,
             mean=tuple(mean),
@@ -208,6 +238,7 @@ class LearnedCostModel:
             seed=seed,
             l2=l2,
             calibration=calibration,
+            features_digest=cls.expected_digest(),
             devices=tuple(sorted({r.device for r in records})),
             feature_sets=tuple(sorted({r.feature_set for r in records})),
         )
@@ -286,7 +317,7 @@ class LearnedCostModel:
 
     def to_dict(self) -> dict:
         body = {
-            "artifact": ARTIFACT_KIND,
+            "artifact": type(self).artifact_kind,
             "version": ARTIFACT_VERSION,
             "schema": self.schema,
             "features_digest": self.features_digest,
@@ -328,8 +359,10 @@ class LearnedCostModel:
             body = json.loads(text)
         except (json.JSONDecodeError, TypeError) as exc:
             raise ModelArtifactError(f"unparseable model artifact: {exc}") from exc
-        if not isinstance(body, dict) or body.get("artifact") != ARTIFACT_KIND:
-            raise ModelArtifactError("not a learned-cost-model artifact")
+        if not isinstance(body, dict) or body.get("artifact") != cls.artifact_kind:
+            raise ModelArtifactError(
+                f"not a {cls.artifact_kind!r} artifact"
+            )
         declared = body.get("sha256")
         if declared != artifact_fingerprint(body):
             raise ModelArtifactError("model artifact checksum mismatch")
@@ -343,7 +376,7 @@ class LearnedCostModel:
                 f"artifact schema {body.get('schema')!r} does not match the "
                 f"running simulator ({expected_schema!r})"
             )
-        if body.get("features_digest") != feature_digest():
+        if body.get("features_digest") != cls.expected_digest():
             raise StaleModelError("artifact feature layout mismatch")
         try:
             return cls(
@@ -374,3 +407,32 @@ class LearnedCostModel:
         except OSError as exc:
             raise ModelArtifactError(f"unreadable model artifact: {exc}") from exc
         return cls.loads(text, schema=schema)
+
+
+FLEET_ARTIFACT_KIND = "astra-fleet-cost-model"
+
+
+@dataclass
+class FleetStrategyModel(LearnedCostModel):
+    """The learned cost model retargeted at fleet *strategies*.
+
+    One row per candidate partitioning (``learn/features.py``'s
+    ``FLEET_FEATURE_NAMES``: the admissible analytic bound as the
+    anchor, plus stage-compute shares, boundary traffic and the device
+    envelope), trained on the per-sample step times earlier fleet
+    searches measured (:func:`~repro.learn.harvest.harvest_fleet`).
+    Same staged fit, same calibration, same banded trust contract --
+    a distinct artifact kind and feature digest keep the families apart.
+    """
+
+    artifact_kind: ClassVar[str] = FLEET_ARTIFACT_KIND
+
+    features_digest: str = field(default_factory=fleet_feature_digest)
+
+    @classmethod
+    def expected_features(cls) -> tuple[str, ...]:
+        return FLEET_FEATURE_NAMES
+
+    @classmethod
+    def expected_digest(cls) -> str:
+        return fleet_feature_digest()

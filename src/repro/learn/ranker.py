@@ -289,3 +289,76 @@ class LearnedRanker:
 
 def _rel_error(prediction: float, reference: float) -> float:
     return abs(prediction - reference) / max(abs(reference), 1e-9)
+
+
+class FleetStrategyRanker:
+    """Learned top-k cut over fleet strategies (docs/distributed.md).
+
+    Applied *after* the admissible bound pruning: among the survivors the
+    bound could not dominate, a confident
+    :class:`~repro.learn.model.FleetStrategyModel` keeps only the top-k
+    predicted strategies plus everyone whose calibrated lower band still
+    overlaps the best upper band -- the same keep-rule as the fk
+    :class:`LearnedRanker`, so a calibrated model provably cannot discard
+    the measured winner.  Every decline is a counted stand-down
+    (``learn.fleet.skipped_<reason>``) that falls back to measuring all
+    survivors.
+    """
+
+    FEATURE_SET = "fleet"
+
+    def __init__(self, model, gate: LearnedGate | None = None, metrics=None):
+        self.model = model
+        self.gate = gate if gate is not None else LearnedGate()
+        self.metrics = metrics if metrics is not None else NULL_REGISTRY
+        self._skips: dict[str, int] = {}
+        self._cut = 0
+
+    def _skip(self, reason: str, count: int):
+        self._skips[reason] = self._skips.get(reason, 0) + 1
+        self.metrics.counter(f"learn.fleet.skipped_{reason}").inc()
+        return list(range(count)), reason
+
+    def cut(
+        self, feature_rows: list[list[float]], *,
+        fleet_name: str, exact: bool = True,
+    ) -> tuple[list[int], str | None]:
+        """Indices (original order) of strategies still worth measuring.
+
+        ``exact`` carries the perf pre-ranker's verdict: when the
+        measurement preconditions fail (injector, clocks, inner Astra)
+        the learned model's corpus does not describe what will be
+        measured either, so it stands down with it.
+        """
+        count = len(feature_rows)
+        if count <= self.gate.topk:
+            return list(range(count)), None
+        if not exact:
+            return self._skip("inexact", count)
+        if not self.model.supports(fleet_name, self.FEATURE_SET):
+            return self._skip("unsupported", count)
+        if not self.model.confident(min_records=self.gate.min_records,
+                                    max_rel=self.gate.max_uncertainty):
+            return self._skip("unconfident", count)
+        bands = [
+            self.model.band(row, quantile=self.gate.quantile)
+            for row in feature_rows
+        ]
+        ranked = sorted(range(count), key=lambda i: (bands[i][1], i))
+        keep = set(ranked[:self.gate.topk])
+        best_hi = min(hi for _lo, _pred, hi in bands)
+        keep.update(i for i, (lo, _p, _h) in enumerate(bands) if lo <= best_hi)
+        cut = count - len(keep)
+        if cut:
+            self._cut += cut
+            self.metrics.counter("learn.fleet.strategies_cut").inc(cut)
+        return sorted(keep), None
+
+    def summary(self) -> dict:
+        return {
+            "fingerprint": self.model.fingerprint,
+            "records": self.model.records,
+            "quantile": self.gate.quantile,
+            "strategies_cut": self._cut,
+            "skips": dict(sorted(self._skips.items())),
+        }

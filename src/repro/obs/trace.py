@@ -304,6 +304,92 @@ def _host_events(lowered) -> list[dict]:
     return events
 
 
+#: first process id of the fleet-device tracks in a fleet timeline
+PID_FLEET = 10
+
+
+def fleet_trace(report) -> dict:
+    """Render a fleet search winner as a Chrome trace-event document.
+
+    One process track per fleet device carrying the winner's work on it
+    (replica mini-batches for a data strategy, per-micro-batch stage
+    beats for a pipeline), plus a ``fabric`` track carrying the exposed
+    communication (the allreduce tail, or the stage handoffs).  Times
+    are the simulated step's microseconds -- the same quantities
+    ``repro fleet`` prints, drawn on a timeline.
+    """
+    detail = report.winner_detail
+    events: list[dict] = []
+    fabric_pid = PID_FLEET
+    events.append(_metadata(fabric_pid, None, "fleet: fabric", None))
+    events.append(_metadata(fabric_pid, 0, "", "interconnect"))
+
+    lanes = detail.get("replicas") or detail.get("stages") or []
+    for n, lane in enumerate(lanes):
+        pid = PID_FLEET + 1 + n
+        events.append(_metadata(
+            pid, None,
+            f"fleet: {lane['device']} ({lane['device_class']})", None,
+        ))
+        events.append(_metadata(pid, 0, "", "compute"))
+
+    if detail.get("kind") == "data":
+        for n, rep in enumerate(detail["replicas"]):
+            events.append({
+                "ph": "X", "pid": PID_FLEET + 1 + n, "tid": 0,
+                "name": f"replica shard={rep['shard']}", "cat": "fleet",
+                "ts": 0.0, "dur": max(0.0, rep["compute_us"]),
+                "args": {"device_class": rep["device_class"],
+                         "shard": rep["shard"]},
+            })
+        if detail.get("exposed_comm_us", 0.0) > 0.0:
+            events.append({
+                "ph": "X", "pid": fabric_pid, "tid": 0,
+                "name": "allreduce (exposed)", "cat": "comm",
+                "ts": detail["beat_us"], "dur": detail["exposed_comm_us"],
+                "args": {"allreduce_us": detail["allreduce_us"]},
+            })
+    elif detail.get("kind") == "pipeline":
+        beat = detail["beat_us"]
+        micro = report.winner.microbatches
+        for m in range(micro):
+            for s, stage in enumerate(detail["stages"]):
+                events.append({
+                    "ph": "X", "pid": PID_FLEET + 1 + s, "tid": 0,
+                    "name": f"micro {m} stage {s}", "cat": "fleet",
+                    "ts": (m + s) * beat,
+                    "dur": max(0.0, stage["compute_us"]),
+                    "args": {"device_class": stage["device_class"],
+                             "scopes": len(stage["scopes"])},
+                })
+                if s + 1 < len(detail["stages"]) and detail["transfer_us"] > 0:
+                    events.append({
+                        "ph": "X", "pid": fabric_pid, "tid": 0,
+                        "name": f"handoff micro {m} stage {s}->{s + 1}",
+                        "cat": "comm",
+                        "ts": (m + s) * beat + stage["compute_us"],
+                        "dur": detail["transfer_us"],
+                        "args": {"boundary_bytes": detail["boundary_bytes"]},
+                    })
+    events.append({
+        "ph": "i", "s": "g", "pid": fabric_pid, "tid": 0,
+        "name": f"winner: {report.winner.label}", "cat": "fleet",
+        "ts": 0.0,
+        "args": {"per_sample_us": report.winner_per_sample_us,
+                 "step_us": report.winner_step_us},
+    })
+    return {
+        "traceEvents": events,
+        "displayTimeUnit": "ms",
+        "otherData": {
+            "generator": "repro.obs.trace.fleet",
+            "fleet": report.fleet,
+            "strategy": report.winner.label,
+            "step_us": report.winner_step_us,
+        },
+    }
+
+
 def merge_host_trace(doc: dict, host_doc: dict, label: str = "optimizer") -> dict:
     """Merge a :class:`Tracer` document (optimizer phases + worker spans)
     into an execution trace document.

@@ -329,13 +329,22 @@ class ParallelEngine:
             return inline.run_shard(shard).result()
 
     def _inline(self):
-        from .pool import InlinePool
-
         if getattr(self.pool, "kind", None) == "inline":
             return self.pool
         if not hasattr(self, "_fallback"):
-            self._fallback = InlinePool(self.pool_spec)
+            self._fallback = self.make_inline_pool(self.pool_spec)
         return self._fallback
+
+    def make_inline_pool(self, spec):
+        """Build the in-caller fallback pool for ``_collect`` degradation.
+
+        Subclasses dispatching a different task shape (the fleet engine's
+        strategy tasks) override this with their own inline pool; the
+        collect/degrade machinery above is shared unchanged.
+        """
+        from .pool import InlinePool
+
+        return InlinePool(spec)
 
     # the wirer sets this right after constructing the engine; kept out
     # of __init__ so tests can drive the engine with a bare pool

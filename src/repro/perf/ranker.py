@@ -26,6 +26,7 @@ overlap, for which the serial cost model is not admissible.
 from __future__ import annotations
 
 from dataclasses import dataclass
+from typing import Callable
 
 from ..gpu.cost_model import units_cost_us
 from ..gpu.device import CLOCK_BASE
@@ -163,3 +164,135 @@ def prune_fk_tree(
         metrics.counter("perf.prune.choices_pruned").inc(pruned_total)
     tree.initialize()
     return pruned_total
+
+
+# -- fleet strategy pre-ranking (docs/distributed.md) -------------------------
+#
+# The same exactness argument, lifted from kernel choices to partitioning
+# strategies.  At base clock without an injector the simulator's measured
+# per-unit durations *are* the analytic kernel costs, so for every
+# strategy a lower bound on its measured step time can be computed from
+# pure arithmetic before a single strategy mini-batch is spent:
+#
+# * a replica's mini-batch time is at least the summed kernel durations
+#   (the GPU must run them all) AND at least the serialized launch
+#   overheads (the host must dispatch them all) -- ``max`` of the two;
+# * the exposed all-reduce is at least ``comm * (1 - overlap_fraction)``,
+#   because the hideable part is capped at ``overlap_fraction * comm``;
+# * a pipeline's beat is at least its slowest stage's attributed compute
+#   plus one *uncontended* boundary transfer (contention only adds).
+#
+# A strategy whose bound exceeds the seed strategy's *measured* step time
+# can never win ``finalize`` (which picks the measured minimum), so
+# pruning it cannot change the winner -- ties survive because the cut is
+# ``bound > best``, never ``>=``.  When the preconditions fail (injector
+# armed, autoboost clocks, inner-Astra compute whose stream overlap
+# breaks the summed-durations bound) the pruner stands down and the
+# search measures everything, exactly like :func:`prune_fk_tree`.
+
+
+def fleet_replica_lo(
+    compute_lo: Callable[[str, int], float],
+    placement: tuple[str, ...],
+    shards: tuple[int, ...],
+) -> float:
+    """Slowest-replica analytic beat of a data strategy."""
+    return max(
+        compute_lo(cls, shard) for cls, shard in zip(placement, shards)
+    )
+
+
+def fleet_strategy_lo(
+    strategy,
+    *,
+    batch_size: int,
+    grad_bytes: int,
+    hidden_size: int,
+    interconnect,
+    scopes: tuple[str, ...],
+    compute_lo: Callable[[str, int], float],
+    stage_lo: Callable[[str, int], dict],
+    overlap_fraction: float,
+) -> float:
+    """Admissible per-sample lower bound for one fleet strategy.
+
+    ``compute_lo(cls, batch)`` and ``stage_lo(cls, micro)`` supply the
+    per-device-class analytic price sheet (the fleet measurer computes it
+    from the same native plans the measurement executes); everything else
+    is closed-form.  Admissible: never exceeds the measured per-sample
+    time at base clock, so ``bound > measured_best`` is a proof of loss.
+    """
+    if strategy.kind == "data":
+        beat = fleet_replica_lo(compute_lo, strategy.placement, strategy.shards)
+        world = len(strategy.placement)
+        exposed = 0.0
+        if world > 1:
+            comm = interconnect.allreduce_us(grad_bytes, world)
+            exposed = comm * (1.0 - overlap_fraction)
+        return (beat + exposed) / float(batch_size)
+
+    micro = max(1, batch_size // strategy.microbatches)
+    samples = micro * strategy.microbatches
+    stages = len(strategy.cuts)
+    beat = 0.0
+    start = 0
+    for cls, width in zip(strategy.placement, strategy.cuts):
+        per_scope = stage_lo(cls, micro)
+        stage = sum(per_scope.get(s, 0.0) for s in scopes[start:start + width])
+        beat = max(beat, stage)
+        start += width
+    if stages > 1:
+        beat += interconnect.contended_us(micro * hidden_size * 4, 1)
+    return (strategy.microbatches + stages - 1) * beat / float(samples)
+
+
+def fleet_prune_standdown(
+    *, injector=None, clock_modes=(), use_astra: bool = False,
+) -> str | None:
+    """Why strategy-bound pruning must decline, or None when it may run.
+
+    Mirrors :func:`prune_fk_tree`'s guard, plus the fleet-specific case:
+    inner-Astra compute uses stream overlap, for which the serialized
+    summed-durations bound is not admissible.
+    """
+    if injector is not None:
+        return "faults"
+    if any(mode != CLOCK_BASE for mode in clock_modes):
+        return "clock"
+    if use_astra:
+        return "inner_astra"
+    return None
+
+
+def prune_fleet_strategies(
+    strategies: list,
+    bounds: list[float],
+    best_measured_us: float,
+    *,
+    metrics=None,
+    injector=None,
+    clock_modes=(),
+    use_astra: bool = False,
+) -> tuple[list[int], str | None]:
+    """Indices of strategies that may still win, given the seed's
+    measured per-sample time; preserves enumeration order.
+
+    Returns ``(survivor_indices, standdown_reason)``.  On stand-down
+    every index survives and ``fleet.prune.skipped_<reason>`` counts why
+    -- the chaos contract: under injection the search measures the full
+    space and the (faulted) winner is the exhaustive one by construction.
+    """
+    metrics = metrics if metrics is not None else NULL_REGISTRY
+    reason = fleet_prune_standdown(
+        injector=injector, clock_modes=clock_modes, use_astra=use_astra
+    )
+    if reason is not None:
+        metrics.counter(f"fleet.prune.skipped_{reason}").inc()
+        return list(range(len(strategies))), reason
+    survivors = [
+        i for i, bound in enumerate(bounds) if bound <= best_measured_us
+    ]
+    pruned = len(strategies) - len(survivors)
+    if pruned:
+        metrics.counter("fleet.prune.strategies_pruned").inc(pruned)
+    return survivors, None

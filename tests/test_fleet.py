@@ -1,0 +1,437 @@
+"""Heterogeneous fleet strategy search (docs/distributed.md).
+
+The load-bearing claims, each pinned here:
+
+* the interconnect contention model is monotone where physics says it
+  must be (hypothesis properties);
+* the analytic strategy bound is *admissible* -- never above the
+  measured per-sample time -- so bound pruning is winner-preserving:
+  the pruned search's winner is bit-identical to the exhaustive
+  sweep's, on any worker count;
+* pruning stands down whenever its exactness preconditions fail
+  (fault injection, autoboost clocks, inner-Astra compute), and a
+  faulted search still converges to the same faulted winner pruned or
+  exhaustive;
+* on the default NVLink hetero fleet at batch 256, the winner is a
+  heterogeneous placement that beats the best homogeneous one -- the
+  claim the fleet exists to demonstrate.
+"""
+
+import json
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.distributed.interconnect import NVLINK, PCIE
+from repro.faults.plan import FaultPlan
+from repro.fleet import (
+    FleetMeasurer,
+    Strategy,
+    enumerate_strategies,
+    get_fleet,
+    run_fleet_search,
+    with_clock,
+)
+from repro.fleet.strategy import balanced_shards, weighted_shards
+from repro.learn import FleetStrategyModel, LearnedCostModel, harvest_fleet
+from repro.models import MODEL_BUILDERS
+
+
+def _config(name: str, batch: int = 64):
+    module = __import__(f"repro.models.{name}", fromlist=["DEFAULT_CONFIG"])
+    return module.DEFAULT_CONFIG.scaled(batch_size=batch, seq_len=5)
+
+
+def _search(name: str, batch: int = 64, **kwargs):
+    return run_fleet_search(
+        MODEL_BUILDERS[name], _config(name, batch), get_fleet("hetero"),
+        model_name=name, **kwargs,
+    )
+
+
+@pytest.fixture(scope="module")
+def scrnn_exhaustive():
+    return _search("scrnn", exhaustive=True)
+
+
+@pytest.fixture(scope="module")
+def scrnn_256_exhaustive():
+    return _search("scrnn", batch=256, exhaustive=True)
+
+
+# ---------------------------------------------------------------------------
+# interconnect contention model
+# ---------------------------------------------------------------------------
+
+
+@settings(max_examples=30, deadline=None)
+@given(
+    fabric=st.sampled_from([NVLINK, PCIE]),
+    nbytes=st.integers(1, 1 << 30),
+    extra=st.integers(1, 1 << 20),
+    world=st.integers(2, 8),
+)
+def test_allreduce_monotone_in_bytes(fabric, nbytes, extra, world):
+    assert fabric.allreduce_us(nbytes + extra, world) >= \
+        fabric.allreduce_us(nbytes, world)
+
+
+@settings(max_examples=30, deadline=None)
+@given(
+    fabric=st.sampled_from([NVLINK, PCIE]),
+    nbytes=st.integers(1, 1 << 30),
+    world=st.integers(2, 7),
+)
+def test_allreduce_cost_non_decreasing_in_world(fabric, nbytes, world):
+    """Growing the ring never makes the collective cheaper: the latency
+    term grows linearly and the bandwidth term's (world-1)/world factor
+    approaches 1 from below."""
+    assert fabric.allreduce_us(nbytes, world + 1) >= \
+        fabric.allreduce_us(nbytes, world)
+
+
+@settings(max_examples=30, deadline=None)
+@given(
+    fabric=st.sampled_from([NVLINK, PCIE]),
+    nbytes=st.integers(0, 1 << 30),
+    world=st.integers(2, 8),
+)
+def test_broadcast_respects_latency_floor(fabric, nbytes, world):
+    assert fabric.broadcast_us(nbytes, world) >= fabric.latency_us
+
+
+@settings(max_examples=30, deadline=None)
+@given(
+    fabric=st.sampled_from([NVLINK, PCIE]),
+    nbytes=st.integers(1, 1 << 30),
+    extra=st.integers(1, 1 << 20),
+    concurrent=st.integers(1, 7),
+)
+def test_contended_us_monotone(fabric, nbytes, extra, concurrent):
+    """More bytes and more concurrent transfers both cost more; a single
+    transfer is the uncontended floor."""
+    base = fabric.contended_us(nbytes, concurrent)
+    assert fabric.contended_us(nbytes + extra, concurrent) >= base
+    assert fabric.contended_us(nbytes, concurrent + 1) >= base
+    assert fabric.contended_us(nbytes, 1) <= base
+
+
+# ---------------------------------------------------------------------------
+# strategy space
+# ---------------------------------------------------------------------------
+
+
+@settings(max_examples=30, deadline=None)
+@given(batch=st.integers(1, 512), world=st.integers(1, 8))
+def test_balanced_shards_partition_the_batch(batch, world):
+    shards = balanced_shards(batch, world)
+    assert sum(shards) == batch
+    assert max(shards) - min(shards) <= 1
+
+
+@settings(max_examples=30, deadline=None)
+@given(
+    batch=st.integers(4, 512),
+    speeds=st.lists(st.floats(10.0, 1000.0), min_size=2, max_size=4),
+)
+def test_weighted_shards_partition_and_favor_fast_devices(batch, speeds):
+    placement = tuple(f"cls{i}" for i in range(len(speeds)))
+    speed_us = dict(zip(placement, speeds))
+    shards = weighted_shards(batch, placement, speed_us)
+    assert sum(shards) == batch
+    assert all(s >= 1 for s in shards)
+    # deterministic
+    assert shards == weighted_shards(batch, placement, speed_us)
+    fastest = min(range(len(speeds)), key=lambda i: speeds[i])
+    assert shards[fastest] == max(shards)
+
+
+def test_strategy_key_roundtrip_over_enumeration():
+    fleet = get_fleet("hetero")
+    strategies = enumerate_strategies(
+        fleet, batch_size=64, num_layer_scopes=2, microbatches=4,
+    )
+    keys = [s.key() for s in strategies]
+    assert len(set(keys)) == len(keys), "strategy keys must be unique"
+    for s, key in zip(strategies, keys):
+        assert Strategy.from_key(key) == s
+    kinds = {s.kind for s in strategies}
+    assert kinds == {"data", "pipeline"}
+
+
+def test_single_scope_model_enumerates_no_pipelines():
+    strategies = enumerate_strategies(
+        get_fleet("hetero"), batch_size=64, num_layer_scopes=1,
+    )
+    assert all(s.kind == "data" for s in strategies)
+
+
+# ---------------------------------------------------------------------------
+# bound admissibility and pruning equivalence
+# ---------------------------------------------------------------------------
+
+
+def test_bound_admissible_on_every_measured_strategy(scrnn_exhaustive):
+    rows = [r for r in scrnn_exhaustive.table if r["per_sample_us"] is not None]
+    assert len(rows) == scrnn_exhaustive.strategies_total
+    for row in rows:
+        assert row["bound_us"] <= row["per_sample_us"] + 1e-9, row["label"]
+
+
+@pytest.mark.parametrize("name", ["scrnn", "milstm"])
+def test_pruned_winner_identical_to_exhaustive(name):
+    pruned = _search(name)
+    exhaustive = _search(name, exhaustive=True)
+    assert pruned.winner.key() == exhaustive.winner.key()
+    assert pruned.winner_per_sample_us == exhaustive.winner_per_sample_us
+    assert pruned.strategies_pruned > 0
+    assert pruned.measured_fraction <= 0.5
+    assert pruned.standdown is None
+
+
+def test_pruned_winner_identical_on_two_workers(scrnn_exhaustive):
+    """Worker count changes wall-clock only: the multi-process search
+    merges worker records deterministically and lands on the same winner
+    and the same value."""
+    two = _search("scrnn", exhaustive=True, workers=2)
+    assert two.winner.key() == scrnn_exhaustive.winner.key()
+    assert two.winner_per_sample_us == scrnn_exhaustive.winner_per_sample_us
+    assert two.engine.get("workers") == 2
+
+
+def test_pipeline_strategies_measured_on_multilayer_model():
+    report = _search_stacked(exhaustive=True)
+    pipeline_rows = [r for r in report.table if r["kind"] == "pipeline"]
+    assert pipeline_rows, "stacked_lstm must enumerate pipeline cuts"
+    for row in pipeline_rows:
+        assert row["per_sample_us"] is not None
+        assert row["bound_us"] <= row["per_sample_us"] + 1e-9
+
+
+def _search_stacked(**kwargs):
+    return run_fleet_search(
+        MODEL_BUILDERS["stacked_lstm"], _config("stacked_lstm"),
+        get_fleet("hetero"), model_name="stacked_lstm", **kwargs,
+    )
+
+
+def test_hetero_winner_beats_best_homogeneous_at_full_batch(
+    scrnn_256_exhaustive,
+):
+    report = scrnn_256_exhaustive
+    assert report.hetero_winner, report.winner.label
+    assert report.best_homogeneous_measured
+    assert report.winner_per_sample_us < report.best_homogeneous_us
+
+
+# ---------------------------------------------------------------------------
+# stand-downs
+# ---------------------------------------------------------------------------
+
+
+def test_chaos_standdown_and_same_faulted_winner():
+    plan = FaultPlan.single("slowdown", 0.5, seed=7)
+    pruned = _search("scrnn", faults=plan)
+    exhaustive = _search("scrnn", faults=plan, exhaustive=True)
+    assert pruned.standdown == "faults"
+    assert pruned.strategies_pruned == 0
+    assert pruned.winner.key() == exhaustive.winner.key()
+    assert pruned.winner_per_sample_us == exhaustive.winner_per_sample_us
+
+
+def test_inner_astra_stands_pruning_down():
+    report = _search("scrnn", use_astra=True)
+    assert report.standdown == "inner_astra"
+    assert report.strategies_pruned == 0
+
+
+def test_autoboost_clock_stands_pruning_down():
+    fleet = with_clock(get_fleet("hetero"), "autoboost")
+    report = run_fleet_search(
+        MODEL_BUILDERS["scrnn"], _config("scrnn"), fleet, model_name="scrnn",
+    )
+    assert report.standdown == "clock"
+    assert report.strategies_pruned == 0
+
+
+def test_use_astra_and_faults_are_mutually_exclusive():
+    with pytest.raises(ValueError):
+        FleetMeasurer(
+            MODEL_BUILDERS["scrnn"], _config("scrnn"), get_fleet("hetero"),
+            use_astra=True, faults=FaultPlan.single("slowdown", 0.5, seed=1),
+        )
+
+
+# ---------------------------------------------------------------------------
+# measurement sharing and accounting
+# ---------------------------------------------------------------------------
+
+
+def test_primitives_shared_across_strategies(scrnn_exhaustive):
+    """Measuring all 12 strategies must not cost 12 full measurements:
+    same (class, shard) compute primitives are measured once and shared."""
+    measurer = FleetMeasurer(
+        MODEL_BUILDERS["scrnn"], _config("scrnn"), get_fleet("hetero"),
+    )
+    a = measurer.compute_us("V100", 32)
+    snapshot = len(measurer.index.snapshot())
+    b = measurer.compute_us("V100", 32)
+    assert a == b
+    assert len(measurer.index.snapshot()) == snapshot, "cache hit re-recorded"
+
+
+def test_pipeline_sample_accounting_when_batch_below_microbatches():
+    """batch < microbatches degenerates to micro-batch 1 and the step
+    still accounts for microbatches * micro samples."""
+    measurer = FleetMeasurer(
+        MODEL_BUILDERS["stacked_lstm"], _config("stacked_lstm", batch=2),
+        get_fleet("hetero"),
+    )
+    strategy = Strategy(
+        kind="pipeline", placement=("P100", "V100"), cuts=(1, 1),
+        microbatches=4,
+    )
+    outcome = measurer.measure_strategy(strategy)
+    assert outcome.detail["microbatch"] == 1
+    assert outcome.samples == 4
+    assert outcome.per_sample_us == outcome.step_us / 4
+
+
+def test_analytic_stage_sheet_matches_measured_at_base_clock():
+    """The admissibility argument leans on analytic and measured stage
+    attribution being byte-identical at base clock -- same per-unit
+    costs, same scope attribution.  Pin it."""
+    measurer = FleetMeasurer(
+        MODEL_BUILDERS["stacked_lstm"], _config("stacked_lstm"),
+        get_fleet("hetero"),
+    )
+    for cls in ("P100", "V100"):
+        analytic = measurer.analytic_stage_lo(cls, 16)
+        measured = measurer.stage_us(cls, 16)
+        assert set(analytic) >= set(measured)
+        for scope, value in measured.items():
+            assert analytic[scope] == pytest.approx(value, rel=1e-9), (
+                cls, scope,
+            )
+
+
+# ---------------------------------------------------------------------------
+# learned fleet model
+# ---------------------------------------------------------------------------
+
+
+def _fit_fleet_model():
+    records = []
+    for name in ("scrnn", "milstm"):
+        records.extend(harvest_fleet(_search(name, exhaustive=True)))
+        records.extend(harvest_fleet(_search(name, batch=128, exhaustive=True)))
+    return FleetStrategyModel.fit(records), records
+
+
+def test_learned_cut_preserves_winner(scrnn_exhaustive):
+    model, records = _fit_fleet_model()
+    assert model.confident()
+    assert model.supports("hetero", "fleet")
+    report = _search("scrnn", learned=model)
+    assert report.winner.key() == scrnn_exhaustive.winner.key()
+    assert report.winner_per_sample_us == scrnn_exhaustive.winner_per_sample_us
+    assert report.learned_standdown is None
+
+
+def test_fleet_model_roundtrip_and_kind_refusal():
+    model, _ = _fit_fleet_model()
+    text = model.dumps()
+    back = FleetStrategyModel.loads(text)
+    assert back.fingerprint == model.fingerprint
+    with pytest.raises(Exception):
+        LearnedCostModel.loads(text)  # wrong artifact kind must refuse
+
+
+def test_harvest_fleet_skips_faulted_reports():
+    plan = FaultPlan.single("slowdown", 0.5, seed=7)
+    faulted = _search("scrnn", faults=plan, exhaustive=False)
+    assert faulted.standdown == "faults"
+    assert harvest_fleet(faulted) == []
+
+
+def test_harvest_fleet_one_record_per_measured_strategy(scrnn_exhaustive):
+    records = harvest_fleet(scrnn_exhaustive)
+    assert len(records) == scrnn_exhaustive.strategies_measured
+    for rec in records:
+        assert rec.feature_set == "fleet"
+        assert rec.device == "hetero"
+        assert rec.target_us > 0
+
+
+# ---------------------------------------------------------------------------
+# report, trace, bench
+# ---------------------------------------------------------------------------
+
+
+def test_report_to_dict_is_json_serializable(scrnn_exhaustive):
+    doc = scrnn_exhaustive.to_dict()
+    text = json.dumps(doc)
+    assert json.loads(text)["winner"]["label"] == scrnn_exhaustive.winner.label
+
+
+def test_fleet_trace_validates(scrnn_exhaustive):
+    from repro.obs.trace import fleet_trace, validate_chrome_trace
+
+    doc = fleet_trace(scrnn_exhaustive)
+    summary = validate_chrome_trace(doc)
+    assert summary["events"] > 0
+    assert len(summary["tracks"]) >= scrnn_exhaustive.winner.world
+
+
+def test_fleet_trace_validates_for_pipeline_winner():
+    from repro.obs.trace import fleet_trace, validate_chrome_trace
+
+    measurer = FleetMeasurer(
+        MODEL_BUILDERS["stacked_lstm"], _config("stacked_lstm"),
+        get_fleet("hetero"),
+    )
+    strategy = Strategy(
+        kind="pipeline", placement=("P100", "V100"), cuts=(1, 1),
+        microbatches=4,
+    )
+    outcome = measurer.measure_strategy(strategy)
+
+    class _Rep:
+        winner = strategy
+        winner_detail = outcome.detail
+        winner_per_sample_us = outcome.per_sample_us
+        winner_step_us = outcome.step_us
+        fleet = "hetero"
+
+    doc = fleet_trace(_Rep())
+    assert validate_chrome_trace(doc)["events"] > 0
+
+
+def test_bench_fleet_document_and_compare_gates():
+    from repro.fleet import bench_fleet, compare_fleet_bench
+
+    doc = bench_fleet("scrnn", batch=64, quick=True)
+    assert doc["ok"], doc["failures"]
+    assert doc["winner_match"]
+    assert doc["legs"]["pruned"]["measured_fraction"] <= 0.5
+    assert doc["legs"]["pruned"]["strategies_pruned"] > 0
+    assert doc["strategies_per_sec_multiple"] > 0
+
+    # self-compare is clean
+    assert compare_fleet_bench(doc, doc)["ok"]
+
+    # a mislabelled baseline (different model/config) is refused
+    mislabelled = dict(doc, model="milstm")
+    diff = compare_fleet_bench(doc, mislabelled)
+    assert not diff["ok"]
+    assert any("mismatch" in f for f in diff["failures"])
+
+    # a collapsed strategies/sec multiple fails the regression gate
+    slower = json.loads(json.dumps(doc))
+    baseline = json.loads(json.dumps(doc))
+    slower["strategies_per_sec_multiple"] = (
+        baseline["strategies_per_sec_multiple"] * 0.5
+    )
+    diff = compare_fleet_bench(slower, baseline)
+    assert not diff["ok"]
+    assert any("regressed" in f for f in diff["failures"])
